@@ -1,0 +1,47 @@
+"""Figure 3 design study — fairness of the XOR-fold distribution hash.
+
+The paper motivates the distribution function with a best case (round
+robin: every task graph busy) and a worst case (blocked assignment: task
+graphs take turns).  This ablation measures how close the XOR-fold hash
+gets to the round-robin ideal on a realistic heap-address stream, and how
+badly a single hot address (the Gaussian-elimination pattern) degrades it.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.figures import distribution_quality_report
+from repro.nexus.distribution import distribution_histogram, fairness_index, nexus_hash_array
+
+
+def test_distribution_fairness_on_heap_stream(benchmark, report_recorder):
+    report = benchmark.pedantic(
+        distribution_quality_report,
+        kwargs={"num_addresses": 50000, "task_graph_counts": (2, 4, 6, 8, 16, 32)},
+        rounds=1, iterations=1,
+    )
+    report_recorder("distribution_quality", report["text"])
+    for num_tg, entry in report["data"].items():
+        # Near-round-robin fairness for every configuration the paper
+        # supports (up to 32 task graphs).
+        assert entry["fairness"] > 0.9, f"{num_tg} task graphs unfair: {entry['fairness']:.3f}"
+        assert entry["histogram"].min() > 0
+
+
+def test_distribution_hash_throughput(benchmark):
+    """Vectorised hash throughput (pure micro-benchmark, many rounds)."""
+    addresses = (0x7F3A_0000_0000 + 64 * np.arange(100_000)).astype(np.uint64)
+    result = benchmark(nexus_hash_array, addresses, 6)
+    assert result.shape == addresses.shape
+
+
+def test_single_hot_address_is_worst_case(benchmark):
+    """The Gaussian pivot-row pattern: one address receives all accesses,
+    so fairness collapses to 1/n regardless of the hash quality."""
+
+    def measure():
+        histogram = distribution_histogram([0x7F3A_0000_0040] * 10_000, 8)
+        return fairness_index(histogram)
+
+    fairness = benchmark.pedantic(measure, rounds=1, iterations=1)
+    assert fairness == pytest.approx(1.0 / 8.0, rel=0.01)

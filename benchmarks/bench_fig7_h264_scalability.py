@@ -1,0 +1,59 @@
+"""Figure 7 — Nexus# scalability on h264dec vs. the number of task graphs.
+
+Panel (a): every configuration at a flat 100 MHz (architecture scaling
+only).  Panel (b): each configuration at its Table I synthesis frequency
+(the realistic design point).  The paper's observation is that more task
+graphs help up to about 6, after which the frequency penalty cancels the
+benefit — 6 task graphs is the configuration used everywhere else.
+"""
+
+import pytest
+
+from repro.analysis.figures import figure7_report
+
+#: Reduced sweep so the whole figure regenerates in a couple of minutes.
+GROUPINGS = (1, 8)
+TASK_GRAPHS = (1, 2, 4, 6, 8)
+CORE_COUNTS = (1, 8, 32, 128)
+
+
+def test_figure7_h264_scalability(benchmark, report_recorder, scale, seed):
+    report = benchmark.pedantic(
+        figure7_report,
+        kwargs={
+            "groupings": GROUPINGS,
+            "task_graph_counts": TASK_GRAPHS,
+            "core_counts": CORE_COUNTS,
+            "scale": scale,
+            "seed": seed,
+        },
+        rounds=1, iterations=1,
+    )
+    report_recorder("fig7_h264_scalability", report["text"])
+
+    flat = report["panels"]["100MHz"]["h264dec-1x1-10f"]
+    synth = report["panels"]["synthesis"]["h264dec-1x1-10f"]
+
+    # (a) At a flat 100 MHz, adding task graphs improves the fine-grained
+    # workload: 6 TGs must beat 1 TG.
+    assert flat.curves["Nexus# 6TG"].max_speedup > flat.curves["Nexus# 1TG"].max_speedup
+    # Nothing beats the no-overhead curve.
+    for name, curve in flat.curves.items():
+        if name != "Ideal":
+            assert curve.max_speedup <= flat.curves["Ideal"].max_speedup + 1e-6
+
+    # (b) At the synthesis frequency the frequency penalty eats into the
+    # benefit of additional task graphs: the 8-TG configuration (41.66 MHz)
+    # must not meaningfully beat 6 TGs, and the spread between the
+    # configurations is much smaller than the ideal-vs-1TG gap — which is
+    # exactly why the paper settles on 6 task graphs rather than "as many
+    # as possible".  (At the reduced benchmark scale the sweet spot can
+    # shift toward 2-4 TGs; the full-scale behaviour is discussed in
+    # EXPERIMENTS.md.)
+    assert synth.curves["Nexus# 8TG"].max_speedup <= synth.curves["Nexus# 6TG"].max_speedup * 1.1
+    best_synth = max(curve.max_speedup for name, curve in synth.curves.items() if name != "Ideal")
+    assert synth.curves["Nexus# 6TG"].max_speedup >= 0.6 * best_synth
+
+    # Coarse tasks (8x8 grouping) are easy: even 1 task graph tracks ideal.
+    coarse = report["panels"]["synthesis"]["h264dec-8x8-10f"]
+    assert coarse.curves["Nexus# 1TG"].max_speedup >= 0.8 * coarse.curves["Ideal"].max_speedup

@@ -1,0 +1,49 @@
+"""Figure 9 — Gaussian elimination on Nexus++, Nexus# 1 TG and Nexus# 2 TG.
+
+The Gaussian-elimination pattern (Figure 6) is the worst case for the
+Nexus# distribution: every wave of update tasks reads the same pivot-row
+address, so one task graph receives all the work.  The paper's findings,
+which the assertions below check on smaller matrices:
+
+* Nexus# with 2 task graphs is the best hardware configuration, but only
+  by a modest margin over Nexus++ (10-19 % in the paper);
+* speedup grows with the matrix size (larger tasks amortise the
+  per-task manager latency);
+* adding task graphs does not produce the near-linear gains seen for
+  h264dec, because the distribution is maximally unfair here.
+"""
+
+import pytest
+
+from repro.analysis.figures import figure9_report
+
+MATRIX_SIZES = (150, 250)
+CORE_COUNTS = (1, 8, 64)
+
+
+def test_figure9_gaussian_elimination(benchmark, report_recorder):
+    report = benchmark.pedantic(
+        figure9_report,
+        kwargs={"matrix_sizes": MATRIX_SIZES, "core_counts": CORE_COUNTS},
+        rounds=1, iterations=1,
+    )
+    report_recorder("fig9_gaussian", report["text"])
+    studies = report["studies"]
+
+    for matrix in MATRIX_SIZES:
+        study = studies[matrix]
+        two_tg = study.curves["Nexus# 2TG"].max_speedup
+        one_tg = study.curves["Nexus# 1TG"].max_speedup
+        nexuspp = study.curves["Nexus++"].max_speedup
+        # Nexus# 2 TG is the best non-ideal configuration...
+        assert two_tg >= one_tg
+        assert two_tg >= nexuspp
+        # ...but the advantage over Nexus++ stays modest (worst-case
+        # distribution): well under 2x, vs. the >3x gaps seen on h264dec.
+        assert two_tg <= 2.0 * nexuspp
+
+    # Larger matrices (larger tasks) scale better, as in the paper.
+    assert (
+        studies[MATRIX_SIZES[1]].curves["Nexus# 2TG"].max_speedup
+        > studies[MATRIX_SIZES[0]].curves["Nexus# 2TG"].max_speedup
+    )

@@ -1,0 +1,36 @@
+"""Table I — FPGA device utilisation and synthesis frequencies.
+
+Regenerates the resource/frequency table for Nexus++ and Nexus# with
+1/2/4/6/8 task graphs on the ZC706 and checks the calibration against the
+paper's numbers.
+"""
+
+import pytest
+
+from repro.analysis.tables import table1_report
+from repro.fpga.resources import estimate_nexus_sharp, paper_table1_rows
+
+
+def test_table1_fpga_resources(benchmark, report_recorder):
+    report = benchmark.pedantic(table1_report, rounds=1, iterations=1)
+    report_recorder("table1_fpga", report["text"])
+    paper = paper_table1_rows()
+    for estimate in report["estimates"]:
+        reference = paper[estimate.configuration]
+        assert abs(round(estimate.lut_pct) - reference["luts_pct"]) <= 1
+        assert abs(round(estimate.block_ram_pct) - reference["brams_pct"]) <= 1
+        assert estimate.test_frequency_mhz == pytest.approx(reference["test_mhz"], abs=0.01)
+
+
+def test_table1_resource_model_scaling(benchmark):
+    """Ablation: resources must grow monotonically with task graphs and the
+    8-TG design must still fit on the ZC706 (91 % of the block RAMs)."""
+
+    def sweep():
+        return [estimate_nexus_sharp(n) for n in range(1, 9)]
+
+    estimates = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    for earlier, later in zip(estimates, estimates[1:]):
+        assert later.luts > earlier.luts
+        assert later.block_rams > earlier.block_rams
+    assert estimates[-1].fits

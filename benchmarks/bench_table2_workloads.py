@@ -1,0 +1,50 @@
+"""Table II — benchmark statistics of the generated traces.
+
+Regenerates the workload-statistics table (number of tasks, total work,
+average task size, dependency range) for every Starbench-style workload
+and compares the columns against the paper's Table II.  The traces are
+generated at full scale here — generation is cheap, only simulation is
+expensive — except for streamcluster, whose 650 k tasks are reduced.
+"""
+
+import pytest
+
+from repro.analysis.tables import PAPER_TABLE2, table2_report
+from repro.trace.stats import compute_statistics
+from repro.workloads.registry import get_workload
+
+
+def test_table2_workload_statistics(benchmark, report_recorder, seed):
+    report = benchmark.pedantic(
+        table2_report, kwargs={"scale": 1.0, "seed": seed}, rounds=1, iterations=1
+    )
+    report_recorder("table2_workloads", report["text"])
+    stats = report["stats"]
+    # Average task sizes are generator inputs: they must track Table II closely.
+    assert stats["c-ray"].avg_task_us == pytest.approx(PAPER_TABLE2["c-ray"][2], rel=0.10)
+    assert stats["rot-cc"].avg_task_us == pytest.approx(PAPER_TABLE2["rot-cc"][2], rel=0.10)
+    assert stats["h264dec-1x1-10f"].avg_task_us == pytest.approx(4.6, rel=0.15)
+    assert stats["h264dec-8x8-10f"].avg_task_us == pytest.approx(189.9, rel=0.15)
+    # Task counts: exact for the line-based kernels, same order of
+    # magnitude for the kernels whose helper tasks we do not model.
+    assert stats["c-ray"].num_tasks == PAPER_TABLE2["c-ray"][0]
+    assert stats["rot-cc"].num_tasks == PAPER_TABLE2["rot-cc"][0]
+    assert stats["sparselu"].num_tasks == pytest.approx(PAPER_TABLE2["sparselu"][0], rel=0.30)
+    assert stats["streamcluster"].num_tasks == pytest.approx(PAPER_TABLE2["streamcluster"][0], rel=0.30)
+    for name in ("h264dec-1x1-10f", "h264dec-2x2-10f", "h264dec-4x4-10f", "h264dec-8x8-10f"):
+        assert stats[name].num_tasks == pytest.approx(PAPER_TABLE2[name][0], rel=0.50)
+    # Dependency-count ranges.
+    assert stats["sparselu"].deps_label == "1-3"
+    assert stats["c-ray"].deps_label == "1"
+
+
+@pytest.mark.parametrize("name", ["c-ray", "sparselu", "h264dec-1x1-10f"])
+def test_trace_generation_speed(benchmark, name, seed):
+    """Micro-benchmark of the trace generators themselves (full scale)."""
+    trace = benchmark.pedantic(
+        get_workload, args=(name,), kwargs={"scale": 1.0, "seed": seed},
+        rounds=1, iterations=1,
+    )
+    assert trace.num_tasks > 1000
+    stats = compute_statistics(trace)
+    assert stats.total_work_ms > 0

@@ -1,0 +1,38 @@
+"""Table III — Gaussian-elimination task counts and granularity.
+
+Regenerates the table of task counts and average task weights for the
+250/500/1000/3000 matrices and checks the closed-form formulas (and the
+generated trace for the smaller sizes) against the paper's numbers.
+"""
+
+import pytest
+
+from repro.analysis.tables import table3_report
+from repro.workloads.gaussian import gaussian_avg_flops, gaussian_task_count, generate_gaussian_elimination
+
+#: Paper Table III rows: matrix -> (# tasks, avg FLOPs, avg µs).
+PAPER_TABLE3 = {
+    250: (31374, 167, 0.084),
+    500: (125249, 334, 0.167),
+    1000: (500499, 667, 0.334),
+    3000: (4501499, 2012, 1.006),
+}
+
+
+def test_table3_gaussian_task_counts(benchmark, report_recorder):
+    report = benchmark.pedantic(table3_report, rounds=1, iterations=1)
+    report_recorder("table3_gaussian", report["text"])
+    for matrix, (tasks, flops, avg_us) in PAPER_TABLE3.items():
+        row = report["data"][matrix]
+        assert row["tasks"] == tasks
+        assert row["avg_flops"] == pytest.approx(flops, rel=0.01)
+        assert row["avg_us"] == pytest.approx(avg_us, rel=0.01)
+
+
+def test_table3_generated_trace_matches_formulas(benchmark):
+    """Generate the 250x250 trace and verify it against the formulas."""
+    trace = benchmark.pedantic(
+        generate_gaussian_elimination, kwargs={"matrix_size": 250}, rounds=1, iterations=1
+    )
+    assert trace.num_tasks == gaussian_task_count(250)
+    assert trace.avg_task_us == pytest.approx(gaussian_avg_flops(250) / 2000.0, rel=0.01)

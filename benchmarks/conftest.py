@@ -1,0 +1,60 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper and
+
+* prints the regenerated rows/series next to the paper's values (visible
+  with ``pytest benchmarks/ --benchmark-only -s``),
+* writes the same text to ``benchmarks/results/<name>.txt`` so the output
+  survives pytest's capture,
+* returns quickly: the workloads are generated at a reduced ``scale``
+  (structure preserved) controlled by the ``REPRO_BENCH_SCALE``
+  environment variable (default 0.05).
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+#: Directory the rendered tables/figures are written to.
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def bench_scale(default: float = 0.05) -> float:
+    """Workload scale factor used by the trace-driven benchmarks."""
+    return float(os.environ.get("REPRO_BENCH_SCALE", default))
+
+
+def bench_seed() -> int:
+    """Seed used by the trace-driven benchmarks."""
+    return int(os.environ.get("REPRO_BENCH_SEED", 2015))
+
+
+def record_report(name: str, text: str) -> Path:
+    """Print ``text`` and persist it under ``benchmarks/results/``."""
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    path = RESULTS_DIR / f"{name}.txt"
+    path.write_text(text + "\n", encoding="utf-8")
+    print()
+    print(text)
+    return path
+
+
+@pytest.fixture
+def report_recorder():
+    """Fixture handing benchmarks the :func:`record_report` helper."""
+    return record_report
+
+
+@pytest.fixture
+def scale() -> float:
+    """Workload scale factor (override with REPRO_BENCH_SCALE)."""
+    return bench_scale()
+
+
+@pytest.fixture
+def seed() -> int:
+    """Workload seed (override with REPRO_BENCH_SEED)."""
+    return bench_seed()

@@ -1,0 +1,48 @@
+#!/usr/bin/env python3
+"""Compare every task-manager model across the Starbench-style workloads.
+
+A miniature version of Figure 8 / Table IV: for each workload (generated
+at a reduced scale so the script finishes in about a minute) the speedup
+of Nanos, Nexus++ and Nexus# (6 task graphs) is swept over core counts
+and printed next to the zero-overhead ideal curve.
+
+Run with::
+
+    python examples/compare_managers.py [--scale 0.03] [--cores 1 8 64]
+"""
+
+import argparse
+
+from repro.analysis import paper_manager_set, run_scalability
+from repro.common.constants import NANOS_MAX_CORES
+from repro.trace import compute_statistics
+from repro.workloads import get_workload
+from repro.workloads.registry import paper_table2_workloads
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", type=float, default=0.03,
+                        help="workload scale factor relative to the paper's traces")
+    parser.add_argument("--cores", type=int, nargs="+", default=[1, 8, 32, 128],
+                        help="core counts to sweep")
+    parser.add_argument("--workloads", nargs="+", default=None,
+                        help="subset of workloads (default: the Table II list)")
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args()
+
+    workloads = args.workloads or list(paper_table2_workloads())
+    managers = paper_manager_set()
+    for name in workloads:
+        trace = get_workload(name, scale=args.scale, seed=args.seed)
+        stats = compute_statistics(trace)
+        study = run_scalability(trace, managers, core_counts=args.cores,
+                                max_cores={"Nanos": NANOS_MAX_CORES})
+        print(study.render(
+            f"{name}  ({stats.num_tasks} tasks, avg {stats.avg_task_us:.1f} us, scale {args.scale})"
+        ))
+        print()
+
+
+if __name__ == "__main__":
+    main()

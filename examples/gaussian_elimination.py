@@ -1,0 +1,56 @@
+#!/usr/bin/env python3
+"""Gaussian elimination with partial pivoting on Nexus++ and Nexus#.
+
+Reproduces the Figure 9 experiment at laptop scale: the dependency
+pattern of Figure 6 (every elimination step's update tasks read the same
+pivot row) is a *worst case* for the Nexus# distribution function — a
+whole wave of parameters hashes to the same task graph — so adding task
+graphs does not help, while the dynamically growing kick-off lists
+("dummy entries") are exercised heavily.
+
+Run with::
+
+    python examples/gaussian_elimination.py [matrix_size ...]
+"""
+
+import sys
+
+from repro import IdealManager, NexusPlusPlusConfig, NexusPlusPlusManager, NexusSharpConfig, NexusSharpManager, simulate
+from repro.nexus.timing import NexusPlusPlusTiming, NexusSharpTiming
+from repro.workloads import generate_gaussian_elimination
+from repro.workloads.gaussian import gaussian_avg_flops, gaussian_task_count
+
+
+def managers_at_100mhz():
+    """The Figure 9 manager line-up (tightly-coupled timing, 100 MHz)."""
+    yield "Ideal", IdealManager()
+    yield "Nexus++", NexusPlusPlusManager(
+        NexusPlusPlusConfig(frequency_mhz=100.0, timing=NexusPlusPlusTiming.tightly_coupled())
+    )
+    for num_tg in (1, 2):
+        yield f"Nexus# {num_tg}TG", NexusSharpManager(
+            NexusSharpConfig(num_task_graphs=num_tg, frequency_mhz=100.0,
+                             timing=NexusSharpTiming.tightly_coupled())
+        )
+
+
+def main() -> None:
+    matrix_sizes = [int(arg) for arg in sys.argv[1:]] or [150, 250]
+    core_counts = (1, 8, 64)
+    for n in matrix_sizes:
+        print(f"matrix {n}x{n}: {gaussian_task_count(n)} tasks, "
+              f"avg {gaussian_avg_flops(n):.0f} FLOPs "
+              f"({gaussian_avg_flops(n) / 2000.0:.3f} us at 2 GFLOPS per core)")
+        trace = generate_gaussian_elimination(matrix_size=n)
+        for name, manager in managers_at_100mhz():
+            speedups = []
+            for cores in core_counts:
+                manager.reset()
+                result = simulate(trace, manager, cores)
+                speedups.append(f"{result.speedup_vs_serial:6.2f}x @{cores:3d} cores")
+            print(f"  {name:12s} " + "   ".join(speedups))
+        print()
+
+
+if __name__ == "__main__":
+    main()

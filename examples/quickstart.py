@@ -1,0 +1,59 @@
+#!/usr/bin/env python3
+"""Quickstart: simulate one workload on Nexus# and compare against Nanos.
+
+Run with::
+
+    python examples/quickstart.py
+
+The script generates a scaled-down version of the paper's fine-grained
+h264dec-1x1 workload (the hardest case for a task manager: 4.6 µs tasks),
+replays it on the Nanos software runtime, the Nexus++ baseline and the
+Nexus# distributed hardware task manager, and prints the speedup each
+achieves on 16 cores — reproducing the qualitative result of Figure 8(b):
+Nanos < Nexus++ < Nexus# for very fine-grained tasks.
+"""
+
+from repro import (
+    IdealManager,
+    NanosManager,
+    NexusPlusPlusManager,
+    NexusSharpConfig,
+    NexusSharpManager,
+    compute_statistics,
+    generate_h264dec,
+    simulate,
+)
+
+
+def main() -> None:
+    # A 10-frame H.264 wavefront trace at reduced frame size (scale=0.05)
+    # so the example runs in a few seconds.  Set scale=1.0 for the full
+    # Full-HD geometry of the paper.
+    trace = generate_h264dec(grouping=1, num_frames=10, scale=0.05, seed=42)
+    stats = compute_statistics(trace)
+    print(f"workload: {trace.name}")
+    print(f"  tasks           : {stats.num_tasks}")
+    print(f"  total work      : {stats.total_work_ms:.1f} ms")
+    print(f"  avg task size   : {stats.avg_task_us:.1f} us")
+    print(f"  max parallelism : {stats.max_parallelism:.1f}")
+    print()
+
+    managers = [
+        IdealManager(),
+        NanosManager(),
+        NexusPlusPlusManager(),
+        NexusSharpManager(NexusSharpConfig(num_task_graphs=6)),  # 55.56 MHz synthesis frequency
+    ]
+    num_cores = 16
+    print(f"speedup over the serial execution, {num_cores} cores:")
+    for manager in managers:
+        result = simulate(trace, manager, num_cores)
+        print(
+            f"  {manager.name:12s} speedup = {result.speedup_vs_serial:6.2f}x   "
+            f"(makespan {result.makespan_us / 1000.0:8.2f} ms, "
+            f"core utilisation {result.core_utilization:5.1%})"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The canonical build configuration lives in ``pyproject.toml``; this file
+exists so that ``pip install -e .`` / ``python setup.py develop`` keep
+working on minimal offline environments that lack the ``wheel`` package
+required for PEP 660 editable installs.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,60 @@
+"""Analysis, experiment drivers and report rendering.
+
+This package turns the simulation building blocks into the paper's
+tables and figures:
+
+* :mod:`repro.analysis.factories` — standard manager configurations
+  (Ideal, Nanos, Nexus++, Nexus# n TG at 100 MHz or synthesis frequency).
+* :mod:`repro.analysis.speedup` — scalability sweeps (speedup vs. cores).
+* :mod:`repro.analysis.tables` — Table I (FPGA resources), Table II
+  (workload statistics), Table III (Gaussian task counts) and Table IV
+  (maximum speedups).
+* :mod:`repro.analysis.figures` — Figure 7 (Nexus# scalability vs. number
+  of task graphs), Figure 8 (Starbench speedups vs. other managers),
+  Figure 9 (Gaussian elimination), the Section IV-E micro-benchmark and
+  the Figure 3 distribution-quality study.
+* :mod:`repro.analysis.formatting` — plain-text table/series rendering.
+* :mod:`repro.analysis.cli` — ``nexus-repro`` command-line entry point.
+"""
+
+from repro.analysis.factories import (
+    ideal_factory,
+    make_manager,
+    nanos_factory,
+    nexus_pp_factory,
+    nexus_sharp_factory,
+    paper_manager_set,
+)
+from repro.analysis.formatting import format_speedup_series, render_table
+from repro.analysis.speedup import ScalabilityCurve, ScalabilityStudy, run_scalability
+from repro.analysis.tables import table1_report, table2_report, table3_report, table4_report
+from repro.analysis.figures import (
+    distribution_quality_report,
+    figure7_report,
+    figure8_report,
+    figure9_report,
+    microbenchmark_report,
+)
+
+__all__ = [
+    "ideal_factory",
+    "nanos_factory",
+    "nexus_pp_factory",
+    "nexus_sharp_factory",
+    "make_manager",
+    "paper_manager_set",
+    "render_table",
+    "format_speedup_series",
+    "ScalabilityCurve",
+    "ScalabilityStudy",
+    "run_scalability",
+    "table1_report",
+    "table2_report",
+    "table3_report",
+    "table4_report",
+    "figure7_report",
+    "figure8_report",
+    "figure9_report",
+    "microbenchmark_report",
+    "distribution_quality_report",
+]

@@ -1,0 +1,113 @@
+"""Command-line entry point: ``nexus-repro``.
+
+Runs one of the paper's experiments and prints the regenerated table or
+figure as plain text.  Examples::
+
+    nexus-repro table1
+    nexus-repro table2 --scale 0.1
+    nexus-repro figure8 --scale 0.05 --workloads c-ray h264dec-1x1-10f
+    nexus-repro figure9 --matrix-sizes 250 500
+    nexus-repro microbench
+    nexus-repro simulate --workload h264dec-1x1-10f --manager "nexus#6" --cores 16
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from repro.analysis.factories import make_manager
+from repro.analysis.figures import (
+    distribution_quality_report,
+    figure7_report,
+    figure8_report,
+    figure9_report,
+    microbenchmark_report,
+)
+from repro.analysis.tables import table1_report, table2_report, table3_report, table4_report
+from repro.system.machine import simulate
+from repro.workloads.registry import get_workload, list_workloads
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="nexus-repro",
+        description="Reproduce the tables and figures of the Nexus# paper (IPDPS 2015).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("table1", help="Table I: FPGA utilisation and frequencies")
+
+    p_t2 = sub.add_parser("table2", help="Table II: workload statistics")
+    p_t2.add_argument("--scale", type=float, default=1.0)
+    p_t2.add_argument("--seed", type=int, default=None)
+
+    sub.add_parser("table3", help="Table III: Gaussian elimination task counts")
+
+    p_t4 = sub.add_parser("table4", help="Table IV: maximum speedups")
+    p_t4.add_argument("--scale", type=float, default=0.05)
+    p_t4.add_argument("--seed", type=int, default=None)
+
+    p_f7 = sub.add_parser("figure7", help="Figure 7: Nexus# scalability vs. #task graphs")
+    p_f7.add_argument("--scale", type=float, default=0.05)
+    p_f7.add_argument("--groupings", type=int, nargs="+", default=[1, 2, 4, 8])
+    p_f7.add_argument("--seed", type=int, default=None)
+
+    p_f8 = sub.add_parser("figure8", help="Figure 8: Starbench speedups per manager")
+    p_f8.add_argument("--scale", type=float, default=0.05)
+    p_f8.add_argument("--workloads", nargs="+", default=None)
+    p_f8.add_argument("--seed", type=int, default=None)
+
+    p_f9 = sub.add_parser("figure9", help="Figure 9: Gaussian elimination speedups")
+    p_f9.add_argument("--matrix-sizes", type=int, nargs="+", default=[250, 500, 1000])
+
+    sub.add_parser("microbench", help="Section IV-E 5-task micro-benchmark")
+    sub.add_parser("distribution", help="Figure 3 distribution-quality study")
+    sub.add_parser("workloads", help="List available workloads")
+
+    p_sim = sub.add_parser("simulate", help="Run one workload on one manager")
+    p_sim.add_argument("--workload", required=True)
+    p_sim.add_argument("--manager", default="nexus#6")
+    p_sim.add_argument("--cores", type=int, default=16)
+    p_sim.add_argument("--scale", type=float, default=1.0)
+    p_sim.add_argument("--seed", type=int, default=None)
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = _build_parser().parse_args(argv)
+    if args.command == "table1":
+        print(table1_report()["text"])
+    elif args.command == "table2":
+        print(table2_report(scale=args.scale, seed=args.seed)["text"])
+    elif args.command == "table3":
+        print(table3_report()["text"])
+    elif args.command == "table4":
+        print(table4_report(scale=args.scale, seed=args.seed)["text"])
+    elif args.command == "figure7":
+        print(figure7_report(groupings=args.groupings, scale=args.scale, seed=args.seed)["text"])
+    elif args.command == "figure8":
+        print(figure8_report(workloads=args.workloads, scale=args.scale, seed=args.seed)["text"])
+    elif args.command == "figure9":
+        print(figure9_report(matrix_sizes=args.matrix_sizes)["text"])
+    elif args.command == "microbench":
+        print(microbenchmark_report()["text"])
+    elif args.command == "distribution":
+        print(distribution_quality_report()["text"])
+    elif args.command == "workloads":
+        print("\n".join(list_workloads()))
+    elif args.command == "simulate":
+        trace = get_workload(args.workload, scale=args.scale, seed=args.seed)
+        manager = make_manager(args.manager)
+        result = simulate(trace, manager, args.cores)
+        for key, value in result.summary().items():
+            print(f"{key:24s} {value}")
+    else:  # pragma: no cover - argparse enforces the choices
+        return 2
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,123 @@
+"""Standard manager configurations used by the experiments.
+
+A *factory* is a zero-argument callable returning a fresh manager
+instance; the scalability sweeps construct one manager per (trace, core
+count) combination so that runs never share internal state.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+from repro.common.errors import ConfigurationError
+from repro.managers.base import TaskManagerModel
+from repro.managers.ideal import IdealManager
+from repro.managers.nanos import NanosConfig, NanosManager
+from repro.managers.software import VandierendonckManager
+from repro.nexus.nexuspp import NexusPlusPlusConfig, NexusPlusPlusManager
+from repro.nexus.nexussharp import NexusSharpConfig, NexusSharpManager
+from repro.nexus.timing import NexusPlusPlusTiming, NexusSharpTiming
+
+ManagerFactory = Callable[[], TaskManagerModel]
+
+
+def ideal_factory() -> ManagerFactory:
+    """The paper's "No Overhead" configuration."""
+    return IdealManager
+
+
+def nanos_factory(config: Optional[NanosConfig] = None) -> ManagerFactory:
+    """The Nanos software-runtime model."""
+    return lambda: NanosManager(config)
+
+
+def vandierendonck_factory() -> ManagerFactory:
+    """The optimistic 400-cycles-per-task software manager of [17]."""
+    return VandierendonckManager
+
+
+def nexus_pp_factory(
+    frequency_mhz: float = 100.0,
+    *,
+    tightly_coupled: bool = False,
+) -> ManagerFactory:
+    """Nexus++ at the given frequency (100 MHz on the ZC706)."""
+
+    def build() -> TaskManagerModel:
+        timing = NexusPlusPlusTiming.tightly_coupled() if tightly_coupled else NexusPlusPlusTiming()
+        return NexusPlusPlusManager(NexusPlusPlusConfig(frequency_mhz=frequency_mhz, timing=timing))
+
+    return build
+
+
+def nexus_sharp_factory(
+    num_task_graphs: int = 6,
+    frequency_mhz: Optional[float] = None,
+    *,
+    tightly_coupled: bool = False,
+) -> ManagerFactory:
+    """Nexus# with ``num_task_graphs`` task graphs.
+
+    ``frequency_mhz=None`` selects the Table I synthesis frequency for the
+    configuration (the paper's Figure 7(b) / Figure 8 setting); pass an
+    explicit ``100.0`` for the flat-frequency study of Figure 7(a).
+    """
+
+    def build() -> TaskManagerModel:
+        timing = NexusSharpTiming.tightly_coupled() if tightly_coupled else NexusSharpTiming()
+        return NexusSharpManager(
+            NexusSharpConfig(
+                num_task_graphs=num_task_graphs,
+                frequency_mhz=frequency_mhz,
+                timing=timing,
+            )
+        )
+
+    return build
+
+
+def paper_manager_set(
+    *,
+    nexus_sharp_task_graphs: int = 6,
+    include_ideal: bool = True,
+) -> Dict[str, ManagerFactory]:
+    """The manager line-up of Figure 8: Ideal, Nanos, Nexus++, Nexus# 6 TG.
+
+    Nexus# runs at its synthesis frequency (55.56 MHz for 6 task graphs),
+    Nexus++ at 100 MHz, matching the paper's experimental setup.
+    """
+    managers: Dict[str, ManagerFactory] = {}
+    if include_ideal:
+        managers["Ideal"] = ideal_factory()
+    managers["Nanos"] = nanos_factory()
+    managers["Nexus++"] = nexus_pp_factory()
+    managers[f"Nexus# {nexus_sharp_task_graphs}TG"] = nexus_sharp_factory(nexus_sharp_task_graphs)
+    return managers
+
+
+def make_manager(name: str) -> TaskManagerModel:
+    """Construct a manager from a short textual name (used by the CLI).
+
+    Recognised names: ``ideal``, ``nanos``, ``sw400``, ``nexus++``,
+    ``nexus#<n>`` (e.g. ``nexus#6``), ``nexus#<n>@<MHz>``.
+    """
+    token = name.strip().lower()
+    if token == "ideal":
+        return IdealManager()
+    if token == "nanos":
+        return NanosManager()
+    if token == "sw400":
+        return VandierendonckManager()
+    if token in ("nexus++", "nexuspp"):
+        return NexusPlusPlusManager()
+    if token.startswith("nexus#"):
+        spec = token[len("nexus#"):]
+        frequency: Optional[float] = None
+        if "@" in spec:
+            spec, freq_text = spec.split("@", 1)
+            frequency = float(freq_text)
+        num_tg = int(spec) if spec else 6
+        return NexusSharpManager(NexusSharpConfig(num_task_graphs=num_tg, frequency_mhz=frequency))
+    raise ConfigurationError(
+        f"unknown manager name {name!r}; expected ideal, nanos, sw400, nexus++ or nexus#<n>[@MHz]"
+    )

@@ -1,0 +1,55 @@
+"""Plain-text rendering of tables and speedup series.
+
+The reproduction prints its results as aligned text tables (the benchmark
+harness pipes them into ``bench_output.txt``), so no plotting dependency
+is needed.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Sequence
+
+
+def render_table(headers: Sequence[str], rows: Iterable[Sequence[object]], title: str = "") -> str:
+    """Render ``rows`` under ``headers`` as an aligned plain-text table."""
+    str_rows = [[_cell(value) for value in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for index, value in enumerate(row):
+            if index >= len(widths):
+                widths.extend([0] * (index + 1 - len(widths)))
+            widths[index] = max(widths[index], len(value))
+    lines = []
+    if title:
+        lines.append(title)
+        lines.append("=" * max(len(title), 8))
+    lines.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)).rstrip())
+    lines.append("  ".join("-" * widths[i] for i in range(len(headers))))
+    for row in str_rows:
+        lines.append("  ".join(value.ljust(widths[i]) for i, value in enumerate(row)).rstrip())
+    return "\n".join(lines)
+
+
+def _cell(value: object) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 100:
+            return f"{value:.0f}"
+        if abs(value) >= 10:
+            return f"{value:.1f}"
+        return f"{value:.2f}"
+    return str(value)
+
+
+def format_speedup_series(
+    title: str,
+    core_counts: Sequence[int],
+    series: Mapping[str, Sequence[float]],
+) -> str:
+    """Render one figure panel: one column per core count, one row per manager."""
+    headers = ["manager"] + [f"{c} cores" for c in core_counts]
+    rows = []
+    for name, values in series.items():
+        rows.append([name] + [f"{v:.2f}x" for v in values])
+    return render_table(headers, rows, title=title)

@@ -1,0 +1,118 @@
+"""Scalability sweeps: speedup as a function of the number of cores.
+
+The paper's Figures 7, 8 and 9 all plot speedup over the single-core
+zero-overhead execution time ("All speedup results are calculated against
+the single core execution time of the ideal curve") for a set of managers
+and core counts.  :func:`run_scalability` produces exactly those series.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Mapping, Optional, Sequence
+
+from repro.analysis.factories import ManagerFactory
+from repro.analysis.formatting import format_speedup_series
+from repro.common.constants import PAPER_CORE_COUNTS
+from repro.common.errors import ConfigurationError
+from repro.system.machine import simulate
+from repro.system.results import MachineResult
+from repro.trace.trace import Trace
+
+
+@dataclass
+class ScalabilityCurve:
+    """Speedup of one manager across core counts on one trace."""
+
+    manager_name: str
+    trace_name: str
+    core_counts: tuple[int, ...]
+    speedups: tuple[float, ...]
+    makespans_us: tuple[float, ...]
+
+    @property
+    def max_speedup(self) -> float:
+        """Maximum speedup over the swept core counts (Table IV metric)."""
+        return max(self.speedups) if self.speedups else 0.0
+
+    def speedup_at(self, cores: int) -> float:
+        """Speedup at a specific core count (must have been swept)."""
+        try:
+            return self.speedups[self.core_counts.index(cores)]
+        except ValueError as exc:
+            raise ConfigurationError(f"core count {cores} was not part of the sweep") from exc
+
+    def as_mapping(self) -> Dict[int, float]:
+        return dict(zip(self.core_counts, self.speedups))
+
+
+@dataclass
+class ScalabilityStudy:
+    """All manager curves for one trace."""
+
+    trace_name: str
+    core_counts: tuple[int, ...]
+    curves: Dict[str, ScalabilityCurve] = field(default_factory=dict)
+
+    def series(self) -> Dict[str, tuple[float, ...]]:
+        return {name: curve.speedups for name, curve in self.curves.items()}
+
+    def render(self, title: Optional[str] = None) -> str:
+        return format_speedup_series(title or self.trace_name, self.core_counts, self.series())
+
+    def max_speedups(self) -> Dict[str, float]:
+        return {name: curve.max_speedup for name, curve in self.curves.items()}
+
+
+def run_scalability(
+    trace: Trace,
+    managers: Mapping[str, ManagerFactory],
+    core_counts: Sequence[int] = PAPER_CORE_COUNTS,
+    *,
+    max_cores: Optional[Mapping[str, int]] = None,
+    validate: bool = False,
+) -> ScalabilityStudy:
+    """Sweep speedup vs. core count for every manager on ``trace``.
+
+    Parameters
+    ----------
+    trace:
+        The workload to replay.
+    managers:
+        Mapping of display name to manager factory.
+    core_counts:
+        Core counts to sweep (the paper uses powers of two up to 256).
+    max_cores:
+        Optional per-manager limit (the paper only runs Nanos up to the 32
+        physical cores of the trace machine); sweeps above the limit are
+        skipped and the curve is truncated.
+    validate:
+        When true, every simulated schedule is checked against the
+        reference dependency DAG (slow; used in tests).
+    """
+    if not core_counts:
+        raise ConfigurationError("core_counts must not be empty")
+    study = ScalabilityStudy(trace_name=trace.name, core_counts=tuple(core_counts))
+    for name, factory in managers.items():
+        limit = None if max_cores is None else max_cores.get(name)
+        swept_counts: List[int] = []
+        speedups: List[float] = []
+        makespans: List[float] = []
+        for cores in core_counts:
+            if limit is not None and cores > limit:
+                continue
+            manager = factory()
+            result: MachineResult = simulate(
+                trace, manager, cores, validate=validate, keep_schedule=False
+            )
+            swept_counts.append(cores)
+            speedups.append(result.speedup_vs_serial)
+            makespans.append(result.makespan_us)
+        study.curves[name] = ScalabilityCurve(
+            manager_name=name,
+            trace_name=trace.name,
+            core_counts=tuple(swept_counts),
+            speedups=tuple(speedups),
+            makespans_us=tuple(makespans),
+        )
+    return study

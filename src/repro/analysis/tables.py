@@ -1,0 +1,157 @@
+"""Regeneration of the paper's tables.
+
+Each ``tableN_report`` function returns a dictionary with the raw data
+plus a ``text`` entry containing the rendered table (paper values shown
+alongside the reproduced ones where applicable).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Optional, Sequence
+
+from repro.analysis.factories import ManagerFactory, paper_manager_set
+from repro.analysis.formatting import render_table
+from repro.analysis.speedup import run_scalability
+from repro.common.constants import NANOS_MAX_CORES, PAPER_CORE_COUNTS
+from repro.fpga.resources import paper_table1_rows, table1
+from repro.trace.stats import compute_statistics
+from repro.workloads.gaussian import PAPER_MATRIX_SIZES, gaussian_avg_flops, gaussian_task_count
+from repro.workloads.registry import get_workload, paper_table2_workloads
+
+#: Paper Table IV: maximum speedups per benchmark and manager.
+PAPER_TABLE4 = {
+    "c-ray": {"Nanos": 31.4, "Nexus++": 60.4, "Nexus#": 194.0},
+    "rot-cc": {"Nanos": 24.5, "Nexus++": 254.0, "Nexus#": 254.0},
+    "sparselu": {"Nanos": 24.5, "Nexus++": 84.9, "Nexus#": 94.4},
+    "streamcluster": {"Nanos": 4.9, "Nexus++": 7.9, "Nexus#": 39.6},
+    "h264dec-1x1-10f": {"Nanos": 0.7, "Nexus++": 2.2, "Nexus#": 6.9},
+    "h264dec-2x2-10f": {"Nanos": 1.4, "Nexus++": 2.7, "Nexus#": 7.7},
+    "h264dec-4x4-10f": {"Nanos": 3.6, "Nexus++": 2.7, "Nexus#": 6.8},
+    "h264dec-8x8-10f": {"Nanos": 3.9, "Nexus++": 2.5, "Nexus#": 4.7},
+}
+
+#: Paper Table II rows (#tasks, total work ms, avg task size µs, deps).
+PAPER_TABLE2 = {
+    "c-ray": (1200, 7381, 6151.0, "1"),
+    "rot-cc": (16262, 8150, 501.0, "1"),
+    "sparselu": (54814, 38128, 696.0, "1-3"),
+    "streamcluster": (652776, 237908, 364.0, "1-3"),
+    "h264dec-1x1-10f": (139961, 640, 4.6, "2-6"),
+    "h264dec-2x2-10f": (35921, 550, 15.3, "2-6"),
+    "h264dec-4x4-10f": (9333, 519, 55.6, "2-6"),
+    "h264dec-8x8-10f": (2686, 510, 189.9, "2-6"),
+}
+
+
+def table1_report() -> Dict[str, object]:
+    """Table I: device utilisation and frequencies per configuration."""
+    estimates = table1()
+    paper = paper_table1_rows()
+    headers = [
+        "Configuration", "Registers %", "LUTs %", "Block RAMs %",
+        "Max MHz", "Test MHz", "paper Regs %", "paper LUTs %", "paper BRAM %", "paper Max MHz",
+    ]
+    rows = []
+    for estimate in estimates:
+        reference = paper.get(estimate.configuration, {})
+        rows.append(
+            [
+                estimate.configuration,
+                round(estimate.register_pct),
+                round(estimate.lut_pct),
+                round(estimate.block_ram_pct),
+                round(estimate.max_frequency_mhz, 2),
+                round(estimate.test_frequency_mhz, 2),
+                reference.get("registers_pct", "-"),
+                reference.get("luts_pct", "-"),
+                reference.get("brams_pct", "-"),
+                reference.get("max_mhz", "-"),
+            ]
+        )
+    text = render_table(headers, rows, title="Table I: device utilisation on the ZC706 (model vs. paper)")
+    return {"estimates": estimates, "paper": paper, "text": text}
+
+
+def table2_report(scale: float = 1.0, seed: Optional[int] = None) -> Dict[str, object]:
+    """Table II: workload statistics of the generated traces."""
+    headers = [
+        "benchmark", "# tasks", "total work (ms)", "avg task (us)", "# deps",
+        "paper tasks", "paper work", "paper avg", "paper deps",
+    ]
+    rows = []
+    stats = {}
+    for name in paper_table2_workloads():
+        trace = get_workload(name, scale=scale, seed=seed)
+        stat = compute_statistics(trace)
+        stats[name] = stat
+        paper = PAPER_TABLE2[name]
+        rows.append(
+            [
+                name,
+                stat.num_tasks,
+                round(stat.total_work_ms),
+                round(stat.avg_task_us, 1),
+                stat.deps_label,
+                paper[0],
+                paper[1],
+                paper[2],
+                paper[3],
+            ]
+        )
+    title = "Table II: benchmark statistics (generated traces vs. paper)"
+    if scale != 1.0:
+        title += f" [scale={scale}]"
+    text = render_table(headers, rows, title=title)
+    return {"stats": stats, "paper": PAPER_TABLE2, "scale": scale, "text": text}
+
+
+def table3_report(matrix_sizes: Sequence[int] = PAPER_MATRIX_SIZES) -> Dict[str, object]:
+    """Table III: Gaussian-elimination task counts and granularity."""
+    headers = ["Matrix dimension", "# Tasks", "Avg FLOPs", "Avg task (us)"]
+    rows = []
+    data = {}
+    for n in matrix_sizes:
+        tasks = gaussian_task_count(n)
+        flops = gaussian_avg_flops(n)
+        us = flops / 2000.0
+        data[n] = {"tasks": tasks, "avg_flops": flops, "avg_us": us}
+        rows.append([n, tasks, round(flops), round(us, 3)])
+    text = render_table(headers, rows, title="Table III: Gaussian elimination tasks for different matrix sizes")
+    return {"data": data, "text": text}
+
+
+def table4_report(
+    scale: float = 0.05,
+    seed: Optional[int] = None,
+    core_counts: Sequence[int] = PAPER_CORE_COUNTS,
+    workloads: Optional[Sequence[str]] = None,
+    managers: Optional[Mapping[str, ManagerFactory]] = None,
+) -> Dict[str, object]:
+    """Table IV: maximum speedup per benchmark and task-graph manager.
+
+    By default the workloads are generated at a reduced ``scale`` so the
+    full table regenerates in minutes; the dependency *shape* (and hence
+    the ranking between managers) is preserved.
+    """
+    workloads = tuple(workloads or paper_table2_workloads())
+    managers = managers or paper_manager_set()
+    headers = ["benchmark"]
+    for name in managers:
+        headers.append(f"{name} max")
+    headers += ["paper Nanos", "paper Nexus++", "paper Nexus#"]
+    rows = []
+    studies = {}
+    max_cores = {"Nanos": NANOS_MAX_CORES}
+    for workload_name in workloads:
+        trace = get_workload(workload_name, scale=scale, seed=seed)
+        study = run_scalability(trace, managers, core_counts, max_cores=max_cores)
+        studies[workload_name] = study
+        paper = PAPER_TABLE4.get(workload_name, {})
+        row = [workload_name]
+        for manager_name in managers:
+            row.append(round(study.curves[manager_name].max_speedup, 1))
+        row += [paper.get("Nanos", "-"), paper.get("Nexus++", "-"), paper.get("Nexus#", "-")]
+        rows.append(row)
+    title = f"Table IV: maximum scalability per task-graph manager [scale={scale}]"
+    text = render_table(headers, rows, title=title)
+    return {"studies": studies, "scale": scale, "text": text}

@@ -1,0 +1,52 @@
+"""Exception hierarchy for the Nexus# reproduction.
+
+All exceptions raised by this library derive from :class:`ReproError` so
+that callers can catch library failures with a single ``except`` clause
+while still being able to distinguish configuration mistakes from
+simulation-time problems.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the ``repro`` package."""
+
+
+class ConfigurationError(ReproError):
+    """An invalid configuration value was supplied.
+
+    Raised eagerly, at object-construction time, so that a mis-configured
+    experiment fails before any simulation work is done.
+    """
+
+
+class TraceError(ReproError):
+    """A trace (workload description) is malformed.
+
+    Examples: a task referencing an undefined function identifier, a
+    ``taskwait on`` event naming an address no prior task produced, or a
+    serialized trace file with an unknown schema version.
+    """
+
+
+class SimulationError(ReproError):
+    """The discrete-event simulation reached an inconsistent state.
+
+    This signals a bug in a manager model (for example a dependence count
+    going negative or a task reported ready twice), never a user error.
+    """
+
+
+class CapacityError(ReproError):
+    """A hardware structure ran permanently out of capacity.
+
+    The hardware models stall when a table or FIFO is full and resume when
+    space frees up; :class:`CapacityError` is only raised when forward
+    progress is provably impossible (for instance a task with more
+    parameters than the whole task pool can hold).
+    """
+
+
+class AnalysisError(ReproError):
+    """An analysis/report step was asked to summarise inconsistent data."""

@@ -1,0 +1,107 @@
+"""Unit conversions between clock cycles, seconds and micro-seconds.
+
+Two clock domains exist in the reproduction:
+
+* the **manager clock** of the hardware task manager (50 - 100 MHz in the
+  paper, Table I), in which all pipeline latencies are expressed;
+* **wall-clock time** of the simulated multicore machine, in which task
+  durations from the traces are expressed (micro-seconds).
+
+The :class:`Frequency` helper encapsulates a single clock domain and
+converts between the two representations without losing precision.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.errors import ConfigurationError
+
+#: Number of micro-seconds per second, used throughout the conversions.
+US_PER_SECOND: float = 1_000_000.0
+
+
+def cycles_to_seconds(cycles: float, frequency_mhz: float) -> float:
+    """Convert a number of clock cycles into seconds.
+
+    Parameters
+    ----------
+    cycles:
+        Number of cycles (may be fractional for average-rate computations).
+    frequency_mhz:
+        Clock frequency in MHz.
+    """
+    if frequency_mhz <= 0:
+        raise ConfigurationError(f"frequency must be positive, got {frequency_mhz}")
+    return cycles / (frequency_mhz * US_PER_SECOND)
+
+
+def cycles_to_us(cycles: float, frequency_mhz: float) -> float:
+    """Convert a number of clock cycles into micro-seconds."""
+    if frequency_mhz <= 0:
+        raise ConfigurationError(f"frequency must be positive, got {frequency_mhz}")
+    return cycles / frequency_mhz
+
+
+def seconds_to_cycles(seconds: float, frequency_mhz: float) -> float:
+    """Convert seconds into (possibly fractional) clock cycles."""
+    if frequency_mhz <= 0:
+        raise ConfigurationError(f"frequency must be positive, got {frequency_mhz}")
+    return seconds * frequency_mhz * US_PER_SECOND
+
+
+def us_to_cycles(us: float, frequency_mhz: float) -> float:
+    """Convert micro-seconds into (possibly fractional) clock cycles."""
+    if frequency_mhz <= 0:
+        raise ConfigurationError(f"frequency must be positive, got {frequency_mhz}")
+    return us * frequency_mhz
+
+
+def us_to_seconds(us: float) -> float:
+    """Convert micro-seconds into seconds."""
+    return us / US_PER_SECOND
+
+
+@dataclass(frozen=True)
+class Frequency:
+    """A clock domain, expressed in MHz.
+
+    Instances are immutable and hashable so they can be used as part of
+    configuration keys in parameter sweeps.
+    """
+
+    mhz: float
+
+    def __post_init__(self) -> None:
+        if self.mhz <= 0:
+            raise ConfigurationError(f"frequency must be positive, got {self.mhz} MHz")
+
+    @property
+    def hz(self) -> float:
+        """Frequency in Hertz."""
+        return self.mhz * US_PER_SECOND
+
+    @property
+    def cycle_time_us(self) -> float:
+        """Duration of one clock cycle in micro-seconds."""
+        return 1.0 / self.mhz
+
+    @property
+    def cycle_time_s(self) -> float:
+        """Duration of one clock cycle in seconds."""
+        return 1.0 / self.hz
+
+    def cycles_to_us(self, cycles: float) -> float:
+        """Convert ``cycles`` of this clock into micro-seconds."""
+        return cycles / self.mhz
+
+    def us_to_cycles(self, us: float) -> float:
+        """Convert micro-seconds into cycles of this clock."""
+        return us * self.mhz
+
+    def scaled(self, factor: float) -> "Frequency":
+        """Return a new clock running ``factor`` times faster."""
+        return Frequency(self.mhz * factor)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.mhz:g} MHz"

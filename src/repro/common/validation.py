@@ -1,0 +1,56 @@
+"""Small argument-validation helpers.
+
+These helpers raise :class:`repro.common.errors.ConfigurationError` with a
+consistent message format, so configuration dataclasses across the code
+base validate their fields the same way.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+from repro.common.errors import ConfigurationError
+
+Number = Union[int, float]
+
+
+def check_positive(name: str, value: Number) -> Number:
+    """Ensure ``value`` is strictly positive; return it for chaining."""
+    if not value > 0:
+        raise ConfigurationError(f"{name} must be > 0, got {value!r}")
+    return value
+
+
+def check_non_negative(name: str, value: Number) -> Number:
+    """Ensure ``value`` is >= 0; return it for chaining."""
+    if value < 0:
+        raise ConfigurationError(f"{name} must be >= 0, got {value!r}")
+    return value
+
+
+def check_probability(name: str, value: Number) -> Number:
+    """Ensure ``value`` lies in the closed interval [0, 1]."""
+    if not 0.0 <= value <= 1.0:
+        raise ConfigurationError(f"{name} must be in [0, 1], got {value!r}")
+    return value
+
+
+def check_power_of_two(name: str, value: int) -> int:
+    """Ensure ``value`` is a positive power of two."""
+    if value <= 0 or (value & (value - 1)) != 0:
+        raise ConfigurationError(f"{name} must be a positive power of two, got {value!r}")
+    return value
+
+
+def check_in_range(name: str, value: Number, low: Number, high: Number) -> Number:
+    """Ensure ``low <= value <= high``."""
+    if not low <= value <= high:
+        raise ConfigurationError(f"{name} must be in [{low}, {high}], got {value!r}")
+    return value
+
+
+def check_choice(name: str, value: object, choices: tuple) -> object:
+    """Ensure ``value`` is one of ``choices``."""
+    if value not in choices:
+        raise ConfigurationError(f"{name} must be one of {choices!r}, got {value!r}")
+    return value

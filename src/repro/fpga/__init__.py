@@ -1,0 +1,30 @@
+"""FPGA resource and frequency model (Table I).
+
+The paper synthesises Nexus++ and Nexus# (1..8 task graphs) for the
+Xilinx ZYNQ-7 ZC706 board and reports register/LUT/BRAM utilisation and
+the maximum clock frequency (Table I).  Re-running Vivado is out of scope
+for a Python reproduction, so this package provides an analytical model
+calibrated on Table I: resources grow (roughly linearly) with the number
+of task graphs, the arbiter adds a super-linear LUT term, and the
+achievable frequency degrades as the arbiter fan-in grows.
+"""
+
+from repro.fpga.resources import (
+    ZC706_DEVICE,
+    DeviceCapacity,
+    ResourceEstimate,
+    estimate_nexus_pp,
+    estimate_nexus_sharp,
+    paper_table1_rows,
+    table1,
+)
+
+__all__ = [
+    "DeviceCapacity",
+    "ResourceEstimate",
+    "ZC706_DEVICE",
+    "estimate_nexus_pp",
+    "estimate_nexus_sharp",
+    "paper_table1_rows",
+    "table1",
+]

@@ -1,0 +1,117 @@
+"""The task-manager interface driven by the machine simulator.
+
+The paper's testbench "simulates the RTS.  It submits new tasks to
+Nexus#, receives ready task information from it, schedules ready tasks to
+worker cores and simulates their execution, and finally notifies Nexus#
+of finished tasks" (Section V-B).  The interface below is exactly that
+contract, expressed in simulation time (micro-seconds):
+
+* :meth:`TaskManagerModel.submit` — the master thread hands a task to the
+  manager at a given time; the manager reports when the master may
+  continue (back-pressure / software cost) and which tasks it has already
+  determined to be ready, with their ready times.
+* :meth:`TaskManagerModel.finish` — a worker core reports a finished task;
+  the manager reports which waiting tasks become ready, and when.
+
+All manager models are *passive*: they never call back into the machine;
+they only answer these two calls with timestamps, which keeps them easy
+to unit-test in isolation.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import List, Mapping, Optional, Sequence
+
+from repro.trace.task import TaskDescriptor
+
+
+@dataclass(frozen=True)
+class ReadyNotification:
+    """A task reported ready by the manager at ``time_us``."""
+
+    task_id: int
+    time_us: float
+
+
+@dataclass(frozen=True)
+class SubmitOutcome:
+    """Result of submitting one task to a manager.
+
+    Attributes
+    ----------
+    accept_time_us:
+        Time at which the master thread regains control and may submit the
+        next trace event.  For hardware managers this models the IO-unit
+        back-pressure (the PCIe-style transfer of the task descriptor);
+        for software managers it additionally contains the task-creation
+        and dependency-analysis work performed on the master core.
+    ready:
+        Ready notifications produced directly by this submission (the
+        submitted task itself when it has no dependencies — possibly
+        other tasks for managers that defer work).
+    """
+
+    accept_time_us: float
+    ready: tuple[ReadyNotification, ...] = ()
+
+
+@dataclass(frozen=True)
+class FinishOutcome:
+    """Result of notifying a manager that a task finished.
+
+    Attributes
+    ----------
+    ready:
+        Tasks that became ready because of this completion, with the time
+        the manager reports them (i.e. when a free core could start them).
+    notify_done_us:
+        Time at which the finished-task notification itself has been fully
+        processed; only used for statistics.
+    """
+
+    ready: tuple[ReadyNotification, ...] = ()
+    notify_done_us: float = 0.0
+
+
+class TaskManagerModel(abc.ABC):
+    """Abstract base class of every dependency-resolution scheme."""
+
+    #: Human-readable name used in reports ("Nanos", "Nexus++", "Nexus# 6TG").
+    name: str = "abstract"
+
+    #: Whether the manager supports the ``taskwait on`` pragma.  When it
+    #: does not (Nexus++), the machine degrades the barrier to a full
+    #: ``taskwait``, reproducing the behaviour described in Section III.
+    supports_taskwait_on: bool = True
+
+    #: Extra time (µs) a worker core spends per task besides the task body
+    #: (software scheduling overhead).  Zero for the hardware managers,
+    #: matching the paper's "no communication or other non-dependency
+    #: resolution overhead is accounted for".
+    worker_overhead_us: float = 0.0
+
+    @abc.abstractmethod
+    def reset(self) -> None:
+        """Forget all state so the same instance can run another trace."""
+
+    @abc.abstractmethod
+    def submit(self, task: TaskDescriptor, time_us: float) -> SubmitOutcome:
+        """Submit ``task`` at ``time_us`` and return the outcome."""
+
+    @abc.abstractmethod
+    def finish(self, task_id: int, time_us: float) -> FinishOutcome:
+        """Notify the manager at ``time_us`` that ``task_id`` finished."""
+
+    # -- optional hooks ------------------------------------------------------
+    def describe(self) -> Mapping[str, object]:
+        """Return a serialisable description of the configuration."""
+        return {"name": self.name, "supports_taskwait_on": self.supports_taskwait_on}
+
+    def statistics(self) -> Mapping[str, object]:
+        """Return manager-internal statistics collected during a run."""
+        return {}
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<{type(self).__name__} {self.name!r}>"

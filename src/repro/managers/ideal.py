@@ -1,0 +1,49 @@
+"""The "No Overhead" (ideal) manager.
+
+This reproduces the paper's first simulation set: "This simulates the
+execution of an application without any overhead, to determine the lower
+bound for the execution time of the benchmarks.  In this simulation, the
+simulation time does not advance while dependencies are resolved"
+(Section V-B).  Dependency bookkeeping is still performed — tasks only
+become ready when their producers finish — but it costs zero simulated
+time, so the resulting curve shows when the *application's* parallelism,
+not the task manager, is the limiting factor.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.managers.base import FinishOutcome, ReadyNotification, SubmitOutcome, TaskManagerModel
+from repro.taskgraph.tracker import DependencyTracker
+from repro.trace.task import TaskDescriptor
+
+
+class IdealManager(TaskManagerModel):
+    """Zero-overhead dependency resolution (the paper's ideal curve)."""
+
+    name = "Ideal"
+    supports_taskwait_on = True
+    worker_overhead_us = 0.0
+
+    def __init__(self) -> None:
+        self._tracker = DependencyTracker(num_tables=1)
+
+    def reset(self) -> None:
+        self._tracker.reset()
+
+    def submit(self, task: TaskDescriptor, time_us: float) -> SubmitOutcome:
+        result = self._tracker.insert_task(task)
+        ready = (ReadyNotification(task.task_id, time_us),) if result.ready else ()
+        return SubmitOutcome(accept_time_us=time_us, ready=ready)
+
+    def finish(self, task_id: int, time_us: float) -> FinishOutcome:
+        result = self._tracker.finish_task(task_id)
+        ready = tuple(ReadyNotification(t, time_us) for t in result.newly_ready)
+        return FinishOutcome(ready=ready, notify_done_us=time_us)
+
+    def statistics(self) -> Mapping[str, object]:
+        return {
+            "tasks_inserted": self._tracker.total_inserted,
+            "tasks_finished": self._tracker.total_finished,
+        }

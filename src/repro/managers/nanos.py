@@ -1,0 +1,125 @@
+"""Analytical model of the Nanos software runtime.
+
+Nanos (the official OmpSs runtime) resolves dependencies in software.
+The published analyses the paper builds on ([11], [17]) identify three
+cost components, which this model reproduces:
+
+1. **Task creation** on the master thread: allocating the task structure,
+   copying the parameter list and running the dependency analysis.  This
+   is inherently serial — the master cannot submit faster than it creates
+   — and is the reason Nanos *loses* performance on h264dec-1x1, whose
+   4.6 µs tasks are cheaper than their own creation.
+2. **Dependency bookkeeping under a runtime lock**: registering the
+   task's accesses in the software task graph, and, when a task finishes,
+   releasing its successors.  Worker threads contend on this lock, so the
+   model funnels both costs through a single serial resource.
+3. **Per-task scheduling overhead on the worker** that picks the task up
+   (queue operations, switching to the task's context).
+
+The default constants are calibrated so that the 32-core behaviour of the
+five Starbench workloads lands near the paper's Table IV Nanos column;
+they can be overridden through :class:`NanosConfig` for sensitivity
+studies (see ``benchmarks/bench_ablation_nanos.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from repro.common.errors import ConfigurationError
+from repro.common.validation import check_non_negative
+from repro.managers.base import FinishOutcome, ReadyNotification, SubmitOutcome, TaskManagerModel
+from repro.sim.resource import SerialResource
+from repro.taskgraph.tracker import DependencyTracker
+from repro.trace.task import TaskDescriptor
+
+
+@dataclass(frozen=True)
+class NanosConfig:
+    """Cost constants (µs) of the Nanos software-runtime model."""
+
+    #: Master-thread cost of creating one task (allocation + marshalling).
+    task_creation_us: float = 2.6
+    #: Master-thread cost per parameter for the dependency analysis.
+    creation_per_param_us: float = 0.9
+    #: Cost of registering the task in the graph, under the runtime lock.
+    insert_lock_us: float = 0.35
+    #: Per-parameter part of the locked insertion.
+    insert_lock_per_param_us: float = 0.25
+    #: Locked cost of retiring a finished task.
+    finish_lock_us: float = 1.0
+    #: Locked cost per successor task woken up by a completion.
+    wakeup_per_task_us: float = 0.45
+    #: Worker-side scheduling overhead added to every task execution.
+    worker_dispatch_us: float = 1.2
+
+    def __post_init__(self) -> None:
+        for name in (
+            "task_creation_us",
+            "creation_per_param_us",
+            "insert_lock_us",
+            "insert_lock_per_param_us",
+            "finish_lock_us",
+            "wakeup_per_task_us",
+            "worker_dispatch_us",
+        ):
+            check_non_negative(name, getattr(self, name))
+
+
+class NanosManager(TaskManagerModel):
+    """Software dependency resolution with a master bottleneck and a lock."""
+
+    name = "Nanos"
+    supports_taskwait_on = True
+
+    def __init__(self, config: NanosConfig | None = None) -> None:
+        self.config = config or NanosConfig()
+        self.worker_overhead_us = self.config.worker_dispatch_us
+        self._tracker = DependencyTracker(num_tables=1)
+        self._lock = SerialResource("nanos-runtime-lock")
+
+    def reset(self) -> None:
+        self._tracker.reset()
+        self._lock.reset()
+
+    # -- TaskManagerModel ------------------------------------------------------
+    def submit(self, task: TaskDescriptor, time_us: float) -> SubmitOutcome:
+        cfg = self.config
+        result = self._tracker.insert_task(task)
+        num_params = max(1, result.num_accesses)
+        # Master-side creation work (serial by construction: the machine
+        # only advances the master once we return accept_time).
+        creation_done = time_us + cfg.task_creation_us + cfg.creation_per_param_us * num_params
+        # Graph insertion happens under the runtime lock and may contend
+        # with workers retiring tasks.
+        lock_cost = cfg.insert_lock_us + cfg.insert_lock_per_param_us * num_params
+        _, insert_done = self._lock.reserve(creation_done, lock_cost)
+        ready = ()
+        if result.ready:
+            ready = (ReadyNotification(task.task_id, insert_done),)
+        return SubmitOutcome(accept_time_us=insert_done, ready=ready)
+
+    def finish(self, task_id: int, time_us: float) -> FinishOutcome:
+        cfg = self.config
+        result = self._tracker.finish_task(task_id)
+        lock_cost = cfg.finish_lock_us + cfg.wakeup_per_task_us * result.num_kickoffs
+        _, finish_done = self._lock.reserve(time_us, lock_cost)
+        ready = tuple(ReadyNotification(t, finish_done) for t in result.newly_ready)
+        return FinishOutcome(ready=ready, notify_done_us=finish_done)
+
+    # -- reporting ---------------------------------------------------------------
+    def describe(self) -> Mapping[str, object]:
+        return {
+            "name": self.name,
+            "supports_taskwait_on": self.supports_taskwait_on,
+            "config": self.config.__dict__,
+        }
+
+    def statistics(self) -> Mapping[str, object]:
+        return {
+            "tasks_inserted": self._tracker.total_inserted,
+            "tasks_finished": self._tracker.total_finished,
+            "lock_busy_us": self._lock.stats.busy_time,
+            "lock_mean_wait_us": self._lock.stats.mean_wait,
+        }

@@ -1,0 +1,47 @@
+"""Hardware task-manager models: Nexus++ (baseline) and Nexus# (this paper).
+
+The models are *cycle-approximate*: every latency the paper gives for the
+VHDL prototypes (Sections III-A and IV-D) is charged on the corresponding
+serially-occupied unit, so throughput, pipelining and contention effects
+emerge from the simulation rather than being assumed.
+
+* :mod:`repro.nexus.distribution` — the XOR-based hash that scatters
+  parameter addresses over the task graphs (Section IV-B).
+* :mod:`repro.nexus.timing` — the cycle-latency parameter sets of both
+  designs plus the synthesis frequencies of Table I.
+* :mod:`repro.nexus.arbiter` — the Dependence Counts Arbiter gather logic.
+* :mod:`repro.nexus.nexuspp` — the centralised Nexus++ baseline.
+* :mod:`repro.nexus.nexussharp` — the distributed Nexus# manager.
+"""
+
+from repro.nexus.distribution import (
+    best_case_round_robin,
+    distribution_histogram,
+    nexus_hash,
+    worst_case_blocked,
+)
+from repro.nexus.arbiter import DependenceCountsArbiter
+from repro.nexus.nexuspp import NexusPlusPlusConfig, NexusPlusPlusManager
+from repro.nexus.nexussharp import NexusSharpConfig, NexusSharpManager
+from repro.nexus.timing import (
+    NEXUS_SHARP_TEST_FREQUENCIES_MHZ,
+    NexusPlusPlusTiming,
+    NexusSharpTiming,
+    synthesis_frequency_mhz,
+)
+
+__all__ = [
+    "nexus_hash",
+    "distribution_histogram",
+    "best_case_round_robin",
+    "worst_case_blocked",
+    "DependenceCountsArbiter",
+    "NexusPlusPlusManager",
+    "NexusPlusPlusConfig",
+    "NexusSharpManager",
+    "NexusSharpConfig",
+    "NexusPlusPlusTiming",
+    "NexusSharpTiming",
+    "NEXUS_SHARP_TEST_FREQUENCIES_MHZ",
+    "synthesis_frequency_mhz",
+]

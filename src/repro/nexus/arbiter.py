@@ -1,0 +1,111 @@
+"""The Dependence Counts Arbiter (gather step of the scatter-gather scheme).
+
+Because a task's parameters are scattered over several task graphs, a
+final gather must combine the per-task-graph results before the task's
+readiness is known (Section IV-C).  The arbiter:
+
+* collects, per new task, one result per parameter ("Rdy Tasks Buffer"
+  for immediately-ready single-parameter tasks, "Dep. Counts Buffer"
+  otherwise), keeping partial counts for tasks whose parameters have not
+  all been processed yet in the *Sim(-ultaneous) Tasks Dep. Counts
+  Buffer*;
+* when the last parameter of a task reports, concludes its final
+  dependence count and either forwards it to the Internal Ready Tasks
+  Buffer or stores the count in the global Dep. Counts Table;
+* when a finished task kicks off waiting tasks, decrements their counts
+  one by one and forwards those reaching zero.
+
+The functional part of the bookkeeping (who waits on how many addresses)
+already lives in :class:`repro.taskgraph.tracker.DependencyTracker`; the
+arbiter model here tracks the *gather timing*: the arbiter is a serial
+unit, so its occupancy contributes to the ready-task latency, and with
+many task graphs it becomes the convergence point the paper warns about
+("the Dependence Count Arbiter handles a relatively large amount of
+computation, which might eventually make it a bottleneck").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.common.errors import SimulationError
+from repro.sim.resource import SerialResource
+
+
+@dataclass
+class _PendingGather:
+    """Partial gather state of one in-flight new task."""
+
+    expected_results: int
+    collected_results: int = 0
+    last_result_time_us: float = 0.0
+
+
+class DependenceCountsArbiter:
+    """Serial gather unit combining per-task-graph insertion results."""
+
+    def __init__(self, cycles_per_result: float, conclude_cycles: float, decrement_cycles: float, cycle_us: float) -> None:
+        if cycle_us <= 0:
+            raise SimulationError(f"cycle time must be positive, got {cycle_us}")
+        self._resource = SerialResource("dependence-counts-arbiter")
+        self._cycles_per_result = cycles_per_result
+        self._conclude_cycles = conclude_cycles
+        self._decrement_cycles = decrement_cycles
+        self._cycle_us = cycle_us
+        self._pending: Dict[int, _PendingGather] = {}
+        self.tasks_concluded = 0
+        self.decrements_processed = 0
+
+    # -- new-task gather -------------------------------------------------------
+    def begin_task(self, task_id: int, expected_results: int) -> None:
+        """Start tracking the gather of a newly inserted task."""
+        if task_id in self._pending:
+            raise SimulationError(f"arbiter already tracking task {task_id}")
+        if expected_results <= 0:
+            raise SimulationError(f"task {task_id} must expect at least one result, got {expected_results}")
+        self._pending[task_id] = _PendingGather(expected_results=expected_results)
+
+    def collect_result(self, task_id: int, result_ready_us: float) -> Optional[float]:
+        """Collect one per-parameter result available at ``result_ready_us``.
+
+        Returns ``None`` while results are still outstanding; when the last
+        result is collected, returns the time at which the arbiter
+        concluded the task's final dependence count.
+        """
+        pending = self._pending.get(task_id)
+        if pending is None:
+            raise SimulationError(f"arbiter received a result for unknown task {task_id}")
+        _, end = self._resource.reserve(result_ready_us, self._cycles_per_result * self._cycle_us)
+        pending.collected_results += 1
+        pending.last_result_time_us = end
+        if pending.collected_results < pending.expected_results:
+            return None
+        # Last result: conclude the final dependence count.
+        _, conclude_end = self._resource.reserve(end, self._conclude_cycles * self._cycle_us)
+        del self._pending[task_id]
+        self.tasks_concluded += 1
+        return conclude_end
+
+    # -- finished-task decrements -------------------------------------------------
+    def decrement(self, ready_us: float) -> float:
+        """Process one dependence-count decrement; return its completion time."""
+        _, end = self._resource.reserve(ready_us, self._decrement_cycles * self._cycle_us)
+        self.decrements_processed += 1
+        return end
+
+    # -- misc -------------------------------------------------------------------
+    @property
+    def pending_tasks(self) -> int:
+        """Number of tasks whose gather is still incomplete."""
+        return len(self._pending)
+
+    @property
+    def busy_time_us(self) -> float:
+        return self._resource.stats.busy_time
+
+    def reset(self) -> None:
+        self._resource.reset()
+        self._pending.clear()
+        self.tasks_concluded = 0
+        self.decrements_processed = 0

@@ -1,0 +1,124 @@
+"""The Nexus# address-distribution function.
+
+Section IV-B of the paper derives a distribution function that routes
+each incoming 48-bit parameter address to one of the task graphs.  The
+requirements are *speed* (single cycle, no division beyond the final
+modulo over a small constant) and *fairness* (round-robin-like spread so
+all task graphs stay busy).  The chosen function XOR-folds the lower 20
+address bits in 5-bit blocks:
+
+``TaskGraphID = [addr(19..15) ^ addr(14..10) ^ addr(09..05) ^ addr(04..00)]
+mod num_task_graphs``
+
+This module implements the hash (scalar and vectorised over numpy
+arrays), plus the best-case / worst-case reference distributions of
+Figure 3 and a histogram helper used by the fairness analysis and the
+distribution-quality ablation benchmark.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.common.constants import DISTRIBUTION_BLOCK_BITS, DISTRIBUTION_BITS, MAX_TASK_GRAPHS
+from repro.common.errors import ConfigurationError
+
+_BLOCK_MASK = (1 << DISTRIBUTION_BLOCK_BITS) - 1
+
+
+def _validate_num_task_graphs(num_task_graphs: int) -> None:
+    if not 1 <= num_task_graphs <= MAX_TASK_GRAPHS:
+        raise ConfigurationError(
+            f"num_task_graphs must be in [1, {MAX_TASK_GRAPHS}], got {num_task_graphs}"
+        )
+
+
+def nexus_hash(address: int, num_task_graphs: int) -> int:
+    """Task-graph index for ``address`` (the paper's XOR-fold hash).
+
+    Parameters
+    ----------
+    address:
+        48-bit parameter address (only the lower 20 bits participate).
+    num_task_graphs:
+        Number of task graphs configured (1..32).
+    """
+    _validate_num_task_graphs(num_task_graphs)
+    folded = (
+        (address >> 15)
+        ^ (address >> 10)
+        ^ (address >> 5)
+        ^ address
+    ) & _BLOCK_MASK
+    return folded % num_task_graphs
+
+
+def nexus_hash_array(addresses: "np.ndarray | Sequence[int]", num_task_graphs: int) -> np.ndarray:
+    """Vectorised :func:`nexus_hash` over an array of addresses."""
+    _validate_num_task_graphs(num_task_graphs)
+    addrs = np.asarray(addresses, dtype=np.uint64)
+    folded = (
+        (addrs >> np.uint64(15))
+        ^ (addrs >> np.uint64(10))
+        ^ (addrs >> np.uint64(5))
+        ^ addrs
+    ) & np.uint64(_BLOCK_MASK)
+    return (folded % np.uint64(num_task_graphs)).astype(np.int64)
+
+
+def distribution_histogram(addresses: Iterable[int], num_task_graphs: int) -> np.ndarray:
+    """Number of addresses routed to each task graph.
+
+    Returns an array of length ``num_task_graphs``; a perfectly fair hash
+    yields a flat histogram for a diverse address stream.
+    """
+    _validate_num_task_graphs(num_task_graphs)
+    addr_list = list(addresses)
+    if not addr_list:
+        return np.zeros(num_task_graphs, dtype=np.int64)
+    indices = nexus_hash_array(np.asarray(addr_list, dtype=np.uint64), num_task_graphs)
+    return np.bincount(indices, minlength=num_task_graphs).astype(np.int64)
+
+
+def fairness_index(histogram: "np.ndarray | Sequence[int]") -> float:
+    """Jain's fairness index of a distribution histogram.
+
+    1.0 means perfectly even; 1/n means everything landed on one task
+    graph.  Used by the distribution-quality ablation benchmark.
+    """
+    counts = np.asarray(histogram, dtype=np.float64)
+    total = counts.sum()
+    if total == 0:
+        return 1.0
+    n = len(counts)
+    return float(total**2 / (n * np.square(counts).sum()))
+
+
+def best_case_round_robin(num_items: int, num_task_graphs: int) -> np.ndarray:
+    """The best-case assignment of Figure 3(A): strict round robin.
+
+    Task graph ``i`` receives items ``i, i+n, i+2n, ...`` so no task graph
+    receives a second item before every other one received its first.
+    """
+    _validate_num_task_graphs(num_task_graphs)
+    if num_items < 0:
+        raise ConfigurationError(f"num_items must be >= 0, got {num_items}")
+    return np.arange(num_items, dtype=np.int64) % num_task_graphs
+
+
+def worst_case_blocked(num_items: int, num_task_graphs: int) -> np.ndarray:
+    """The worst-case assignment of Figure 3(B): first m/n items to TG0, ...
+
+    Every task graph still ends up with the same number of items, but they
+    work strictly one after the other, which is equivalent to a single
+    active task graph plus distribution overhead.
+    """
+    _validate_num_task_graphs(num_task_graphs)
+    if num_items < 0:
+        raise ConfigurationError(f"num_items must be >= 0, got {num_items}")
+    if num_items == 0:
+        return np.zeros(0, dtype=np.int64)
+    chunk = -(-num_items // num_task_graphs)  # ceil division
+    return np.minimum(np.arange(num_items, dtype=np.int64) // chunk, num_task_graphs - 1)

@@ -1,0 +1,197 @@
+"""Nexus++ — the centralised hardware task manager (the paper's baseline).
+
+Nexus++ [7], [11] keeps a *single* task graph and processes whole tasks
+through a 3-stage pipeline (Figure 1 of the paper):
+
+1. **Input Parser** — receives the complete task descriptor from the host
+   (4 header/synchronisation cycles plus 2 cycles per parameter; 12
+   cycles for the 4-parameter example);
+2. **Insert** — inserts all parameters into the set-associative task
+   graph (2 + 4·P cycles; 18 cycles for the example) and determines the
+   task's dependence count;
+3. **Write Back** — forwards ready task ids to the Nexus IO unit
+   (3 cycles each).
+
+A second pipeline handles finished tasks: it kicks off waiting tasks and
+cleans the tables; because there is only one task graph, that cleanup
+contends with new insertions for the same table port, which this model
+captures by running both on the same serial resource.
+
+Nexus++ does **not** support the ``taskwait on`` pragma (Section III);
+the machine simulator therefore degrades that barrier to a full
+``taskwait`` when driving this manager, reproducing the H264dec behaviour
+the paper reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional
+
+from repro.common.constants import (
+    DEFAULT_KICKOFF_CAPACITY,
+    DEFAULT_TABLE_SETS,
+    DEFAULT_TABLE_WAYS,
+    DEFAULT_TASK_POOL_ENTRIES,
+)
+from repro.common.errors import ConfigurationError
+from repro.common.units import Frequency
+from repro.common.validation import check_positive
+from repro.managers.base import FinishOutcome, ReadyNotification, SubmitOutcome, TaskManagerModel
+from repro.nexus.timing import NEXUS_PP_TEST_FREQUENCY_MHZ, NexusPlusPlusTiming
+from repro.sim.resource import SerialResource
+from repro.taskgraph.table import AddressTable
+from repro.taskgraph.task_pool import TaskPool
+from repro.taskgraph.tracker import DependencyTracker
+from repro.trace.task import TaskDescriptor
+
+
+@dataclass(frozen=True)
+class NexusPlusPlusConfig:
+    """Configuration of a Nexus++ instance."""
+
+    #: Manager clock frequency in MHz (100 MHz on the ZC706, Table I).
+    frequency_mhz: float = NEXUS_PP_TEST_FREQUENCY_MHZ
+    #: Pipeline latencies.
+    timing: NexusPlusPlusTiming = field(default_factory=NexusPlusPlusTiming)
+    #: Fall-through latency (cycles) of the FIFOs between pipeline stages.
+    fifo_latency_cycles: int = 3
+    #: Geometry of the single task graph.
+    table_sets: int = DEFAULT_TABLE_SETS
+    table_ways: int = DEFAULT_TABLE_WAYS
+    kickoff_capacity: int = DEFAULT_KICKOFF_CAPACITY
+    #: Task pool entries.
+    task_pool_entries: int = DEFAULT_TASK_POOL_ENTRIES
+
+    def __post_init__(self) -> None:
+        check_positive("frequency_mhz", self.frequency_mhz)
+        check_positive("fifo_latency_cycles", self.fifo_latency_cycles + 1)  # allow 0
+        check_positive("table_sets", self.table_sets)
+        check_positive("table_ways", self.table_ways)
+        check_positive("kickoff_capacity", self.kickoff_capacity)
+        check_positive("task_pool_entries", self.task_pool_entries)
+
+
+class NexusPlusPlusManager(TaskManagerModel):
+    """Cycle-approximate model of the Nexus++ centralised task manager."""
+
+    supports_taskwait_on = False
+    worker_overhead_us = 0.0
+
+    def __init__(self, config: Optional[NexusPlusPlusConfig] = None) -> None:
+        self.config = config or NexusPlusPlusConfig()
+        self.name = "Nexus++"
+        self._frequency = Frequency(self.config.frequency_mhz)
+        self._cycle_us = self._frequency.cycle_time_us
+        self._tracker = DependencyTracker(
+            num_tables=1,
+            table_factory=lambda index: AddressTable(
+                num_sets=self.config.table_sets,
+                ways=self.config.table_ways,
+                kickoff_capacity=self.config.kickoff_capacity,
+                name="nexus++-task-graph",
+            ),
+            task_pool=TaskPool(capacity=self.config.task_pool_entries, name="nexus++-task-pool"),
+        )
+        # Pipeline resources.  The Insert stage and the finished-task
+        # cleanup share the single task graph's port.
+        self._input_parser = SerialResource("nexus++-input-parser")
+        self._task_graph = SerialResource("nexus++-task-graph-port")
+        self._write_back = SerialResource("nexus++-write-back")
+        #: Per-task bookkeeping for statistics.
+        self._ready_latency_total_us = 0.0
+        self._ready_count = 0
+
+    # -- helpers ---------------------------------------------------------------
+    def _cycles(self, cycles: float) -> float:
+        """Convert manager cycles to micro-seconds."""
+        return cycles * self._cycle_us
+
+    @property
+    def frequency(self) -> Frequency:
+        """The manager clock."""
+        return self._frequency
+
+    def reset(self) -> None:
+        self._tracker.reset()
+        self._input_parser.reset()
+        self._task_graph.reset()
+        self._write_back.reset()
+        self._ready_latency_total_us = 0.0
+        self._ready_count = 0
+
+    # -- TaskManagerModel --------------------------------------------------------
+    def submit(self, task: TaskDescriptor, time_us: float) -> SubmitOutcome:
+        timing = self.config.timing
+        result = self._tracker.insert_task(task)
+        num_params = max(1, task.num_params)
+
+        # Stage 1: Input Parser receives the whole task.
+        _, input_end = self._input_parser.reserve(time_us, self._cycles(timing.input_cycles(num_params)))
+
+        # Stage 2: Insert into the single task graph (whole task at once).
+        insert_available = input_end + self._cycles(self.config.fifo_latency_cycles)
+        insert_cycles = timing.insert_cycles(len(result.accesses) or 1)
+        conflict_cycles = timing.set_conflict_stall_cycles * sum(1 for a in result.accesses if a.set_conflict)
+        _, insert_end = self._task_graph.reserve(insert_available, self._cycles(insert_cycles + conflict_cycles))
+
+        ready: tuple[ReadyNotification, ...] = ()
+        if result.ready:
+            wb_available = insert_end + self._cycles(self.config.fifo_latency_cycles)
+            _, wb_end = self._write_back.reserve(wb_available, self._cycles(timing.writeback_cycles))
+            ready = (ReadyNotification(task.task_id, wb_end),)
+            self._ready_latency_total_us += wb_end - time_us
+            self._ready_count += 1
+
+        # The host regains the bus as soon as the Input Parser consumed the
+        # descriptor; the deeper pipeline stages overlap with the next task.
+        return SubmitOutcome(accept_time_us=input_end, ready=ready)
+
+    def finish(self, task_id: int, time_us: float) -> FinishOutcome:
+        timing = self.config.timing
+        result = self._tracker.finish_task(task_id)
+        num_params = max(1, result.num_accesses)
+
+        # The finished-task notification arrives over the same IO unit.
+        _, notify_end = self._input_parser.reserve(time_us, self._cycles(timing.finish_notify_cycles))
+
+        # Cleanup of the single task graph: delete the task's entries and
+        # walk the kick-off lists of its addresses.
+        cleanup_available = notify_end + self._cycles(self.config.fifo_latency_cycles)
+        cleanup_cycles = timing.cleanup_cycles(num_params)
+        cleanup_cycles += timing.kickoff_cycles_per_waiter * result.num_kickoffs
+        _, cleanup_end = self._task_graph.reserve(cleanup_available, self._cycles(cleanup_cycles))
+
+        notifications: List[ReadyNotification] = []
+        wb_available = cleanup_end + self._cycles(self.config.fifo_latency_cycles)
+        for ready_task in result.newly_ready:
+            _, wb_end = self._write_back.reserve(wb_available, self._cycles(timing.writeback_cycles))
+            notifications.append(ReadyNotification(ready_task, wb_end))
+            self._ready_latency_total_us += wb_end - time_us
+            self._ready_count += 1
+        return FinishOutcome(ready=tuple(notifications), notify_done_us=cleanup_end)
+
+    # -- reporting -----------------------------------------------------------------
+    def describe(self) -> Mapping[str, object]:
+        return {
+            "name": self.name,
+            "supports_taskwait_on": self.supports_taskwait_on,
+            "frequency_mhz": self.config.frequency_mhz,
+            "table_sets": self.config.table_sets,
+            "table_ways": self.config.table_ways,
+        }
+
+    def statistics(self) -> Mapping[str, object]:
+        table = self._tracker.tables[0]
+        return {
+            "tasks_inserted": self._tracker.total_inserted,
+            "tasks_finished": self._tracker.total_finished,
+            "input_parser_busy_us": self._input_parser.stats.busy_time,
+            "task_graph_busy_us": self._task_graph.stats.busy_time,
+            "write_back_busy_us": self._write_back.stats.busy_time,
+            "set_conflicts": table.stats.set_conflicts,
+            "max_live_addresses": table.stats.max_live_entries,
+            "mean_ready_latency_us": (
+                self._ready_latency_total_us / self._ready_count if self._ready_count else 0.0
+            ),
+        }

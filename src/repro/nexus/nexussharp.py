@@ -1,0 +1,267 @@
+"""Nexus# — the distributed hardware task manager (the paper's contribution).
+
+Nexus# replaces the single task graph of Nexus++ with ``n`` independent
+task graphs and scatters the parameters of incoming tasks over them with
+the XOR-fold hash of :mod:`repro.nexus.distribution`.  The pipeline
+(Section IV, Figures 2/4/5) becomes:
+
+1. **Input Parser (IP)** — receives the header (2 cycles) and each
+   48-bit parameter (2 cycles), *immediately* forwarding every parameter
+   to its task graph's New Args. buffer, and finally writes the task
+   descriptor to the Task Pool (1 cycle);
+2. **Insertion (IN)** — each task graph independently inserts the
+   parameters queued at its New Args. buffer (5 cycles per parameter,
+   after the buffer's 3-cycle fall-through);
+3. **Arbitration (AR)** — the Dependence Counts Arbiter gathers the
+   per-task-graph results, concludes the task's final dependence count
+   and forwards ready tasks to the Internal Ready Tasks buffer;
+4. **Write Back (WB)** — ready task ids are translated through the
+   Function Pointers table and handed to the Nexus IO unit (3 cycles),
+   after the ready buffer's 3-cycle fall-through.
+
+Finished tasks follow the symmetric path: the Input Parser reads the
+task's I/O list back from the Task Pool, redistributes the addresses to
+the Finished Args. buffers, each task graph updates its tables and emits
+the kicked-off waiters, and the arbiter decrements their dependence
+counts, forwarding those reaching zero to the Write Back stage.
+
+Unlike Nexus++, Nexus# supports the ``taskwait on`` pragma, which is what
+lets the fine-grained H264dec benchmark scale (Section VI).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional
+
+from repro.common.constants import (
+    DEFAULT_KICKOFF_CAPACITY,
+    DEFAULT_TABLE_SETS,
+    DEFAULT_TABLE_WAYS,
+    DEFAULT_TASK_POOL_ENTRIES,
+    MAX_TASK_GRAPHS,
+)
+from repro.common.errors import ConfigurationError
+from repro.common.units import Frequency
+from repro.common.validation import check_positive
+from repro.managers.base import FinishOutcome, ReadyNotification, SubmitOutcome, TaskManagerModel
+from repro.nexus.arbiter import DependenceCountsArbiter
+from repro.nexus.distribution import nexus_hash
+from repro.nexus.timing import NexusSharpTiming, synthesis_frequency_mhz
+from repro.sim.resource import SerialResource
+from repro.taskgraph.table import AddressTable
+from repro.taskgraph.task_pool import TaskPool
+from repro.taskgraph.tracker import DependencyTracker
+from repro.trace.task import TaskDescriptor
+
+
+@dataclass(frozen=True)
+class NexusSharpConfig:
+    """Configuration of a Nexus# instance."""
+
+    #: Number of distributed task graphs (1..32).
+    num_task_graphs: int = 6
+    #: Manager clock frequency in MHz.  ``None`` selects the synthesis
+    #: (test) frequency of Table I for the chosen number of task graphs;
+    #: Figure 7(a) style experiments pass an explicit 100.0 instead.
+    frequency_mhz: Optional[float] = None
+    #: Pipeline latencies.
+    timing: NexusSharpTiming = field(default_factory=NexusSharpTiming)
+    #: Geometry of each task graph.
+    table_sets: int = DEFAULT_TABLE_SETS
+    table_ways: int = DEFAULT_TABLE_WAYS
+    kickoff_capacity: int = DEFAULT_KICKOFF_CAPACITY
+    #: Task pool entries (shared by all task graphs).
+    task_pool_entries: int = DEFAULT_TASK_POOL_ENTRIES
+
+    def __post_init__(self) -> None:
+        if not 1 <= self.num_task_graphs <= MAX_TASK_GRAPHS:
+            raise ConfigurationError(
+                f"num_task_graphs must be in [1, {MAX_TASK_GRAPHS}], got {self.num_task_graphs}"
+            )
+        if self.frequency_mhz is not None:
+            check_positive("frequency_mhz", self.frequency_mhz)
+        check_positive("table_sets", self.table_sets)
+        check_positive("table_ways", self.table_ways)
+        check_positive("kickoff_capacity", self.kickoff_capacity)
+        check_positive("task_pool_entries", self.task_pool_entries)
+
+    @property
+    def effective_frequency_mhz(self) -> float:
+        """The frequency the manager actually runs at."""
+        if self.frequency_mhz is not None:
+            return self.frequency_mhz
+        return synthesis_frequency_mhz(self.num_task_graphs)
+
+
+class NexusSharpManager(TaskManagerModel):
+    """Cycle-approximate model of the Nexus# distributed task manager."""
+
+    supports_taskwait_on = True
+    worker_overhead_us = 0.0
+
+    def __init__(self, config: Optional[NexusSharpConfig] = None) -> None:
+        self.config = config or NexusSharpConfig()
+        self.name = f"Nexus# {self.config.num_task_graphs}TG"
+        self._frequency = Frequency(self.config.effective_frequency_mhz)
+        self._cycle_us = self._frequency.cycle_time_us
+        num_tg = self.config.num_task_graphs
+        self._tracker = DependencyTracker(
+            num_tables=num_tg,
+            distribute=lambda address: nexus_hash(address, num_tg),
+            table_factory=lambda index: AddressTable(
+                num_sets=self.config.table_sets,
+                ways=self.config.table_ways,
+                kickoff_capacity=self.config.kickoff_capacity,
+                name=f"nexus#-TG{index}",
+            ),
+            task_pool=TaskPool(capacity=self.config.task_pool_entries, name="nexus#-task-pool"),
+        )
+        timing = self.config.timing
+        self._input_parser = SerialResource("nexus#-input-parser")
+        self._task_graph_ports = [SerialResource(f"nexus#-TG{i}-port") for i in range(num_tg)]
+        self._write_back = SerialResource("nexus#-write-back")
+        self._arbiter = DependenceCountsArbiter(
+            cycles_per_result=timing.arbiter_cycles_per_result,
+            conclude_cycles=timing.arbiter_conclude_cycles,
+            decrement_cycles=timing.arbiter_decrement_cycles,
+            cycle_us=self._cycle_us,
+        )
+        self._ready_latency_total_us = 0.0
+        self._ready_count = 0
+
+    # -- helpers ---------------------------------------------------------------
+    def _cycles(self, cycles: float) -> float:
+        return cycles * self._cycle_us
+
+    @property
+    def frequency(self) -> Frequency:
+        """The manager clock actually in use."""
+        return self._frequency
+
+    @property
+    def num_task_graphs(self) -> int:
+        return self.config.num_task_graphs
+
+    def reset(self) -> None:
+        self._tracker.reset()
+        self._input_parser.reset()
+        for port in self._task_graph_ports:
+            port.reset()
+        self._write_back.reset()
+        self._arbiter.reset()
+        self._ready_latency_total_us = 0.0
+        self._ready_count = 0
+
+    # -- ready-path helper --------------------------------------------------------
+    def _write_back_ready(self, task_id: int, concluded_us: float, reference_us: float) -> ReadyNotification:
+        """Send a ready task through the Internal Ready Tasks buffer and WB stage."""
+        timing = self.config.timing
+        wb_available = concluded_us + self._cycles(timing.ready_fifo_latency_cycles)
+        _, wb_end = self._write_back.reserve(wb_available, self._cycles(timing.writeback_cycles))
+        self._ready_latency_total_us += wb_end - reference_us
+        self._ready_count += 1
+        return ReadyNotification(task_id, wb_end)
+
+    # -- TaskManagerModel --------------------------------------------------------
+    def submit(self, task: TaskDescriptor, time_us: float) -> SubmitOutcome:
+        timing = self.config.timing
+        result = self._tracker.insert_task(task)
+        num_params = max(1, task.num_params)
+
+        # Stage 1: Input Parser.  Parameters are forwarded to their task
+        # graphs as they arrive; the descriptor is written to the Task
+        # Pool at the end.
+        ip_start, ip_end = self._input_parser.reserve(time_us, self._cycles(timing.input_cycles(num_params)))
+
+        # Stage 2: per-parameter insertion at the owning task graph.
+        insert_ends: List[float] = []
+        for index, access in enumerate(result.accesses):
+            forward_us = ip_start + self._cycles(timing.param_forward_offset_cycles(index))
+            visible_us = forward_us + self._cycles(timing.args_fifo_latency_cycles)
+            insert_cycles = timing.insert_cycles_per_param
+            if access.set_conflict:
+                insert_cycles += timing.set_conflict_stall_cycles
+            _, tg_end = self._task_graph_ports[access.table_index].reserve(
+                visible_us, self._cycles(insert_cycles)
+            )
+            insert_ends.append(tg_end)
+
+        ready: tuple[ReadyNotification, ...] = ()
+        if result.accesses:
+            # Stage 3: the arbiter gathers one result per parameter, in the
+            # order the task graphs produce them.
+            self._arbiter.begin_task(task.task_id, expected_results=len(result.accesses))
+            concluded: Optional[float] = None
+            for tg_end in sorted(insert_ends):
+                concluded = self._arbiter.collect_result(task.task_id, tg_end)
+            assert concluded is not None  # the last collect always concludes
+            if result.ready:
+                ready = (self._write_back_ready(task.task_id, concluded, time_us),)
+        else:
+            # A task with an empty parameter list is trivially ready; it
+            # skips the task graphs entirely and is reported straight from
+            # the Input Parser through the ready path.
+            ready = (self._write_back_ready(task.task_id, ip_end, time_us),)
+
+        return SubmitOutcome(accept_time_us=ip_end, ready=ready)
+
+    def finish(self, task_id: int, time_us: float) -> FinishOutcome:
+        timing = self.config.timing
+        result = self._tracker.finish_task(task_id)
+        num_params = max(1, result.num_accesses)
+
+        # The Input Parser reads the finished task's I/O list from the Task
+        # Pool and redistributes the addresses to the Finished Args buffers.
+        fp_start, fp_end = self._input_parser.reserve(
+            time_us, self._cycles(timing.finish_input_cycles(num_params))
+        )
+
+        # Each owning task graph updates its entry and emits the kicked-off
+        # waiters; the arbiter then decrements their dependence counts.
+        last_decrement: Dict[int, float] = {}
+        for index, access in enumerate(result.accesses):
+            forward_us = fp_start + self._cycles(timing.finish_param_forward_offset_cycles(index))
+            visible_us = forward_us + self._cycles(timing.args_fifo_latency_cycles)
+            update_cycles = timing.finish_update_cycles_per_param
+            update_cycles += timing.kickoff_cycles_per_waiter * len(access.kicked_off)
+            _, tg_end = self._task_graph_ports[access.table_index].reserve(
+                visible_us, self._cycles(update_cycles)
+            )
+            for waiter in access.kicked_off:
+                decrement_end = self._arbiter.decrement(tg_end)
+                previous = last_decrement.get(waiter, 0.0)
+                last_decrement[waiter] = max(previous, decrement_end)
+
+        notifications: List[ReadyNotification] = []
+        for ready_task in result.newly_ready:
+            concluded = last_decrement.get(ready_task, fp_end)
+            notifications.append(self._write_back_ready(ready_task, concluded, time_us))
+        return FinishOutcome(ready=tuple(notifications), notify_done_us=fp_end)
+
+    # -- reporting -----------------------------------------------------------------
+    def describe(self) -> Mapping[str, object]:
+        return {
+            "name": self.name,
+            "supports_taskwait_on": self.supports_taskwait_on,
+            "num_task_graphs": self.config.num_task_graphs,
+            "frequency_mhz": self.config.effective_frequency_mhz,
+            "table_sets": self.config.table_sets,
+            "table_ways": self.config.table_ways,
+        }
+
+    def statistics(self) -> Mapping[str, object]:
+        per_tg_busy = [port.stats.busy_time for port in self._task_graph_ports]
+        per_tg_conflicts = [table.stats.set_conflicts for table in self._tracker.tables]
+        return {
+            "tasks_inserted": self._tracker.total_inserted,
+            "tasks_finished": self._tracker.total_finished,
+            "input_parser_busy_us": self._input_parser.stats.busy_time,
+            "write_back_busy_us": self._write_back.stats.busy_time,
+            "arbiter_busy_us": self._arbiter.busy_time_us,
+            "task_graph_busy_us": per_tg_busy,
+            "set_conflicts": per_tg_conflicts,
+            "mean_ready_latency_us": (
+                self._ready_latency_total_us / self._ready_count if self._ready_count else 0.0
+            ),
+        }

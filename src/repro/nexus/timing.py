@@ -1,0 +1,236 @@
+"""Cycle-latency parameters of the Nexus++ and Nexus# pipelines.
+
+Every number below is taken from the paper:
+
+* **Nexus++** (Section III-A, Figure 1, 4-parameter example): the Input
+  Parser needs "two cycles to receive every memory address in the task's
+  input/output list, plus 4 cycles for the header word and
+  synchronization, giving 12 cycles per task"; the Insert stage "needs 18
+  cycles for our 4-parameter task example"; the Write Back stage
+  "needs 3 cycles".  We generalise the two first stages linearly in the
+  parameter count: ``4 + 2·P`` and ``2 + 4·P`` (both reproduce the quoted
+  numbers for P = 4).
+* **Nexus#** (Section IV-D, Figures 4/5): header 2 cycles (IPh), 2 cycles
+  per parameter (IP), 1 cycle Task-Pool write (IPf), 3-cycle FIFO
+  fall-through, 5 cycles per parameter insertion (IN), arbiter gather
+  (AR) — 1 cycle per task-graph result with 2 cycles to conclude a whole
+  task in the best case —, 3-cycle ready FIFO, 3-cycle Write Back (WB).
+
+The synthesis frequencies come from Table I; the scalability study of
+Figure 7(a) additionally runs every configuration at a flat 100 MHz.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.errors import ConfigurationError
+from repro.common.validation import check_non_negative, check_positive
+
+#: Maximum test frequency (MHz) per Nexus# task-graph count, from Table I.
+#: Nexus++ is listed under key 0 for convenience.
+NEXUS_SHARP_TEST_FREQUENCIES_MHZ: dict[int, float] = {
+    1: 100.00,
+    2: 100.00,
+    4: 83.33,
+    6: 55.56,
+    8: 41.66,
+}
+
+#: Maximum *reported* (synthesis) frequencies, also from Table I.
+NEXUS_SHARP_MAX_FREQUENCIES_MHZ: dict[int, float] = {
+    1: 112.63,
+    2: 112.63,
+    4: 85.26,
+    6: 55.66,
+    8: 43.53,
+}
+
+#: Nexus++ synthesis/test frequency on the ZC706 (Table I, first row).
+NEXUS_PP_TEST_FREQUENCY_MHZ: float = 100.00
+NEXUS_PP_MAX_FREQUENCY_MHZ: float = 114.44
+
+
+def synthesis_frequency_mhz(num_task_graphs: int, *, use_max: bool = False) -> float:
+    """Synthesis (Table I) frequency for a Nexus# configuration.
+
+    Configurations not synthesised in the paper (3, 5, 7 task graphs) are
+    interpolated linearly between the neighbouring entries, which matches
+    the trend of Table I (frequency degrades as the arbiter fan-in grows).
+    """
+    table = NEXUS_SHARP_MAX_FREQUENCIES_MHZ if use_max else NEXUS_SHARP_TEST_FREQUENCIES_MHZ
+    if num_task_graphs in table:
+        return table[num_task_graphs]
+    known = sorted(table)
+    if num_task_graphs < known[0]:
+        return table[known[0]]
+    if num_task_graphs > known[-1]:
+        # Extrapolate with the slope of the last segment, clamped to stay positive.
+        x0, x1 = known[-2], known[-1]
+        slope = (table[x1] - table[x0]) / (x1 - x0)
+        return max(1.0, table[x1] + slope * (num_task_graphs - x1))
+    lower = max(k for k in known if k < num_task_graphs)
+    upper = min(k for k in known if k > num_task_graphs)
+    fraction = (num_task_graphs - lower) / (upper - lower)
+    return table[lower] + fraction * (table[upper] - table[lower])
+
+
+@dataclass(frozen=True)
+class NexusPlusPlusTiming:
+    """Cycle latencies of the Nexus++ 3-stage pipeline."""
+
+    #: Input Parser: header + synchronisation cycles per task.
+    input_header_cycles: int = 4
+    #: Input Parser: cycles per parameter (two 32-bit PCIe packets).
+    input_cycles_per_param: int = 2
+    #: Insert stage: fixed cycles per task.
+    insert_base_cycles: int = 2
+    #: Insert stage: cycles per parameter.
+    insert_cycles_per_param: int = 4
+    #: Write Back stage: cycles per ready task.
+    writeback_cycles: int = 3
+    #: Finished-task notification transfer cycles (task id over the IO unit).
+    finish_notify_cycles: int = 2
+    #: Finished-task table-cleanup cycles per parameter (second pipeline).
+    finish_cleanup_cycles_per_param: int = 4
+    #: Finished-task fixed cleanup cycles.
+    finish_cleanup_base_cycles: int = 2
+    #: Cycles to kick off one waiting task from a kick-off list.
+    kickoff_cycles_per_waiter: int = 1
+    #: Penalty when an insertion hits a structurally full set.
+    set_conflict_stall_cycles: int = 20
+
+    def __post_init__(self) -> None:
+        for name in self.__dataclass_fields__:
+            check_non_negative(name, getattr(self, name))
+
+    def input_cycles(self, num_params: int) -> int:
+        """Input Parser occupancy for a task with ``num_params`` parameters."""
+        return self.input_header_cycles + self.input_cycles_per_param * num_params
+
+    def insert_cycles(self, num_params: int) -> int:
+        """Insert-stage occupancy for a task with ``num_params`` parameters."""
+        return self.insert_base_cycles + self.insert_cycles_per_param * num_params
+
+    def cleanup_cycles(self, num_params: int) -> int:
+        """Finished-task cleanup occupancy for ``num_params`` parameters."""
+        return self.finish_cleanup_base_cycles + self.finish_cleanup_cycles_per_param * num_params
+
+    @classmethod
+    def tightly_coupled(cls) -> "NexusPlusPlusTiming":
+        """Timing preset without the PCIe-style transfer overhead.
+
+        Used for experiments that drive the task-graph logic directly
+        (the Gaussian-elimination micro-benchmark of Figure 9, which is
+        "not trace-based" and models the on-chip integration the paper
+        targets): descriptor words arrive in one cycle each and finished
+        notifications bypass the bus serialisation.
+        """
+        return cls(
+            input_header_cycles=1,
+            input_cycles_per_param=1,
+            insert_base_cycles=1,
+            insert_cycles_per_param=2,
+            writeback_cycles=2,
+            finish_notify_cycles=1,
+            finish_cleanup_base_cycles=1,
+            finish_cleanup_cycles_per_param=2,
+        )
+
+
+@dataclass(frozen=True)
+class NexusSharpTiming:
+    """Cycle latencies of the Nexus# 4-stage distributed pipeline."""
+
+    #: IPh: cycles to receive the header word (function pointer + #params).
+    input_header_cycles: int = 2
+    #: IP: cycles per parameter on the input link (two 32-bit packets).
+    input_cycles_per_param: int = 2
+    #: IPf: cycles to write the task descriptor to the Task Pool.
+    taskpool_write_cycles: int = 1
+    #: Fall-through latency of the New Args. / Finished Args. buffers.
+    args_fifo_latency_cycles: int = 3
+    #: IN: insertion cycles per parameter at a task graph.
+    insert_cycles_per_param: int = 5
+    #: AR: arbiter cycles to collect one per-task-graph result.
+    arbiter_cycles_per_result: int = 1
+    #: Arbiter cycles to conclude the final dependence count of a task.
+    arbiter_conclude_cycles: int = 1
+    #: Fall-through latency of the Internal Ready Tasks buffer.
+    ready_fifo_latency_cycles: int = 3
+    #: WB: cycles to read the Function Pointers table and forward one ready task.
+    writeback_cycles: int = 3
+    #: Finished-task notification transfer cycles (task id over the IO unit).
+    finish_notify_cycles: int = 2
+    #: Cycles for the Input Parser to read a finished task's I/O list from
+    #: the Task Pool (per task).
+    taskpool_read_cycles: int = 1
+    #: Cycles for the Input Parser to distribute one finished-task address.
+    finish_distribute_cycles_per_param: int = 1
+    #: Task-graph cycles to update/delete the table entry of one finished
+    #: address (kick-off list walk excluded).
+    finish_update_cycles_per_param: int = 5
+    #: Task-graph cycles to emit one waiting task from a kick-off list.
+    kickoff_cycles_per_waiter: int = 1
+    #: Arbiter cycles to decrement the dependence count of one waiting task.
+    arbiter_decrement_cycles: int = 1
+    #: Penalty when an insertion hits a structurally full set.
+    set_conflict_stall_cycles: int = 20
+
+    def __post_init__(self) -> None:
+        for name in self.__dataclass_fields__:
+            check_non_negative(name, getattr(self, name))
+
+    def input_cycles(self, num_params: int) -> int:
+        """Total Input Parser occupancy for one new task."""
+        return (
+            self.input_header_cycles
+            + self.input_cycles_per_param * num_params
+            + self.taskpool_write_cycles
+        )
+
+    def param_forward_offset_cycles(self, param_index: int) -> int:
+        """Cycles after the start of input parsing at which parameter
+        ``param_index`` (0-based) has been received and forwarded."""
+        return self.input_header_cycles + self.input_cycles_per_param * (param_index + 1)
+
+    def finish_input_cycles(self, num_params: int) -> int:
+        """Input Parser occupancy for redistributing one finished task."""
+        return (
+            self.finish_notify_cycles
+            + self.taskpool_read_cycles
+            + self.finish_distribute_cycles_per_param * num_params
+        )
+
+    def finish_param_forward_offset_cycles(self, param_index: int) -> int:
+        """Cycles after the start of finish processing at which address
+        ``param_index`` has been forwarded to its task graph."""
+        return (
+            self.finish_notify_cycles
+            + self.taskpool_read_cycles
+            + self.finish_distribute_cycles_per_param * (param_index + 1)
+        )
+
+    @classmethod
+    def tightly_coupled(cls) -> "NexusSharpTiming":
+        """Timing preset without the PCIe-style transfer overhead.
+
+        Used for experiments that drive the task-graph logic directly
+        (the Gaussian-elimination micro-benchmark of Figure 9, which is
+        "not trace-based"): descriptor words arrive in one cycle each,
+        FIFO fall-through is a single cycle and insertions take the
+        table-lookup latency only.
+        """
+        return cls(
+            input_header_cycles=1,
+            input_cycles_per_param=1,
+            taskpool_write_cycles=1,
+            args_fifo_latency_cycles=1,
+            insert_cycles_per_param=2,
+            ready_fifo_latency_cycles=1,
+            writeback_cycles=2,
+            finish_notify_cycles=1,
+            taskpool_read_cycles=1,
+            finish_distribute_cycles_per_param=1,
+            finish_update_cycles_per_param=2,
+        )

@@ -1,0 +1,34 @@
+"""OmpSs-like task programming front-end.
+
+The paper's programming model (Listing 1) annotates plain function calls
+with ``#pragma omp task input(...) inout(...)`` clauses; a
+source-to-source compiler then turns every call into a task submission.
+This package provides the Python equivalent: a small embedded DSL that
+records task submissions, ``taskwait`` and ``taskwait on`` barriers into
+a :class:`repro.trace.Trace`, which can then be replayed on any of the
+task-manager models.
+
+Example (the macroblock wavefront of Listing 1)::
+
+    from repro.runtime import TaskProgram
+
+    prog = TaskProgram("wavefront")
+    X = prog.matrix("X", rows, cols)
+
+    @prog.task(duration_us=5.0)
+    def decode(left: "in_", upright: "in_", this: "inout"):
+        ...
+
+    for i in range(rows):
+        for j in range(cols):
+            decode(X[i][j - 1] if j else None,
+                   X[i - 1][j + 1] if i and j + 1 < cols else None,
+                   X[i][j])
+    prog.taskwait()
+    trace = prog.build()
+"""
+
+from repro.runtime.data import DataHandle, DataMatrix
+from repro.runtime.program import TaskProgram, TaskFunction
+
+__all__ = ["TaskProgram", "TaskFunction", "DataHandle", "DataMatrix"]

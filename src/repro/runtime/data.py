@@ -1,0 +1,73 @@
+"""Data handles for the OmpSs-like front-end.
+
+A :class:`DataHandle` stands for one task-visible datum (a matrix block,
+an image line, a reduction variable): it owns a synthetic 48-bit address
+that the recorded tasks reference.  :class:`DataMatrix` is a convenience
+2-D collection of handles mirroring the ``MB_type* X[W][H]`` matrix of
+the paper's Listing 1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Sequence
+
+from repro.common.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class DataHandle:
+    """A named, addressable piece of task data."""
+
+    name: str
+    address: int
+    size: int = 0
+
+    def __post_init__(self) -> None:
+        if self.address < 0:
+            raise ConfigurationError(f"address of {self.name!r} must be >= 0, got {self.address}")
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.name}@{self.address:#x}"
+
+
+class DataMatrix:
+    """A 2-D grid of :class:`DataHandle` objects (row-major)."""
+
+    def __init__(self, name: str, handles: Sequence[Sequence[DataHandle]]) -> None:
+        if not handles or not handles[0]:
+            raise ConfigurationError(f"matrix {name!r} must have at least one element")
+        width = len(handles[0])
+        for row in handles:
+            if len(row) != width:
+                raise ConfigurationError(f"matrix {name!r} rows have inconsistent lengths")
+        self.name = name
+        self._handles: List[List[DataHandle]] = [list(row) for row in handles]
+
+    @property
+    def rows(self) -> int:
+        return len(self._handles)
+
+    @property
+    def cols(self) -> int:
+        return len(self._handles[0])
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        return (self.rows, self.cols)
+
+    def __getitem__(self, index: int) -> List[DataHandle]:
+        return self._handles[index]
+
+    def at(self, row: int, col: int) -> Optional[DataHandle]:
+        """Bounds-checked access returning ``None`` outside the matrix.
+
+        Mirrors how the wavefront example passes ``X[i][j-1]`` at the
+        borders: out-of-range neighbours simply contribute no dependency.
+        """
+        if 0 <= row < self.rows and 0 <= col < self.cols:
+            return self._handles[row][col]
+        return None
+
+    def __iter__(self) -> Iterator[List[DataHandle]]:
+        return iter(self._handles)

@@ -1,0 +1,188 @@
+"""The :class:`TaskProgram` recorder — Python stand-in for the OmpSs pragmas.
+
+A :class:`TaskProgram` owns an address space and a trace builder.  Task
+functions are declared with the :meth:`TaskProgram.task` decorator, which
+mirrors the ``#pragma omp task input(...) inout(...)`` annotation; every
+*call* of a decorated function records one task submission, exactly like
+the Mercurium source-to-source compiler turns annotated calls into
+runtime calls.  ``taskwait`` / ``taskwait on`` map to the corresponding
+methods.  :meth:`TaskProgram.build` freezes the recording into a
+:class:`repro.trace.Trace` that any manager model can replay.
+"""
+
+from __future__ import annotations
+
+import functools
+from typing import Callable, Dict, List, Optional, Sequence, Union
+
+from repro.common.errors import ConfigurationError, TraceError
+from repro.runtime.data import DataHandle, DataMatrix
+from repro.trace.task import Direction, Parameter
+from repro.trace.trace import Trace, TraceBuilder
+from repro.workloads.addressing import AddressSpace
+
+DurationSpec = Union[float, Callable[..., float]]
+
+
+class TaskFunction:
+    """A task-annotated function; calling it records a task submission."""
+
+    def __init__(
+        self,
+        program: "TaskProgram",
+        func: Callable,
+        inputs: Sequence[str],
+        outputs: Sequence[str],
+        inouts: Sequence[str],
+        duration_us: DurationSpec,
+        execute: bool,
+    ) -> None:
+        self.program = program
+        self.func = func
+        self.name = func.__name__
+        self.inputs = tuple(inputs)
+        self.outputs = tuple(outputs)
+        self.inouts = tuple(inouts)
+        self.duration_us = duration_us
+        self.execute = execute
+        self.calls = 0
+        functools.update_wrapper(self, func)
+        # Map parameter names to directions once, validating the clauses.
+        import inspect
+
+        signature = inspect.signature(func)
+        self._positional = [p.name for p in signature.parameters.values()]
+        self._directions: Dict[str, Direction] = {}
+        for name in inputs:
+            self._directions[name] = Direction.IN
+        for name in outputs:
+            if name in self._directions:
+                raise ConfigurationError(f"parameter {name!r} listed in more than one clause")
+            self._directions[name] = Direction.OUT
+        for name in inouts:
+            if name in self._directions:
+                raise ConfigurationError(f"parameter {name!r} listed in more than one clause")
+            self._directions[name] = Direction.INOUT
+        unknown = set(self._directions) - set(self._positional)
+        if unknown:
+            raise ConfigurationError(
+                f"task {self.name!r} annotates unknown parameters: {sorted(unknown)}"
+            )
+
+    def __call__(self, *args, **kwargs):
+        bound: Dict[str, object] = {}
+        for value, name in zip(args, self._positional):
+            bound[name] = value
+        bound.update(kwargs)
+        params: List[Parameter] = []
+        for name, direction in self._directions.items():
+            value = bound.get(name)
+            if value is None:
+                continue  # border cells / optional dependencies contribute nothing
+            if not isinstance(value, DataHandle):
+                raise TraceError(
+                    f"task {self.name!r}: argument {name!r} must be a DataHandle or None, "
+                    f"got {type(value).__name__}"
+                )
+            params.append(Parameter(address=value.address, direction=direction, size=value.size))
+        duration = self.duration_us(*args, **kwargs) if callable(self.duration_us) else self.duration_us
+        if duration < 0:
+            raise TraceError(f"task {self.name!r} produced a negative duration {duration}")
+        self.program._builder.add_task(self.name, duration_us=float(duration), params=params)
+        self.calls += 1
+        if self.execute:
+            return self.func(*args, **kwargs)
+        return None
+
+
+class TaskProgram:
+    """Records an OmpSs-like task program into a trace."""
+
+    def __init__(self, name: str, seed: Optional[int] = None) -> None:
+        self.name = name
+        self._space = AddressSpace(seed=seed)
+        self._builder = TraceBuilder(name, metadata={"source": "runtime-api"})
+        self._functions: Dict[str, TaskFunction] = {}
+
+    # -- data declaration -----------------------------------------------------
+    def data(self, name: str, size: int = 0) -> DataHandle:
+        """Declare one task-visible datum and return its handle."""
+        return DataHandle(name=name, address=self._space.alloc_one(), size=size)
+
+    def array(self, name: str, count: int, size: int = 0) -> List[DataHandle]:
+        """Declare a 1-D array of ``count`` data handles."""
+        if count <= 0:
+            raise ConfigurationError(f"array {name!r} must have a positive length, got {count}")
+        addresses = self._space.alloc(count)
+        return [DataHandle(name=f"{name}[{i}]", address=a, size=size) for i, a in enumerate(addresses)]
+
+    def matrix(self, name: str, rows: int, cols: int, size: int = 0) -> DataMatrix:
+        """Declare a 2-D matrix of data handles (like Listing 1's ``X``)."""
+        if rows <= 0 or cols <= 0:
+            raise ConfigurationError(f"matrix {name!r} must have positive dimensions, got {rows}x{cols}")
+        handles = [
+            [DataHandle(name=f"{name}[{r}][{c}]", address=a, size=size) for c, a in enumerate(self._space.alloc(cols))]
+            for r in range(rows)
+        ]
+        return DataMatrix(name, handles)
+
+    # -- task declaration --------------------------------------------------------
+    def task(
+        self,
+        *,
+        inputs: Sequence[str] = (),
+        outputs: Sequence[str] = (),
+        inouts: Sequence[str] = (),
+        duration_us: DurationSpec = 1.0,
+        execute: bool = False,
+    ) -> Callable[[Callable], TaskFunction]:
+        """Decorator equivalent of ``#pragma omp task input(...) ...``.
+
+        Parameters
+        ----------
+        inputs / outputs / inouts:
+            Names of the decorated function's parameters carrying the
+            respective access direction.  Parameters not listed carry no
+            dependency (scalars, firstprivate values).
+        duration_us:
+            Either a constant task duration or a callable evaluated on the
+            call arguments (useful when the cost depends on the data).
+        execute:
+            When true, the decorated function body is also executed at
+            recording time (for programs that compute real results).
+        """
+
+        def decorator(func: Callable) -> TaskFunction:
+            task_function = TaskFunction(
+                self, func, inputs=inputs, outputs=outputs, inouts=inouts,
+                duration_us=duration_us, execute=execute,
+            )
+            self._functions[task_function.name] = task_function
+            return task_function
+
+        return decorator
+
+    # -- barriers ----------------------------------------------------------------
+    def taskwait(self) -> None:
+        """Record a full ``taskwait`` barrier."""
+        self._builder.add_taskwait()
+
+    def taskwait_on(self, handle: DataHandle) -> None:
+        """Record a ``taskwait on(handle)`` barrier."""
+        if not isinstance(handle, DataHandle):
+            raise TraceError(f"taskwait_on expects a DataHandle, got {type(handle).__name__}")
+        self._builder.add_taskwait_on(handle.address)
+
+    # -- results ------------------------------------------------------------------
+    @property
+    def num_tasks(self) -> int:
+        """Number of task submissions recorded so far."""
+        return self._builder.num_tasks
+
+    def functions(self) -> Dict[str, TaskFunction]:
+        """The task functions declared on this program."""
+        return dict(self._functions)
+
+    def build(self) -> Trace:
+        """Freeze the recorded program into an immutable trace."""
+        return self._builder.build()

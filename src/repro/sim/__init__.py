@@ -1,0 +1,41 @@
+"""Discrete-event simulation substrate.
+
+The Nexus# evaluation in the paper is a ModelSim testbench driving a VHDL
+model cycle by cycle.  Re-running a cycle-accurate RTL simulation of up to
+650 000 tasks in Python would be prohibitively slow, so this package
+provides a *cycle-approximate*, event-driven substrate instead:
+
+* :class:`repro.sim.engine.EventQueue` / :class:`repro.sim.engine.Simulator`
+  — a classic heapq-based discrete-event core with deterministic
+  tie-breaking.
+* :class:`repro.sim.resource.SerialResource` — a unit that can only work
+  on one item at a time (the Input Parser, each task graph's insertion
+  port, the Dependence Counts Arbiter, the Write-Back port, a software
+  lock).  Reserving a resource returns the start/end times of the
+  occupancy, which is exactly the information the manager models need to
+  compute when a task becomes ready.
+* :class:`repro.sim.fifo.LatencyFifo` — a bounded FIFO with a
+  fall-through latency, modelling the New Args. / Finished Args. /
+  Ready-Tasks buffers between pipeline stages.
+* :class:`repro.sim.stats` — occupancy and counter statistics used by the
+  analysis layer.
+"""
+
+from repro.sim.engine import Event, EventQueue, Simulator
+from repro.sim.fifo import FifoStats, LatencyFifo
+from repro.sim.resource import MultiResource, ResourceStats, SerialResource
+from repro.sim.stats import Counter, TimeWeightedStat, UtilizationTracker
+
+__all__ = [
+    "Event",
+    "EventQueue",
+    "Simulator",
+    "LatencyFifo",
+    "FifoStats",
+    "SerialResource",
+    "MultiResource",
+    "ResourceStats",
+    "Counter",
+    "TimeWeightedStat",
+    "UtilizationTracker",
+]

@@ -1,0 +1,161 @@
+"""Event queue and simulation driver.
+
+The engine is intentionally minimal: a binary heap of ``(time, priority,
+sequence, payload)`` tuples with deterministic ordering.  The higher-level
+:class:`repro.system.machine.Machine` uses it to interleave task
+submissions, ready notifications and task completions; manager models use
+it only indirectly (they reason about resource timelines instead of
+scheduling fine-grained events, which keeps large traces tractable).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterator, Optional
+
+from repro.common.errors import SimulationError
+
+
+@dataclass(order=True, frozen=True)
+class Event:
+    """A single scheduled event.
+
+    Ordering is by ``(time, priority, sequence)``; ``payload`` and ``kind``
+    never participate in comparisons, which keeps the ordering total and
+    deterministic even when payloads are not comparable.
+    """
+
+    time: float
+    priority: int
+    sequence: int
+    kind: str = field(compare=False)
+    payload: Any = field(compare=False, default=None)
+
+
+class EventQueue:
+    """A deterministic priority queue of :class:`Event` objects."""
+
+    def __init__(self) -> None:
+        self._heap: list[Event] = []
+        self._counter = itertools.count()
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __bool__(self) -> bool:
+        return bool(self._heap)
+
+    def push(self, time: float, kind: str, payload: Any = None, priority: int = 0) -> Event:
+        """Schedule an event and return it."""
+        if time < 0:
+            raise SimulationError(f"cannot schedule an event at negative time {time}")
+        event = Event(time=time, priority=priority, sequence=next(self._counter), kind=kind, payload=payload)
+        heapq.heappush(self._heap, event)
+        return event
+
+    def pop(self) -> Event:
+        """Remove and return the earliest event."""
+        if not self._heap:
+            raise SimulationError("pop() from an empty event queue")
+        return heapq.heappop(self._heap)
+
+    def peek(self) -> Event:
+        """Return (without removing) the earliest event."""
+        if not self._heap:
+            raise SimulationError("peek() into an empty event queue")
+        return self._heap[0]
+
+    def clear(self) -> None:
+        """Drop all pending events."""
+        self._heap.clear()
+
+    def drain(self) -> Iterator[Event]:
+        """Yield events in time order until the queue is empty."""
+        while self._heap:
+            yield self.pop()
+
+
+class Simulator:
+    """A small callback-driven simulation loop.
+
+    Handlers are registered per event kind; :meth:`run` pops events in
+    time order and dispatches them.  The simulator tracks the current
+    simulation time and enforces that it never moves backwards.
+    """
+
+    def __init__(self) -> None:
+        self.queue = EventQueue()
+        self.now: float = 0.0
+        self._handlers: dict[str, Callable[[Simulator, Event], None]] = {}
+        self._processed: int = 0
+        self._running = False
+
+    # -- configuration ----------------------------------------------------
+    def on(self, kind: str, handler: Callable[["Simulator", Event], None]) -> None:
+        """Register ``handler`` for events of ``kind`` (overwrites silently)."""
+        self._handlers[kind] = handler
+
+    def schedule(self, delay: float, kind: str, payload: Any = None, priority: int = 0) -> Event:
+        """Schedule an event ``delay`` time units from now."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule with negative delay {delay}")
+        return self.queue.push(self.now + delay, kind, payload, priority)
+
+    def schedule_at(self, time: float, kind: str, payload: Any = None, priority: int = 0) -> Event:
+        """Schedule an event at an absolute time (must not be in the past)."""
+        if time < self.now:
+            raise SimulationError(f"cannot schedule at {time} before current time {self.now}")
+        return self.queue.push(time, kind, payload, priority)
+
+    # -- execution ---------------------------------------------------------
+    @property
+    def processed_events(self) -> int:
+        """Number of events dispatched so far."""
+        return self._processed
+
+    def step(self) -> Optional[Event]:
+        """Process a single event; return it, or ``None`` if queue empty."""
+        if not self.queue:
+            return None
+        event = self.queue.pop()
+        if event.time < self.now - 1e-12:
+            raise SimulationError(
+                f"event {event.kind!r} at t={event.time} is in the past (now={self.now})"
+            )
+        self.now = max(self.now, event.time)
+        handler = self._handlers.get(event.kind)
+        if handler is None:
+            raise SimulationError(f"no handler registered for event kind {event.kind!r}")
+        handler(self, event)
+        self._processed += 1
+        return event
+
+    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> float:
+        """Run until the queue drains, ``until`` is reached, or ``max_events``.
+
+        Returns the simulation time at which the run stopped.
+        """
+        self._running = True
+        dispatched = 0
+        try:
+            while self.queue:
+                if until is not None and self.queue.peek().time > until:
+                    self.now = until
+                    break
+                if max_events is not None and dispatched >= max_events:
+                    break
+                self.step()
+                dispatched += 1
+        finally:
+            self._running = False
+        return self.now
+
+    def reset(self) -> None:
+        """Clear all pending events and rewind time to zero."""
+        if self._running:
+            raise SimulationError("cannot reset a running simulator")
+        self.queue.clear()
+        self.now = 0.0
+        self._processed = 0

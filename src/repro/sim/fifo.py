@@ -1,0 +1,142 @@
+"""Latency FIFOs.
+
+The Nexus# block diagram (Figure 2 of the paper) decouples every pair of
+pipeline stages with a FIFO: the *New Args. Buffers* and *Finished Args.
+Buffers* in front of every task graph, the *Rdy Tasks* / *Dep. Counts* /
+*Wait. Tasks* buffers behind them, and the *Internal Ready Tasks Buffer*
+in front of the Write-Back stage.  Two properties of these FIFOs matter
+for the timing model:
+
+* **fall-through latency** — "the data written to them needs 3 cycles to
+  appear at their output" (Section IV-D);
+* **bounded capacity** — when a FIFO is full the producer stalls, which
+  is how back-pressure propagates from a stalled task graph back to the
+  Input Parser.
+
+:class:`LatencyFifo` models both while staying cheap: it tracks, for each
+entry, the time it becomes *visible* at the FIFO head and the time the
+consumer drains it; a producer that finds the FIFO full is told when a
+slot frees up.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Any, Deque, Optional
+
+from repro.common.errors import ConfigurationError, SimulationError
+
+
+@dataclass
+class FifoStats:
+    """Aggregate statistics for a :class:`LatencyFifo`."""
+
+    pushes: int = 0
+    pops: int = 0
+    producer_stalls: int = 0
+    producer_stall_time: float = 0.0
+    max_occupancy: int = 0
+
+
+class LatencyFifo:
+    """A bounded FIFO with a fixed fall-through latency.
+
+    The FIFO is driven with explicit timestamps rather than simulator
+    events: the producer calls :meth:`push` with the time it *wants* to
+    write, and receives the time the write actually happened (later if
+    the FIFO was full).  The consumer calls :meth:`pop` with the time it
+    is ready to read and receives the time the data was actually
+    available plus the stored item.
+    """
+
+    __slots__ = ("name", "capacity", "latency", "_entries", "_drain_times", "stats")
+
+    def __init__(self, name: str, capacity: int, latency: float) -> None:
+        if capacity <= 0:
+            raise ConfigurationError(f"{name}: FIFO capacity must be positive, got {capacity}")
+        if latency < 0:
+            raise ConfigurationError(f"{name}: FIFO latency must be >= 0, got {latency}")
+        self.name = name
+        self.capacity = capacity
+        self.latency = latency
+        #: entries currently in flight: (visible_time, item)
+        self._entries: Deque[tuple[float, Any]] = deque()
+        #: drain times of entries that already left, kept only while needed
+        #: to answer "when does a slot free up" for a full FIFO.
+        self._drain_times: Deque[float] = deque()
+        self.stats = FifoStats()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def is_full(self) -> bool:
+        """True when no free slot exists right now (ignoring future pops)."""
+        return len(self._entries) >= self.capacity
+
+    def push(self, time: float, item: Any) -> float:
+        """Write ``item`` at ``time`` (or later if the FIFO is full).
+
+        Returns the actual write time.  The item becomes visible to the
+        consumer ``latency`` after the write.
+        """
+        if time < 0:
+            raise SimulationError(f"{self.name}: negative push time {time}")
+        write_time = time
+        if len(self._entries) >= self.capacity:
+            # The producer must wait for the consumer to drain the oldest
+            # outstanding entry.  Entries are drained in order, so the
+            # (len(entries) - capacity + 1)-th future drain frees our slot.
+            # With the machine processing events in time order, the drain
+            # times recorded so far are the best information available.
+            if not self._drain_times:
+                raise SimulationError(
+                    f"{self.name}: FIFO full ({self.capacity} entries) and no consumer has "
+                    "ever drained it; producer would stall forever"
+                )
+            free_at = self._drain_times.popleft()
+            write_time = max(write_time, free_at)
+            self.stats.producer_stalls += 1
+            self.stats.producer_stall_time += max(0.0, free_at - time)
+        visible = write_time + self.latency
+        self._entries.append((visible, item))
+        self.stats.pushes += 1
+        self.stats.max_occupancy = max(self.stats.max_occupancy, len(self._entries))
+        return write_time
+
+    def pop(self, time: float) -> tuple[float, Any]:
+        """Read the oldest entry at ``time`` (or when it becomes visible).
+
+        Returns ``(available_time, item)`` where ``available_time`` is the
+        max of ``time`` and the entry's visibility time.
+        """
+        if not self._entries:
+            raise SimulationError(f"{self.name}: pop() from an empty FIFO")
+        visible, item = self._entries.popleft()
+        available = max(time, visible)
+        self._drain_times.append(available)
+        # Keep the drain-time backlog bounded: only the last `capacity`
+        # drains can ever matter for back-pressure.
+        while len(self._drain_times) > self.capacity:
+            self._drain_times.popleft()
+        self.stats.pops += 1
+        return available, item
+
+    def peek_visible_time(self) -> Optional[float]:
+        """Visibility time of the head entry, or ``None`` when empty."""
+        if not self._entries:
+            return None
+        return self._entries[0][0]
+
+    def reset(self) -> None:
+        """Drop all entries and statistics."""
+        self._entries.clear()
+        self._drain_times.clear()
+        self.stats = FifoStats()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"LatencyFifo({self.name!r}, capacity={self.capacity}, "
+            f"latency={self.latency}, occupancy={len(self._entries)})"
+        )

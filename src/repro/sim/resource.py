@@ -1,0 +1,154 @@
+"""Serially-occupied resources.
+
+The hardware models reason about *when* a unit (Input Parser, a task
+graph's insertion port, the Dependence Counts Arbiter, the Write-Back
+port) finishes a piece of work, given that the unit can only work on one
+item at a time and items are handed to it in simulation-time order.
+
+:class:`SerialResource` captures exactly that: ``reserve(earliest, dur)``
+returns the interval actually occupied, advancing the resource's
+"next free" pointer.  Because the machine-level event loop calls the
+manager models in non-decreasing time order, a simple pointer is
+sufficient — no backtracking is ever needed.  The resource additionally
+accumulates busy time so the analysis layer can report utilisation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.common.errors import ConfigurationError, SimulationError
+
+
+@dataclass
+class ResourceStats:
+    """Aggregate statistics of a :class:`SerialResource`."""
+
+    reservations: int = 0
+    busy_time: float = 0.0
+    total_wait: float = 0.0
+    last_busy_until: float = 0.0
+
+    @property
+    def mean_service_time(self) -> float:
+        """Average occupancy per reservation (0 when never used)."""
+        if self.reservations == 0:
+            return 0.0
+        return self.busy_time / self.reservations
+
+    @property
+    def mean_wait(self) -> float:
+        """Average queuing delay per reservation (0 when never used)."""
+        if self.reservations == 0:
+            return 0.0
+        return self.total_wait / self.reservations
+
+    def utilization(self, horizon: float) -> float:
+        """Fraction of ``[0, horizon]`` during which the resource was busy."""
+        if horizon <= 0:
+            return 0.0
+        return min(1.0, self.busy_time / horizon)
+
+
+class SerialResource:
+    """A unit that processes one item at a time, in arrival order.
+
+    Parameters
+    ----------
+    name:
+        Human-readable identifier used in error messages and statistics.
+    """
+
+    __slots__ = ("name", "_next_free", "stats")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._next_free: float = 0.0
+        self.stats = ResourceStats()
+
+    @property
+    def next_free(self) -> float:
+        """Earliest time at which a new reservation could start."""
+        return self._next_free
+
+    def reserve(self, earliest: float, duration: float) -> tuple[float, float]:
+        """Occupy the resource for ``duration`` starting no earlier than ``earliest``.
+
+        Returns ``(start, end)``.  ``duration`` may be zero (the
+        reservation then only orders subsequent work after ``earliest``).
+        """
+        if duration < 0:
+            raise SimulationError(f"{self.name}: negative duration {duration}")
+        if earliest < 0:
+            raise SimulationError(f"{self.name}: negative start time {earliest}")
+        start = max(earliest, self._next_free)
+        end = start + duration
+        self._next_free = end
+        self.stats.reservations += 1
+        self.stats.busy_time += duration
+        self.stats.total_wait += start - earliest
+        self.stats.last_busy_until = end
+        return start, end
+
+    def peek_start(self, earliest: float) -> float:
+        """Return the time a reservation made now would start, without reserving."""
+        return max(earliest, self._next_free)
+
+    def reset(self) -> None:
+        """Forget all reservations."""
+        self._next_free = 0.0
+        self.stats = ResourceStats()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"SerialResource({self.name!r}, next_free={self._next_free:.3f})"
+
+
+class MultiResource:
+    """A pool of ``count`` identical serial servers (e.g. worker cores).
+
+    Reservations are placed on the server that frees up first, which is
+    the behaviour of a greedy work-conserving scheduler.
+    """
+
+    __slots__ = ("name", "count", "_free_times", "stats")
+
+    def __init__(self, name: str, count: int) -> None:
+        if count <= 0:
+            raise ConfigurationError(f"{name}: server count must be positive, got {count}")
+        self.name = name
+        self.count = count
+        self._free_times = [0.0] * count
+        self.stats = ResourceStats()
+
+    def reserve(self, earliest: float, duration: float) -> tuple[float, float, int]:
+        """Occupy the first available server; return ``(start, end, server_index)``."""
+        if duration < 0:
+            raise SimulationError(f"{self.name}: negative duration {duration}")
+        index = min(range(self.count), key=lambda i: self._free_times[i])
+        start = max(earliest, self._free_times[index])
+        end = start + duration
+        self._free_times[index] = end
+        self.stats.reservations += 1
+        self.stats.busy_time += duration
+        self.stats.total_wait += start - earliest
+        self.stats.last_busy_until = max(self.stats.last_busy_until, end)
+        return start, end, index
+
+    def earliest_available(self) -> float:
+        """Time at which at least one server is (or becomes) free."""
+        return min(self._free_times)
+
+    def reset(self) -> None:
+        """Forget all reservations."""
+        self._free_times = [0.0] * self.count
+        self.stats = ResourceStats()
+
+    def utilization(self, horizon: float) -> float:
+        """Aggregate utilisation over ``count`` servers up to ``horizon``."""
+        if horizon <= 0:
+            return 0.0
+        return min(1.0, self.stats.busy_time / (horizon * self.count))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"MultiResource({self.name!r}, count={self.count})"

@@ -1,0 +1,144 @@
+"""Statistics helpers used by the simulation and analysis layers."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+
+
+class Counter:
+    """A named monotonically increasing counter."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str, value: int = 0) -> None:
+        self.name = name
+        self.value = value
+
+    def increment(self, amount: int = 1) -> int:
+        """Add ``amount`` (must be >= 0) and return the new value."""
+        if amount < 0:
+            raise ValueError(f"{self.name}: cannot increment by negative amount {amount}")
+        self.value += amount
+        return self.value
+
+    def reset(self) -> None:
+        self.value = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Counter({self.name!r}, {self.value})"
+
+
+class TimeWeightedStat:
+    """Tracks the time-weighted average of a piecewise-constant signal.
+
+    Used for quantities like "number of busy cores" or "FIFO occupancy"
+    where the mean over simulated time (not over samples) is wanted.
+    """
+
+    __slots__ = ("_last_time", "_last_value", "_area", "_max", "_min", "_started")
+
+    def __init__(self) -> None:
+        self._last_time = 0.0
+        self._last_value = 0.0
+        self._area = 0.0
+        self._max = -math.inf
+        self._min = math.inf
+        self._started = False
+
+    def record(self, time: float, value: float) -> None:
+        """Record that the signal takes ``value`` starting at ``time``."""
+        if self._started:
+            if time < self._last_time:
+                raise ValueError(
+                    f"samples must be recorded in time order ({time} < {self._last_time})"
+                )
+            self._area += self._last_value * (time - self._last_time)
+        self._last_time = time
+        self._last_value = value
+        self._max = max(self._max, value)
+        self._min = min(self._min, value)
+        self._started = True
+
+    def mean(self, until: Optional[float] = None) -> float:
+        """Time-weighted mean of the signal over ``[0, until]``."""
+        if not self._started:
+            return 0.0
+        end = self._last_time if until is None else until
+        if end <= 0:
+            return 0.0
+        area = self._area
+        if end > self._last_time:
+            area += self._last_value * (end - self._last_time)
+        return area / end
+
+    @property
+    def maximum(self) -> float:
+        return 0.0 if not self._started else self._max
+
+    @property
+    def minimum(self) -> float:
+        return 0.0 if not self._started else self._min
+
+
+class UtilizationTracker:
+    """Tracks busy intervals of a set of identical servers."""
+
+    def __init__(self, servers: int) -> None:
+        if servers <= 0:
+            raise ValueError(f"servers must be positive, got {servers}")
+        self.servers = servers
+        self.busy_time = 0.0
+        self.horizon = 0.0
+
+    def record_busy(self, start: float, end: float) -> None:
+        """Record that one server was busy during ``[start, end]``."""
+        if end < start:
+            raise ValueError(f"end {end} before start {start}")
+        self.busy_time += end - start
+        self.horizon = max(self.horizon, end)
+
+    def utilization(self, horizon: Optional[float] = None) -> float:
+        """Fraction of server-time spent busy over ``[0, horizon]``."""
+        h = self.horizon if horizon is None else horizon
+        if h <= 0:
+            return 0.0
+        return min(1.0, self.busy_time / (h * self.servers))
+
+
+@dataclass
+class SummaryStats:
+    """Simple five-number-style summary of a sample of values."""
+
+    count: int = 0
+    total: float = 0.0
+    minimum: float = math.inf
+    maximum: float = -math.inf
+    sum_squares: float = 0.0
+
+    def add(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        self.minimum = min(self.minimum, value)
+        self.maximum = max(self.maximum, value)
+        self.sum_squares += value * value
+
+    def extend(self, values: Iterable[float]) -> None:
+        for value in values:
+            self.add(value)
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    @property
+    def variance(self) -> float:
+        if self.count < 2:
+            return 0.0
+        mean = self.mean
+        return max(0.0, self.sum_squares / self.count - mean * mean)
+
+    @property
+    def std(self) -> float:
+        return math.sqrt(self.variance)

@@ -1,0 +1,19 @@
+"""Multicore machine simulator (the paper's RTS testbench).
+
+The machine replays a trace against a task-manager model on a
+configurable number of worker cores: the master thread submits tasks (and
+executes ``taskwait`` / ``taskwait on`` barriers), the manager reports
+ready tasks, free cores execute them for their traced duration, and
+completions are fed back to the manager — exactly the loop described in
+Section V-B of the paper.
+
+* :class:`repro.system.machine.Machine` — the event-driven simulator.
+* :class:`repro.system.machine.MachineConfig` — core count and options.
+* :class:`repro.system.results.MachineResult` — schedule, makespan and
+  per-component statistics of one run.
+"""
+
+from repro.system.machine import Machine, MachineConfig, simulate
+from repro.system.results import MachineResult
+
+__all__ = ["Machine", "MachineConfig", "MachineResult", "simulate"]

@@ -1,0 +1,281 @@
+"""The event-driven multicore machine simulator.
+
+The machine reproduces the paper's testbench loop (Section V-B):
+
+    "It submits new tasks to Nexus#, receives ready task information from
+    it, schedules ready tasks to worker cores and simulates their
+    execution, and finally notifies Nexus# of finished tasks."
+
+The master thread walks the trace: every task submission goes to the
+manager (whose ``accept_time`` throttles the submission rate — IO
+back-pressure for the hardware managers, software creation cost for
+Nanos), every ``taskwait`` blocks until all outstanding tasks finish, and
+every ``taskwait on`` blocks until the last writer of the given address
+finishes — unless the manager does not support the pragma (Nexus++), in
+which case it degrades to a full ``taskwait`` exactly as the paper
+describes.
+
+Ready tasks are dispatched to worker cores in the order the manager
+reports them (the RTS reads them from the Nexus IO unit in FIFO order);
+"free worker cores start executing tasks directly after they are
+reported as ready", with no extra communication overhead, matching the
+paper's *Nexus# only* simulation mode.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, Iterator, List, Optional, Set, Tuple
+
+from repro.common.errors import ConfigurationError, SimulationError
+from repro.common.validation import check_positive
+from repro.managers.base import TaskManagerModel
+from repro.system.results import MachineResult
+from repro.trace.dag import build_dependency_graph, validate_schedule
+from repro.trace.events import TaskSubmitEvent, TaskwaitEvent, TaskwaitOnEvent
+from repro.trace.task import TaskDescriptor
+from repro.trace.trace import Trace
+
+# Event kinds, ordered by processing priority at equal timestamps: task
+# completions first (they free cores and resolve barriers), then ready
+# notifications, then master progress.
+_PRIORITY_DONE = 0
+_PRIORITY_READY = 1
+_PRIORITY_MASTER = 2
+
+
+@dataclass(frozen=True)
+class MachineConfig:
+    """Configuration of a machine simulation."""
+
+    #: Number of worker cores executing tasks.
+    num_cores: int
+    #: When true, the resulting schedule is checked against the reference
+    #: dependency DAG (slow for very large traces; used by tests).
+    validate: bool = False
+    #: When true, per-task schedule times are kept in the result (they are
+    #: always collected; this flag only controls whether they are retained,
+    #: to save memory on very large sweeps).
+    keep_schedule: bool = True
+
+    def __post_init__(self) -> None:
+        check_positive("num_cores", self.num_cores)
+
+
+class Machine:
+    """Simulates one trace on one manager with a fixed number of cores."""
+
+    def __init__(self, manager: TaskManagerModel, config: MachineConfig) -> None:
+        self.manager = manager
+        self.config = config
+
+    # -- public API -------------------------------------------------------------
+    def run(self, trace: Trace) -> MachineResult:
+        """Replay ``trace`` and return the resulting schedule and metrics."""
+        manager = self.manager
+        manager.reset()
+
+        heap: List[Tuple[float, int, int, object]] = []
+        counter = itertools.count()
+
+        def push(time: float, priority: int, payload: object) -> None:
+            heapq.heappush(heap, (time, priority, next(counter), payload))
+
+        # --- state -------------------------------------------------------------
+        events = trace.events
+        num_events = len(events)
+        event_index = 0
+        master_time = 0.0
+        master_blocked: Optional[Tuple[str, Optional[int]]] = None
+        master_done = False
+
+        idle_cores = self.config.num_cores
+        ready_queue: Deque[int] = deque()
+        outstanding = 0
+
+        task_map: Dict[int, TaskDescriptor] = {}
+        last_writer: Dict[int, int] = {}
+        finished: Set[int] = set()
+
+        submit_times: Dict[int, float] = {}
+        ready_times: Dict[int, float] = {}
+        start_times: Dict[int, float] = {}
+        finish_times: Dict[int, float] = {}
+        core_busy_us = 0.0
+        makespan = 0.0
+
+        worker_overhead = manager.worker_overhead_us
+
+        # --- helpers -------------------------------------------------------------
+        def start_task(task_id: int, now: float) -> None:
+            nonlocal idle_cores, core_busy_us
+            task = task_map[task_id]
+            start = now
+            duration = worker_overhead + task.duration_us
+            end = start + duration
+            idle_cores -= 1
+            core_busy_us += duration
+            start_times[task_id] = start
+            finish_times[task_id] = end
+            push(end, _PRIORITY_DONE, ("done", task_id))
+
+        def dispatch_ready(task_id: int, now: float) -> None:
+            if task_id in start_times:
+                raise SimulationError(f"task {task_id} reported ready twice")
+            if idle_cores > 0:
+                start_task(task_id, now)
+            else:
+                ready_queue.append(task_id)
+
+        def barrier_satisfied(now: float) -> bool:
+            """Check (and clear) the master's barrier if it is resolved."""
+            nonlocal master_blocked, master_time
+            if master_blocked is None:
+                return False
+            kind, waited_task = master_blocked
+            if kind == "all":
+                if outstanding != 0:
+                    return False
+            else:
+                assert waited_task is not None
+                if waited_task not in finished:
+                    return False
+            master_blocked = None
+            master_time = max(master_time, now)
+            return True
+
+        def advance_master(now: float) -> None:
+            """Process trace events until a submission, a block, or the end."""
+            nonlocal event_index, master_time, master_blocked, master_done, outstanding
+            master_time = max(master_time, now)
+            while event_index < num_events:
+                event = events[event_index]
+                if isinstance(event, TaskSubmitEvent):
+                    task = event.task
+                    event_index += 1
+                    task_map[task.task_id] = task
+                    submit_times[task.task_id] = master_time
+                    outstanding += 1
+                    for param in task.params:
+                        if param.direction.writes:
+                            last_writer[param.address] = task.task_id
+                    outcome = manager.submit(task, master_time)
+                    for notification in outcome.ready:
+                        ready_times[notification.task_id] = notification.time_us
+                        push(max(notification.time_us, master_time), _PRIORITY_READY,
+                             ("ready", notification.task_id))
+                    next_time = max(outcome.accept_time_us,
+                                    master_time + task.creation_overhead_us)
+                    if next_time < master_time:
+                        raise SimulationError(
+                            f"manager {manager.name} accepted task {task.task_id} in the past"
+                        )
+                    master_time = next_time
+                    if event_index < num_events:
+                        push(master_time, _PRIORITY_MASTER, ("master", None))
+                    else:
+                        master_done = True
+                    return
+                if isinstance(event, TaskwaitEvent):
+                    if outstanding == 0:
+                        event_index += 1
+                        continue
+                    master_blocked = ("all", None)
+                    return
+                if isinstance(event, TaskwaitOnEvent):
+                    degrade = not manager.supports_taskwait_on
+                    if degrade:
+                        if outstanding == 0:
+                            event_index += 1
+                            continue
+                        master_blocked = ("all", None)
+                        return
+                    writer = last_writer.get(event.address)
+                    if writer is None or writer in finished:
+                        event_index += 1
+                        continue
+                    master_blocked = ("task", writer)
+                    return
+                raise SimulationError(f"unknown trace event {event!r}")
+            master_done = True
+
+        # --- main loop ------------------------------------------------------------
+        advance_master(0.0)
+        while heap:
+            now, _priority, _seq, payload = heapq.heappop(heap)
+            makespan = max(makespan, now)
+            kind = payload[0]
+            if kind == "master":
+                if master_blocked is None and not master_done:
+                    advance_master(now)
+            elif kind == "ready":
+                dispatch_ready(payload[1], now)
+            elif kind == "done":
+                task_id = payload[1]
+                outstanding -= 1
+                finished.add(task_id)
+                outcome = manager.finish(task_id, now)
+                for notification in outcome.ready:
+                    ready_times[notification.task_id] = notification.time_us
+                    push(max(notification.time_us, now), _PRIORITY_READY,
+                         ("ready", notification.task_id))
+                # The freed core picks up the next queued ready task, if any.
+                idle_cores += 1
+                if ready_queue:
+                    next_task = ready_queue.popleft()
+                    start_task(next_task, now)
+                # Barriers resolve on completions.
+                if barrier_satisfied(now) and not master_done:
+                    push(master_time, _PRIORITY_MASTER, ("master", None))
+            else:  # pragma: no cover - defensive
+                raise SimulationError(f"unknown event payload {payload!r}")
+
+        # --- consistency checks -----------------------------------------------------
+        expected_tasks = trace.num_tasks
+        if len(finish_times) != expected_tasks:
+            missing = expected_tasks - len(finish_times)
+            raise SimulationError(
+                f"{manager.name} on {trace.name}: {missing} of {expected_tasks} tasks never ran "
+                "(deadlock or lost ready notification)"
+            )
+        if not master_done or master_blocked is not None:
+            raise SimulationError(
+                f"{manager.name} on {trace.name}: master thread did not reach the end of the trace"
+            )
+        makespan = max(makespan, master_time)
+
+        if self.config.validate:
+            validate_schedule(trace, start_times, finish_times)
+
+        keep = self.config.keep_schedule
+        return MachineResult(
+            trace_name=trace.name,
+            manager_name=manager.name,
+            num_cores=self.config.num_cores,
+            makespan_us=makespan,
+            total_work_us=trace.total_work_us,
+            num_tasks=expected_tasks,
+            submit_times=submit_times if keep else {},
+            ready_times=ready_times if keep else {},
+            start_times=start_times if keep else {},
+            finish_times=finish_times if keep else {},
+            master_finish_us=master_time,
+            core_busy_us=core_busy_us,
+            manager_stats=dict(manager.statistics()),
+        )
+
+
+def simulate(
+    trace: Trace,
+    manager: TaskManagerModel,
+    num_cores: int,
+    *,
+    validate: bool = False,
+    keep_schedule: bool = True,
+) -> MachineResult:
+    """Convenience wrapper: run ``trace`` on ``manager`` with ``num_cores``."""
+    machine = Machine(manager, MachineConfig(num_cores=num_cores, validate=validate, keep_schedule=keep_schedule))
+    return machine.run(trace)

@@ -1,0 +1,89 @@
+"""Result container of one machine simulation."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Optional
+
+from repro.common.errors import AnalysisError
+
+
+@dataclass
+class MachineResult:
+    """Outcome of simulating one trace on one manager and core count.
+
+    All times are micro-seconds of simulated wall-clock time.
+    """
+
+    trace_name: str
+    manager_name: str
+    num_cores: int
+    makespan_us: float
+    total_work_us: float
+    num_tasks: int
+    submit_times: Dict[int, float] = field(default_factory=dict)
+    ready_times: Dict[int, float] = field(default_factory=dict)
+    start_times: Dict[int, float] = field(default_factory=dict)
+    finish_times: Dict[int, float] = field(default_factory=dict)
+    master_finish_us: float = 0.0
+    core_busy_us: float = 0.0
+    manager_stats: Mapping[str, object] = field(default_factory=dict)
+
+    # -- derived metrics -----------------------------------------------------
+    @property
+    def speedup_vs_serial(self) -> float:
+        """Speedup against the serial (single-core, zero-overhead) time.
+
+        The paper computes all speedups "against the single core execution
+        time of the ideal curve", which equals the total work of the trace.
+        """
+        if self.makespan_us <= 0:
+            raise AnalysisError(f"non-positive makespan {self.makespan_us} for {self.trace_name}")
+        return self.total_work_us / self.makespan_us
+
+    @property
+    def core_utilization(self) -> float:
+        """Fraction of core-time spent executing task bodies."""
+        if self.makespan_us <= 0 or self.num_cores <= 0:
+            return 0.0
+        return min(1.0, self.core_busy_us / (self.makespan_us * self.num_cores))
+
+    @property
+    def mean_ready_latency_us(self) -> float:
+        """Mean time between a task's submission and its ready notification."""
+        if not self.ready_times:
+            return 0.0
+        total = 0.0
+        count = 0
+        for task_id, ready in self.ready_times.items():
+            submitted = self.submit_times.get(task_id)
+            if submitted is not None:
+                total += ready - submitted
+                count += 1
+        return total / count if count else 0.0
+
+    @property
+    def mean_queue_latency_us(self) -> float:
+        """Mean time tasks spend between ready notification and start."""
+        if not self.start_times:
+            return 0.0
+        total = 0.0
+        count = 0
+        for task_id, start in self.start_times.items():
+            ready = self.ready_times.get(task_id)
+            if ready is not None:
+                total += start - ready
+                count += 1
+        return total / count if count else 0.0
+
+    def summary(self) -> Dict[str, object]:
+        """Compact dictionary used by reports and benchmark output."""
+        return {
+            "trace": self.trace_name,
+            "manager": self.manager_name,
+            "cores": self.num_cores,
+            "makespan_ms": self.makespan_us / 1000.0,
+            "speedup": round(self.speedup_vs_serial, 2),
+            "core_utilization": round(self.core_utilization, 3),
+            "mean_ready_latency_us": round(self.mean_ready_latency_us, 3),
+        }

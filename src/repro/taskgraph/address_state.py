@@ -1,0 +1,169 @@
+"""Per-address dependency bookkeeping.
+
+For every memory address it tracks, the task graph must answer two
+questions:
+
+1. *insertion*: does a newly submitted task that accesses this address
+   have to wait, and if so, put it on the address' kick-off list;
+2. *completion*: when a task that accessed this address finishes, which
+   waiting tasks can now be kicked off?
+
+The scheme below serialises accesses per address the same way the OmpSs
+runtime (and the Nexus++ hardware) does:
+
+* readers since the last writer may run concurrently;
+* a writer waits for the previous writer *and* all readers since then
+  (WAW + WAR);
+* a reader waits for the last writer if it has not finished (RAW);
+* to preserve program order per address, any task arriving while others
+  are already waiting on the address queues behind them.
+
+The result is exactly the partial order of the reference dependency DAG
+(:mod:`repro.trace.dag`), which the integration tests assert.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, List, Optional, Set
+
+from repro.common.errors import SimulationError
+
+
+class AccessMode(enum.Enum):
+    """How a task accesses an address (collapsed from the pragma clauses)."""
+
+    READ = "read"
+    WRITE = "write"
+    READWRITE = "readwrite"
+
+    @property
+    def reads(self) -> bool:
+        return self in (AccessMode.READ, AccessMode.READWRITE)
+
+    @property
+    def writes(self) -> bool:
+        return self in (AccessMode.WRITE, AccessMode.READWRITE)
+
+
+@dataclass(frozen=True)
+class Waiter:
+    """One entry of an address' kick-off list."""
+
+    task_id: int
+    mode: AccessMode
+
+
+@dataclass
+class AddressState:
+    """Dependency state of a single tracked address.
+
+    Attributes
+    ----------
+    address:
+        The tracked 48-bit address.
+    active_writer:
+        Task currently owning the address for writing (not yet finished),
+        or ``None``.
+    active_readers:
+        Unfinished tasks currently allowed to read the address.
+    waiters:
+        Kick-off list: tasks that accessed the address after the current
+        owners and must wait, in program order.
+    """
+
+    address: int
+    active_writer: Optional[int] = None
+    active_readers: Set[int] = field(default_factory=set)
+    waiters: Deque[Waiter] = field(default_factory=deque)
+    #: cumulative statistics
+    total_waiters_enqueued: int = 0
+    max_kickoff_length: int = 0
+
+    # -- queries -------------------------------------------------------------
+    @property
+    def is_idle(self) -> bool:
+        """True when no unfinished task references this address."""
+        return self.active_writer is None and not self.active_readers and not self.waiters
+
+    @property
+    def kickoff_length(self) -> int:
+        """Current number of tasks waiting on this address."""
+        return len(self.waiters)
+
+    # -- insertion -------------------------------------------------------------
+    def insert(self, task_id: int, mode: AccessMode) -> bool:
+        """Register that ``task_id`` accesses the address with ``mode``.
+
+        Returns ``True`` when the task must *wait* on this address (it was
+        appended to the kick-off list) and ``False`` when it may proceed
+        immediately (it became an active reader/writer).
+        """
+        if self.waiters:
+            # Program order per address: queue behind earlier waiters.
+            self._enqueue(task_id, mode)
+            return True
+        if mode.writes:
+            if self.active_writer is None and not self.active_readers:
+                self.active_writer = task_id
+                if mode.reads:
+                    # inout: the task also reads, but as the sole owner no
+                    # extra bookkeeping is required.
+                    pass
+                return False
+            self._enqueue(task_id, mode)
+            return True
+        # pure reader
+        if self.active_writer is None:
+            self.active_readers.add(task_id)
+            return False
+        self._enqueue(task_id, mode)
+        return True
+
+    def _enqueue(self, task_id: int, mode: AccessMode) -> None:
+        self.waiters.append(Waiter(task_id=task_id, mode=mode))
+        self.total_waiters_enqueued += 1
+        self.max_kickoff_length = max(self.max_kickoff_length, len(self.waiters))
+
+    # -- completion -------------------------------------------------------------
+    def finish(self, task_id: int) -> List[Waiter]:
+        """Register that ``task_id`` finished; return the kicked-off waiters.
+
+        The returned waiters have been *activated* on this address (they
+        became active readers / the active writer); the caller must
+        decrement their dependence counts.
+        """
+        released: List[Waiter] = []
+        if self.active_writer == task_id:
+            self.active_writer = None
+        elif task_id in self.active_readers:
+            self.active_readers.discard(task_id)
+        else:
+            raise SimulationError(
+                f"task {task_id} finished but is neither the active writer nor an active "
+                f"reader of address {self.address:#x}"
+            )
+        released.extend(self._activate_waiters())
+        return released
+
+    def _activate_waiters(self) -> List[Waiter]:
+        """Move waiters to active status while the address allows it."""
+        released: List[Waiter] = []
+        while self.waiters:
+            head = self.waiters[0]
+            if head.mode.writes:
+                if self.active_writer is None and not self.active_readers:
+                    self.waiters.popleft()
+                    self.active_writer = head.task_id
+                    released.append(head)
+                break
+            # head is a pure reader: it can start as soon as no writer owns
+            # the address; multiple consecutive readers start together.
+            if self.active_writer is not None:
+                break
+            self.waiters.popleft()
+            self.active_readers.add(head.task_id)
+            released.append(head)
+        return released

@@ -1,0 +1,92 @@
+"""Dependence-counts table.
+
+Every in-flight task has a dependence count: the number of addresses it
+is still waiting on.  In Nexus# the count is assembled by the Dependence
+Counts Arbiter from the per-task-graph partial counts (the *Dep. Counts
+Buffers* and *Sim. Tasks Dep. Counts Buffer* of Figure 2) and stored in
+the global *Dep. Counts Table*; in Nexus++ a single table holds it
+directly.  This module implements the table itself; the arbiter timing
+lives with the manager models.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.common.errors import SimulationError
+
+
+@dataclass
+class DepCountEntry:
+    """Book-keeping for one in-flight task."""
+
+    task_id: int
+    pending: int
+    params_seen: int = 0
+    params_total: int = 0
+
+    @property
+    def is_ready(self) -> bool:
+        return self.pending == 0
+
+
+class DependenceCountsTable:
+    """Tracks the outstanding dependence count of every in-flight task."""
+
+    def __init__(self, name: str = "dep-counts") -> None:
+        self.name = name
+        self._entries: Dict[int, DepCountEntry] = {}
+        self.peak_entries = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, task_id: int) -> bool:
+        return task_id in self._entries
+
+    def register(self, task_id: int, pending: int, params_total: int = 0) -> DepCountEntry:
+        """Create the entry for a newly inserted task."""
+        if task_id in self._entries:
+            raise SimulationError(f"{self.name}: task {task_id} registered twice")
+        if pending < 0:
+            raise SimulationError(f"{self.name}: negative dependence count {pending} for task {task_id}")
+        entry = DepCountEntry(task_id=task_id, pending=pending, params_total=params_total)
+        self._entries[task_id] = entry
+        self.peak_entries = max(self.peak_entries, len(self._entries))
+        return entry
+
+    def pending(self, task_id: int) -> int:
+        """Outstanding dependence count of ``task_id``."""
+        entry = self._entries.get(task_id)
+        if entry is None:
+            raise SimulationError(f"{self.name}: task {task_id} is not in flight")
+        return entry.pending
+
+    def decrement(self, task_id: int, amount: int = 1) -> bool:
+        """Decrease the count of ``task_id``; return ``True`` when it hits zero."""
+        entry = self._entries.get(task_id)
+        if entry is None:
+            raise SimulationError(f"{self.name}: decrement for unknown task {task_id}")
+        if amount < 0:
+            raise SimulationError(f"{self.name}: negative decrement {amount}")
+        entry.pending -= amount
+        if entry.pending < 0:
+            raise SimulationError(
+                f"{self.name}: dependence count of task {task_id} went negative ({entry.pending})"
+            )
+        return entry.pending == 0
+
+    def remove(self, task_id: int) -> None:
+        """Delete the entry of a finished task."""
+        if task_id not in self._entries:
+            raise SimulationError(f"{self.name}: removing unknown task {task_id}")
+        del self._entries[task_id]
+
+    def ready_tasks(self) -> list[int]:
+        """Ids of in-flight tasks whose count is currently zero."""
+        return [t for t, e in self._entries.items() if e.pending == 0]
+
+    def reset(self) -> None:
+        self._entries.clear()
+        self.peak_entries = 0

@@ -1,0 +1,63 @@
+"""Function-pointer table.
+
+The Write-Back stage "reads the actual function pointer of the ready task
+from the Function Pointers table ... and forwards it to the Nexus IO
+unit" (Section IV-D).  In the reproduction, function pointers are simply
+interned function-name strings; the table assigns each distinct name a
+small integer id, which is what a hardware implementation would store.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.common.errors import CapacityError, ConfigurationError
+
+
+class FunctionTable:
+    """Bidirectional mapping between function names and hardware ids."""
+
+    def __init__(self, capacity: int = 256, name: str = "function-table") -> None:
+        if capacity <= 0:
+            raise ConfigurationError(f"{name}: capacity must be positive, got {capacity}")
+        self.capacity = capacity
+        self.name = name
+        self._name_to_id: Dict[str, int] = {}
+        self._id_to_name: Dict[int, str] = {}
+
+    def __len__(self) -> int:
+        return len(self._name_to_id)
+
+    def __contains__(self, function: str) -> bool:
+        return function in self._name_to_id
+
+    def intern(self, function: str) -> int:
+        """Return the id of ``function``, allocating one if necessary."""
+        existing = self._name_to_id.get(function)
+        if existing is not None:
+            return existing
+        if len(self._name_to_id) >= self.capacity:
+            raise CapacityError(
+                f"{self.name}: cannot register function {function!r}; all {self.capacity} "
+                "entries are in use"
+            )
+        new_id = len(self._name_to_id)
+        self._name_to_id[function] = new_id
+        self._id_to_name[new_id] = function
+        return new_id
+
+    def lookup_id(self, function: str) -> int:
+        """Return the id of a previously interned function."""
+        if function not in self._name_to_id:
+            raise CapacityError(f"{self.name}: unknown function {function!r}")
+        return self._name_to_id[function]
+
+    def lookup_name(self, function_id: int) -> str:
+        """Return the function name behind a hardware id."""
+        if function_id not in self._id_to_name:
+            raise CapacityError(f"{self.name}: unknown function id {function_id}")
+        return self._id_to_name[function_id]
+
+    def reset(self) -> None:
+        self._name_to_id.clear()
+        self._id_to_name.clear()

@@ -1,0 +1,92 @@
+"""Task pool: in-flight task descriptor storage.
+
+The Input Parser "stores the new task in the Task Pool.  This is
+important at the end of a task's life cycle; i.e., after running it", the
+pool is read again to redistribute the task's addresses to the task
+graphs for cleanup (Section IV-B).  The pool has a bounded number of
+entries in hardware; when it is full the Input Parser stalls and
+back-pressures the host, which the timing layer models by delaying
+subsequent submissions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.common.constants import DEFAULT_TASK_POOL_ENTRIES
+from repro.common.errors import CapacityError, SimulationError
+from repro.common.validation import check_positive
+from repro.trace.task import TaskDescriptor
+
+
+@dataclass
+class TaskPoolStats:
+    """Cumulative statistics of a :class:`TaskPool`."""
+
+    inserts: int = 0
+    removals: int = 0
+    full_events: int = 0
+    peak_occupancy: int = 0
+
+
+class TaskPool:
+    """Bounded storage of in-flight task descriptors."""
+
+    def __init__(self, capacity: int = DEFAULT_TASK_POOL_ENTRIES, name: str = "task-pool") -> None:
+        check_positive("capacity", capacity)
+        self.capacity = capacity
+        self.name = name
+        self._tasks: Dict[int, TaskDescriptor] = {}
+        self.stats = TaskPoolStats()
+
+    def __len__(self) -> int:
+        return len(self._tasks)
+
+    def __contains__(self, task_id: int) -> bool:
+        return task_id in self._tasks
+
+    @property
+    def is_full(self) -> bool:
+        """True when no free entry exists."""
+        return len(self._tasks) >= self.capacity
+
+    @property
+    def occupancy(self) -> int:
+        return len(self._tasks)
+
+    def insert(self, task: TaskDescriptor) -> bool:
+        """Store ``task``; returns ``True`` if the pool was full at insert time.
+
+        The functional model always stores the task (the hardware would
+        stall the Input Parser instead of dropping it); the returned flag
+        lets the timing layer account for that stall.
+        """
+        if task.task_id in self._tasks:
+            raise SimulationError(f"{self.name}: task {task.task_id} inserted twice")
+        was_full = self.is_full
+        if was_full:
+            self.stats.full_events += 1
+        self._tasks[task.task_id] = task
+        self.stats.inserts += 1
+        self.stats.peak_occupancy = max(self.stats.peak_occupancy, len(self._tasks))
+        return was_full
+
+    def get(self, task_id: int) -> TaskDescriptor:
+        """Read the descriptor of an in-flight task."""
+        task = self._tasks.get(task_id)
+        if task is None:
+            raise SimulationError(f"{self.name}: task {task_id} is not in the pool")
+        return task
+
+    def remove(self, task_id: int) -> TaskDescriptor:
+        """Remove and return the descriptor of a finished task."""
+        task = self._tasks.pop(task_id, None)
+        if task is None:
+            raise SimulationError(f"{self.name}: removing unknown task {task_id}")
+        self.stats.removals += 1
+        return task
+
+    def reset(self) -> None:
+        self._tasks.clear()
+        self.stats = TaskPoolStats()

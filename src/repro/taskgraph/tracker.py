@@ -1,0 +1,261 @@
+"""The functional dependency engine shared by all hardware manager models.
+
+Nexus++ and Nexus# differ in *where* the per-address state lives (one
+central task graph vs. several distributed ones) and in the cycle cost of
+getting information in and out, but the dependency bookkeeping itself is
+identical.  :class:`DependencyTracker` implements that bookkeeping over a
+configurable number of :class:`~repro.taskgraph.table.AddressTable`
+instances:
+
+* :meth:`insert_task` registers a new task's accesses and reports, per
+  parameter, which task graph it went to and whether it had to wait;
+* :meth:`finish_task` replays a finished task's accesses, kicks off
+  waiting tasks and reports which tasks became ready.
+
+The timing layers in :mod:`repro.nexus` translate these reports into
+pipeline occupancy; the functional result (who waits for whom) is
+identical for every hardware configuration, which the property-based
+tests assert against the reference DAG.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.common.errors import ConfigurationError, SimulationError
+from repro.taskgraph.address_state import AccessMode
+from repro.taskgraph.dep_counts import DependenceCountsTable
+from repro.taskgraph.function_table import FunctionTable
+from repro.taskgraph.table import AddressTable
+from repro.taskgraph.task_pool import TaskPool
+from repro.trace.task import TaskDescriptor
+
+
+@dataclass(frozen=True)
+class AccessRecord:
+    """One deduplicated address access of a task."""
+
+    address: int
+    mode: AccessMode
+    table_index: int
+    must_wait: bool
+    set_conflict: bool
+
+
+@dataclass(frozen=True)
+class InsertResult:
+    """Outcome of inserting one task into the task graph(s)."""
+
+    task_id: int
+    accesses: Tuple[AccessRecord, ...]
+    dependence_count: int
+    ready: bool
+    pool_was_full: bool
+
+    @property
+    def num_accesses(self) -> int:
+        return len(self.accesses)
+
+    def accesses_per_table(self) -> Dict[int, int]:
+        """Number of accesses routed to each task graph."""
+        counts: Dict[int, int] = {}
+        for access in self.accesses:
+            counts[access.table_index] = counts.get(access.table_index, 0) + 1
+        return counts
+
+
+@dataclass(frozen=True)
+class FinishAccessRecord:
+    """Cleanup of one address access when its task finishes."""
+
+    address: int
+    table_index: int
+    kicked_off: Tuple[int, ...]
+
+
+@dataclass(frozen=True)
+class FinishResult:
+    """Outcome of retiring one finished task."""
+
+    task_id: int
+    accesses: Tuple[FinishAccessRecord, ...]
+    newly_ready: Tuple[int, ...]
+
+    @property
+    def num_accesses(self) -> int:
+        return len(self.accesses)
+
+    @property
+    def num_kickoffs(self) -> int:
+        return sum(len(a.kicked_off) for a in self.accesses)
+
+    def accesses_per_table(self) -> Dict[int, int]:
+        counts: Dict[int, int] = {}
+        for access in self.accesses:
+            counts[access.table_index] = counts.get(access.table_index, 0) + 1
+        return counts
+
+
+def merge_access_modes(task: TaskDescriptor) -> List[Tuple[int, AccessMode]]:
+    """Deduplicate a task's parameter list into one access per address.
+
+    A task may legally list the same address several times (e.g. an array
+    block passed both as ``in`` and as part of an ``inout`` region); the
+    hardware tracks the address once, with the union of the access modes.
+    Declaration order of the first occurrence is preserved because the
+    Input Parser distributes parameters in arrival order.
+    """
+    order: List[int] = []
+    modes: Dict[int, Tuple[bool, bool]] = {}
+    for param in task.params:
+        reads = param.direction.reads
+        writes = param.direction.writes
+        if param.address in modes:
+            prev_reads, prev_writes = modes[param.address]
+            modes[param.address] = (prev_reads or reads, prev_writes or writes)
+        else:
+            modes[param.address] = (reads, writes)
+            order.append(param.address)
+    result: List[Tuple[int, AccessMode]] = []
+    for address in order:
+        reads, writes = modes[address]
+        if reads and writes:
+            mode = AccessMode.READWRITE
+        elif writes:
+            mode = AccessMode.WRITE
+        else:
+            mode = AccessMode.READ
+        result.append((address, mode))
+    return result
+
+
+class DependencyTracker:
+    """Functional dependency resolution over one or more address tables.
+
+    Parameters
+    ----------
+    num_tables:
+        Number of task graphs the addresses are distributed over.
+    distribute:
+        Function mapping an address to a table index in
+        ``range(num_tables)``.  Defaults to "always table 0", which is the
+        Nexus++ (centralised) behaviour.
+    table_factory:
+        Callable creating the :class:`AddressTable` for a given index,
+        allowing callers to configure geometry.
+    task_pool / function_table:
+        Optional pre-configured structures (defaults are created
+        otherwise).
+    """
+
+    def __init__(
+        self,
+        num_tables: int = 1,
+        distribute: Optional[Callable[[int], int]] = None,
+        table_factory: Optional[Callable[[int], AddressTable]] = None,
+        task_pool: Optional[TaskPool] = None,
+        function_table: Optional[FunctionTable] = None,
+    ) -> None:
+        if num_tables <= 0:
+            raise ConfigurationError(f"num_tables must be positive, got {num_tables}")
+        self.num_tables = num_tables
+        self._distribute = distribute or (lambda address: 0)
+        factory = table_factory or (lambda index: AddressTable(name=f"TG{index}"))
+        self.tables: List[AddressTable] = [factory(i) for i in range(num_tables)]
+        self.dep_counts = DependenceCountsTable()
+        self.task_pool = task_pool or TaskPool()
+        self.function_table = function_table or FunctionTable()
+        #: tasks that were reported ready and are waiting to run or running
+        self._in_flight: Dict[int, TaskDescriptor] = {}
+        self.total_inserted = 0
+        self.total_finished = 0
+
+    # -- helpers --------------------------------------------------------------
+    def table_for(self, address: int) -> int:
+        """Index of the task graph responsible for ``address``."""
+        index = self._distribute(address)
+        if not 0 <= index < self.num_tables:
+            raise SimulationError(
+                f"distribution function returned table {index} for address {address:#x}; "
+                f"valid range is [0, {self.num_tables})"
+            )
+        return index
+
+    @property
+    def in_flight_tasks(self) -> int:
+        """Number of tasks inserted but not yet finished."""
+        return len(self._in_flight)
+
+    # -- main interface ---------------------------------------------------------
+    def insert_task(self, task: TaskDescriptor) -> InsertResult:
+        """Insert ``task`` into the task graph(s) and compute its readiness."""
+        if task.task_id in self._in_flight:
+            raise SimulationError(f"task {task.task_id} inserted twice")
+        self._in_flight[task.task_id] = task
+        pool_was_full = self.task_pool.insert(task)
+        self.function_table.intern(task.function)
+        accesses: List[AccessRecord] = []
+        dependence_count = 0
+        for address, mode in merge_access_modes(task):
+            table_index = self.table_for(address)
+            must_wait, set_conflict = self.tables[table_index].insert_access(address, task.task_id, mode)
+            if must_wait:
+                dependence_count += 1
+            accesses.append(
+                AccessRecord(
+                    address=address,
+                    mode=mode,
+                    table_index=table_index,
+                    must_wait=must_wait,
+                    set_conflict=set_conflict,
+                )
+            )
+        self.dep_counts.register(task.task_id, dependence_count, params_total=len(accesses))
+        self.total_inserted += 1
+        return InsertResult(
+            task_id=task.task_id,
+            accesses=tuple(accesses),
+            dependence_count=dependence_count,
+            ready=dependence_count == 0,
+            pool_was_full=pool_was_full,
+        )
+
+    def finish_task(self, task_id: int) -> FinishResult:
+        """Retire ``task_id``: release its addresses and kick off waiters."""
+        task = self._in_flight.pop(task_id, None)
+        if task is None:
+            raise SimulationError(f"finish for unknown or already finished task {task_id}")
+        if self.dep_counts.pending(task_id) != 0:
+            raise SimulationError(
+                f"task {task_id} finished while still having "
+                f"{self.dep_counts.pending(task_id)} unresolved dependencies"
+            )
+        pooled = self.task_pool.remove(task_id)
+        accesses: List[FinishAccessRecord] = []
+        newly_ready: List[int] = []
+        for address, _mode in merge_access_modes(pooled):
+            table_index = self.table_for(address)
+            released = self.tables[table_index].finish_access(address, task_id)
+            kicked: List[int] = []
+            for waiter in released:
+                kicked.append(waiter.task_id)
+                if self.dep_counts.decrement(waiter.task_id):
+                    newly_ready.append(waiter.task_id)
+            accesses.append(
+                FinishAccessRecord(address=address, table_index=table_index, kicked_off=tuple(kicked))
+            )
+        self.dep_counts.remove(task_id)
+        self.total_finished += 1
+        return FinishResult(task_id=task_id, accesses=tuple(accesses), newly_ready=tuple(newly_ready))
+
+    def reset(self) -> None:
+        """Return the tracker to its initial empty state."""
+        for table in self.tables:
+            table.reset()
+        self.dep_counts.reset()
+        self.task_pool.reset()
+        self.function_table.reset()
+        self._in_flight.clear()
+        self.total_inserted = 0
+        self.total_finished = 0

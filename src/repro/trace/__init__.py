@@ -1,0 +1,47 @@
+"""Task and trace model.
+
+The paper's evaluation is *trace driven*: each benchmark is reduced to a
+sequence of task descriptors (function identifier, parameter list with
+access direction and memory address, measured execution time) plus the
+barrier pragmas (`taskwait`, `taskwait on`) the master thread executes
+between task submissions.  This package defines that representation:
+
+* :class:`repro.trace.task.TaskDescriptor` — a single task instance.
+* :class:`repro.trace.task.Parameter` / :class:`repro.trace.task.Direction`
+  — one entry of a task's input/output list.
+* :class:`repro.trace.trace.Trace` — an ordered program: task submissions
+  interleaved with barrier events, exactly what the RTS testbench replays.
+* :mod:`repro.trace.dag` — derives the task dependency DAG from the
+  parameter addresses using OmpSs semantics (RAW, WAR and WAW hazards on
+  the same address), computes critical paths and checks schedules.
+* :mod:`repro.trace.stats` — per-trace statistics matching Table II.
+* :mod:`repro.trace.serialization` — a JSON-lines on-disk format.
+"""
+
+from repro.trace.task import Direction, Parameter, TaskDescriptor
+from repro.trace.events import TaskSubmitEvent, TaskwaitEvent, TaskwaitOnEvent, TraceEvent
+from repro.trace.trace import Trace, TraceBuilder
+from repro.trace.dag import DependencyGraph, build_dependency_graph, validate_schedule
+from repro.trace.stats import TraceStatistics, compute_statistics
+from repro.trace.serialization import load_trace, save_trace, trace_from_json, trace_to_json
+
+__all__ = [
+    "Direction",
+    "Parameter",
+    "TaskDescriptor",
+    "TraceEvent",
+    "TaskSubmitEvent",
+    "TaskwaitEvent",
+    "TaskwaitOnEvent",
+    "Trace",
+    "TraceBuilder",
+    "DependencyGraph",
+    "build_dependency_graph",
+    "validate_schedule",
+    "TraceStatistics",
+    "compute_statistics",
+    "load_trace",
+    "save_trace",
+    "trace_from_json",
+    "trace_to_json",
+]

@@ -1,0 +1,70 @@
+"""Trace events: the master-thread program replayed by the testbench.
+
+A trace is not just a bag of tasks — the order in which the master thread
+submits them and the barriers it executes in between shape the available
+parallelism.  Three event kinds exist, mirroring the OmpSs pragmas the
+paper supports (Section VII: ``in``, ``out``, ``inout``, ``taskwait``,
+``taskwait on``):
+
+* :class:`TaskSubmitEvent` — the master submits one task.
+* :class:`TaskwaitEvent` — the master blocks until *all* previously
+  submitted tasks have finished.
+* :class:`TaskwaitOnEvent` — the master blocks until the data behind one
+  specific address is available, i.e. until the last previously submitted
+  writer of that address has finished.  Nexus++ does not support this
+  pragma and has to fall back to a full ``taskwait`` (Section III), which
+  is what costs it the h264dec scalability.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Union
+
+from repro.common.constants import ADDRESS_MASK
+from repro.common.errors import TraceError
+from repro.trace.task import TaskDescriptor
+
+
+@dataclass(frozen=True)
+class TaskSubmitEvent:
+    """The master thread submits ``task`` to the task manager."""
+
+    task: TaskDescriptor
+
+    @property
+    def kind(self) -> str:
+        return "submit"
+
+
+@dataclass(frozen=True)
+class TaskwaitEvent:
+    """The master thread waits for all previously submitted tasks."""
+
+    @property
+    def kind(self) -> str:
+        return "taskwait"
+
+
+@dataclass(frozen=True)
+class TaskwaitOnEvent:
+    """The master thread waits for the last writer of ``address``.
+
+    If no previously submitted task writes ``address`` the barrier is a
+    no-op, matching OmpSs semantics.
+    """
+
+    address: int
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.address, int) or self.address < 0:
+            raise TraceError(f"taskwait on address must be a non-negative integer, got {self.address!r}")
+        if self.address != self.address & ADDRESS_MASK:
+            raise TraceError(f"taskwait on address {self.address:#x} does not fit in 48 bits")
+
+    @property
+    def kind(self) -> str:
+        return "taskwait_on"
+
+
+TraceEvent = Union[TaskSubmitEvent, TaskwaitEvent, TaskwaitOnEvent]

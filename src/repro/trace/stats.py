@@ -1,0 +1,76 @@
+"""Per-trace statistics in the format of the paper's Table II / III.
+
+Table II reports, per benchmark: number of tasks, total work (ms),
+average task size (µs) and the range of the number of dependencies
+(parameters) per task.  :func:`compute_statistics` regenerates those
+columns for any trace, plus a few extra quantities (critical path,
+maximum parallelism) that the analysis layer uses to plot ideal curves.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.trace.dag import DependencyGraph, build_dependency_graph
+from repro.trace.trace import Trace
+
+
+@dataclass(frozen=True)
+class TraceStatistics:
+    """Summary of a trace, mirroring a row of the paper's Table II."""
+
+    name: str
+    num_tasks: int
+    total_work_ms: float
+    avg_task_us: float
+    min_params: int
+    max_params: int
+    min_deps: int
+    max_deps: int
+    num_barriers: int
+    critical_path_ms: float
+    max_parallelism: float
+
+    @property
+    def deps_label(self) -> str:
+        """Dependency-count column formatted like the paper ("1-3", "2-6")."""
+        if self.min_params == self.max_params:
+            return str(self.max_params)
+        return f"{self.min_params}-{self.max_params}"
+
+    def as_table_row(self) -> tuple:
+        """Row matching Table II's columns: (#tasks, work ms, avg µs, #deps)."""
+        return (self.name, self.num_tasks, round(self.total_work_ms), round(self.avg_task_us, 1), self.deps_label)
+
+
+def compute_statistics(trace: Trace, *, graph: Optional[DependencyGraph] = None) -> TraceStatistics:
+    """Compute :class:`TraceStatistics` for ``trace``.
+
+    Parameters
+    ----------
+    trace:
+        The trace to summarise.
+    graph:
+        Optional pre-built dependency graph (avoids recomputing it when
+        the caller already has one).
+    """
+    graph = graph or build_dependency_graph(trace)
+    num_tasks = trace.num_tasks
+    total_us = trace.total_work_us
+    min_params, max_params = trace.param_count_range()
+    min_deps, max_deps = graph.dependency_count_range()
+    critical_us = graph.critical_path_length()
+    return TraceStatistics(
+        name=trace.name,
+        num_tasks=num_tasks,
+        total_work_ms=total_us / 1000.0,
+        avg_task_us=total_us / num_tasks if num_tasks else 0.0,
+        min_params=min_params,
+        max_params=max_params,
+        min_deps=min_deps,
+        max_deps=max_deps,
+        num_barriers=trace.num_barriers,
+        critical_path_ms=critical_us / 1000.0,
+        max_parallelism=graph.max_parallelism(),
+    )

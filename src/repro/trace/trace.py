@@ -1,0 +1,202 @@
+"""The :class:`Trace` container and its builder.
+
+A trace is the unit the simulation consumes: an ordered list of
+:class:`~repro.trace.events.TraceEvent` objects plus metadata about the
+workload it was generated from.  Traces are immutable once built; the
+:class:`TraceBuilder` is the mutable construction helper the workload
+generators and the OmpSs-like runtime API use.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Sequence
+
+from repro.common.errors import TraceError
+from repro.trace.events import TaskSubmitEvent, TaskwaitEvent, TaskwaitOnEvent, TraceEvent
+from repro.trace.task import Direction, Parameter, TaskDescriptor, make_params
+
+
+@dataclass(frozen=True)
+class Trace:
+    """An immutable, replayable task-submission program.
+
+    Attributes
+    ----------
+    name:
+        Workload name, e.g. ``"h264dec-1x1-10f"``.
+    events:
+        Master-thread program: task submissions and barriers in order.
+    metadata:
+        Free-form generator parameters (frame counts, matrix sizes, seed,
+        scale factor, ...), recorded so experiments are self-describing.
+    """
+
+    name: str
+    events: tuple[TraceEvent, ...]
+    metadata: Mapping[str, object] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise TraceError("trace name must be non-empty")
+        if not isinstance(self.events, tuple):
+            object.__setattr__(self, "events", tuple(self.events))
+        seen_ids: set[int] = set()
+        for event in self.events:
+            if isinstance(event, TaskSubmitEvent):
+                task_id = event.task.task_id
+                if task_id in seen_ids:
+                    raise TraceError(f"duplicate task id {task_id} in trace {self.name!r}")
+                seen_ids.add(task_id)
+
+    # -- iteration helpers -------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self) -> Iterator[TraceEvent]:
+        return iter(self.events)
+
+    def tasks(self) -> Iterator[TaskDescriptor]:
+        """Yield the task descriptors in submission order."""
+        for event in self.events:
+            if isinstance(event, TaskSubmitEvent):
+                yield event.task
+
+    @property
+    def num_tasks(self) -> int:
+        """Number of task submissions in the trace."""
+        return sum(1 for _ in self.tasks())
+
+    @property
+    def num_barriers(self) -> int:
+        """Number of ``taskwait`` plus ``taskwait on`` events."""
+        return sum(1 for e in self.events if not isinstance(e, TaskSubmitEvent))
+
+    @property
+    def total_work_us(self) -> float:
+        """Sum of all task execution times (micro-seconds)."""
+        return sum(task.duration_us for task in self.tasks())
+
+    @property
+    def avg_task_us(self) -> float:
+        """Mean task execution time (micro-seconds), 0 for empty traces."""
+        n = self.num_tasks
+        return self.total_work_us / n if n else 0.0
+
+    def task_by_id(self, task_id: int) -> TaskDescriptor:
+        """Return the task with ``task_id`` (linear scan; prefer task_map)."""
+        for task in self.tasks():
+            if task.task_id == task_id:
+                return task
+        raise TraceError(f"trace {self.name!r} has no task with id {task_id}")
+
+    def task_map(self) -> Dict[int, TaskDescriptor]:
+        """Return a dict mapping task id to descriptor."""
+        return {task.task_id: task for task in self.tasks()}
+
+    def functions(self) -> Dict[str, int]:
+        """Return a mapping of function name to number of task instances."""
+        counts: Dict[str, int] = {}
+        for task in self.tasks():
+            counts[task.function] = counts.get(task.function, 0) + 1
+        return counts
+
+    def param_count_range(self) -> tuple[int, int]:
+        """Minimum and maximum number of parameters over all tasks."""
+        counts = [task.num_params for task in self.tasks()]
+        if not counts:
+            return (0, 0)
+        return (min(counts), max(counts))
+
+    def with_name(self, name: str) -> "Trace":
+        """Return a copy of the trace under a different name."""
+        return Trace(name=name, events=self.events, metadata=dict(self.metadata))
+
+    def scaled_durations(self, factor: float) -> "Trace":
+        """Return a copy with every task duration multiplied by ``factor``."""
+        if factor <= 0:
+            raise TraceError(f"duration scale factor must be positive, got {factor}")
+        events: List[TraceEvent] = []
+        for event in self.events:
+            if isinstance(event, TaskSubmitEvent):
+                events.append(TaskSubmitEvent(event.task.with_duration(event.task.duration_us * factor)))
+            else:
+                events.append(event)
+        metadata = dict(self.metadata)
+        metadata["duration_scale"] = factor * float(metadata.get("duration_scale", 1.0))
+        return Trace(name=self.name, events=tuple(events), metadata=metadata)
+
+
+class TraceBuilder:
+    """Mutable helper used to construct a :class:`Trace`.
+
+    Task ids are assigned sequentially in submission order, which is also
+    the order the hardware receives them, so ids double as submission
+    ranks everywhere in the simulation.
+    """
+
+    def __init__(self, name: str, metadata: Optional[Mapping[str, object]] = None) -> None:
+        if not name:
+            raise TraceError("trace name must be non-empty")
+        self.name = name
+        self.metadata: Dict[str, object] = dict(metadata or {})
+        self._events: List[TraceEvent] = []
+        self._next_task_id = 0
+
+    # -- construction ------------------------------------------------------
+    def add_task(
+        self,
+        function: str,
+        duration_us: float,
+        *,
+        inputs: Sequence[int] = (),
+        outputs: Sequence[int] = (),
+        inouts: Sequence[int] = (),
+        params: Optional[Sequence[Parameter]] = None,
+        creation_overhead_us: float = 0.0,
+    ) -> TaskDescriptor:
+        """Append a task submission and return its descriptor.
+
+        Either pass ``params`` explicitly or use the ``inputs`` /
+        ``outputs`` / ``inouts`` address lists.
+        """
+        if params is not None and (inputs or outputs or inouts):
+            raise TraceError("pass either params or inputs/outputs/inouts, not both")
+        if params is None:
+            params = make_params(inputs=inputs, outputs=outputs, inouts=inouts)
+        task = TaskDescriptor(
+            task_id=self._next_task_id,
+            function=function,
+            params=tuple(params),
+            duration_us=duration_us,
+            creation_overhead_us=creation_overhead_us,
+        )
+        self._next_task_id += 1
+        self._events.append(TaskSubmitEvent(task))
+        return task
+
+    def add_taskwait(self) -> None:
+        """Append a full ``taskwait`` barrier."""
+        self._events.append(TaskwaitEvent())
+
+    def add_taskwait_on(self, address: int) -> None:
+        """Append a ``taskwait on(address)`` barrier."""
+        self._events.append(TaskwaitOnEvent(address=address))
+
+    def extend(self, events: Iterable[TraceEvent]) -> None:
+        """Append pre-built events (task ids must not collide)."""
+        for event in events:
+            if isinstance(event, TaskSubmitEvent):
+                self._events.append(event)
+                self._next_task_id = max(self._next_task_id, event.task.task_id + 1)
+            else:
+                self._events.append(event)
+
+    @property
+    def num_tasks(self) -> int:
+        """Number of tasks added so far."""
+        return sum(1 for e in self._events if isinstance(e, TaskSubmitEvent))
+
+    def build(self) -> Trace:
+        """Freeze the builder into an immutable :class:`Trace`."""
+        return Trace(name=self.name, events=tuple(self._events), metadata=dict(self.metadata))

@@ -1,0 +1,55 @@
+"""Workload (trace) generators.
+
+The paper evaluates Nexus# with traces collected from Starbench
+benchmarks on a 40-core Xeon E7-4870 (Table II), a Gaussian-elimination
+micro-benchmark (Table III / Figure 9) and a 5-task micro-benchmark
+modelled after Yazdanpanah et al. [19] (Section IV-E).  Those traces are
+not publicly available, so this package generates synthetic traces with
+the same *structure*: task counts, dependency patterns, parameter counts
+and duration statistics are reproduced from the descriptions in
+Section V-A and the numbers in Tables II/III.
+
+Every generator accepts:
+
+* ``scale`` — multiplies the task count (0 < scale <= 1 shrinks the
+  workload for fast test / CI runs while keeping the dependency shape);
+* ``seed`` — controls the duration jitter and address randomisation;
+* workload-specific knobs documented per module.
+
+The :data:`WORKLOADS` registry maps the paper's benchmark names (e.g.
+``"h264dec-1x1-10f"``) to ready-to-call generators using the paper's
+parameters.
+"""
+
+from repro.workloads.addressing import AddressSpace
+from repro.workloads.cray import generate_cray
+from repro.workloads.rotcc import generate_rotcc
+from repro.workloads.sparselu import generate_sparselu
+from repro.workloads.streamcluster import generate_streamcluster
+from repro.workloads.h264dec import H264Geometry, generate_h264dec
+from repro.workloads.gaussian import generate_gaussian_elimination, gaussian_task_count, gaussian_avg_flops
+from repro.workloads.microbench import generate_microbenchmark
+from repro.workloads.synthetic import generate_chain, generate_fork_join, generate_independent, generate_random_dag
+from repro.workloads.registry import WORKLOADS, get_workload, list_workloads, paper_table2_workloads
+
+__all__ = [
+    "AddressSpace",
+    "generate_cray",
+    "generate_rotcc",
+    "generate_sparselu",
+    "generate_streamcluster",
+    "generate_h264dec",
+    "H264Geometry",
+    "generate_gaussian_elimination",
+    "gaussian_task_count",
+    "gaussian_avg_flops",
+    "generate_microbenchmark",
+    "generate_random_dag",
+    "generate_independent",
+    "generate_chain",
+    "generate_fork_join",
+    "WORKLOADS",
+    "get_workload",
+    "list_workloads",
+    "paper_table2_workloads",
+]

@@ -1,0 +1,91 @@
+"""Registry of the paper's named workloads.
+
+Maps the benchmark names used throughout the paper's tables and figures
+to ready-to-call trace generators.  The registry is what the benchmark
+harness and the command-line driver use, so experiment scripts refer to
+workloads exactly the way the paper does (e.g. ``"h264dec-1x1-10f"``).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+from repro.common.errors import ConfigurationError
+from repro.trace.trace import Trace
+from repro.workloads.cray import generate_cray
+from repro.workloads.gaussian import PAPER_MATRIX_SIZES, generate_gaussian_elimination
+from repro.workloads.h264dec import generate_h264dec
+from repro.workloads.microbench import generate_microbenchmark
+from repro.workloads.rotcc import generate_rotcc
+from repro.workloads.sparselu import generate_sparselu
+from repro.workloads.streamcluster import generate_streamcluster
+
+#: A workload factory takes (scale, seed) and returns a trace.
+WorkloadFactory = Callable[[float, Optional[int]], Trace]
+
+
+def _h264_factory(grouping: int) -> WorkloadFactory:
+    def factory(scale: float = 1.0, seed: Optional[int] = None) -> Trace:
+        return generate_h264dec(grouping=grouping, num_frames=10, seed=seed, scale=scale)
+
+    return factory
+
+
+def _gaussian_factory(matrix_size: int) -> WorkloadFactory:
+    def factory(scale: float = 1.0, seed: Optional[int] = None) -> Trace:
+        # The Gaussian benchmark is defined by its matrix size; `scale`
+        # shrinks the matrix (keeping the triangular dependency shape).
+        effective = max(4, int(round(matrix_size * (scale ** 0.5))))
+        return generate_gaussian_elimination(matrix_size=effective, seed=seed)
+
+    return factory
+
+
+WORKLOADS: Dict[str, WorkloadFactory] = {
+    "c-ray": lambda scale=1.0, seed=None: generate_cray(scale=scale, seed=seed),
+    "rot-cc": lambda scale=1.0, seed=None: generate_rotcc(scale=scale, seed=seed),
+    "sparselu": lambda scale=1.0, seed=None: generate_sparselu(scale=scale, seed=seed),
+    "streamcluster": lambda scale=1.0, seed=None: generate_streamcluster(scale=scale, seed=seed),
+    "h264dec-1x1-10f": _h264_factory(1),
+    "h264dec-2x2-10f": _h264_factory(2),
+    "h264dec-4x4-10f": _h264_factory(4),
+    "h264dec-8x8-10f": _h264_factory(8),
+    "gaussian-250": _gaussian_factory(250),
+    "gaussian-500": _gaussian_factory(500),
+    "gaussian-1000": _gaussian_factory(1000),
+    "gaussian-3000": _gaussian_factory(3000),
+    "microbench": lambda scale=1.0, seed=None: generate_microbenchmark(seed=seed),
+}
+
+#: The workloads listed in Table II, in the paper's row order.
+TABLE2_WORKLOADS = (
+    "c-ray",
+    "rot-cc",
+    "sparselu",
+    "streamcluster",
+    "h264dec-1x1-10f",
+    "h264dec-2x2-10f",
+    "h264dec-4x4-10f",
+    "h264dec-8x8-10f",
+)
+
+
+def list_workloads() -> list[str]:
+    """Names of all registered workloads."""
+    return sorted(WORKLOADS)
+
+
+def paper_table2_workloads() -> tuple[str, ...]:
+    """Workload names in the order of the paper's Table II."""
+    return TABLE2_WORKLOADS
+
+
+def get_workload(name: str, scale: float = 1.0, seed: Optional[int] = None) -> Trace:
+    """Generate the named workload at the given scale."""
+    try:
+        factory = WORKLOADS[name]
+    except KeyError as exc:
+        raise ConfigurationError(
+            f"unknown workload {name!r}; available: {', '.join(sorted(WORKLOADS))}"
+        ) from exc
+    return factory(scale, seed)

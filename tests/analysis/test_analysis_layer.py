@@ -1,0 +1,159 @@
+"""Tests for the analysis layer: factories, sweeps, tables, figures, CLI."""
+
+import pytest
+
+from repro.analysis.factories import (
+    make_manager,
+    nexus_pp_factory,
+    nexus_sharp_factory,
+    paper_manager_set,
+)
+from repro.analysis.formatting import format_speedup_series, render_table
+from repro.analysis.speedup import run_scalability
+from repro.analysis.tables import PAPER_TABLE2, PAPER_TABLE4, table1_report, table2_report, table3_report
+from repro.analysis.figures import distribution_quality_report, microbenchmark_report
+from repro.analysis.cli import main
+from repro.common.errors import ConfigurationError
+from repro.managers.nanos import NanosManager
+from repro.nexus.nexuspp import NexusPlusPlusManager
+from repro.nexus.nexussharp import NexusSharpManager
+from repro.workloads.synthetic import generate_independent
+
+
+class TestFactories:
+    def test_paper_manager_set_contains_expected_managers(self):
+        managers = paper_manager_set()
+        assert set(managers) == {"Ideal", "Nanos", "Nexus++", "Nexus# 6TG"}
+        assert isinstance(managers["Nanos"](), NanosManager)
+
+    def test_nexus_sharp_factory_frequency_selection(self):
+        manager = nexus_sharp_factory(6)()
+        assert manager.frequency.mhz == pytest.approx(55.56)
+        manager = nexus_sharp_factory(6, 100.0)()
+        assert manager.frequency.mhz == pytest.approx(100.0)
+
+    def test_make_manager_names(self):
+        assert isinstance(make_manager("ideal"), object)
+        assert isinstance(make_manager("nexus++"), NexusPlusPlusManager)
+        sharp = make_manager("nexus#4@100")
+        assert isinstance(sharp, NexusSharpManager)
+        assert sharp.num_task_graphs == 4
+        assert sharp.frequency.mhz == pytest.approx(100.0)
+
+    def test_make_manager_unknown(self):
+        with pytest.raises(ConfigurationError):
+            make_manager("quantum-scheduler")
+
+    def test_factories_produce_fresh_instances(self):
+        factory = nexus_pp_factory()
+        assert factory() is not factory()
+
+
+class TestFormatting:
+    def test_render_table_alignment_and_title(self):
+        text = render_table(["a", "bbb"], [[1, 2.5], ["x", 100.0]], title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "a" in lines[2] and "bbb" in lines[2]
+        assert len(lines) == 6
+
+    def test_format_speedup_series(self):
+        text = format_speedup_series("fig", (1, 2), {"Ideal": (1.0, 2.0)})
+        assert "1 cores" in text and "2.00x" in text
+
+
+class TestScalabilitySweep:
+    def test_speedup_monotone_for_independent_tasks(self):
+        trace = generate_independent(64, duration_us=100.0, seed=1)
+        study = run_scalability(trace, paper_manager_set(), core_counts=(1, 2, 4, 8))
+        ideal = study.curves["Ideal"].speedups
+        assert ideal == pytest.approx((1.0, 2.0, 4.0, 8.0))
+        assert study.curves["Nexus# 6TG"].max_speedup <= 8.0 + 1e-9
+
+    def test_max_cores_limits_a_manager(self):
+        trace = generate_independent(16, duration_us=50.0, seed=1)
+        study = run_scalability(
+            trace, paper_manager_set(), core_counts=(1, 4, 8), max_cores={"Nanos": 4}
+        )
+        assert study.curves["Nanos"].core_counts == (1, 4)
+        assert study.curves["Ideal"].core_counts == (1, 4, 8)
+
+    def test_speedup_at_and_mapping(self):
+        trace = generate_independent(8, duration_us=10.0, seed=1)
+        study = run_scalability(trace, {"Ideal": paper_manager_set()["Ideal"]}, core_counts=(1, 2))
+        curve = study.curves["Ideal"]
+        assert curve.speedup_at(2) == pytest.approx(2.0)
+        assert curve.as_mapping()[1] == pytest.approx(1.0)
+        with pytest.raises(ConfigurationError):
+            curve.speedup_at(64)
+
+    def test_empty_core_counts_rejected(self):
+        trace = generate_independent(4, seed=1)
+        with pytest.raises(ConfigurationError):
+            run_scalability(trace, paper_manager_set(), core_counts=())
+
+    def test_render_contains_manager_names(self):
+        trace = generate_independent(4, duration_us=10.0, seed=1)
+        study = run_scalability(trace, paper_manager_set(), core_counts=(1,))
+        text = study.render()
+        for name in paper_manager_set():
+            assert name in text
+
+
+class TestTables:
+    def test_table1_report_structure(self):
+        report = table1_report()
+        assert "Nexus++" in report["text"]
+        assert len(report["estimates"]) == 6
+
+    def test_table2_report_small_scale(self):
+        report = table2_report(scale=0.01, seed=0)
+        assert set(report["stats"]) == set(PAPER_TABLE2)
+        assert "c-ray" in report["text"]
+
+    def test_table3_report_matches_paper_counts(self):
+        report = table3_report()
+        assert report["data"][250]["tasks"] == 31374
+        assert report["data"][3000]["tasks"] == 4501499
+
+    def test_paper_table4_constants_present(self):
+        assert PAPER_TABLE4["h264dec-1x1-10f"]["Nexus#"] == 6.9
+
+
+class TestFigures:
+    def test_microbenchmark_report(self):
+        report = microbenchmark_report()
+        assert 40 <= report["measured_cycles"] <= 110
+        assert "78" in report["text"]
+
+    def test_distribution_quality_report(self):
+        report = distribution_quality_report(num_addresses=2000, task_graph_counts=(2, 4))
+        assert set(report["data"]) == {2, 4}
+        for entry in report["data"].values():
+            assert entry["fairness"] > 0.9
+
+
+class TestCli:
+    def test_table1_command(self, capsys):
+        assert main(["table1"]) == 0
+        assert "Nexus#" in capsys.readouterr().out
+
+    def test_table3_command(self, capsys):
+        assert main(["table3"]) == 0
+        assert "31374" in capsys.readouterr().out
+
+    def test_microbench_command(self, capsys):
+        assert main(["microbench"]) == 0
+        assert "Micro-benchmark" in capsys.readouterr().out
+
+    def test_workloads_command(self, capsys):
+        assert main(["workloads"]) == 0
+        assert "c-ray" in capsys.readouterr().out
+
+    def test_simulate_command(self, capsys):
+        code = main([
+            "simulate", "--workload", "c-ray", "--manager", "nexus#2@100",
+            "--cores", "4", "--scale", "0.02",
+        ])
+        assert code == 0
+        assert "speedup" in capsys.readouterr().out

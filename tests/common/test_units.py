@@ -1,0 +1,70 @@
+"""Tests for repro.common.units."""
+
+import math
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.common.units import (
+    Frequency,
+    cycles_to_seconds,
+    cycles_to_us,
+    seconds_to_cycles,
+    us_to_cycles,
+    us_to_seconds,
+)
+
+
+class TestConversions:
+    def test_cycles_to_us_at_100mhz(self):
+        assert cycles_to_us(100, 100.0) == pytest.approx(1.0)
+
+    def test_cycles_to_us_at_50mhz(self):
+        assert cycles_to_us(100, 50.0) == pytest.approx(2.0)
+
+    def test_cycles_to_seconds(self):
+        assert cycles_to_seconds(1_000_000, 100.0) == pytest.approx(0.01)
+
+    def test_us_to_cycles_roundtrip(self):
+        assert us_to_cycles(cycles_to_us(123.0, 55.56), 55.56) == pytest.approx(123.0)
+
+    def test_seconds_to_cycles_roundtrip(self):
+        assert seconds_to_cycles(cycles_to_seconds(42.0, 83.33), 83.33) == pytest.approx(42.0)
+
+    def test_us_to_seconds(self):
+        assert us_to_seconds(1_000_000) == pytest.approx(1.0)
+
+    def test_zero_frequency_rejected(self):
+        with pytest.raises(ConfigurationError):
+            cycles_to_us(10, 0.0)
+
+    def test_negative_frequency_rejected(self):
+        with pytest.raises(ConfigurationError):
+            us_to_cycles(10, -5.0)
+
+
+class TestFrequency:
+    def test_cycle_time_us(self):
+        assert Frequency(100.0).cycle_time_us == pytest.approx(0.01)
+
+    def test_cycle_time_s(self):
+        assert Frequency(1.0).cycle_time_s == pytest.approx(1e-6)
+
+    def test_hz(self):
+        assert Frequency(55.56).hz == pytest.approx(55.56e6)
+
+    def test_cycles_to_us_method(self):
+        assert Frequency(50.0).cycles_to_us(100) == pytest.approx(2.0)
+
+    def test_us_to_cycles_method(self):
+        assert Frequency(50.0).us_to_cycles(2.0) == pytest.approx(100.0)
+
+    def test_scaled(self):
+        assert Frequency(100.0).scaled(0.5).mhz == pytest.approx(50.0)
+
+    def test_invalid_frequency(self):
+        with pytest.raises(ConfigurationError):
+            Frequency(0.0)
+
+    def test_frequency_is_hashable(self):
+        assert len({Frequency(100.0), Frequency(100.0), Frequency(50.0)}) == 2

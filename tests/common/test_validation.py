@@ -1,0 +1,82 @@
+"""Tests for repro.common.validation."""
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.common.validation import (
+    check_choice,
+    check_in_range,
+    check_non_negative,
+    check_positive,
+    check_power_of_two,
+    check_probability,
+)
+
+
+class TestCheckPositive:
+    def test_accepts_positive(self):
+        assert check_positive("x", 3) == 3
+
+    def test_rejects_zero(self):
+        with pytest.raises(ConfigurationError):
+            check_positive("x", 0)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ConfigurationError):
+            check_positive("x", -1.5)
+
+
+class TestCheckNonNegative:
+    def test_accepts_zero(self):
+        assert check_non_negative("x", 0) == 0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ConfigurationError):
+            check_non_negative("x", -0.001)
+
+
+class TestCheckProbability:
+    @pytest.mark.parametrize("value", [0.0, 0.5, 1.0])
+    def test_accepts_valid(self, value):
+        assert check_probability("p", value) == value
+
+    @pytest.mark.parametrize("value", [-0.1, 1.1])
+    def test_rejects_out_of_range(self, value):
+        with pytest.raises(ConfigurationError):
+            check_probability("p", value)
+
+
+class TestCheckPowerOfTwo:
+    @pytest.mark.parametrize("value", [1, 2, 4, 256, 1024])
+    def test_accepts_powers(self, value):
+        assert check_power_of_two("n", value) == value
+
+    @pytest.mark.parametrize("value", [0, 3, 6, -4, 255])
+    def test_rejects_non_powers(self, value):
+        with pytest.raises(ConfigurationError):
+            check_power_of_two("n", value)
+
+
+class TestCheckInRange:
+    def test_accepts_bounds(self):
+        assert check_in_range("x", 1, 1, 5) == 1
+        assert check_in_range("x", 5, 1, 5) == 5
+
+    def test_rejects_outside(self):
+        with pytest.raises(ConfigurationError):
+            check_in_range("x", 6, 1, 5)
+
+
+class TestCheckChoice:
+    def test_accepts_member(self):
+        assert check_choice("mode", "fast", ("fast", "slow")) == "fast"
+
+    def test_rejects_non_member(self):
+        with pytest.raises(ConfigurationError):
+            check_choice("mode", "other", ("fast", "slow"))
+
+
+class TestErrorMessages:
+    def test_message_contains_name_and_value(self):
+        with pytest.raises(ConfigurationError, match="num_cores.*-3"):
+            check_positive("num_cores", -3)

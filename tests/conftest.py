@@ -1,0 +1,80 @@
+"""Shared fixtures for the Nexus# reproduction test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.managers.ideal import IdealManager
+from repro.managers.nanos import NanosManager
+from repro.managers.software import VandierendonckManager
+from repro.nexus.nexuspp import NexusPlusPlusManager
+from repro.nexus.nexussharp import NexusSharpConfig, NexusSharpManager
+from repro.trace.trace import TraceBuilder
+from repro.workloads.synthetic import (
+    generate_chain,
+    generate_fork_join,
+    generate_independent,
+    generate_random_dag,
+)
+
+
+def make_all_managers():
+    """Fresh instances of every manager model (used in parametrised tests)."""
+    return [
+        IdealManager(),
+        NanosManager(),
+        VandierendonckManager(),
+        NexusPlusPlusManager(),
+        NexusSharpManager(NexusSharpConfig(num_task_graphs=1, frequency_mhz=100.0)),
+        NexusSharpManager(NexusSharpConfig(num_task_graphs=4, frequency_mhz=100.0)),
+        NexusSharpManager(NexusSharpConfig(num_task_graphs=6)),
+    ]
+
+
+MANAGER_IDS = ["ideal", "nanos", "sw400", "nexus++", "nexus#1", "nexus#4", "nexus#6"]
+
+
+@pytest.fixture(params=list(range(len(MANAGER_IDS))), ids=MANAGER_IDS)
+def any_manager(request):
+    """Parametrised fixture yielding one fresh manager of each kind."""
+    return make_all_managers()[request.param]
+
+
+@pytest.fixture
+def tiny_diamond_trace():
+    """A 4-task diamond: A -> (B, C) -> D, via data dependencies."""
+    builder = TraceBuilder("diamond")
+    a = 0x1000
+    b = 0x2000
+    c = 0x3000
+    d = 0x4000
+    builder.add_task("A", duration_us=10.0, outputs=[a])
+    builder.add_task("B", duration_us=10.0, inputs=[a], outputs=[b])
+    builder.add_task("C", duration_us=10.0, inputs=[a], outputs=[c])
+    builder.add_task("D", duration_us=10.0, inputs=[b, c], outputs=[d])
+    builder.add_taskwait()
+    return builder.build()
+
+
+@pytest.fixture
+def independent_trace():
+    """Twenty independent 10 µs tasks."""
+    return generate_independent(20, duration_us=10.0, seed=7)
+
+
+@pytest.fixture
+def chain_trace():
+    """A 15-task serial chain."""
+    return generate_chain(15, duration_us=5.0, seed=7)
+
+
+@pytest.fixture
+def fork_join_trace():
+    """Three fork-join phases of width 8."""
+    return generate_fork_join(3, 8, duration_us=5.0, seed=7)
+
+
+@pytest.fixture
+def random_dag_trace():
+    """A moderately sized random DAG used by integration tests."""
+    return generate_random_dag(120, max_predecessors=3, seed=11)

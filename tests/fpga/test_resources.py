@@ -1,0 +1,81 @@
+"""Tests for the FPGA resource/frequency model (Table I)."""
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.fpga.resources import (
+    ZC706_DEVICE,
+    estimate_nexus_pp,
+    estimate_nexus_sharp,
+    paper_table1_rows,
+    table1,
+)
+
+
+class TestCalibrationAgainstTable1:
+    @pytest.mark.parametrize("num_tg", [1, 2, 4, 6, 8])
+    def test_percentages_match_paper_within_one_point(self, num_tg):
+        paper = paper_table1_rows()[f"Nexus# {num_tg} TG" + ("s" if num_tg > 1 else "")]
+        estimate = estimate_nexus_sharp(num_tg)
+        assert abs(round(estimate.register_pct) - paper["registers_pct"]) <= 1
+        assert abs(round(estimate.lut_pct) - paper["luts_pct"]) <= 1
+        assert abs(round(estimate.block_ram_pct) - paper["brams_pct"]) <= 1
+
+    @pytest.mark.parametrize("num_tg", [1, 2, 4, 6, 8])
+    def test_frequencies_match_table1(self, num_tg):
+        paper = paper_table1_rows()[f"Nexus# {num_tg} TG" + ("s" if num_tg > 1 else "")]
+        estimate = estimate_nexus_sharp(num_tg)
+        assert estimate.max_frequency_mhz == pytest.approx(paper["max_mhz"], abs=0.01)
+        assert estimate.test_frequency_mhz == pytest.approx(paper["test_mhz"], abs=0.01)
+
+    def test_nexus_pp_row(self):
+        paper = paper_table1_rows()["Nexus++"]
+        estimate = estimate_nexus_pp()
+        assert round(estimate.register_pct) == paper["registers_pct"]
+        assert round(estimate.lut_pct) == paper["luts_pct"]
+        assert round(estimate.block_ram_pct) == paper["brams_pct"]
+        assert estimate.max_frequency_mhz == pytest.approx(paper["max_mhz"])
+
+    def test_8tg_absolute_counts_match_quoted_numbers(self):
+        estimate = estimate_nexus_sharp(8)
+        # "19,350/127,290 registers/LUTs respectively" (Section IV-E).
+        assert estimate.registers == pytest.approx(19350, rel=0.02)
+        assert estimate.luts == pytest.approx(127290, rel=0.02)
+
+
+class TestModelBehaviour:
+    def test_resources_monotonically_increase_with_task_graphs(self):
+        previous = estimate_nexus_sharp(1)
+        for n in range(2, 12):
+            current = estimate_nexus_sharp(n)
+            assert current.registers > previous.registers
+            assert current.luts > previous.luts
+            assert current.block_rams > previous.block_rams
+            previous = current
+
+    def test_frequency_decreases_with_task_graphs(self):
+        assert estimate_nexus_sharp(8).test_frequency_mhz < estimate_nexus_sharp(2).test_frequency_mhz
+
+    def test_fits_flag(self):
+        assert estimate_nexus_sharp(8).fits is True
+        # Extrapolating far beyond the device capacity must report not fitting.
+        assert estimate_nexus_sharp(40).fits is False
+
+    def test_table1_rows_order(self):
+        rows = table1()
+        assert rows[0].configuration == "Nexus++"
+        assert [r.num_task_graphs for r in rows[1:]] == [1, 2, 4, 6, 8]
+
+    def test_as_table_row_shape(self):
+        row = estimate_nexus_sharp(4).as_table_row()
+        assert len(row) == 7
+        assert row[0].startswith("Nexus#")
+
+    def test_invalid_task_graph_count(self):
+        with pytest.raises(ConfigurationError):
+            estimate_nexus_sharp(0)
+
+    def test_device_totals(self):
+        assert ZC706_DEVICE.registers == 437200
+        assert ZC706_DEVICE.luts == 218600
+        assert ZC706_DEVICE.block_rams == 545

@@ -1,0 +1,69 @@
+"""Integration tests: every manager executes every workload correctly.
+
+These tests replay the same traces through every manager model and check
+the schedule against the reference dependency DAG, plus cross-manager
+invariants (the ideal manager is never slower than a hardware manager,
+speedups never exceed the DAG's maximum parallelism, ...).
+"""
+
+import pytest
+
+from repro.managers.ideal import IdealManager
+from repro.system.machine import simulate
+from repro.trace.dag import build_dependency_graph
+from repro.workloads.gaussian import generate_gaussian_elimination
+from repro.workloads.h264dec import generate_h264dec
+from repro.workloads.sparselu import generate_sparselu
+from repro.workloads.streamcluster import generate_streamcluster
+from repro.workloads.synthetic import generate_random_dag
+
+
+SMALL_TRACES = [
+    pytest.param(lambda: generate_random_dag(100, seed=2), id="random-dag"),
+    pytest.param(lambda: generate_h264dec(grouping=8, num_frames=2, scale=0.15, seed=2), id="h264-small"),
+    pytest.param(lambda: generate_sparselu(num_blocks=6, seed=2), id="sparselu-small"),
+    pytest.param(lambda: generate_streamcluster(num_rounds=3, group_size=20, seed=2), id="streamcluster-small"),
+    pytest.param(lambda: generate_gaussian_elimination(matrix_size=20), id="gaussian-20"),
+]
+
+
+@pytest.mark.parametrize("trace_factory", SMALL_TRACES)
+def test_every_manager_respects_dependencies(trace_factory, any_manager):
+    trace = trace_factory()
+    result = simulate(trace, any_manager, 4, validate=True)
+    assert result.num_tasks == trace.num_tasks
+
+
+@pytest.mark.parametrize("trace_factory", SMALL_TRACES)
+def test_speedup_never_exceeds_structural_parallelism(trace_factory, any_manager):
+    trace = trace_factory()
+    graph = build_dependency_graph(trace)
+    result = simulate(trace, any_manager, 16)
+    assert result.speedup_vs_serial <= graph.max_parallelism() * (1.0 + 1e-9) + 1e-9
+
+
+@pytest.mark.parametrize("trace_factory", SMALL_TRACES)
+def test_ideal_is_a_lower_bound_on_makespan(trace_factory, any_manager):
+    trace = trace_factory()
+    ideal = simulate(trace, IdealManager(), 8)
+    other = simulate(trace, any_manager, 8)
+    assert other.makespan_us >= ideal.makespan_us - 1e-6
+
+
+def test_more_cores_never_hurt_ideal():
+    trace = generate_random_dag(150, seed=9)
+    previous = None
+    for cores in (1, 2, 4, 8, 16):
+        makespan = simulate(trace, IdealManager(), cores).makespan_us
+        if previous is not None:
+            assert makespan <= previous + 1e-6
+        previous = makespan
+
+
+def test_hardware_managers_converge_to_ideal_for_coarse_tasks(any_manager):
+    """With millisecond tasks, every manager's overhead is negligible, so
+    all speedups land close to the ideal one (the c-ray observation)."""
+    trace = generate_random_dag(60, max_predecessors=1, duration_range_us=(5000.0, 6000.0), seed=4)
+    ideal = simulate(trace, IdealManager(), 8).speedup_vs_serial
+    other = simulate(trace, any_manager, 8).speedup_vs_serial
+    assert other >= 0.75 * ideal

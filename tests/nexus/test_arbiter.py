@@ -1,0 +1,89 @@
+"""Tests for the Dependence Counts Arbiter gather model."""
+
+import pytest
+
+from repro.common.errors import SimulationError
+from repro.nexus.arbiter import DependenceCountsArbiter
+
+
+def make_arbiter(cycle_us=0.01):
+    return DependenceCountsArbiter(
+        cycles_per_result=1, conclude_cycles=1, decrement_cycles=1, cycle_us=cycle_us
+    )
+
+
+class TestGather:
+    def test_single_result_concludes_immediately(self):
+        arbiter = make_arbiter()
+        arbiter.begin_task(1, expected_results=1)
+        concluded = arbiter.collect_result(1, 0.0)
+        assert concluded == pytest.approx(0.02)  # 1 collect + 1 conclude cycle
+        assert arbiter.tasks_concluded == 1
+
+    def test_multi_result_concludes_on_last(self):
+        arbiter = make_arbiter()
+        arbiter.begin_task(1, expected_results=3)
+        assert arbiter.collect_result(1, 0.0) is None
+        assert arbiter.collect_result(1, 0.0) is None
+        concluded = arbiter.collect_result(1, 0.0)
+        assert concluded is not None
+        assert arbiter.pending_tasks == 0
+
+    def test_results_serialise_on_the_arbiter(self):
+        arbiter = make_arbiter()
+        arbiter.begin_task(1, expected_results=1)
+        arbiter.begin_task(2, expected_results=1)
+        first = arbiter.collect_result(1, 0.0)
+        second = arbiter.collect_result(2, 0.0)
+        assert second > first
+
+    def test_unknown_task_rejected(self):
+        arbiter = make_arbiter()
+        with pytest.raises(SimulationError):
+            arbiter.collect_result(9, 0.0)
+
+    def test_double_begin_rejected(self):
+        arbiter = make_arbiter()
+        arbiter.begin_task(1, expected_results=1)
+        with pytest.raises(SimulationError):
+            arbiter.begin_task(1, expected_results=1)
+
+    def test_zero_expected_results_rejected(self):
+        arbiter = make_arbiter()
+        with pytest.raises(SimulationError):
+            arbiter.begin_task(1, expected_results=0)
+
+
+class TestDecrement:
+    def test_decrement_advances_time(self):
+        arbiter = make_arbiter()
+        end = arbiter.decrement(5.0)
+        assert end == pytest.approx(5.01)
+        assert arbiter.decrements_processed == 1
+
+    def test_decrements_serialise(self):
+        arbiter = make_arbiter()
+        first = arbiter.decrement(0.0)
+        second = arbiter.decrement(0.0)
+        assert second == pytest.approx(first + 0.01)
+
+
+class TestMisc:
+    def test_invalid_cycle_time(self):
+        with pytest.raises(SimulationError):
+            DependenceCountsArbiter(1, 1, 1, cycle_us=0.0)
+
+    def test_busy_time_accumulates(self):
+        arbiter = make_arbiter()
+        arbiter.decrement(0.0)
+        arbiter.decrement(0.0)
+        assert arbiter.busy_time_us == pytest.approx(0.02)
+
+    def test_reset(self):
+        arbiter = make_arbiter()
+        arbiter.begin_task(1, expected_results=2)
+        arbiter.collect_result(1, 0.0)
+        arbiter.reset()
+        assert arbiter.pending_tasks == 0
+        assert arbiter.busy_time_us == 0.0
+        assert arbiter.tasks_concluded == 0

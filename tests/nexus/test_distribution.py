@@ -1,0 +1,101 @@
+"""Tests for the Nexus# address-distribution hash (Section IV-B)."""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.nexus.distribution import (
+    best_case_round_robin,
+    distribution_histogram,
+    fairness_index,
+    nexus_hash,
+    nexus_hash_array,
+    worst_case_blocked,
+)
+
+
+class TestNexusHash:
+    def test_in_range(self):
+        for num_tg in (1, 2, 5, 6, 8, 32):
+            for address in (0x0, 0x123456, 0x7F3A00001234, (1 << 48) - 1):
+                assert 0 <= nexus_hash(address, num_tg) < num_tg
+
+    def test_deterministic(self):
+        assert nexus_hash(0xABCDEF, 6) == nexus_hash(0xABCDEF, 6)
+
+    def test_single_task_graph_always_zero(self):
+        for address in range(0, 4096, 64):
+            assert nexus_hash(address, 1) == 0
+
+    def test_only_low_20_bits_matter(self):
+        base = 0x0003_1234_5678 & ((1 << 20) - 1)
+        high = base | (0xABC << 20)
+        assert nexus_hash(base, 8) == nexus_hash(high, 8)
+
+    def test_matches_paper_formula(self):
+        # TaskGraphID = (addr[19:15] ^ addr[14:10] ^ addr[9:5] ^ addr[4:0]) mod n
+        address = 0b1011_0110_1001_0110_1011
+        expected = (
+            ((address >> 15) & 0x1F)
+            ^ ((address >> 10) & 0x1F)
+            ^ ((address >> 5) & 0x1F)
+            ^ (address & 0x1F)
+        ) % 6
+        assert nexus_hash(address, 6) == expected
+
+    def test_invalid_task_graph_count(self):
+        with pytest.raises(ConfigurationError):
+            nexus_hash(0x100, 0)
+        with pytest.raises(ConfigurationError):
+            nexus_hash(0x100, 33)
+
+    def test_array_matches_scalar(self):
+        addresses = np.arange(0, 64 * 500, 64, dtype=np.uint64)
+        vector = nexus_hash_array(addresses, 6)
+        scalar = [nexus_hash(int(a), 6) for a in addresses]
+        np.testing.assert_array_equal(vector, scalar)
+
+
+class TestFairness:
+    def test_cache_line_stream_is_balanced(self):
+        # Cache-line strided heap addresses: every task graph gets work.
+        addresses = 0x7F3A_0000_0000 + 64 * np.arange(6000, dtype=np.uint64)
+        for num_tg in (2, 4, 6, 8):
+            histogram = distribution_histogram(addresses, num_tg)
+            assert histogram.sum() == 6000
+            assert histogram.min() > 0
+            assert fairness_index(histogram) > 0.9
+
+    def test_empty_stream(self):
+        histogram = distribution_histogram([], 4)
+        assert histogram.tolist() == [0, 0, 0, 0]
+        assert fairness_index(histogram) == 1.0
+
+    def test_single_hot_address_is_worst_case(self):
+        histogram = distribution_histogram([0x40] * 100, 4)
+        assert fairness_index(histogram) == pytest.approx(0.25)
+
+
+class TestReferenceDistributions:
+    def test_round_robin_best_case(self):
+        assignment = best_case_round_robin(8, 4)
+        assert assignment.tolist() == [0, 1, 2, 3, 0, 1, 2, 3]
+
+    def test_blocked_worst_case(self):
+        assignment = worst_case_blocked(8, 4)
+        assert assignment.tolist() == [0, 0, 1, 1, 2, 2, 3, 3]
+
+    def test_both_assign_equal_share(self):
+        rr = np.bincount(best_case_round_robin(100, 4), minlength=4)
+        blocked = np.bincount(worst_case_blocked(100, 4), minlength=4)
+        np.testing.assert_array_equal(rr, blocked)
+
+    def test_empty(self):
+        assert best_case_round_robin(0, 4).size == 0
+        assert worst_case_blocked(0, 4).size == 0
+
+    def test_negative_items_rejected(self):
+        with pytest.raises(ConfigurationError):
+            best_case_round_robin(-1, 4)
+        with pytest.raises(ConfigurationError):
+            worst_case_blocked(-1, 4)

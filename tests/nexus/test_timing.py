@@ -1,0 +1,93 @@
+"""Tests for the pipeline timing parameters (Sections III-A and IV-D)."""
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.nexus.timing import (
+    NEXUS_SHARP_TEST_FREQUENCIES_MHZ,
+    NexusPlusPlusTiming,
+    NexusSharpTiming,
+    synthesis_frequency_mhz,
+)
+
+
+class TestNexusPlusPlusTiming:
+    def test_paper_example_4_params(self):
+        timing = NexusPlusPlusTiming()
+        # "12 cycles per task" for the input stage, "18 cycles" insert,
+        # "3 cycles" write back (4-parameter example, Section III-A).
+        assert timing.input_cycles(4) == 12
+        assert timing.insert_cycles(4) == 18
+        assert timing.writeback_cycles == 3
+
+    def test_scales_with_parameters(self):
+        timing = NexusPlusPlusTiming()
+        assert timing.input_cycles(1) == 6
+        assert timing.insert_cycles(1) == 6
+        assert timing.cleanup_cycles(2) == 10
+
+    def test_tightly_coupled_preset_is_cheaper(self):
+        full = NexusPlusPlusTiming()
+        tight = NexusPlusPlusTiming.tightly_coupled()
+        for p in (1, 2, 4, 6):
+            assert tight.input_cycles(p) < full.input_cycles(p)
+            assert tight.insert_cycles(p) < full.insert_cycles(p)
+
+    def test_negative_values_rejected(self):
+        with pytest.raises(ConfigurationError):
+            NexusPlusPlusTiming(writeback_cycles=-1)
+
+
+class TestNexusSharpTiming:
+    def test_paper_example_4_params(self):
+        timing = NexusSharpTiming()
+        # IPh (2) + 4 x IP (2) + IPf (1) = 11 cycles of Input Parser
+        # occupancy for the 4-parameter example of Figure 4.
+        assert timing.input_cycles(4) == 11
+        assert timing.insert_cycles_per_param == 5
+        assert timing.writeback_cycles == 3
+        assert timing.args_fifo_latency_cycles == 3
+
+    def test_param_forward_offsets_increase(self):
+        timing = NexusSharpTiming()
+        offsets = [timing.param_forward_offset_cycles(i) for i in range(4)]
+        assert offsets == sorted(offsets)
+        assert offsets[0] == 4  # header (2) + first parameter (2)
+
+    def test_finish_offsets(self):
+        timing = NexusSharpTiming()
+        assert timing.finish_input_cycles(2) == timing.finish_param_forward_offset_cycles(1)
+
+    def test_tightly_coupled_preset_is_cheaper(self):
+        full = NexusSharpTiming()
+        tight = NexusSharpTiming.tightly_coupled()
+        assert tight.input_cycles(4) < full.input_cycles(4)
+        assert tight.insert_cycles_per_param < full.insert_cycles_per_param
+
+    def test_negative_values_rejected(self):
+        with pytest.raises(ConfigurationError):
+            NexusSharpTiming(insert_cycles_per_param=-2)
+
+
+class TestSynthesisFrequency:
+    def test_table1_values(self):
+        assert synthesis_frequency_mhz(1) == pytest.approx(100.0)
+        assert synthesis_frequency_mhz(2) == pytest.approx(100.0)
+        assert synthesis_frequency_mhz(4) == pytest.approx(83.33)
+        assert synthesis_frequency_mhz(6) == pytest.approx(55.56)
+        assert synthesis_frequency_mhz(8) == pytest.approx(41.66)
+
+    def test_max_frequencies(self):
+        assert synthesis_frequency_mhz(6, use_max=True) == pytest.approx(55.66)
+
+    def test_interpolation_between_known_points(self):
+        freq_5 = synthesis_frequency_mhz(5)
+        assert NEXUS_SHARP_TEST_FREQUENCIES_MHZ[6] < freq_5 < NEXUS_SHARP_TEST_FREQUENCIES_MHZ[4]
+
+    def test_extrapolation_stays_positive(self):
+        assert synthesis_frequency_mhz(16) > 0
+        assert synthesis_frequency_mhz(32) > 0
+
+    def test_frequency_monotonically_decreasing(self):
+        values = [synthesis_frequency_mhz(n) for n in range(1, 12)]
+        assert all(a >= b for a, b in zip(values, values[1:]))

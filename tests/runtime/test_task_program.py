@@ -1,0 +1,193 @@
+"""Tests for the OmpSs-like Python task API."""
+
+import pytest
+
+from repro.common.errors import ConfigurationError, TraceError
+from repro.managers.ideal import IdealManager
+from repro.runtime.data import DataHandle, DataMatrix
+from repro.runtime.program import TaskProgram
+from repro.system.machine import simulate
+from repro.trace.dag import build_dependency_graph
+from repro.trace.task import Direction
+
+
+class TestDataDeclaration:
+    def test_data_handles_have_unique_addresses(self):
+        prog = TaskProgram("p")
+        a = prog.data("a")
+        b = prog.data("b")
+        assert a.address != b.address
+
+    def test_array(self):
+        prog = TaskProgram("p")
+        arr = prog.array("x", 5)
+        assert len(arr) == 5
+        assert len({h.address for h in arr}) == 5
+
+    def test_matrix(self):
+        prog = TaskProgram("p")
+        m = prog.matrix("X", 3, 4)
+        assert m.shape == (3, 4)
+        assert m.at(2, 3) is not None
+        assert m.at(3, 0) is None
+        assert m.at(0, -1) is None
+
+    def test_invalid_sizes(self):
+        prog = TaskProgram("p")
+        with pytest.raises(ConfigurationError):
+            prog.array("x", 0)
+        with pytest.raises(ConfigurationError):
+            prog.matrix("X", 0, 3)
+
+    def test_matrix_requires_consistent_rows(self):
+        handle = DataHandle("h", 64)
+        with pytest.raises(ConfigurationError):
+            DataMatrix("bad", [[handle], [handle, handle]])
+
+
+class TestTaskDecorator:
+    def test_calls_record_tasks(self):
+        prog = TaskProgram("p")
+        x = prog.data("x")
+        y = prog.data("y")
+
+        @prog.task(inputs=("src",), outputs=("dst",), duration_us=3.0)
+        def copy(src, dst):
+            pass
+
+        copy(x, y)
+        copy(y, x)
+        trace = prog.build()
+        assert trace.num_tasks == 2
+        assert copy.calls == 2
+        task = next(trace.tasks())
+        assert {p.direction for p in task.params} == {Direction.IN, Direction.OUT}
+
+    def test_none_arguments_skip_dependencies(self):
+        prog = TaskProgram("p")
+        x = prog.data("x")
+
+        @prog.task(inputs=("left",), inouts=("this_",), duration_us=1.0)
+        def decode(left, this_):
+            pass
+
+        decode(None, x)
+        task = next(prog.build().tasks())
+        assert task.num_params == 1
+
+    def test_duration_callable(self):
+        prog = TaskProgram("p")
+        x = prog.data("x")
+
+        @prog.task(inouts=("block",), duration_us=lambda block, weight: weight * 2.0)
+        def work(block, weight):
+            pass
+
+        work(x, weight=5)
+        assert next(prog.build().tasks()).duration_us == pytest.approx(10.0)
+
+    def test_execute_runs_body(self):
+        prog = TaskProgram("p")
+        x = prog.data("x")
+        seen = []
+
+        @prog.task(inouts=("block",), duration_us=1.0, execute=True)
+        def work(block):
+            seen.append(block.name)
+            return 42
+
+        assert work(x) == 42
+        assert seen == ["x"]
+
+    def test_unknown_clause_parameter_rejected(self):
+        prog = TaskProgram("p")
+        with pytest.raises(ConfigurationError):
+            @prog.task(inputs=("nope",))
+            def f(a):
+                pass
+
+    def test_parameter_in_two_clauses_rejected(self):
+        prog = TaskProgram("p")
+        with pytest.raises(ConfigurationError):
+            @prog.task(inputs=("a",), outputs=("a",))
+            def f(a):
+                pass
+
+    def test_non_handle_argument_rejected(self):
+        prog = TaskProgram("p")
+
+        @prog.task(inputs=("a",))
+        def f(a):
+            pass
+
+        with pytest.raises(TraceError):
+            f("not a handle")
+
+    def test_negative_duration_rejected(self):
+        prog = TaskProgram("p")
+        x = prog.data("x")
+
+        @prog.task(inouts=("a",), duration_us=lambda a: -1.0)
+        def f(a):
+            pass
+
+        with pytest.raises(TraceError):
+            f(x)
+
+
+class TestBarriersAndEndToEnd:
+    def test_taskwait_and_taskwait_on_recorded(self):
+        prog = TaskProgram("p")
+        x = prog.data("x")
+
+        @prog.task(outputs=("a",), duration_us=1.0)
+        def produce(a):
+            pass
+
+        produce(x)
+        prog.taskwait_on(x)
+        prog.taskwait()
+        kinds = [e.kind for e in prog.build().events]
+        assert kinds == ["submit", "taskwait_on", "taskwait"]
+
+    def test_taskwait_on_requires_handle(self):
+        prog = TaskProgram("p")
+        with pytest.raises(TraceError):
+            prog.taskwait_on(0x1234)
+
+    def test_wavefront_program_matches_listing1_dependencies(self):
+        """Reproduce Listing 1 (macroblock wavefront) and check the DAG."""
+        prog = TaskProgram("wavefront")
+        rows, cols = 4, 5
+        X = prog.matrix("X", rows, cols)
+
+        @prog.task(inputs=("left", "upright"), inouts=("this_",), duration_us=2.0)
+        def decode(left, upright, this_):
+            pass
+
+        for i in range(rows):
+            for j in range(cols):
+                decode(X.at(i, j - 1), X.at(i - 1, j + 1), X.at(i, j))
+        prog.taskwait()
+        trace = prog.build()
+        assert trace.num_tasks == rows * cols
+        graph = build_dependency_graph(trace)
+        # Task (i, j) has id i*cols + j; interior tasks have 2 predecessors.
+        assert graph.predecessors[0] == set()
+        assert graph.predecessors[1 * cols + 2] == {1 * cols + 1, 0 * cols + 3}
+        # The whole program runs correctly on a manager.
+        result = simulate(trace, IdealManager(), 4, validate=True)
+        assert result.num_tasks == trace.num_tasks
+
+    def test_num_tasks_property(self):
+        prog = TaskProgram("p")
+        x = prog.data("x")
+
+        @prog.task(inouts=("a",), duration_us=1.0)
+        def f(a):
+            pass
+
+        assert prog.num_tasks == 0
+        f(x)
+        assert prog.num_tasks == 1
+        assert "f" in prog.functions()

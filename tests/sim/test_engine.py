@@ -1,0 +1,133 @@
+"""Tests for the discrete-event engine."""
+
+import pytest
+
+from repro.common.errors import SimulationError
+from repro.sim.engine import Event, EventQueue, Simulator
+
+
+class TestEventQueue:
+    def test_orders_by_time(self):
+        q = EventQueue()
+        q.push(5.0, "b")
+        q.push(1.0, "a")
+        q.push(3.0, "c")
+        assert [q.pop().kind for _ in range(3)] == ["a", "c", "b"]
+
+    def test_ties_broken_by_priority_then_fifo(self):
+        q = EventQueue()
+        q.push(1.0, "late", priority=2)
+        q.push(1.0, "first", priority=0)
+        q.push(1.0, "second", priority=0)
+        assert [q.pop().kind for _ in range(3)] == ["first", "second", "late"]
+
+    def test_len_and_bool(self):
+        q = EventQueue()
+        assert not q and len(q) == 0
+        q.push(0.0, "x")
+        assert q and len(q) == 1
+
+    def test_pop_empty_raises(self):
+        with pytest.raises(SimulationError):
+            EventQueue().pop()
+
+    def test_peek_does_not_remove(self):
+        q = EventQueue()
+        q.push(2.0, "x")
+        assert q.peek().kind == "x"
+        assert len(q) == 1
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(SimulationError):
+            EventQueue().push(-1.0, "x")
+
+    def test_drain_yields_in_order(self):
+        q = EventQueue()
+        for t in (3.0, 1.0, 2.0):
+            q.push(t, f"t{t}")
+        assert [e.time for e in q.drain()] == [1.0, 2.0, 3.0]
+
+    def test_clear(self):
+        q = EventQueue()
+        q.push(1.0, "x")
+        q.clear()
+        assert len(q) == 0
+
+
+class TestSimulator:
+    def test_dispatch_and_time_advance(self):
+        sim = Simulator()
+        seen = []
+        sim.on("tick", lambda s, e: seen.append((s.now, e.payload)))
+        sim.schedule(1.0, "tick", "a")
+        sim.schedule(2.5, "tick", "b")
+        end = sim.run()
+        assert seen == [(1.0, "a"), (2.5, "b")]
+        assert end == pytest.approx(2.5)
+
+    def test_handler_can_schedule_more_events(self):
+        sim = Simulator()
+        counter = {"n": 0}
+
+        def handler(s, e):
+            counter["n"] += 1
+            if counter["n"] < 5:
+                s.schedule(1.0, "tick")
+
+        sim.on("tick", handler)
+        sim.schedule(0.0, "tick")
+        sim.run()
+        assert counter["n"] == 5
+        assert sim.processed_events == 5
+
+    def test_run_until_stops_before_future_events(self):
+        sim = Simulator()
+        sim.on("tick", lambda s, e: None)
+        sim.schedule(1.0, "tick")
+        sim.schedule(10.0, "tick")
+        end = sim.run(until=5.0)
+        assert end == pytest.approx(5.0)
+        assert len(sim.queue) == 1
+
+    def test_max_events(self):
+        sim = Simulator()
+        sim.on("tick", lambda s, e: None)
+        for i in range(10):
+            sim.schedule(float(i), "tick")
+        sim.run(max_events=3)
+        assert sim.processed_events == 3
+
+    def test_missing_handler_raises(self):
+        sim = Simulator()
+        sim.schedule(1.0, "unknown")
+        with pytest.raises(SimulationError):
+            sim.run()
+
+    def test_negative_delay_rejected(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            sim.schedule(-1.0, "tick")
+
+    def test_schedule_at_in_past_rejected(self):
+        sim = Simulator()
+        sim.on("tick", lambda s, e: None)
+        sim.schedule(5.0, "tick")
+        sim.run()
+        with pytest.raises(SimulationError):
+            sim.schedule_at(1.0, "tick")
+
+    def test_reset(self):
+        sim = Simulator()
+        sim.on("tick", lambda s, e: None)
+        sim.schedule(1.0, "tick")
+        sim.run()
+        sim.reset()
+        assert sim.now == 0.0
+        assert sim.processed_events == 0
+
+
+class TestEventDataclass:
+    def test_ordering_ignores_payload(self):
+        early = Event(time=1.0, priority=0, sequence=0, kind="a", payload=object())
+        late = Event(time=2.0, priority=0, sequence=1, kind="b", payload=object())
+        assert early < late

@@ -1,0 +1,86 @@
+"""Tests for the latency FIFO."""
+
+import pytest
+
+from repro.common.errors import ConfigurationError, SimulationError
+from repro.sim.fifo import LatencyFifo
+
+
+class TestLatencyFifo:
+    def test_fall_through_latency(self):
+        fifo = LatencyFifo("buf", capacity=4, latency=3.0)
+        fifo.push(10.0, "item")
+        available, item = fifo.pop(0.0)
+        assert item == "item"
+        assert available == pytest.approx(13.0)
+
+    def test_pop_later_than_visibility(self):
+        fifo = LatencyFifo("buf", capacity=4, latency=3.0)
+        fifo.push(0.0, "item")
+        available, _ = fifo.pop(50.0)
+        assert available == pytest.approx(50.0)
+
+    def test_fifo_order(self):
+        fifo = LatencyFifo("buf", capacity=4, latency=0.0)
+        fifo.push(0.0, "a")
+        fifo.push(1.0, "b")
+        assert fifo.pop(0.0)[1] == "a"
+        assert fifo.pop(0.0)[1] == "b"
+
+    def test_pop_empty_raises(self):
+        with pytest.raises(SimulationError):
+            LatencyFifo("buf", capacity=1, latency=0.0).pop(0.0)
+
+    def test_full_fifo_delays_producer(self):
+        fifo = LatencyFifo("buf", capacity=2, latency=0.0)
+        fifo.push(0.0, "a")
+        fifo.push(0.0, "b")
+        # Consumer drains the head at t=7, freeing one slot.
+        fifo.pop(7.0)
+        assert fifo.push(1.0, "c") == pytest.approx(1.0)  # slot available
+        # The FIFO holds "b" and "c" again: the next push must wait for the
+        # last recorded drain.
+        write_time = fifo.push(1.0, "d")
+        assert write_time == pytest.approx(7.0)
+        assert fifo.stats.producer_stalls == 1
+
+    def test_full_fifo_never_drained_raises(self):
+        fifo = LatencyFifo("buf", capacity=1, latency=0.0)
+        fifo.push(0.0, "a")
+        with pytest.raises(SimulationError):
+            fifo.push(1.0, "b")
+
+    def test_capacity_validation(self):
+        with pytest.raises(ConfigurationError):
+            LatencyFifo("buf", capacity=0, latency=0.0)
+
+    def test_latency_validation(self):
+        with pytest.raises(ConfigurationError):
+            LatencyFifo("buf", capacity=1, latency=-1.0)
+
+    def test_negative_push_time_rejected(self):
+        with pytest.raises(SimulationError):
+            LatencyFifo("buf", capacity=1, latency=0.0).push(-1.0, "x")
+
+    def test_peek_visible_time(self):
+        fifo = LatencyFifo("buf", capacity=2, latency=2.0)
+        assert fifo.peek_visible_time() is None
+        fifo.push(1.0, "x")
+        assert fifo.peek_visible_time() == pytest.approx(3.0)
+
+    def test_stats_and_reset(self):
+        fifo = LatencyFifo("buf", capacity=2, latency=0.0)
+        fifo.push(0.0, "a")
+        fifo.pop(0.0)
+        assert fifo.stats.pushes == 1
+        assert fifo.stats.pops == 1
+        assert fifo.stats.max_occupancy == 1
+        fifo.reset()
+        assert len(fifo) == 0
+        assert fifo.stats.pushes == 0
+
+    def test_is_full(self):
+        fifo = LatencyFifo("buf", capacity=1, latency=0.0)
+        assert not fifo.is_full
+        fifo.push(0.0, "a")
+        assert fifo.is_full

@@ -1,0 +1,109 @@
+"""Tests for the statistics helpers."""
+
+import pytest
+
+from repro.sim.stats import Counter, SummaryStats, TimeWeightedStat, UtilizationTracker
+
+
+class TestCounter:
+    def test_increment(self):
+        c = Counter("tasks")
+        assert c.increment() == 1
+        assert c.increment(4) == 5
+
+    def test_negative_increment_rejected(self):
+        with pytest.raises(ValueError):
+            Counter("tasks").increment(-1)
+
+    def test_reset(self):
+        c = Counter("tasks", 7)
+        c.reset()
+        assert c.value == 0
+
+
+class TestTimeWeightedStat:
+    def test_mean_of_constant_signal(self):
+        s = TimeWeightedStat()
+        s.record(0.0, 4.0)
+        s.record(10.0, 4.0)
+        assert s.mean() == pytest.approx(4.0)
+
+    def test_mean_of_step_signal(self):
+        s = TimeWeightedStat()
+        s.record(0.0, 0.0)
+        s.record(5.0, 10.0)
+        s.record(10.0, 10.0)
+        # 0 for 5 time units then 10 for 5 time units.
+        assert s.mean() == pytest.approx(5.0)
+
+    def test_mean_with_extension_horizon(self):
+        s = TimeWeightedStat()
+        s.record(0.0, 2.0)
+        s.record(5.0, 2.0)
+        assert s.mean(until=10.0) == pytest.approx(2.0)
+
+    def test_min_max(self):
+        s = TimeWeightedStat()
+        s.record(0.0, 1.0)
+        s.record(1.0, 9.0)
+        assert s.maximum == 9.0
+        assert s.minimum == 1.0
+
+    def test_empty(self):
+        s = TimeWeightedStat()
+        assert s.mean() == 0.0
+        assert s.maximum == 0.0
+
+    def test_out_of_order_rejected(self):
+        s = TimeWeightedStat()
+        s.record(5.0, 1.0)
+        with pytest.raises(ValueError):
+            s.record(4.0, 1.0)
+
+
+class TestUtilizationTracker:
+    def test_single_server(self):
+        u = UtilizationTracker(1)
+        u.record_busy(0.0, 5.0)
+        assert u.utilization(10.0) == pytest.approx(0.5)
+
+    def test_multi_server(self):
+        u = UtilizationTracker(4)
+        u.record_busy(0.0, 10.0)
+        u.record_busy(0.0, 10.0)
+        assert u.utilization(10.0) == pytest.approx(0.5)
+
+    def test_default_horizon(self):
+        u = UtilizationTracker(1)
+        u.record_busy(0.0, 4.0)
+        assert u.utilization() == pytest.approx(1.0)
+
+    def test_invalid_servers(self):
+        with pytest.raises(ValueError):
+            UtilizationTracker(0)
+
+    def test_invalid_interval(self):
+        u = UtilizationTracker(1)
+        with pytest.raises(ValueError):
+            u.record_busy(5.0, 1.0)
+
+
+class TestSummaryStats:
+    def test_mean_std(self):
+        s = SummaryStats()
+        s.extend([1.0, 2.0, 3.0, 4.0])
+        assert s.mean == pytest.approx(2.5)
+        assert s.minimum == 1.0
+        assert s.maximum == 4.0
+        assert s.std == pytest.approx(1.118, abs=1e-3)
+
+    def test_empty(self):
+        s = SummaryStats()
+        assert s.mean == 0.0
+        assert s.variance == 0.0
+
+    def test_single_value(self):
+        s = SummaryStats()
+        s.add(5.0)
+        assert s.mean == 5.0
+        assert s.variance == 0.0

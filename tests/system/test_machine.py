@@ -1,0 +1,166 @@
+"""Tests for the multicore machine simulator."""
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.managers.ideal import IdealManager
+from repro.nexus.nexuspp import NexusPlusPlusManager
+from repro.nexus.nexussharp import NexusSharpConfig, NexusSharpManager
+from repro.system.machine import Machine, MachineConfig, simulate
+from repro.trace.trace import TraceBuilder
+from repro.workloads.synthetic import generate_chain, generate_fork_join, generate_independent
+
+
+class TestIdealScheduling:
+    def test_single_core_makespan_equals_total_work(self, independent_trace):
+        result = simulate(independent_trace, IdealManager(), 1, validate=True)
+        assert result.makespan_us == pytest.approx(independent_trace.total_work_us)
+        assert result.speedup_vs_serial == pytest.approx(1.0)
+
+    def test_independent_tasks_scale_linearly(self, independent_trace):
+        result = simulate(independent_trace, IdealManager(), 4, validate=True)
+        assert result.speedup_vs_serial == pytest.approx(4.0)
+
+    def test_more_cores_than_tasks(self, independent_trace):
+        result = simulate(independent_trace, IdealManager(), 1000, validate=True)
+        # 20 tasks of 10 µs: everything runs at once.
+        assert result.makespan_us == pytest.approx(10.0)
+
+    def test_chain_cannot_scale(self, chain_trace):
+        serial = simulate(chain_trace, IdealManager(), 1, validate=True)
+        parallel = simulate(chain_trace, IdealManager(), 8, validate=True)
+        assert parallel.makespan_us == pytest.approx(serial.makespan_us)
+
+    def test_diamond_critical_path(self, tiny_diamond_trace):
+        result = simulate(tiny_diamond_trace, IdealManager(), 4, validate=True)
+        assert result.makespan_us == pytest.approx(30.0)
+
+    def test_all_tasks_executed_exactly_once(self, random_dag_trace):
+        result = simulate(random_dag_trace, IdealManager(), 8, validate=True)
+        assert result.num_tasks == random_dag_trace.num_tasks
+        assert len(result.finish_times) == random_dag_trace.num_tasks
+
+    def test_makespan_at_least_critical_path_and_at_most_serial(self, random_dag_trace):
+        from repro.trace.dag import build_dependency_graph
+
+        graph = build_dependency_graph(random_dag_trace)
+        result = simulate(random_dag_trace, IdealManager(), 4, validate=True)
+        assert result.makespan_us >= graph.critical_path_length() - 1e-6
+        assert result.makespan_us <= graph.total_work() + 1e-6
+
+
+class TestBarriers:
+    def test_taskwait_serialises_phases(self):
+        builder = TraceBuilder("barrier")
+        builder.add_task("a", 10.0, outputs=[0x40])
+        builder.add_task("b", 10.0, outputs=[0x80])
+        builder.add_taskwait()
+        builder.add_task("c", 10.0, outputs=[0xC0])
+        trace = builder.build()
+        result = simulate(trace, IdealManager(), 4, validate=True)
+        # Phase 1 (10 µs, two tasks in parallel) then c (10 µs).
+        assert result.makespan_us == pytest.approx(20.0)
+        assert result.start_times[2] >= max(result.finish_times[0], result.finish_times[1])
+
+    def test_taskwait_on_only_waits_for_the_named_writer(self):
+        builder = TraceBuilder("taskwait-on")
+        builder.add_task("slow", 100.0, outputs=[0x40])
+        builder.add_task("fast", 1.0, outputs=[0x80])
+        builder.add_taskwait_on(0x80)
+        builder.add_task("after", 1.0, outputs=[0xC0])
+        trace = builder.build()
+        result = simulate(trace, IdealManager(), 4, validate=True)
+        # "after" must not wait for "slow".
+        assert result.start_times[2] < 100.0
+
+    def test_taskwait_on_degrades_to_full_taskwait_without_support(self):
+        builder = TraceBuilder("taskwait-on-degraded")
+        builder.add_task("slow", 100.0, outputs=[0x40])
+        builder.add_task("fast", 1.0, outputs=[0x80])
+        builder.add_taskwait_on(0x80)
+        builder.add_task("after", 1.0, outputs=[0xC0])
+        trace = builder.build()
+        result = simulate(trace, NexusPlusPlusManager(), 4, validate=True)
+        # Nexus++ has no taskwait-on support: "after" waits for everything.
+        assert result.start_times[2] >= 100.0
+
+    def test_taskwait_on_unwritten_address_is_noop(self):
+        builder = TraceBuilder("noop-barrier")
+        builder.add_task("a", 10.0, outputs=[0x40])
+        builder.add_taskwait_on(0xDEAD00)
+        builder.add_task("b", 10.0, outputs=[0x80])
+        trace = builder.build()
+        result = simulate(trace, IdealManager(), 2, validate=True)
+        assert result.makespan_us == pytest.approx(10.0)
+
+    def test_leading_and_trailing_barriers(self):
+        builder = TraceBuilder("edge-barriers")
+        builder.add_taskwait()
+        builder.add_task("a", 5.0, outputs=[0x40])
+        builder.add_taskwait()
+        builder.add_taskwait()
+        trace = builder.build()
+        result = simulate(trace, IdealManager(), 1, validate=True)
+        assert result.makespan_us == pytest.approx(5.0)
+
+
+class TestHardwareManagersOnMachine:
+    @pytest.mark.parametrize("num_tg", [1, 4, 6])
+    def test_nexus_sharp_executes_fork_join(self, fork_join_trace, num_tg):
+        manager = NexusSharpManager(NexusSharpConfig(num_task_graphs=num_tg, frequency_mhz=100.0))
+        result = simulate(fork_join_trace, manager, 4, validate=True)
+        assert result.num_tasks == fork_join_trace.num_tasks
+        assert result.makespan_us > 0
+
+    def test_manager_overhead_slows_execution_down(self, independent_trace):
+        ideal = simulate(independent_trace, IdealManager(), 4)
+        hardware = simulate(independent_trace, NexusPlusPlusManager(), 4)
+        assert hardware.makespan_us >= ideal.makespan_us
+
+    def test_worker_overhead_added_to_execution(self):
+        from repro.managers.nanos import NanosManager
+
+        trace = generate_independent(4, duration_us=10.0, seed=0)
+        manager = NanosManager()
+        result = simulate(trace, manager, 1, validate=True)
+        expected_work = 4 * (10.0 + manager.worker_overhead_us)
+        assert result.makespan_us >= expected_work - 1e-6
+
+
+class TestResultMetrics:
+    def test_core_utilization_bounds(self, independent_trace):
+        result = simulate(independent_trace, IdealManager(), 4)
+        assert 0.0 < result.core_utilization <= 1.0
+
+    def test_summary_keys(self, independent_trace):
+        summary = simulate(independent_trace, IdealManager(), 2).summary()
+        assert {"trace", "manager", "cores", "makespan_ms", "speedup"} <= set(summary)
+
+    def test_keep_schedule_false_drops_schedules(self, independent_trace):
+        result = simulate(independent_trace, IdealManager(), 2, keep_schedule=False)
+        assert result.start_times == {}
+        assert result.makespan_us > 0
+
+    def test_latency_metrics_non_negative(self, fork_join_trace):
+        result = simulate(fork_join_trace, NexusPlusPlusManager(), 2)
+        assert result.mean_ready_latency_us >= 0.0
+        assert result.mean_queue_latency_us >= 0.0
+
+    def test_invalid_core_count(self):
+        with pytest.raises(ConfigurationError):
+            MachineConfig(num_cores=0)
+
+    def test_machine_reusable_across_traces(self):
+        machine = Machine(IdealManager(), MachineConfig(num_cores=2))
+        first = machine.run(generate_independent(6, seed=1))
+        second = machine.run(generate_chain(6, seed=1))
+        assert first.num_tasks == 6 and second.num_tasks == 6
+
+
+class TestDeterminism:
+    def test_same_inputs_same_makespan(self, random_dag_trace):
+        manager_a = NexusSharpManager(NexusSharpConfig(num_task_graphs=4, frequency_mhz=100.0))
+        manager_b = NexusSharpManager(NexusSharpConfig(num_task_graphs=4, frequency_mhz=100.0))
+        first = simulate(random_dag_trace, manager_a, 8)
+        second = simulate(random_dag_trace, manager_b, 8)
+        assert first.makespan_us == pytest.approx(second.makespan_us)

@@ -1,0 +1,108 @@
+"""Tests for the set-associative address table."""
+
+import pytest
+
+from repro.common.errors import ConfigurationError, SimulationError
+from repro.taskgraph.address_state import AccessMode
+from repro.taskgraph.table import AddressTable
+
+
+class TestGeometry:
+    def test_set_index_is_stable_and_in_range(self):
+        table = AddressTable(num_sets=64, ways=4)
+        for address in (0x0, 0x1000, 0xDEADBEEF, (1 << 48) - 64):
+            idx = table.set_index(address)
+            assert 0 <= idx < 64
+            assert idx == table.set_index(address)
+
+    def test_capacity(self):
+        assert AddressTable(num_sets=16, ways=4).capacity_entries == 64
+
+    def test_non_power_of_two_sets_rejected(self):
+        with pytest.raises(ConfigurationError):
+            AddressTable(num_sets=100, ways=4)
+
+    def test_invalid_ways_rejected(self):
+        with pytest.raises(ConfigurationError):
+            AddressTable(num_sets=16, ways=0)
+
+
+class TestInsertAndFinish:
+    def test_insert_then_finish_evicts_entry(self):
+        table = AddressTable(num_sets=16, ways=2)
+        must_wait, conflict = table.insert_access(0x40, 1, AccessMode.WRITE)
+        assert (must_wait, conflict) == (False, False)
+        assert table.live_entries == 1
+        table.finish_access(0x40, 1)
+        assert table.live_entries == 0
+        assert table.stats.evictions == 1
+
+    def test_dependent_task_waits(self):
+        table = AddressTable()
+        table.insert_access(0x40, 1, AccessMode.WRITE)
+        must_wait, _ = table.insert_access(0x40, 2, AccessMode.READ)
+        assert must_wait is True
+
+    def test_finish_returns_kicked_waiters(self):
+        table = AddressTable()
+        table.insert_access(0x40, 1, AccessMode.WRITE)
+        table.insert_access(0x40, 2, AccessMode.READ)
+        released = table.finish_access(0x40, 1)
+        assert [w.task_id for w in released] == [2]
+
+    def test_finish_untracked_address_raises(self):
+        with pytest.raises(SimulationError):
+            AddressTable().finish_access(0x40, 1)
+
+    def test_set_conflict_detected(self):
+        table = AddressTable(num_sets=1, ways=2)
+        # Three distinct addresses in the single set: third insert conflicts.
+        assert table.insert_access(0x40, 1, AccessMode.WRITE)[1] is False
+        assert table.insert_access(0x80, 2, AccessMode.WRITE)[1] is False
+        assert table.insert_access(0xC0, 3, AccessMode.WRITE)[1] is True
+        assert table.stats.set_conflicts == 1
+
+    def test_conflict_entry_is_still_tracked(self):
+        table = AddressTable(num_sets=1, ways=1)
+        table.insert_access(0x40, 1, AccessMode.WRITE)
+        table.insert_access(0x80, 2, AccessMode.WRITE)
+        # Functional behaviour unaffected: dependencies on the overflowing
+        # address still resolve.
+        must_wait, _ = table.insert_access(0x80, 3, AccessMode.READ)
+        assert must_wait is True
+
+    def test_occupancy_released_on_eviction(self):
+        table = AddressTable(num_sets=1, ways=2)
+        table.insert_access(0x40, 1, AccessMode.WRITE)
+        set_idx = table.set_index(0x40)
+        assert table.set_occupancy(set_idx) == 1
+        table.finish_access(0x40, 1)
+        assert table.set_occupancy(set_idx) == 0
+
+
+class TestDummyEntries:
+    def test_long_kickoff_list_consumes_extra_ways(self):
+        table = AddressTable(num_sets=4, ways=8, kickoff_capacity=2)
+        table.insert_access(0x40, 0, AccessMode.WRITE)
+        for task in range(1, 6):  # 5 waiters, capacity 2 -> 2 dummy entries
+            table.insert_access(0x40, task, AccessMode.WRITE)
+        assert table.ways_used(0x40) == 3
+        assert table.stats.dummy_entries_peak >= 2
+
+    def test_unbounded_waiters_supported(self):
+        # The Gaussian-elimination property: any number of tasks may wait
+        # on one address (dummy-entry chaining), the structure never fails.
+        table = AddressTable(num_sets=4, ways=2, kickoff_capacity=4)
+        table.insert_access(0x40, 0, AccessMode.WRITE)
+        for task in range(1, 300):
+            must_wait, _ = table.insert_access(0x40, task, AccessMode.READ)
+            assert must_wait is True
+        released = table.finish_access(0x40, 0)
+        assert len(released) == 299
+
+    def test_reset(self):
+        table = AddressTable()
+        table.insert_access(0x40, 1, AccessMode.WRITE)
+        table.reset()
+        assert table.live_entries == 0
+        assert table.stats.insertions == 0

@@ -1,0 +1,160 @@
+"""Tests for the DependencyTracker (functional dependency engine)."""
+
+import pytest
+
+from repro.common.errors import ConfigurationError, SimulationError
+from repro.taskgraph.address_state import AccessMode
+from repro.taskgraph.tracker import DependencyTracker, merge_access_modes
+from repro.trace.dag import build_dependency_graph
+from repro.trace.task import Direction, Parameter, TaskDescriptor, make_params
+from repro.workloads.synthetic import generate_random_dag
+
+
+def make_task(task_id, inputs=(), outputs=(), inouts=()):
+    return TaskDescriptor(
+        task_id=task_id,
+        function="f",
+        params=make_params(inputs=inputs, outputs=outputs, inouts=inouts),
+        duration_us=1.0,
+    )
+
+
+class TestMergeAccessModes:
+    def test_distinct_addresses_preserved_in_order(self):
+        task = make_task(0, inputs=[0x1, 0x2], outputs=[0x3])
+        merged = merge_access_modes(task)
+        assert [a for a, _ in merged] == [0x1, 0x2, 0x3]
+
+    def test_duplicate_address_merges_to_readwrite(self):
+        task = TaskDescriptor(
+            task_id=0,
+            function="f",
+            params=(
+                Parameter(address=0x1, direction=Direction.IN),
+                Parameter(address=0x1, direction=Direction.OUT),
+            ),
+            duration_us=1.0,
+        )
+        merged = merge_access_modes(task)
+        assert merged == [(0x1, AccessMode.READWRITE)]
+
+    def test_duplicate_reads_stay_read(self):
+        task = TaskDescriptor(
+            task_id=0,
+            function="f",
+            params=(
+                Parameter(address=0x1, direction=Direction.IN),
+                Parameter(address=0x1, direction=Direction.IN),
+            ),
+            duration_us=1.0,
+        )
+        assert merge_access_modes(task) == [(0x1, AccessMode.READ)]
+
+
+class TestInsertFinish:
+    def test_independent_task_ready(self):
+        tracker = DependencyTracker()
+        result = tracker.insert_task(make_task(0, outputs=[0x1]))
+        assert result.ready is True
+        assert result.dependence_count == 0
+
+    def test_dependent_task_not_ready_until_producer_finishes(self):
+        tracker = DependencyTracker()
+        tracker.insert_task(make_task(0, outputs=[0x1]))
+        result = tracker.insert_task(make_task(1, inputs=[0x1]))
+        assert result.ready is False
+        finish = tracker.finish_task(0)
+        assert finish.newly_ready == (1,)
+
+    def test_multi_dependency_requires_all_producers(self):
+        tracker = DependencyTracker()
+        tracker.insert_task(make_task(0, outputs=[0x1]))
+        tracker.insert_task(make_task(1, outputs=[0x2]))
+        result = tracker.insert_task(make_task(2, inputs=[0x1, 0x2]))
+        assert result.dependence_count == 2
+        assert tracker.finish_task(0).newly_ready == ()
+        assert tracker.finish_task(1).newly_ready == (2,)
+
+    def test_finish_before_ready_raises(self):
+        tracker = DependencyTracker()
+        tracker.insert_task(make_task(0, outputs=[0x1]))
+        tracker.insert_task(make_task(1, inputs=[0x1]))
+        with pytest.raises(SimulationError):
+            tracker.finish_task(1)
+
+    def test_double_insert_raises(self):
+        tracker = DependencyTracker()
+        tracker.insert_task(make_task(0, outputs=[0x1]))
+        with pytest.raises(SimulationError):
+            tracker.insert_task(make_task(0, outputs=[0x2]))
+
+    def test_finish_unknown_raises(self):
+        with pytest.raises(SimulationError):
+            DependencyTracker().finish_task(3)
+
+    def test_in_flight_count(self):
+        tracker = DependencyTracker()
+        tracker.insert_task(make_task(0, outputs=[0x1]))
+        tracker.insert_task(make_task(1, outputs=[0x2]))
+        assert tracker.in_flight_tasks == 2
+        tracker.finish_task(0)
+        assert tracker.in_flight_tasks == 1
+
+    def test_reset(self):
+        tracker = DependencyTracker()
+        tracker.insert_task(make_task(0, outputs=[0x1]))
+        tracker.reset()
+        assert tracker.in_flight_tasks == 0
+        assert tracker.total_inserted == 0
+
+
+class TestDistribution:
+    def test_accesses_routed_by_distribution_function(self):
+        tracker = DependencyTracker(num_tables=4, distribute=lambda a: a % 4)
+        result = tracker.insert_task(make_task(0, outputs=[0, 1, 2, 3]))
+        assert sorted(a.table_index for a in result.accesses) == [0, 1, 2, 3]
+
+    def test_out_of_range_distribution_rejected(self):
+        tracker = DependencyTracker(num_tables=2, distribute=lambda a: 5)
+        with pytest.raises(SimulationError):
+            tracker.insert_task(make_task(0, outputs=[0x1]))
+
+    def test_invalid_table_count(self):
+        with pytest.raises(ConfigurationError):
+            DependencyTracker(num_tables=0)
+
+    def test_accesses_per_table(self):
+        tracker = DependencyTracker(num_tables=2, distribute=lambda a: a % 2)
+        result = tracker.insert_task(make_task(0, outputs=[0, 2, 1]))
+        assert result.accesses_per_table() == {0: 2, 1: 1}
+
+
+class TestAgainstReferenceDag:
+    @pytest.mark.parametrize("num_tables", [1, 3, 6])
+    def test_release_order_matches_dag(self, num_tables):
+        """Replaying a random DAG in topological order through the tracker
+        must release exactly the successors the reference DAG predicts."""
+        trace = generate_random_dag(80, max_predecessors=3, seed=5)
+        graph = build_dependency_graph(trace)
+        tracker = DependencyTracker(num_tables=num_tables, distribute=lambda a: a % num_tables)
+        ready = set()
+        for task in trace.tasks():
+            result = tracker.insert_task(task)
+            # Nothing has finished yet, so a task is ready exactly when the
+            # reference DAG gives it no predecessors.
+            assert result.ready == (len(graph.predecessors[task.task_id]) == 0)
+            if result.ready:
+                ready.add(task.task_id)
+        # Finish tasks in submission order (a valid topological order);
+        # every task must eventually be released exactly once.
+        finished = set()
+        for task_id in graph.submission_order:
+            assert task_id in ready, f"task {task_id} was never released"
+            result = tracker.finish_task(task_id)
+            finished.add(task_id)
+            for released in result.newly_ready:
+                assert released not in ready
+                ready.add(released)
+                # All DAG predecessors must have finished by now.
+                assert graph.predecessors[released] <= finished
+        assert ready == set(graph.submission_order)

@@ -1,0 +1,80 @@
+"""Tests for trace (de)serialization."""
+
+import json
+
+import pytest
+
+from repro.common.errors import TraceError
+from repro.trace.serialization import load_trace, save_trace, trace_from_json, trace_to_json
+from repro.trace.trace import TraceBuilder
+from repro.workloads.synthetic import generate_random_dag
+
+
+def sample_trace():
+    builder = TraceBuilder("sample", metadata={"purpose": "test", "n": 3})
+    builder.add_task("f", 2.5, inputs=[0x100], outputs=[0x200])
+    builder.add_taskwait_on(0x200)
+    builder.add_task("g", 1.5, inouts=[0x200])
+    builder.add_taskwait()
+    return builder.build()
+
+
+class TestJsonRoundTrip:
+    def test_roundtrip_preserves_everything(self):
+        original = sample_trace()
+        restored = trace_from_json(trace_to_json(original))
+        assert restored.name == original.name
+        assert dict(restored.metadata) == dict(original.metadata)
+        assert len(restored) == len(original)
+        for a, b in zip(original.tasks(), restored.tasks()):
+            assert a == b
+
+    def test_roundtrip_random_dag(self):
+        original = generate_random_dag(50, seed=3)
+        restored = trace_from_json(trace_to_json(original))
+        assert [e.kind for e in restored.events] == [e.kind for e in original.events]
+        assert restored.total_work_us == pytest.approx(original.total_work_us)
+
+    def test_document_is_json_serialisable(self):
+        text = json.dumps(trace_to_json(sample_trace()))
+        assert "sample" in text
+
+    def test_unknown_version_rejected(self):
+        document = trace_to_json(sample_trace())
+        document["format_version"] = 999
+        with pytest.raises(TraceError):
+            trace_from_json(document)
+
+    def test_unknown_event_kind_rejected(self):
+        document = trace_to_json(sample_trace())
+        document["events"][0]["k"] = "zzz"
+        with pytest.raises(TraceError):
+            trace_from_json(document)
+
+    def test_malformed_document_rejected(self):
+        with pytest.raises(TraceError):
+            trace_from_json({"format_version": 1, "name": "x"})
+
+
+class TestFileRoundTrip:
+    def test_plain_file(self, tmp_path):
+        path = tmp_path / "trace.json"
+        save_trace(sample_trace(), path)
+        restored = load_trace(path)
+        assert restored.name == "sample"
+
+    def test_gzip_file(self, tmp_path):
+        path = tmp_path / "trace.json.gz"
+        save_trace(sample_trace(), path)
+        restored = load_trace(path)
+        assert restored.num_tasks == 2
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(TraceError):
+            load_trace(tmp_path / "missing.json")
+
+    def test_invalid_json_file(self, tmp_path):
+        path = tmp_path / "broken.json"
+        path.write_text("{not json")
+        with pytest.raises(TraceError):
+            load_trace(path)

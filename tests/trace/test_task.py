@@ -1,0 +1,120 @@
+"""Tests for task descriptors and parameters."""
+
+import pytest
+
+from repro.common.constants import ADDRESS_MASK
+from repro.common.errors import TraceError
+from repro.trace.task import Direction, Parameter, TaskDescriptor, make_params
+
+
+class TestDirection:
+    def test_reads_writes_flags(self):
+        assert Direction.IN.reads and not Direction.IN.writes
+        assert Direction.OUT.writes and not Direction.OUT.reads
+        assert Direction.INOUT.reads and Direction.INOUT.writes
+
+    def test_parse_from_string(self):
+        assert Direction.parse("in") is Direction.IN
+        assert Direction.parse("INOUT") is Direction.INOUT
+
+    def test_parse_passthrough(self):
+        assert Direction.parse(Direction.OUT) is Direction.OUT
+
+    def test_parse_invalid(self):
+        with pytest.raises(TraceError):
+            Direction.parse("sideways")
+
+
+class TestParameter:
+    def test_valid_parameter(self):
+        p = Parameter(address=0x1000, direction=Direction.IN, size=64)
+        assert p.is_input and not p.is_output
+
+    def test_string_direction_normalised(self):
+        p = Parameter(address=0x1000, direction="out")
+        assert p.direction is Direction.OUT
+
+    def test_negative_address_rejected(self):
+        with pytest.raises(TraceError):
+            Parameter(address=-1, direction=Direction.IN)
+
+    def test_address_wider_than_48_bits_rejected(self):
+        with pytest.raises(TraceError):
+            Parameter(address=ADDRESS_MASK + 1, direction=Direction.IN)
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(TraceError):
+            Parameter(address=0, direction=Direction.IN, size=-4)
+
+    def test_replace_address(self):
+        p = Parameter(address=0x10, direction=Direction.INOUT, size=8)
+        q = p.replace_address(0x20)
+        assert q.address == 0x20 and q.direction is Direction.INOUT and q.size == 8
+
+
+class TestTaskDescriptor:
+    def _task(self, **kwargs):
+        defaults = dict(
+            task_id=0,
+            function="work",
+            params=make_params(inputs=[0x100], outputs=[0x200]),
+            duration_us=5.0,
+        )
+        defaults.update(kwargs)
+        return TaskDescriptor(**defaults)
+
+    def test_basic_properties(self):
+        task = self._task()
+        assert task.num_params == 2
+        assert task.input_addresses == (0x100,)
+        assert task.output_addresses == (0x200,)
+        assert task.addresses == (0x100, 0x200)
+
+    def test_inout_counted_in_both_views(self):
+        task = self._task(params=make_params(inouts=[0x300]))
+        assert task.input_addresses == (0x300,)
+        assert task.output_addresses == (0x300,)
+
+    def test_negative_id_rejected(self):
+        with pytest.raises(TraceError):
+            self._task(task_id=-1)
+
+    def test_empty_function_rejected(self):
+        with pytest.raises(TraceError):
+            self._task(function="")
+
+    def test_negative_duration_rejected(self):
+        with pytest.raises(TraceError):
+            self._task(duration_us=-1.0)
+
+    def test_non_parameter_entries_rejected(self):
+        with pytest.raises(TraceError):
+            self._task(params=(0x100,))
+
+    def test_with_duration(self):
+        task = self._task().with_duration(99.0)
+        assert task.duration_us == 99.0
+        assert task.task_id == 0
+
+    def test_with_id(self):
+        task = self._task().with_id(7)
+        assert task.task_id == 7
+
+    def test_params_list_converted_to_tuple(self):
+        task = TaskDescriptor(
+            task_id=1,
+            function="f",
+            params=list(make_params(inputs=[1])),
+            duration_us=1.0,
+        )
+        assert isinstance(task.params, tuple)
+
+
+class TestMakeParams:
+    def test_order_inputs_inouts_outputs(self):
+        params = make_params(inputs=[1], outputs=[3], inouts=[2])
+        assert [p.direction for p in params] == [Direction.IN, Direction.INOUT, Direction.OUT]
+        assert [p.address for p in params] == [1, 2, 3]
+
+    def test_empty(self):
+        assert make_params() == ()

@@ -1,0 +1,56 @@
+"""Tests for trace statistics (Table II columns)."""
+
+import pytest
+
+from repro.trace.stats import compute_statistics
+from repro.trace.trace import TraceBuilder
+from repro.workloads.synthetic import generate_fork_join, generate_independent
+
+
+class TestComputeStatistics:
+    def test_basic_columns(self):
+        builder = TraceBuilder("stats")
+        builder.add_task("a", 1000.0, outputs=[0x1])
+        builder.add_task("b", 3000.0, inputs=[0x1], outputs=[0x2])
+        builder.add_taskwait()
+        stats = compute_statistics(builder.build())
+        assert stats.num_tasks == 2
+        assert stats.total_work_ms == pytest.approx(4.0)
+        assert stats.avg_task_us == pytest.approx(2000.0)
+        assert stats.num_barriers == 1
+        assert stats.min_params == 1
+        assert stats.max_params == 2
+
+    def test_deps_label_single_value(self):
+        stats = compute_statistics(generate_independent(5, seed=0))
+        assert stats.deps_label == "1"
+
+    def test_deps_label_range(self):
+        builder = TraceBuilder("range")
+        builder.add_task("a", 1.0, outputs=[0x1])
+        builder.add_task("b", 1.0, inputs=[0x1], inouts=[0x2], outputs=[0x3])
+        stats = compute_statistics(builder.build())
+        assert stats.deps_label == "1-3"
+
+    def test_max_parallelism_independent(self):
+        stats = compute_statistics(generate_independent(16, duration_us=5.0, seed=0))
+        assert stats.max_parallelism == pytest.approx(16.0)
+
+    def test_critical_path_fork_join(self):
+        trace = generate_fork_join(2, 4, duration_us=10.0, seed=0)
+        stats = compute_statistics(trace)
+        # Each phase: parallel work (10) followed by a reduce task (10).
+        assert stats.critical_path_ms == pytest.approx(0.04)
+
+    def test_as_table_row(self):
+        stats = compute_statistics(generate_independent(3, duration_us=100.0, seed=0))
+        row = stats.as_table_row()
+        assert row[0] == "synthetic-independent"
+        assert row[1] == 3
+
+    def test_empty_trace(self):
+        builder = TraceBuilder("empty")
+        builder.add_taskwait()
+        stats = compute_statistics(builder.build())
+        assert stats.num_tasks == 0
+        assert stats.avg_task_us == 0.0

@@ -1,0 +1,42 @@
+"""Tests for the workload registry."""
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.workloads.registry import WORKLOADS, get_workload, list_workloads, paper_table2_workloads
+
+
+class TestRegistry:
+    def test_all_table2_workloads_registered(self):
+        for name in paper_table2_workloads():
+            assert name in WORKLOADS
+
+    def test_list_workloads_sorted(self):
+        names = list_workloads()
+        assert names == sorted(names)
+        assert "gaussian-250" in names
+        assert "microbench" in names
+
+    def test_get_workload_returns_named_trace(self):
+        trace = get_workload("c-ray", scale=0.05, seed=1)
+        assert trace.name == "c-ray"
+        assert trace.num_tasks == 60
+
+    def test_get_workload_h264_grouping_names(self):
+        trace = get_workload("h264dec-8x8-10f", scale=0.02, seed=1)
+        assert trace.name == "h264dec-8x8-10f"
+        assert trace.metadata["grouping"] == 8
+
+    def test_gaussian_scale_shrinks_matrix(self):
+        small = get_workload("gaussian-250", scale=0.01)
+        assert small.metadata["matrix_size"] < 250
+
+    def test_unknown_workload_rejected(self):
+        with pytest.raises(ConfigurationError):
+            get_workload("does-not-exist")
+
+    @pytest.mark.parametrize("name", paper_table2_workloads())
+    def test_every_table2_workload_generates_at_small_scale(self, name):
+        trace = get_workload(name, scale=0.01, seed=0)
+        assert trace.num_tasks > 0
+        assert trace.total_work_us > 0
