@@ -11,11 +11,11 @@ path is inherently serial — the structural argument the paper makes.
 
 import pytest
 
+from repro.analysis.factories import nanos_factory, nexus_sharp_factory, vandierendonck_factory
 from repro.analysis.formatting import render_table
-from repro.managers.nanos import NanosConfig, NanosManager
-from repro.managers.software import VandierendonckManager
-from repro.nexus.nexussharp import NexusSharpConfig, NexusSharpManager
-from repro.system.machine import simulate
+from repro.experiments.runner import SweepRunner
+from repro.experiments.spec import SweepSpec
+from repro.managers.nanos import NanosConfig
 from repro.workloads.h264dec import generate_h264dec
 
 
@@ -36,17 +36,20 @@ def test_nanos_overhead_sensitivity(benchmark, report_recorder, scale, seed):
     trace = generate_h264dec(grouping=1, num_frames=10, scale=scale, seed=seed)
     num_cores = 32
 
+    managers = {
+        f"Nanos x{factor}": nanos_factory(_scaled_config(factor))
+        for factor in (2.0, 1.0, 0.5, 0.25)
+    }
+    managers["SW-400cycles [17]"] = vandierendonck_factory()
+    managers["Nexus# 6TG"] = nexus_sharp_factory(6)
+    spec = SweepSpec(
+        workloads=(trace,), managers=managers, core_counts=(num_cores,),
+        name="ablation-nanos",
+    )
+
     def sweep():
-        results = {}
-        for label, factor in (("Nanos x2.0", 2.0), ("Nanos x1.0", 1.0),
-                              ("Nanos x0.5", 0.5), ("Nanos x0.25", 0.25)):
-            manager = NanosManager(_scaled_config(factor))
-            results[label] = simulate(trace, manager, num_cores).speedup_vs_serial
-        results["SW-400cycles [17]"] = simulate(trace, VandierendonckManager(), num_cores).speedup_vs_serial
-        results["Nexus# 6TG"] = simulate(
-            trace, NexusSharpManager(NexusSharpConfig(num_task_graphs=6)), num_cores
-        ).speedup_vs_serial
-        return results
+        study = SweepRunner().run(spec).study(trace.name)
+        return {name: curve.speedup_at(num_cores) for name, curve in study.curves.items()}
 
     results = benchmark.pedantic(sweep, rounds=1, iterations=1)
     text = render_table(

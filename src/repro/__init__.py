@@ -17,6 +17,9 @@ The package provides:
   5-task insertion micro-benchmark (:mod:`repro.workloads`);
 * an **OmpSs-like Python API** for writing new task programs
   (:mod:`repro.runtime`);
+* a declarative, cached, parallel **experiment layer** — ``SweepSpec`` /
+  ``SweepRunner`` grids over workloads × managers × cores × seeds
+  (:mod:`repro.experiments`);
 * the **FPGA resource model** of Table I (:mod:`repro.fpga`) and the
   **analysis layer** regenerating every table and figure of the paper
   (:mod:`repro.analysis`).
@@ -55,6 +58,7 @@ from repro.nexus import (
     NexusSharpManager,
     nexus_hash,
 )
+from repro.experiments import ResultCache, SweepRunner, SweepSpec, run_sweep
 from repro.runtime import DataHandle, DataMatrix, TaskProgram
 from repro.system import Machine, MachineConfig, MachineResult, simulate
 from repro.trace import (
@@ -102,6 +106,11 @@ __all__ = [
     "NexusSharpManager",
     "NexusSharpConfig",
     "nexus_hash",
+    # experiments
+    "SweepSpec",
+    "SweepRunner",
+    "ResultCache",
+    "run_sweep",
     # runtime API
     "TaskProgram",
     "DataHandle",

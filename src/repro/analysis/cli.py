@@ -17,7 +17,7 @@ import argparse
 import sys
 from typing import Optional, Sequence
 
-from repro.analysis.factories import make_manager
+from repro.analysis.factories import parse_manager
 from repro.analysis.figures import (
     distribution_quality_report,
     figure7_report,
@@ -26,8 +26,21 @@ from repro.analysis.figures import (
     microbenchmark_report,
 )
 from repro.analysis.tables import table1_report, table2_report, table3_report, table4_report
-from repro.system.machine import simulate
+from repro.experiments.runner import SweepRunner
+from repro.experiments.spec import SweepSpec
 from repro.workloads.registry import get_workload, list_workloads
+
+
+def _add_runner_arguments(parser: argparse.ArgumentParser) -> None:
+    """Sweep-execution options shared by every simulation-heavy command."""
+    parser.add_argument("--n-jobs", type=int, default=1,
+                        help="worker processes for the sweep (default 1 = serial)")
+    parser.add_argument("--cache-dir", default=None,
+                        help="content-addressed result cache directory (incremental reruns)")
+
+
+def _runner_from_args(args: argparse.Namespace) -> SweepRunner:
+    return SweepRunner(n_jobs=args.n_jobs, cache_dir=args.cache_dir)
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -48,19 +61,23 @@ def _build_parser() -> argparse.ArgumentParser:
     p_t4 = sub.add_parser("table4", help="Table IV: maximum speedups")
     p_t4.add_argument("--scale", type=float, default=0.05)
     p_t4.add_argument("--seed", type=int, default=None)
+    _add_runner_arguments(p_t4)
 
     p_f7 = sub.add_parser("figure7", help="Figure 7: Nexus# scalability vs. #task graphs")
     p_f7.add_argument("--scale", type=float, default=0.05)
     p_f7.add_argument("--groupings", type=int, nargs="+", default=[1, 2, 4, 8])
     p_f7.add_argument("--seed", type=int, default=None)
+    _add_runner_arguments(p_f7)
 
     p_f8 = sub.add_parser("figure8", help="Figure 8: Starbench speedups per manager")
     p_f8.add_argument("--scale", type=float, default=0.05)
     p_f8.add_argument("--workloads", nargs="+", default=None)
     p_f8.add_argument("--seed", type=int, default=None)
+    _add_runner_arguments(p_f8)
 
     p_f9 = sub.add_parser("figure9", help="Figure 9: Gaussian elimination speedups")
     p_f9.add_argument("--matrix-sizes", type=int, nargs="+", default=[250, 500, 1000])
+    _add_runner_arguments(p_f9)
 
     sub.add_parser("microbench", help="Section IV-E 5-task micro-benchmark")
     sub.add_parser("distribution", help="Figure 3 distribution-quality study")
@@ -72,6 +89,7 @@ def _build_parser() -> argparse.ArgumentParser:
     p_sim.add_argument("--cores", type=int, default=16)
     p_sim.add_argument("--scale", type=float, default=1.0)
     p_sim.add_argument("--seed", type=int, default=None)
+    _add_runner_arguments(p_sim)
     return parser
 
 
@@ -85,13 +103,15 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     elif args.command == "table3":
         print(table3_report()["text"])
     elif args.command == "table4":
-        print(table4_report(scale=args.scale, seed=args.seed)["text"])
+        print(table4_report(scale=args.scale, seed=args.seed, runner=_runner_from_args(args))["text"])
     elif args.command == "figure7":
-        print(figure7_report(groupings=args.groupings, scale=args.scale, seed=args.seed)["text"])
+        print(figure7_report(groupings=args.groupings, scale=args.scale, seed=args.seed,
+                             runner=_runner_from_args(args))["text"])
     elif args.command == "figure8":
-        print(figure8_report(workloads=args.workloads, scale=args.scale, seed=args.seed)["text"])
+        print(figure8_report(workloads=args.workloads, scale=args.scale, seed=args.seed,
+                             runner=_runner_from_args(args))["text"])
     elif args.command == "figure9":
-        print(figure9_report(matrix_sizes=args.matrix_sizes)["text"])
+        print(figure9_report(matrix_sizes=args.matrix_sizes, runner=_runner_from_args(args))["text"])
     elif args.command == "microbench":
         print(microbenchmark_report()["text"])
     elif args.command == "distribution":
@@ -100,9 +120,15 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         print("\n".join(list_workloads()))
     elif args.command == "simulate":
         trace = get_workload(args.workload, scale=args.scale, seed=args.seed)
-        manager = make_manager(args.manager)
-        result = simulate(trace, manager, args.cores)
-        for key, value in result.summary().items():
+        spec = SweepSpec(
+            workloads=(trace,),
+            managers=dict([parse_manager(args.manager)]),
+            core_counts=(args.cores,),
+            keep_schedule=True,
+            name=f"simulate:{trace.name}",
+        )
+        outcome = _runner_from_args(args).run(spec)
+        for key, value in outcome.results[0].summary().items():
             print(f"{key:24s} {value}")
     else:  # pragma: no cover - argparse enforces the choices
         return 2

@@ -1,13 +1,23 @@
 """Standard manager configurations used by the experiments.
 
 A *factory* is a zero-argument callable returning a fresh manager
-instance; the scalability sweeps construct one manager per (trace, core
+instance; the experiment sweeps construct one manager per (trace, core
 count) combination so that runs never share internal state.
+
+Factories are small frozen dataclasses rather than closures so that
+
+* they pickle — the :class:`repro.experiments.runner.SweepRunner` ships
+  them to ``multiprocessing`` workers,
+* they can describe themselves — :meth:`describe` feeds the
+  content-addressed result cache, so a configuration change invalidates
+  exactly the cache entries it affects.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Optional
+import dataclasses
+from dataclasses import dataclass
+from typing import Callable, Dict, Mapping, Optional, Tuple
 
 from repro.common.errors import ConfigurationError
 from repro.managers.base import TaskManagerModel
@@ -21,19 +31,123 @@ from repro.nexus.timing import NexusPlusPlusTiming, NexusSharpTiming
 ManagerFactory = Callable[[], TaskManagerModel]
 
 
+@dataclass(frozen=True)
+class IdealFactory:
+    """The paper's "No Overhead" configuration."""
+
+    def __call__(self) -> TaskManagerModel:
+        return IdealManager()
+
+    def describe(self) -> Dict[str, object]:
+        return {"kind": "ideal"}
+
+
+@dataclass(frozen=True)
+class NanosFactory:
+    """The Nanos software-runtime model (optionally re-calibrated)."""
+
+    config: Optional[NanosConfig] = None
+
+    def __call__(self) -> TaskManagerModel:
+        return NanosManager(self.config)
+
+    def describe(self) -> Dict[str, object]:
+        config = self.config or NanosConfig()
+        return {"kind": "nanos", "config": dataclasses.asdict(config)}
+
+
+@dataclass(frozen=True)
+class VandierendonckFactory:
+    """The optimistic 400-cycles-per-task software manager of [17]."""
+
+    def __call__(self) -> TaskManagerModel:
+        return VandierendonckManager()
+
+    def describe(self) -> Dict[str, object]:
+        return {"kind": "sw400"}
+
+
+@dataclass(frozen=True)
+class NexusPlusPlusFactory:
+    """Nexus++ at the given frequency (100 MHz on the ZC706)."""
+
+    frequency_mhz: float = 100.0
+    tightly_coupled: bool = False
+
+    def __call__(self) -> TaskManagerModel:
+        timing = NexusPlusPlusTiming.tightly_coupled() if self.tightly_coupled else NexusPlusPlusTiming()
+        return NexusPlusPlusManager(
+            NexusPlusPlusConfig(frequency_mhz=self.frequency_mhz, timing=timing)
+        )
+
+    def describe(self) -> Dict[str, object]:
+        return {
+            "kind": "nexus++",
+            "frequency_mhz": self.frequency_mhz,
+            "tightly_coupled": self.tightly_coupled,
+        }
+
+
+@dataclass(frozen=True)
+class NexusSharpFactory:
+    """Nexus# with ``num_task_graphs`` task graphs.
+
+    ``frequency_mhz=None`` selects the Table I synthesis frequency for the
+    configuration (the paper's Figure 7(b) / Figure 8 setting); pass an
+    explicit ``100.0`` for the flat-frequency study of Figure 7(a).
+    """
+
+    num_task_graphs: int = 6
+    frequency_mhz: Optional[float] = None
+    tightly_coupled: bool = False
+
+    def __call__(self) -> TaskManagerModel:
+        timing = NexusSharpTiming.tightly_coupled() if self.tightly_coupled else NexusSharpTiming()
+        return NexusSharpManager(
+            NexusSharpConfig(
+                num_task_graphs=self.num_task_graphs,
+                frequency_mhz=self.frequency_mhz,
+                timing=timing,
+            )
+        )
+
+    def describe(self) -> Dict[str, object]:
+        return {
+            "kind": "nexus#",
+            "num_task_graphs": self.num_task_graphs,
+            "frequency_mhz": self.frequency_mhz,
+            "tightly_coupled": self.tightly_coupled,
+        }
+
+
+def describe_factory(factory: ManagerFactory) -> Mapping[str, object]:
+    """A serialisable description of ``factory`` for cache keys.
+
+    Factories defined in this module carry an exact configuration
+    description; for arbitrary callables the qualified name is the best
+    stable identifier available (callers who cache results of custom
+    factories should implement ``describe`` themselves).
+    """
+    describe = getattr(factory, "describe", None)
+    if callable(describe):
+        return describe()
+    name = getattr(factory, "__qualname__", None) or type(factory).__qualname__
+    return {"kind": "opaque", "callable": f"{getattr(factory, '__module__', '?')}.{name}"}
+
+
 def ideal_factory() -> ManagerFactory:
     """The paper's "No Overhead" configuration."""
-    return IdealManager
+    return IdealFactory()
 
 
 def nanos_factory(config: Optional[NanosConfig] = None) -> ManagerFactory:
     """The Nanos software-runtime model."""
-    return lambda: NanosManager(config)
+    return NanosFactory(config)
 
 
 def vandierendonck_factory() -> ManagerFactory:
     """The optimistic 400-cycles-per-task software manager of [17]."""
-    return VandierendonckManager
+    return VandierendonckFactory()
 
 
 def nexus_pp_factory(
@@ -42,12 +156,7 @@ def nexus_pp_factory(
     tightly_coupled: bool = False,
 ) -> ManagerFactory:
     """Nexus++ at the given frequency (100 MHz on the ZC706)."""
-
-    def build() -> TaskManagerModel:
-        timing = NexusPlusPlusTiming.tightly_coupled() if tightly_coupled else NexusPlusPlusTiming()
-        return NexusPlusPlusManager(NexusPlusPlusConfig(frequency_mhz=frequency_mhz, timing=timing))
-
-    return build
+    return NexusPlusPlusFactory(frequency_mhz=frequency_mhz, tightly_coupled=tightly_coupled)
 
 
 def nexus_sharp_factory(
@@ -56,24 +165,12 @@ def nexus_sharp_factory(
     *,
     tightly_coupled: bool = False,
 ) -> ManagerFactory:
-    """Nexus# with ``num_task_graphs`` task graphs.
-
-    ``frequency_mhz=None`` selects the Table I synthesis frequency for the
-    configuration (the paper's Figure 7(b) / Figure 8 setting); pass an
-    explicit ``100.0`` for the flat-frequency study of Figure 7(a).
-    """
-
-    def build() -> TaskManagerModel:
-        timing = NexusSharpTiming.tightly_coupled() if tightly_coupled else NexusSharpTiming()
-        return NexusSharpManager(
-            NexusSharpConfig(
-                num_task_graphs=num_task_graphs,
-                frequency_mhz=frequency_mhz,
-                timing=timing,
-            )
-        )
-
-    return build
+    """Nexus# with ``num_task_graphs`` task graphs (see NexusSharpFactory)."""
+    return NexusSharpFactory(
+        num_task_graphs=num_task_graphs,
+        frequency_mhz=frequency_mhz,
+        tightly_coupled=tightly_coupled,
+    )
 
 
 def paper_manager_set(
@@ -95,29 +192,45 @@ def paper_manager_set(
     return managers
 
 
-def make_manager(name: str) -> TaskManagerModel:
-    """Construct a manager from a short textual name (used by the CLI).
+def parse_manager(name: str) -> Tuple[str, ManagerFactory]:
+    """Resolve a short textual manager name to (display name, factory).
 
     Recognised names: ``ideal``, ``nanos``, ``sw400``, ``nexus++``,
-    ``nexus#<n>`` (e.g. ``nexus#6``), ``nexus#<n>@<MHz>``.
+    ``nexus#<n>`` (e.g. ``nexus#6``), ``nexus#<n>@<MHz>``.  This is the
+    parser behind both :func:`make_manager` and the sweep CLI.
     """
     token = name.strip().lower()
     if token == "ideal":
-        return IdealManager()
+        return "Ideal", IdealFactory()
     if token == "nanos":
-        return NanosManager()
+        return "Nanos", NanosFactory()
     if token == "sw400":
-        return VandierendonckManager()
+        return "SW-400cycles", VandierendonckFactory()
     if token in ("nexus++", "nexuspp"):
-        return NexusPlusPlusManager()
-    if token.startswith("nexus#"):
-        spec = token[len("nexus#"):]
+        return "Nexus++", NexusPlusPlusFactory()
+    if token.startswith("nexus#") or token.startswith("nexussharp"):
+        spec = token.split("#", 1)[1] if "#" in token else token[len("nexussharp"):]
         frequency: Optional[float] = None
-        if "@" in spec:
-            spec, freq_text = spec.split("@", 1)
-            frequency = float(freq_text)
-        num_tg = int(spec) if spec else 6
-        return NexusSharpManager(NexusSharpConfig(num_task_graphs=num_tg, frequency_mhz=frequency))
+        try:
+            if "@" in spec:
+                spec, freq_text = spec.split("@", 1)
+                frequency = float(freq_text)
+            num_tg = int(spec) if spec else 6
+        except ValueError as exc:
+            raise ConfigurationError(
+                f"malformed manager name {name!r}: expected nexus#<n>[@MHz] "
+                "with numeric task-graph count and frequency"
+            ) from exc
+        display = f"Nexus# {num_tg}TG"
+        if frequency is not None:
+            display += f"@{frequency:g}MHz"
+        return display, NexusSharpFactory(num_task_graphs=num_tg, frequency_mhz=frequency)
     raise ConfigurationError(
         f"unknown manager name {name!r}; expected ideal, nanos, sw400, nexus++ or nexus#<n>[@MHz]"
     )
+
+
+def make_manager(name: str) -> TaskManagerModel:
+    """Construct a manager from a short textual name (used by the CLI)."""
+    _, factory = parse_manager(name)
+    return factory()

@@ -8,7 +8,7 @@ rendered to plain text; no plotting backend is required.  Each
 
 from __future__ import annotations
 
-from typing import Dict, Mapping, Optional, Sequence
+from typing import TYPE_CHECKING, Dict, Mapping, Optional, Sequence
 
 import numpy as np
 
@@ -30,7 +30,6 @@ from repro.nexus.distribution import (
     worst_case_blocked,
 )
 from repro.nexus.nexussharp import NexusSharpConfig, NexusSharpManager
-from repro.system.machine import simulate
 from repro.workloads.gaussian import generate_gaussian_elimination
 from repro.workloads.h264dec import generate_h264dec
 from repro.workloads.microbench import (
@@ -39,6 +38,9 @@ from repro.workloads.microbench import (
     generate_microbenchmark,
 )
 from repro.workloads.registry import get_workload, paper_table2_workloads
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.experiments.runner import SweepRunner
 
 #: Default Nexus# task-graph counts swept in Figure 7 (same as the paper).
 FIGURE7_TASK_GRAPHS = (1, 2, 4, 6, 8)
@@ -53,6 +55,7 @@ def figure7_report(
     num_frames: int = 10,
     seed: Optional[int] = None,
     include_ideal: bool = True,
+    runner: Optional["SweepRunner"] = None,
 ) -> Dict[str, object]:
     """Figure 7: Nexus# scalability on h264dec vs. number of task graphs.
 
@@ -69,7 +72,7 @@ def figure7_report(
                 managers["Ideal"] = ideal_factory()
             for num_tg in task_graph_counts:
                 managers[f"Nexus# {num_tg}TG"] = nexus_sharp_factory(num_tg, frequency)
-            study = run_scalability(trace, managers, core_counts)
+            study = run_scalability(trace, managers, core_counts, runner=runner)
             panels[panel][trace.name] = study
             texts.append(study.render(f"Figure 7({'a' if panel == '100MHz' else 'b'}) {trace.name} @ {panel}"))
     return {"panels": panels, "scale": scale, "text": "\n\n".join(texts)}
@@ -82,6 +85,7 @@ def figure8_report(
     scale: float = 0.05,
     seed: Optional[int] = None,
     nexus_sharp_task_graphs: int = 6,
+    runner: Optional["SweepRunner"] = None,
 ) -> Dict[str, object]:
     """Figure 8: speedups of Nanos / Nexus++ / Nexus# vs. the ideal curve.
 
@@ -96,7 +100,7 @@ def figure8_report(
     texts = []
     for name in workloads:
         trace = get_workload(name, scale=scale, seed=seed)
-        study = run_scalability(trace, managers, core_counts, max_cores=max_cores)
+        study = run_scalability(trace, managers, core_counts, max_cores=max_cores, runner=runner)
         studies[name] = study
         texts.append(study.render(f"Figure 8: {name} [scale={scale}]"))
     return {"studies": studies, "scale": scale, "text": "\n\n".join(texts)}
@@ -109,6 +113,7 @@ def figure9_report(
     frequency_mhz: float = 100.0,
     tightly_coupled: bool = True,
     include_ideal: bool = True,
+    runner: Optional["SweepRunner"] = None,
 ) -> Dict[str, object]:
     """Figure 9: Gaussian elimination on Nexus++, Nexus# 1 TG and 2 TG.
 
@@ -126,7 +131,7 @@ def figure9_report(
     texts = []
     for n in matrix_sizes:
         trace = generate_gaussian_elimination(matrix_size=n)
-        study = run_scalability(trace, managers, core_counts)
+        study = run_scalability(trace, managers, core_counts, runner=runner)
         studies[n] = study
         texts.append(study.render(f"Figure 9: Gaussian elimination, matrix {n}x{n}"))
     return {"studies": studies, "text": "\n\n".join(texts)}

@@ -9,15 +9,16 @@ and core counts.  :func:`run_scalability` produces exactly those series.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Mapping, Optional, Sequence
+from typing import TYPE_CHECKING, Dict, Mapping, Optional, Sequence
 
 from repro.analysis.factories import ManagerFactory
 from repro.analysis.formatting import format_speedup_series
 from repro.common.constants import PAPER_CORE_COUNTS
 from repro.common.errors import ConfigurationError
-from repro.system.machine import simulate
-from repro.system.results import MachineResult
 from repro.trace.trace import Trace
+
+if TYPE_CHECKING:  # pragma: no cover - the runner is imported lazily below
+    from repro.experiments.runner import SweepRunner
 
 
 @dataclass
@@ -71,6 +72,7 @@ def run_scalability(
     *,
     max_cores: Optional[Mapping[str, int]] = None,
     validate: bool = False,
+    runner: Optional[SweepRunner] = None,
 ) -> ScalabilityStudy:
     """Sweep speedup vs. core count for every manager on ``trace``.
 
@@ -89,30 +91,24 @@ def run_scalability(
     validate:
         When true, every simulated schedule is checked against the
         reference dependency DAG (slow; used in tests).
+    runner:
+        The :class:`SweepRunner` to execute on.  ``None`` uses a fresh
+        serial runner with no cache; pass a configured one for parallel
+        (``n_jobs``) or incremental (``cache``) sweeps.
     """
-    if not core_counts:
-        raise ConfigurationError("core_counts must not be empty")
-    study = ScalabilityStudy(trace_name=trace.name, core_counts=tuple(core_counts))
-    for name, factory in managers.items():
-        limit = None if max_cores is None else max_cores.get(name)
-        swept_counts: List[int] = []
-        speedups: List[float] = []
-        makespans: List[float] = []
-        for cores in core_counts:
-            if limit is not None and cores > limit:
-                continue
-            manager = factory()
-            result: MachineResult = simulate(
-                trace, manager, cores, validate=validate, keep_schedule=False
-            )
-            swept_counts.append(cores)
-            speedups.append(result.speedup_vs_serial)
-            makespans.append(result.makespan_us)
-        study.curves[name] = ScalabilityCurve(
-            manager_name=name,
-            trace_name=trace.name,
-            core_counts=tuple(swept_counts),
-            speedups=tuple(speedups),
-            makespans_us=tuple(makespans),
-        )
-    return study
+    # Imported lazily: repro.experiments sits on top of repro.analysis
+    # (its specs resolve manager names via analysis.factories), so a
+    # module-level import here would be circular.
+    from repro.experiments.runner import SweepRunner
+    from repro.experiments.spec import SweepSpec
+
+    spec = SweepSpec(
+        workloads=(trace,),
+        managers=managers,
+        core_counts=core_counts,
+        max_cores=max_cores,
+        validate=validate,
+        name=f"scalability:{trace.name}",
+    )
+    outcome = (runner or SweepRunner()).run(spec)
+    return outcome.study(trace.name)

@@ -7,7 +7,7 @@ alongside the reproduced ones where applicable).
 
 from __future__ import annotations
 
-from typing import Dict, Mapping, Optional, Sequence
+from typing import TYPE_CHECKING, Dict, Mapping, Optional, Sequence
 
 from repro.analysis.factories import ManagerFactory, paper_manager_set
 from repro.analysis.formatting import render_table
@@ -17,6 +17,9 @@ from repro.fpga.resources import paper_table1_rows, table1
 from repro.trace.stats import compute_statistics
 from repro.workloads.gaussian import PAPER_MATRIX_SIZES, gaussian_avg_flops, gaussian_task_count
 from repro.workloads.registry import get_workload, paper_table2_workloads
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.experiments.runner import SweepRunner
 
 #: Paper Table IV: maximum speedups per benchmark and manager.
 PAPER_TABLE4 = {
@@ -126,6 +129,7 @@ def table4_report(
     core_counts: Sequence[int] = PAPER_CORE_COUNTS,
     workloads: Optional[Sequence[str]] = None,
     managers: Optional[Mapping[str, ManagerFactory]] = None,
+    runner: Optional["SweepRunner"] = None,
 ) -> Dict[str, object]:
     """Table IV: maximum speedup per benchmark and task-graph manager.
 
@@ -144,7 +148,7 @@ def table4_report(
     max_cores = {"Nanos": NANOS_MAX_CORES}
     for workload_name in workloads:
         trace = get_workload(workload_name, scale=scale, seed=seed)
-        study = run_scalability(trace, managers, core_counts, max_cores=max_cores)
+        study = run_scalability(trace, managers, core_counts, max_cores=max_cores, runner=runner)
         studies[workload_name] = study
         paper = PAPER_TABLE4.get(workload_name, {})
         row = [workload_name]

@@ -1,0 +1,32 @@
+"""Declarative, cached, parallel experiment sweeps.
+
+The paper's results (Figures 7-9, Tables I-IV) are all grids of
+(workload × manager × core-count) simulations.  This package is the
+experiment layer every report and benchmark runs through:
+
+* :mod:`repro.experiments.spec` — :class:`SweepSpec`, the declarative
+  grid (workloads × managers × core counts × seeds), enumerated as
+  content-addressed :class:`RunPoint` cells.
+* :mod:`repro.experiments.runner` — :class:`SweepRunner`, which checks
+  the result cache, fans the remaining cells out across
+  ``multiprocessing`` workers and streams canonical JSONL rows.
+* :mod:`repro.experiments.cache` — :class:`ResultCache`, the on-disk
+  content-addressed store that makes repeated sweeps incremental.
+* :mod:`repro.experiments.cli` — ``python -m repro.experiments.cli``
+  (``sweep``, ``spec-hash``, ``report``, ``workloads``).
+"""
+
+from repro.experiments.cache import ResultCache
+from repro.experiments.runner import SweepOutcome, SweepRunner, run_sweep, write_jsonl
+from repro.experiments.spec import RunPoint, SweepSpec, WorkloadSpec
+
+__all__ = [
+    "ResultCache",
+    "RunPoint",
+    "SweepOutcome",
+    "SweepRunner",
+    "SweepSpec",
+    "WorkloadSpec",
+    "run_sweep",
+    "write_jsonl",
+]

@@ -1,0 +1,83 @@
+"""Content-addressed on-disk result cache.
+
+Each cached entry is one :class:`~repro.system.results.MachineResult`,
+stored as canonical JSON under ``<root>/<key[:2]>/<key>.json`` where
+``key`` is :meth:`RunPoint.cache_key` — a SHA-256 hash of the complete
+point configuration.  Because the key is derived from content, repeated
+sweeps are incremental for free: only grid cells whose configuration
+actually changed (or never ran) are simulated again.
+
+Writes are atomic (``os.replace`` of a temp file), so a sweep killed
+mid-write never leaves a truncated entry behind; unreadable entries are
+treated as misses.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Any, Dict, Optional, Union
+
+from repro.trace.serialization import canonical_json_line
+
+
+class ResultCache:
+    """Filesystem-backed map from cache key to result-JSON document."""
+
+    def __init__(self, root: Union[str, Path]) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    def _path(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.json"
+
+    def get(self, key: str) -> Optional[Dict[str, Any]]:
+        """Return the cached result document, or ``None`` on a miss."""
+        path = self._path(key)
+        try:
+            text = path.read_text(encoding="utf-8")
+        except FileNotFoundError:
+            return None
+        except OSError:
+            return None
+        try:
+            document = json.loads(text)
+        except json.JSONDecodeError:
+            return None
+        return document if isinstance(document, dict) else None
+
+    def put(self, key: str, document: Dict[str, Any]) -> Path:
+        """Store ``document`` under ``key`` atomically."""
+        path = self._path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp_name = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                handle.write(canonical_json_line(document))
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+        return path
+
+    def __contains__(self, key: str) -> bool:
+        return self._path(key).exists()
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.root.glob("*/*.json"))
+
+    def clear(self) -> int:
+        """Delete every cached entry; return the number removed."""
+        removed = 0
+        for path in self.root.glob("*/*.json"):
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                pass
+        return removed

@@ -1,0 +1,119 @@
+"""Command-line entry point for experiment sweeps.
+
+Examples::
+
+    python -m repro.experiments.cli sweep \\
+        --workloads c-ray sparselu --managers ideal nanos "nexus#6" \\
+        --cores 1 4 16 64 --scale 0.05 --seeds 2015 \\
+        --n-jobs 4 --cache-dir .sweep-cache --output results.jsonl
+
+    python -m repro.experiments.cli spec-hash --workloads microbench \\
+        --managers ideal --cores 1 2
+
+    python -m repro.experiments.cli report results.jsonl
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from repro.experiments.runner import SweepRunner, rows_to_studies
+from repro.experiments.spec import SweepSpec
+from repro.trace.serialization import iter_jsonl
+from repro.workloads.registry import list_workloads
+
+
+def _add_grid_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--workloads", nargs="+", required=True,
+                        help="registry workload names (see `workloads` subcommand)")
+    parser.add_argument("--managers", nargs="+", required=True,
+                        help="manager specs: ideal, nanos, sw400, nexus++, nexus#<n>[@MHz]")
+    parser.add_argument("--cores", type=int, nargs="+", required=True,
+                        help="worker-core counts to sweep")
+    parser.add_argument("--seeds", type=int, nargs="*", default=None,
+                        help="workload seeds (default: generator defaults)")
+    parser.add_argument("--scale", type=float, default=1.0,
+                        help="workload scale factor (default 1.0)")
+    parser.add_argument("--nanos-max-cores", type=int, default=None,
+                        help="cap the Nanos manager at this many cores")
+
+
+def _spec_from_args(args: argparse.Namespace) -> SweepSpec:
+    seeds: Sequence[Optional[int]] = tuple(args.seeds) if args.seeds else (None,)
+    max_cores = {"Nanos": args.nanos_max_cores} if args.nanos_max_cores else None
+    return SweepSpec(
+        workloads=args.workloads,
+        managers=args.managers,
+        core_counts=args.cores,
+        seeds=seeds,
+        scale=args.scale,
+        max_cores=max_cores,
+    )
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-sweep",
+        description="Declarative (workload x manager x cores x seed) experiment sweeps.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_sweep = sub.add_parser("sweep", help="run a sweep grid")
+    _add_grid_arguments(p_sweep)
+    p_sweep.add_argument("--n-jobs", type=int, default=1,
+                         help="worker processes (default 1 = serial)")
+    p_sweep.add_argument("--cache-dir", default=None,
+                         help="content-addressed result cache directory")
+    p_sweep.add_argument("--output", default=None,
+                         help="stream result rows to this JSONL file")
+    p_sweep.add_argument("--quiet", action="store_true",
+                         help="suppress the rendered speedup tables")
+
+    p_hash = sub.add_parser("spec-hash", help="print the content hash of a sweep grid")
+    _add_grid_arguments(p_hash)
+
+    p_report = sub.add_parser("report", help="render speedup tables from a sweep JSONL file")
+    p_report.add_argument("jsonl", help="path to a file written by `sweep --output`")
+
+    sub.add_parser("workloads", help="list available workload names")
+    return parser
+
+
+def _render_report(jsonl_path: str) -> str:
+    """Rebuild per-workload speedup tables from a sweep JSONL stream."""
+    studies = rows_to_studies(list(iter_jsonl(jsonl_path)))
+    return "\n\n".join(study.render() for study in studies.values())
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = _build_parser().parse_args(argv)
+    if args.command == "workloads":
+        print("\n".join(list_workloads()))
+        return 0
+    if args.command == "report":
+        print(_render_report(args.jsonl))
+        return 0
+    spec = _spec_from_args(args)
+    if args.command == "spec-hash":
+        print(spec.spec_hash())
+        return 0
+    # command == "sweep"
+    runner = SweepRunner(n_jobs=args.n_jobs, cache_dir=args.cache_dir)
+    outcome = runner.run(spec, jsonl_path=args.output)
+    if not args.quiet:
+        for study in outcome.studies().values():
+            print(study.render())
+            print()
+    print(
+        f"sweep {spec.spec_hash()[:12]}: {len(outcome.points)} points, "
+        f"{outcome.executed} executed, {outcome.cache_hits} cached"
+        + (f", rows -> {outcome.jsonl_path}" if outcome.jsonl_path else "")
+    )
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,314 @@
+"""Declarative sweep specifications.
+
+A :class:`SweepSpec` names a full experiment grid — workloads × managers
+× core counts × seeds — without running anything.  The grid enumerates to
+a deterministic list of :class:`RunPoint` objects, each of which is
+
+* **picklable**, so the runner can fan points out to worker processes,
+* **content-addressed**: :meth:`RunPoint.cache_key` hashes the complete
+  point configuration (workload identity, manager configuration, core
+  count, machine flags), so the on-disk result cache is invalidated
+  exactly when the experiment actually changes.
+
+Workloads are referenced either by registry name (regenerated inside the
+worker — cheap, and avoids shipping large traces between processes) or as
+inline :class:`~repro.trace.trace.Trace` objects (hashed by content).
+"""
+
+from __future__ import annotations
+
+import functools
+from dataclasses import dataclass, field as dataclass_field, replace
+from typing import Dict, Iterator, Mapping, Optional, Sequence, Tuple, Union
+
+from repro.analysis.factories import ManagerFactory, describe_factory, parse_manager
+from repro.common.errors import ConfigurationError
+from repro.system.machine import simulate
+from repro.system.results import MachineResult
+from repro.trace.serialization import RESULT_FORMAT_VERSION, json_digest, trace_digest
+from repro.trace.trace import Trace
+
+#: Bump whenever a change alters simulated behaviour without touching any
+#: configuration field (e.g. a manager scheduling fix) — cache keys hash
+#: the experiment *configuration* plus this constant and the package
+#: version, so behaviour-only changes must invalidate entries manually.
+#: The golden-trace tests (tests/golden/) are the guard that notices such
+#: changes: a PR that regenerates the goldens must also bump this.
+CACHE_SCHEMA_VERSION = 1
+
+WorkloadLike = Union[str, Trace, "WorkloadSpec"]
+ManagersLike = Union[Mapping[str, ManagerFactory], Sequence[str]]
+
+
+@functools.lru_cache(maxsize=16)
+def _named_trace(name: str, scale: float, seed: Optional[int]) -> Trace:
+    """Per-process memo of generated registry traces (sweeps reuse them)."""
+    from repro.workloads.registry import get_workload
+
+    return get_workload(name, scale=scale, seed=seed)
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """One workload axis entry: a registry name or an inline trace."""
+
+    name: str
+    scale: float = 1.0
+    seed: Optional[int] = None
+    trace: Optional[Trace] = None
+    #: Lazily memoised content digest of an inline trace (hashing a large
+    #: trace is expensive and describe() runs once per grid cell).
+    _digest: Optional[str] = dataclass_field(default=None, repr=False, compare=False)
+
+    @classmethod
+    def of(cls, workload: WorkloadLike, *, scale: float = 1.0, seed: Optional[int] = None) -> "WorkloadSpec":
+        if isinstance(workload, WorkloadSpec):
+            return workload
+        if isinstance(workload, Trace):
+            return cls(name=workload.name, trace=workload)
+        if isinstance(workload, str):
+            return cls(name=workload, scale=scale, seed=seed)
+        raise ConfigurationError(f"cannot interpret {workload!r} as a workload")
+
+    def with_seed(self, seed: Optional[int]) -> "WorkloadSpec":
+        """Apply a sweep-level seed (inline traces are already fixed)."""
+        if seed is None or self.trace is not None:
+            return self
+        return replace(self, seed=seed)
+
+    def resolve(self) -> Trace:
+        """Materialise the trace (memoised per process for named workloads)."""
+        if self.trace is not None:
+            return self.trace
+        return _named_trace(self.name, self.scale, self.seed)
+
+    def describe(self) -> Dict[str, object]:
+        if self.trace is not None:
+            if self._digest is None:
+                object.__setattr__(self, "_digest", trace_digest(self.trace))
+            return {"name": self.name, "inline_digest": self._digest}
+        return {"name": self.name, "scale": self.scale, "seed": self.seed}
+
+
+@dataclass(frozen=True)
+class RunPoint:
+    """One cell of the sweep grid: (workload, manager, cores)."""
+
+    workload: WorkloadSpec
+    manager_name: str
+    factory: ManagerFactory
+    cores: int
+    validate: bool = False
+    keep_schedule: bool = False
+
+    def describe(self) -> Dict[str, object]:
+        """Self-describing identity of the point (JSONL / cache key)."""
+        return {
+            "workload": self.workload.describe(),
+            "manager": self.manager_name,
+            "manager_config": dict(describe_factory(self.factory)),
+            "cores": self.cores,
+            "validate": self.validate,
+            "keep_schedule": self.keep_schedule,
+        }
+
+    @property
+    def cacheable(self) -> bool:
+        """Whether the point's configuration is fully content-describable.
+
+        Opaque factories (plain callables without ``describe``) hash to
+        their qualified name only, so two different configurations could
+        collide in the cache; the runner always re-simulates such points
+        instead of risking silently stale results.
+        """
+        return describe_factory(self.factory).get("kind") != "opaque"
+
+    def cache_key(self) -> str:
+        """Content hash addressing this point's result on disk.
+
+        The result-document format version and the package version are
+        part of the key: bumping either turns every stale cache entry
+        into a miss instead of a decode error (or silently stale
+        numbers) on a warm re-run.
+        """
+        import repro
+
+        document = {
+            "cache_schema": CACHE_SCHEMA_VERSION,
+            "result_format": RESULT_FORMAT_VERSION,
+            "package_version": repro.__version__,
+            "point": self.describe(),
+        }
+        return json_digest(document)
+
+    def run(self) -> MachineResult:
+        """Execute the simulation for this point."""
+        return simulate(
+            self.workload.resolve(),
+            self.factory(),
+            self.cores,
+            validate=self.validate,
+            keep_schedule=self.keep_schedule,
+        )
+
+
+def _normalize_managers(managers: ManagersLike) -> Tuple[Tuple[str, ManagerFactory], ...]:
+    if isinstance(managers, Mapping):
+        pairs = tuple(managers.items())
+    else:
+        # Accept both short name strings and already-normalized
+        # (display name, factory) pairs — the latter is what the frozen
+        # spec stores, so dataclasses.replace() round-trips.
+        pairs = tuple(
+            entry if isinstance(entry, tuple) else parse_manager(entry)
+            for entry in managers
+        )
+    if not pairs:
+        raise ConfigurationError("a sweep needs at least one manager")
+    seen = set()
+    for name, _ in pairs:
+        if name in seen:
+            raise ConfigurationError(f"duplicate manager name {name!r} in sweep")
+        seen.add(name)
+    return pairs
+
+
+@dataclass(frozen=True)
+class SweepSpec:
+    """A declarative experiment grid.
+
+    Parameters
+    ----------
+    workloads:
+        Registry names, inline traces, or prebuilt :class:`WorkloadSpec`s.
+    managers:
+        Mapping of display name to factory, or a sequence of short manager
+        names (``ideal``, ``nanos``, ``nexus++``, ``nexus#6``, ...).
+    core_counts:
+        Worker-core counts to sweep.
+    seeds:
+        Workload-generator seeds; ``(None,)`` keeps each workload's own
+        seed.  Named workloads are regenerated once per seed.
+    scale:
+        Scale factor applied to named workloads.
+    max_cores:
+        Optional per-manager core-count cap (the paper runs Nanos only up
+        to its 32 physical cores); capped points are skipped.
+    validate / keep_schedule:
+        Forwarded to :class:`~repro.system.machine.MachineConfig`.
+    """
+
+    workloads: Tuple[WorkloadSpec, ...]
+    managers: Tuple[Tuple[str, ManagerFactory], ...]
+    core_counts: Tuple[int, ...]
+    seeds: Tuple[Optional[int], ...] = (None,)
+    max_cores: Tuple[Tuple[str, int], ...] = ()
+    validate: bool = False
+    keep_schedule: bool = False
+    name: str = "sweep"
+
+    def __init__(
+        self,
+        workloads: Sequence[WorkloadLike],
+        managers: ManagersLike,
+        core_counts: Sequence[int],
+        *,
+        seeds: Sequence[Optional[int]] = (None,),
+        scale: float = 1.0,
+        max_cores: Optional[Mapping[str, int]] = None,
+        validate: bool = False,
+        keep_schedule: bool = False,
+        name: str = "sweep",
+    ) -> None:
+        if not workloads:
+            raise ConfigurationError("a sweep needs at least one workload")
+        if not core_counts:
+            raise ConfigurationError("core_counts must not be empty")
+        if not seeds:
+            raise ConfigurationError("seeds must not be empty (use (None,) for defaults)")
+        for cores in core_counts:
+            if cores <= 0:
+                raise ConfigurationError(f"core counts must be positive, got {cores}")
+        object.__setattr__(
+            self,
+            "workloads",
+            tuple(WorkloadSpec.of(w, scale=scale) for w in workloads),
+        )
+        object.__setattr__(self, "managers", _normalize_managers(managers))
+        object.__setattr__(self, "core_counts", tuple(int(c) for c in core_counts))
+        object.__setattr__(self, "seeds", tuple(seeds))
+        object.__setattr__(self, "max_cores", tuple(sorted(dict(max_cores or {}).items())))
+        object.__setattr__(self, "validate", bool(validate))
+        object.__setattr__(self, "keep_schedule", bool(keep_schedule))
+        object.__setattr__(self, "name", name)
+
+    # -- grid enumeration --------------------------------------------------
+    def points(self) -> Iterator[RunPoint]:
+        """Enumerate the grid in deterministic order.
+
+        Order: workloads (outer) × seeds × managers × core counts (inner)
+        — the JSONL stream, the cache and the parallel runner all preserve
+        this order, which is what makes ``n_jobs`` invisible in the output.
+        """
+        caps = dict(self.max_cores)
+        for seeded in self.effective_workloads():
+            for manager_name, factory in self.managers:
+                cap = caps.get(manager_name)
+                for cores in self.core_counts:
+                    if cap is not None and cores > cap:
+                        continue
+                    yield RunPoint(
+                        workload=seeded,
+                        manager_name=manager_name,
+                        factory=factory,
+                        cores=cores,
+                        validate=self.validate,
+                        keep_schedule=self.keep_schedule,
+                    )
+
+    def effective_workloads(self) -> Tuple[WorkloadSpec, ...]:
+        """The workload axis after applying the seed axis.
+
+        The seed axis multiplies only workloads it actually affects:
+        inline traces (and repeated seed values) would otherwise re-run
+        identical points once per seed.
+        """
+        effective: list[WorkloadSpec] = []
+        for workload in self.workloads:
+            emitted: list[WorkloadSpec] = []
+            for seed in self.seeds:
+                seeded = workload.with_seed(seed)
+                if any(seeded == previous for previous in emitted):
+                    continue
+                emitted.append(seeded)
+            effective.extend(emitted)
+        return tuple(effective)
+
+    def num_points(self) -> int:
+        """Number of grid cells (after per-manager core caps)."""
+        return sum(1 for _ in self.points())
+
+    def describe(self) -> Dict[str, object]:
+        """Serialisable description of the whole grid."""
+        return {
+            "name": self.name,
+            "workloads": [w.describe() for w in self.workloads],
+            "managers": [
+                {"name": name, "config": dict(describe_factory(factory))}
+                for name, factory in self.managers
+            ],
+            "core_counts": list(self.core_counts),
+            "seeds": list(self.seeds),
+            "max_cores": dict(self.max_cores),
+            "validate": self.validate,
+            "keep_schedule": self.keep_schedule,
+        }
+
+    def spec_hash(self) -> str:
+        """Content hash of the grid (reported in sweep summaries/JSONL).
+
+        The cosmetic ``name`` is excluded: two grids that run the same
+        points hash identically regardless of what they are called.
+        """
+        content = {k: v for k, v in self.describe().items() if k != "name"}
+        return json_digest({"cache_schema": CACHE_SCHEMA_VERSION, "spec": content})

@@ -135,19 +135,28 @@ class Simulator:
     def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> float:
         """Run until the queue drains, ``until`` is reached, or ``max_events``.
 
-        Returns the simulation time at which the run stopped.
+        Returns the simulation time at which the run stopped.  When an
+        ``until`` horizon is given and the queue drains (or the next event
+        lies beyond it), time advances to the horizon — the simulated
+        world idled up to ``until``; a horizon already in the past leaves
+        the clock untouched (time never moves backwards).  A stop caused
+        by ``max_events`` does *not* advance to the horizon: the run was
+        cut short mid-simulation, not idled out.
         """
         self._running = True
         dispatched = 0
+        stopped_by_max_events = False
         try:
             while self.queue:
                 if until is not None and self.queue.peek().time > until:
-                    self.now = until
                     break
                 if max_events is not None and dispatched >= max_events:
+                    stopped_by_max_events = True
                     break
                 self.step()
                 dispatched += 1
+            if until is not None and not stopped_by_max_events:
+                self.now = max(self.now, until)
         finally:
             self._running = False
         return self.now

@@ -1,0 +1,53 @@
+"""Tests for the content-addressed result cache."""
+
+from repro.experiments.cache import ResultCache
+
+KEY = "ab" + "0" * 62
+OTHER = "cd" + "1" * 62
+
+
+class TestResultCache:
+    def test_miss_then_roundtrip(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        assert cache.get(KEY) is None
+        document = {"makespan_us": 12.5, "nested": {"a": [1, 2]}}
+        cache.put(KEY, document)
+        assert KEY in cache
+        assert cache.get(KEY) == document
+
+    def test_entries_are_sharded_by_key_prefix(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put(KEY, {"x": 1})
+        assert (tmp_path / KEY[:2] / f"{KEY}.json").exists()
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put(KEY, {"x": 1})
+        path = tmp_path / KEY[:2] / f"{KEY}.json"
+        path.write_text("{truncated", encoding="utf-8")
+        assert cache.get(KEY) is None
+
+    def test_non_object_entry_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        path = tmp_path / KEY[:2] / f"{KEY}.json"
+        path.parent.mkdir(parents=True)
+        path.write_text("[1,2,3]", encoding="utf-8")
+        assert cache.get(KEY) is None
+
+    def test_len_and_clear(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put(KEY, {"x": 1})
+        cache.put(OTHER, {"y": 2})
+        assert len(cache) == 2
+        assert cache.clear() == 2
+        assert len(cache) == 0
+        assert cache.get(KEY) is None
+
+    def test_put_overwrites_atomically(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put(KEY, {"v": 1})
+        cache.put(KEY, {"v": 2})
+        assert cache.get(KEY) == {"v": 2}
+        # No stray temp files left behind.
+        leftovers = [p for p in (tmp_path / KEY[:2]).iterdir() if p.suffix == ".tmp"]
+        assert leftovers == []

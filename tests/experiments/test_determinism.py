@@ -1,0 +1,71 @@
+"""Property-based determinism guarantees of the sweep subsystem.
+
+Two properties the whole experiment layer leans on:
+
+1. **Parallelism is invisible**: a sweep run with ``n_jobs=1`` and
+   ``n_jobs=4`` writes byte-identical JSONL result rows.
+2. **The cache is invisible**: a warm (fully cached) re-run writes
+   byte-identical JSONL result rows to the cold run that filled it.
+
+The grids are drawn by hypothesis over workloads, managers, core counts
+and seeds, so the properties are checked across the spec space rather
+than for one hand-picked grid.
+"""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.experiments.cache import ResultCache
+from repro.experiments.runner import SweepRunner
+from repro.experiments.spec import SweepSpec
+
+#: Cheap workloads only — hypothesis runs each property several times.
+WORKLOAD_POOL = ("microbench", "c-ray", "sparselu")
+MANAGER_POOL = ("ideal", "nanos", "nexus#2", "nexus++")
+
+
+def sweep_specs():
+    """Strategy producing small but varied sweep grids."""
+    return st.builds(
+        lambda workloads, managers, cores, seed, keep: SweepSpec(
+            workloads=workloads,
+            managers=managers,
+            core_counts=sorted(cores),
+            seeds=(seed,),
+            scale=0.02,
+            keep_schedule=keep,
+        ),
+        workloads=st.lists(st.sampled_from(WORKLOAD_POOL), min_size=1, max_size=2, unique=True),
+        managers=st.lists(st.sampled_from(MANAGER_POOL), min_size=1, max_size=2, unique=True),
+        cores=st.lists(st.integers(min_value=1, max_value=8), min_size=1, max_size=2, unique=True),
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+        keep=st.booleans(),
+    )
+
+
+@settings(max_examples=5, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(spec=sweep_specs())
+def test_jsonl_rows_identical_across_parallelism(tmp_path_factory, spec):
+    base = tmp_path_factory.mktemp("parallelism")
+    serial_path = base / "serial.jsonl"
+    parallel_path = base / "parallel.jsonl"
+    SweepRunner(n_jobs=1).run(spec, jsonl_path=serial_path)
+    SweepRunner(n_jobs=4).run(spec, jsonl_path=parallel_path)
+    assert serial_path.read_bytes() == parallel_path.read_bytes()
+
+
+@settings(max_examples=5, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(spec=sweep_specs())
+def test_cache_hits_identical_to_cold_runs(tmp_path_factory, spec):
+    base = tmp_path_factory.mktemp("cachedet")
+    cache = ResultCache(base / "cache")
+    cold_path = base / "cold.jsonl"
+    warm_path = base / "warm.jsonl"
+    cold = SweepRunner(cache=cache).run(spec, jsonl_path=cold_path)
+    warm = SweepRunner(cache=cache).run(spec, jsonl_path=warm_path)
+    assert cold.executed == len(cold.points)
+    assert warm.executed == 0
+    assert warm.cache_hits == len(warm.points)
+    assert cold_path.read_bytes() == warm_path.read_bytes()
+    # And the in-memory results decode identically.
+    assert [r.makespan_us for r in warm.results] == [r.makespan_us for r in cold.results]

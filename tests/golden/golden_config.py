@@ -1,0 +1,53 @@
+"""Shared configuration of the golden-trace regression harness.
+
+One small, seeded trace per workload generator, and the four golden
+manager models the paper compares (``ideal``, ``nanos``, ``nexuspp``,
+``nexussharp``).  Both the regeneration script and the regression test
+import from here so they can never drift apart.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.analysis.factories import (
+    ManagerFactory,
+    ideal_factory,
+    nanos_factory,
+    nexus_pp_factory,
+    nexus_sharp_factory,
+)
+from repro.trace.trace import Trace
+from repro.workloads.cray import generate_cray
+from repro.workloads.gaussian import generate_gaussian_elimination
+from repro.workloads.h264dec import generate_h264dec
+from repro.workloads.microbench import generate_microbenchmark
+from repro.workloads.rotcc import generate_rotcc
+from repro.workloads.sparselu import generate_sparselu
+from repro.workloads.streamcluster import generate_streamcluster
+from repro.workloads.synthetic import generate_random_dag
+
+#: Seed used for every seeded golden trace.
+GOLDEN_SEED = 20150525
+
+#: The four managers the golden makespans are pinned for.
+GOLDEN_MANAGERS: Dict[str, ManagerFactory] = {
+    "ideal": ideal_factory(),
+    "nanos": nanos_factory(),
+    "nexuspp": nexus_pp_factory(),
+    "nexussharp": nexus_sharp_factory(6),
+}
+
+
+def golden_traces() -> Dict[str, Trace]:
+    """One deterministic miniature trace per workload generator."""
+    return {
+        "cray": generate_cray(scale=0.05, seed=GOLDEN_SEED),
+        "rotcc": generate_rotcc(scale=0.005, seed=GOLDEN_SEED),
+        "sparselu": generate_sparselu(scale=0.02, seed=GOLDEN_SEED),
+        "streamcluster": generate_streamcluster(scale=0.001, seed=GOLDEN_SEED),
+        "h264dec": generate_h264dec(grouping=2, num_frames=3, scale=0.05, seed=GOLDEN_SEED),
+        "gaussian": generate_gaussian_elimination(matrix_size=24, seed=GOLDEN_SEED),
+        "microbench": generate_microbenchmark(seed=GOLDEN_SEED),
+        "synthetic": generate_random_dag(80, max_predecessors=3, seed=GOLDEN_SEED),
+    }

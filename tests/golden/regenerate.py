@@ -1,0 +1,57 @@
+"""Regenerate the golden traces and their expected makespans.
+
+Run from the repository root after an *intentional* behaviour change::
+
+    PYTHONPATH=src python tests/golden/regenerate.py
+
+The script writes one small, seeded trace per workload generator to
+``tests/golden/data/`` and records the exact makespan of each trace
+under every golden manager in ``expected_makespans.json``.  The paired
+test (``test_golden_traces.py``) replays the committed traces and
+compares against these values *exactly* — any diff in a regeneration is
+a change to the simulated science and must be explained in the PR that
+commits it.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+from repro.system.machine import simulate
+from repro.trace.serialization import save_trace, trace_digest
+
+from golden_config import GOLDEN_MANAGERS, GOLDEN_SEED, golden_traces
+
+DATA_DIR = Path(__file__).parent / "data"
+EXPECTED_PATH = Path(__file__).parent / "expected_makespans.json"
+
+
+def main() -> int:
+    DATA_DIR.mkdir(parents=True, exist_ok=True)
+    expected: dict[str, dict[str, object]] = {}
+    for key, trace in golden_traces().items():
+        path = save_trace(trace, DATA_DIR / f"{key}.json.gz")
+        makespans = {}
+        for manager_key, factory in GOLDEN_MANAGERS.items():
+            result = simulate(trace, factory(), num_cores=8, validate=True)
+            makespans[manager_key] = result.makespan_us
+        expected[key] = {
+            "trace_digest": trace_digest(trace),
+            "num_tasks": trace.num_tasks,
+            "total_work_us": trace.total_work_us,
+            "makespans_us": makespans,
+        }
+        print(f"{key:24s} {trace.num_tasks:5d} tasks -> {path.name}")
+    EXPECTED_PATH.write_text(
+        json.dumps({"seed": GOLDEN_SEED, "cores": 8, "traces": expected},
+                   indent=2, sort_keys=True) + "\n",
+        encoding="utf-8",
+    )
+    print(f"wrote {EXPECTED_PATH}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

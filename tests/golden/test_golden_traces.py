@@ -1,0 +1,71 @@
+"""Golden-trace regression tests.
+
+Replays the committed miniature traces (one per workload generator)
+through the four golden managers and compares the makespans *exactly*
+against ``expected_makespans.json``.  This pins the simulator's observable
+behaviour down to the last bit: a refactor that changes any number here
+is changing the science, not just the code, and must regenerate the
+goldens (``tests/golden/regenerate.py``) and justify the diff.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.system.machine import simulate
+from repro.trace.serialization import load_trace, trace_digest
+
+from golden_config import GOLDEN_MANAGERS, GOLDEN_SEED, golden_traces
+
+GOLDEN_DIR = Path(__file__).parent
+DATA_DIR = GOLDEN_DIR / "data"
+EXPECTED = json.loads((GOLDEN_DIR / "expected_makespans.json").read_text(encoding="utf-8"))
+
+TRACE_KEYS = sorted(EXPECTED["traces"])
+MANAGER_KEYS = list(GOLDEN_MANAGERS)
+
+
+def test_expected_file_covers_all_golden_managers():
+    assert EXPECTED["seed"] == GOLDEN_SEED
+    for key in TRACE_KEYS:
+        assert set(EXPECTED["traces"][key]["makespans_us"]) == set(MANAGER_KEYS)
+
+
+def test_every_generator_has_a_committed_golden_trace():
+    assert set(TRACE_KEYS) == set(golden_traces())
+    for key in TRACE_KEYS:
+        assert (DATA_DIR / f"{key}.json.gz").exists(), f"missing golden trace {key}"
+
+
+@pytest.mark.parametrize("key", TRACE_KEYS)
+def test_committed_trace_matches_expected_identity(key):
+    trace = load_trace(DATA_DIR / f"{key}.json.gz")
+    entry = EXPECTED["traces"][key]
+    assert trace_digest(trace) == entry["trace_digest"]
+    assert trace.num_tasks == entry["num_tasks"]
+    assert trace.total_work_us == entry["total_work_us"]
+
+
+@pytest.mark.parametrize("key", TRACE_KEYS)
+def test_generators_still_reproduce_the_committed_traces(key):
+    """The seeded generators must still emit byte-identical traces."""
+    committed = load_trace(DATA_DIR / f"{key}.json.gz")
+    regenerated = golden_traces()[key]
+    assert trace_digest(regenerated) == trace_digest(committed)
+
+
+@pytest.mark.parametrize("manager_key", MANAGER_KEYS)
+@pytest.mark.parametrize("key", TRACE_KEYS)
+def test_golden_makespans_exact(key, manager_key):
+    trace = load_trace(DATA_DIR / f"{key}.json.gz")
+    expected = EXPECTED["traces"][key]["makespans_us"][manager_key]
+    factory = GOLDEN_MANAGERS[manager_key]
+    result = simulate(trace, factory(), num_cores=EXPECTED["cores"], validate=True)
+    assert result.makespan_us == expected, (
+        f"{manager_key} on golden {key}: makespan {result.makespan_us!r} != "
+        f"expected {expected!r} — simulator behaviour changed; if intentional, "
+        "rerun tests/golden/regenerate.py and explain the diff in the PR"
+    )

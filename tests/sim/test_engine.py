@@ -89,6 +89,52 @@ class TestSimulator:
         assert end == pytest.approx(5.0)
         assert len(sim.queue) == 1
 
+    def test_run_until_advances_time_when_queue_drains_early(self):
+        sim = Simulator()
+        sim.on("tick", lambda s, e: None)
+        sim.schedule(2.0, "tick")
+        end = sim.run(until=10.0)
+        assert end == pytest.approx(10.0)
+        assert sim.now == pytest.approx(10.0)
+        assert sim.processed_events == 1
+
+    def test_run_until_on_empty_queue_advances_to_horizon(self):
+        sim = Simulator()
+        end = sim.run(until=7.5)
+        assert end == pytest.approx(7.5)
+        assert sim.now == pytest.approx(7.5)
+
+    def test_run_until_in_the_past_does_not_rewind(self):
+        sim = Simulator()
+        sim.on("tick", lambda s, e: None)
+        sim.schedule(5.0, "tick")
+        sim.run()
+        assert sim.now == pytest.approx(5.0)
+        end = sim.run(until=1.0)
+        assert end == pytest.approx(5.0)
+        assert sim.now == pytest.approx(5.0)
+
+    def test_run_max_events_stop_does_not_advance_to_horizon(self):
+        sim = Simulator()
+        sim.on("tick", lambda s, e: None)
+        for i in range(5):
+            sim.schedule(float(i), "tick")
+        end = sim.run(until=100.0, max_events=2)
+        assert sim.processed_events == 2
+        assert end == pytest.approx(1.0)
+        assert len(sim.queue) == 3
+
+    def test_run_until_leaves_future_events_queued(self):
+        sim = Simulator()
+        sim.on("tick", lambda s, e: None)
+        sim.schedule(1.0, "tick")
+        sim.schedule(20.0, "tick")
+        end = sim.run(until=5.0)
+        assert end == pytest.approx(5.0)
+        assert len(sim.queue) == 1
+        # Resuming past the horizon picks the remaining event back up.
+        assert sim.run() == pytest.approx(20.0)
+
     def test_max_events(self):
         sim = Simulator()
         sim.on("tick", lambda s, e: None)
