@@ -9,6 +9,12 @@ and printed next to the zero-overhead ideal curve.
 Run with::
 
     python examples/compare_managers.py [--scale 0.03] [--cores 1 8 64]
+
+The machine's new experiment axes are exposed too: sweep scheduler
+policies and/or core topologies next to the managers, e.g.::
+
+    python examples/compare_managers.py --schedulers fifo sjf locality
+    python examples/compare_managers.py --topologies homogeneous biglittle:0.5
 """
 
 import argparse
@@ -28,6 +34,10 @@ def main() -> None:
                         help="core counts to sweep")
     parser.add_argument("--workloads", nargs="+", default=None,
                         help="subset of workloads (default: the Table II list)")
+    parser.add_argument("--schedulers", nargs="+", default=["fifo"],
+                        help="dispatch policies to compare (fifo, sjf, ljf, locality)")
+    parser.add_argument("--topologies", nargs="+", default=["homogeneous"],
+                        help="core topologies to compare (homogeneous, biglittle:0.5, ...)")
     parser.add_argument("--seed", type=int, default=0)
     args = parser.parse_args()
 
@@ -37,7 +47,9 @@ def main() -> None:
         trace = get_workload(name, scale=args.scale, seed=args.seed)
         stats = compute_statistics(trace)
         study = run_scalability(trace, managers, core_counts=args.cores,
-                                max_cores={"Nanos": NANOS_MAX_CORES})
+                                max_cores={"Nanos": NANOS_MAX_CORES},
+                                schedulers=args.schedulers,
+                                topologies=args.topologies)
         print(study.render(
             f"{name}  ({stats.num_tasks} tasks, avg {stats.avg_task_us:.1f} us, scale {args.scale})"
         ))

@@ -89,6 +89,12 @@ def _build_parser() -> argparse.ArgumentParser:
     p_sim.add_argument("--cores", type=int, default=16)
     p_sim.add_argument("--scale", type=float, default=1.0)
     p_sim.add_argument("--seed", type=int, default=None)
+    p_sim.add_argument("--scheduler", default="fifo",
+                       help="ready-task dispatch policy: fifo (default), sjf, ljf, locality")
+    p_sim.add_argument("--topology", default="homogeneous",
+                       help="core topology: homogeneous (default), "
+                            "biglittle[:little_speed | :big_fraction:little_speed], "
+                            "speeds:<s0>,<s1>,...")
     _add_runner_arguments(p_sim)
     return parser
 
@@ -125,11 +131,22 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             managers=dict([parse_manager(args.manager)]),
             core_counts=(args.cores,),
             keep_schedule=True,
+            schedulers=(args.scheduler,),
+            topologies=(args.topology,),
             name=f"simulate:{trace.name}",
         )
         outcome = _runner_from_args(args).run(spec)
-        for key, value in outcome.results[0].summary().items():
+        result = outcome.results[0]
+        summary = result.summary()
+        summary.setdefault("scheduler", result.scheduler)
+        if result.topology:
+            summary.setdefault("topology", result.topology.get("kind"))
+        for key, value in summary.items():
             print(f"{key:24s} {value}")
+        utilisation = result.per_core_utilization
+        if utilisation:
+            print(f"{'core_util_per_core':24s} "
+                  + " ".join(f"{u:.2f}" for u in utilisation))
     else:  # pragma: no cover - argparse enforces the choices
         return 2
     return 0

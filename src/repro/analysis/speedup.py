@@ -73,6 +73,8 @@ def run_scalability(
     max_cores: Optional[Mapping[str, int]] = None,
     validate: bool = False,
     runner: Optional[SweepRunner] = None,
+    schedulers: Sequence[str] = ("fifo",),
+    topologies: Sequence[str] = ("homogeneous",),
 ) -> ScalabilityStudy:
     """Sweep speedup vs. core count for every manager on ``trace``.
 
@@ -95,6 +97,11 @@ def run_scalability(
         The :class:`SweepRunner` to execute on.  ``None`` uses a fresh
         serial runner with no cache; pass a configured one for parallel
         (``n_jobs``) or incremental (``cache``) sweeps.
+    schedulers / topologies:
+        Ready-task dispatch policies and core-topology shapes to sweep
+        (see :mod:`repro.system.scheduling` / :mod:`repro.system.
+        topology`); when an axis has more than one entry, each manager
+        grows one suffixed curve per combination.
     """
     # Imported lazily: repro.experiments sits on top of repro.analysis
     # (its specs resolve manager names via analysis.factories), so a
@@ -108,6 +115,8 @@ def run_scalability(
         core_counts=core_counts,
         max_cores=max_cores,
         validate=validate,
+        schedulers=schedulers,
+        topologies=topologies,
         name=f"scalability:{trace.name}",
     )
     outcome = (runner or SweepRunner()).run(spec)

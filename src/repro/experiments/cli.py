@@ -38,6 +38,13 @@ def _add_grid_arguments(parser: argparse.ArgumentParser) -> None:
                         help="workload scale factor (default 1.0)")
     parser.add_argument("--nanos-max-cores", type=int, default=None,
                         help="cap the Nanos manager at this many cores")
+    parser.add_argument("--schedulers", nargs="+", default=None,
+                        help="ready-task dispatch policies to sweep: "
+                             "fifo (default), sjf, ljf, locality")
+    parser.add_argument("--topologies", nargs="+", default=None,
+                        help="core topologies to sweep: homogeneous (default), "
+                             "biglittle[:little_speed | :big_fraction:little_speed], "
+                             "speeds:<s0>,<s1>,...")
 
 
 def _spec_from_args(args: argparse.Namespace) -> SweepSpec:
@@ -50,6 +57,8 @@ def _spec_from_args(args: argparse.Namespace) -> SweepSpec:
         seeds=seeds,
         scale=args.scale,
         max_cores=max_cores,
+        schedulers=tuple(args.schedulers) if args.schedulers else ("fifo",),
+        topologies=tuple(args.topologies) if args.topologies else ("homogeneous",),
     )
 
 

@@ -103,7 +103,17 @@ class SweepOutcome:
         from repro.analysis.speedup import ScalabilityCurve, ScalabilityStudy
 
         spec = self.spec
-        manager_names = [name for name, _ in spec.managers]
+        # Mixed scheduler/topology axes expand every manager into one
+        # curve per (manager, scheduler, topology) combination — exactly
+        # mirroring curve_display_key(), which labels the rows.
+        multi_sched = len(spec.schedulers) > 1
+        multi_topo = len(spec.topologies) > 1
+        manager_names = [
+            curve_display_key(name, scheduler, topology, multi_sched, multi_topo)
+            for name, _ in spec.managers
+            for scheduler in spec.schedulers
+            for topology in spec.topologies
+        ]
         # One key map over the full grid, so fully-filtered workloads get
         # the same keys as the ones that produced rows.
         effective_docs = [workload.describe() for workload in spec.effective_workloads()]
@@ -273,6 +283,30 @@ class SweepRunner:
                 ) from exc
 
 
+def curve_display_key(
+    manager: str,
+    scheduler: str,
+    topology: str,
+    multi_sched: bool,
+    multi_topo: bool,
+) -> str:
+    """Display key of one speedup curve.
+
+    THE labelling rule for sweep results with scheduler/topology axes,
+    shared by :meth:`SweepOutcome.studies` and :func:`rows_to_studies`:
+    the manager name is suffixed with exactly the axes that are actually
+    swept (``Ideal [sjf]``, ``Ideal @biglittle:0.5``), so single-axis
+    sweeps keep the familiar manager-only labels while mixed-axis sweeps
+    never merge distinct configurations into one curve.
+    """
+    key = manager
+    if multi_sched:
+        key += f" [{scheduler}]"
+    if multi_topo:
+        key += f" @{topology}"
+    return key
+
+
 def workload_key_map(workload_docs: List[Dict[str, Any]]) -> Dict[str, str]:
     """Map each workload-describe document to a unique display key.
 
@@ -319,9 +353,12 @@ def rows_to_studies(
 
     * workloads are grouped by :func:`workload_key_map` (pass ``key_map``
       to reuse one computed from a superset, e.g. the full spec grid);
+    * curves are keyed by :func:`curve_display_key` — the manager name,
+      suffixed with the scheduler and/or topology when the rows actually
+      sweep those axes;
     * curve columns follow ``core_order`` (the spec's axis) when given,
       ascending core counts otherwise — headers and values always align;
-    * when ``manager_names`` is given, every listed manager gets a curve
+    * when ``manager_names`` is given, every listed curve key gets a curve
       (empty if all of its points were filtered), in that order.
     """
     from repro.analysis.speedup import ScalabilityCurve, ScalabilityStudy
@@ -338,19 +375,33 @@ def rows_to_studies(
         axis = tuple(core_order)
     order = {cores: position for position, cores in enumerate(axis)}
 
+    # Old JSONL rows (pre-axis result format) default to the paper's
+    # fifo + homogeneous configuration.
+    schedulers_seen = {row["point"].get("scheduler", "fifo") for row in rows}
+    topologies_seen = {row["point"].get("topology", "homogeneous") for row in rows}
+    multi_sched = len(schedulers_seen) > 1
+    multi_topo = len(topologies_seen) > 1
+
     collected: Dict[Tuple[str, str], List[Tuple[int, MachineResult]]] = {}
     group_keys: List[str] = []
     managers_seen: Dict[str, List[str]] = {}
     for row in rows:
-        key = key_for(row["point"]["workload"])
-        manager = row["point"]["manager"]
+        point = row["point"]
+        key = key_for(point["workload"])
+        manager = curve_display_key(
+            point["manager"],
+            point.get("scheduler", "fifo"),
+            point.get("topology", "homogeneous"),
+            multi_sched,
+            multi_topo,
+        )
         if key not in managers_seen:
             managers_seen[key] = []
             group_keys.append(key)
         if manager not in managers_seen[key]:
             managers_seen[key].append(manager)
         collected.setdefault((key, manager), []).append(
-            (int(row["point"]["cores"]), result_from_json(row["result"]))
+            (int(point["cores"]), result_from_json(row["result"]))
         )
 
     studies: Dict[str, ScalabilityStudy] = {}

@@ -1,7 +1,8 @@
 """Declarative sweep specifications.
 
 A :class:`SweepSpec` names a full experiment grid — workloads × managers
-× core counts × seeds — without running anything.  The grid enumerates to
+× scheduler policies × core topologies × core counts × seeds — without
+running anything.  The grid enumerates to
 a deterministic list of :class:`RunPoint` objects, each of which is
 
 * **picklable**, so the runner can fan points out to worker processes,
@@ -25,6 +26,8 @@ from repro.analysis.factories import ManagerFactory, describe_factory, parse_man
 from repro.common.errors import ConfigurationError
 from repro.system.machine import simulate
 from repro.system.results import MachineResult
+from repro.system.scheduling import canonical_policy_name, describe_policy
+from repro.system.topology import TopologySpec, canonical_topology
 from repro.trace.serialization import RESULT_FORMAT_VERSION, json_digest, trace_digest
 from repro.trace.trace import Trace
 
@@ -34,7 +37,9 @@ from repro.trace.trace import Trace
 #: version, so behaviour-only changes must invalidate entries manually.
 #: The golden-trace tests (tests/golden/) are the guard that notices such
 #: changes: a PR that regenerates the goldens must also bump this.
-CACHE_SCHEMA_VERSION = 1
+#: v2: grid points carry scheduler and topology axes (result format v2
+#: adds per-core utilisation), so every pre-axis cache entry is stale.
+CACHE_SCHEMA_VERSION = 2
 
 WorkloadLike = Union[str, Trace, "WorkloadSpec"]
 ManagersLike = Union[Mapping[str, ManagerFactory], Sequence[str]]
@@ -92,7 +97,7 @@ class WorkloadSpec:
 
 @dataclass(frozen=True)
 class RunPoint:
-    """One cell of the sweep grid: (workload, manager, cores)."""
+    """One cell of the sweep grid: (workload, manager, scheduler, topology, cores)."""
 
     workload: WorkloadSpec
     manager_name: str
@@ -100,9 +105,19 @@ class RunPoint:
     cores: int
     validate: bool = False
     keep_schedule: bool = False
+    #: Canonical scheduler-policy name (see repro.system.scheduling).
+    scheduler: str = "fifo"
+    #: Canonical topology-shape string (see repro.system.topology).
+    topology: str = "homogeneous"
 
     def describe(self) -> Dict[str, object]:
-        """Self-describing identity of the point (JSONL / cache key)."""
+        """Self-describing identity of the point (JSONL / cache key).
+
+        ``scheduler`` and ``topology`` are part of the identity, so the
+        content-addressed cache invalidates exactly when either axis
+        changes; the structured policy/topology configuration is included
+        so renamed-but-identical spellings cannot collide.
+        """
         return {
             "workload": self.workload.describe(),
             "manager": self.manager_name,
@@ -110,6 +125,10 @@ class RunPoint:
             "cores": self.cores,
             "validate": self.validate,
             "keep_schedule": self.keep_schedule,
+            "scheduler": self.scheduler,
+            "scheduler_config": describe_policy(self.scheduler),
+            "topology": self.topology,
+            "topology_config": TopologySpec.parse(self.topology).describe(),
         }
 
     @property
@@ -149,7 +168,20 @@ class RunPoint:
             self.cores,
             validate=self.validate,
             keep_schedule=self.keep_schedule,
+            scheduler=self.scheduler,
+            topology=self.topology,
         )
+
+
+def _normalize_axis(name, values, canonicalize):
+    """Canonicalise a string axis, rejecting duplicates after aliasing."""
+    canonical = tuple(canonicalize(value) for value in values)
+    seen = set()
+    for value in canonical:
+        if value in seen:
+            raise ConfigurationError(f"duplicate {name} entry {value!r} in sweep")
+        seen.add(value)
+    return canonical
 
 
 def _normalize_managers(managers: ManagersLike) -> Tuple[Tuple[str, ManagerFactory], ...]:
@@ -196,6 +228,15 @@ class SweepSpec:
         to its 32 physical cores); capped points are skipped.
     validate / keep_schedule:
         Forwarded to :class:`~repro.system.machine.MachineConfig`.
+    schedulers:
+        Ready-task dispatch policies to sweep (``"fifo"``, ``"sjf"``,
+        ``"ljf"``, ``"locality"``; aliases are canonicalised, so
+        ``"shortest"`` and ``"sjf"`` name the same axis entry).
+    topologies:
+        Core-topology shapes to sweep (``"homogeneous"``,
+        ``"biglittle[:little_speed]"`` /
+        ``"biglittle:<big_fraction>:<little_speed>"``,
+        ``"speeds:<s0>,<s1>,..."``), applied to every core count.
     """
 
     workloads: Tuple[WorkloadSpec, ...]
@@ -205,6 +246,8 @@ class SweepSpec:
     max_cores: Tuple[Tuple[str, int], ...] = ()
     validate: bool = False
     keep_schedule: bool = False
+    schedulers: Tuple[str, ...] = ("fifo",)
+    topologies: Tuple[str, ...] = ("homogeneous",)
     name: str = "sweep"
 
     def __init__(
@@ -218,6 +261,8 @@ class SweepSpec:
         max_cores: Optional[Mapping[str, int]] = None,
         validate: bool = False,
         keep_schedule: bool = False,
+        schedulers: Sequence[str] = ("fifo",),
+        topologies: Sequence[str] = ("homogeneous",),
         name: str = "sweep",
     ) -> None:
         if not workloads:
@@ -226,6 +271,12 @@ class SweepSpec:
             raise ConfigurationError("core_counts must not be empty")
         if not seeds:
             raise ConfigurationError("seeds must not be empty (use (None,) for defaults)")
+        if not schedulers:
+            raise ConfigurationError("schedulers must not be empty (use ('fifo',) for the default)")
+        if not topologies:
+            raise ConfigurationError(
+                "topologies must not be empty (use ('homogeneous',) for the default)"
+            )
         for cores in core_counts:
             if cores <= 0:
                 raise ConfigurationError(f"core counts must be positive, got {cores}")
@@ -240,31 +291,40 @@ class SweepSpec:
         object.__setattr__(self, "max_cores", tuple(sorted(dict(max_cores or {}).items())))
         object.__setattr__(self, "validate", bool(validate))
         object.__setattr__(self, "keep_schedule", bool(keep_schedule))
+        object.__setattr__(self, "schedulers", _normalize_axis(
+            "schedulers", schedulers, canonical_policy_name))
+        object.__setattr__(self, "topologies", _normalize_axis(
+            "topologies", topologies, canonical_topology))
         object.__setattr__(self, "name", name)
 
     # -- grid enumeration --------------------------------------------------
     def points(self) -> Iterator[RunPoint]:
         """Enumerate the grid in deterministic order.
 
-        Order: workloads (outer) × seeds × managers × core counts (inner)
-        — the JSONL stream, the cache and the parallel runner all preserve
-        this order, which is what makes ``n_jobs`` invisible in the output.
+        Order: workloads (outer) × seeds × managers × schedulers ×
+        topologies × core counts (inner) — the JSONL stream, the cache and
+        the parallel runner all preserve this order, which is what makes
+        ``n_jobs`` invisible in the output.
         """
         caps = dict(self.max_cores)
         for seeded in self.effective_workloads():
             for manager_name, factory in self.managers:
                 cap = caps.get(manager_name)
-                for cores in self.core_counts:
-                    if cap is not None and cores > cap:
-                        continue
-                    yield RunPoint(
-                        workload=seeded,
-                        manager_name=manager_name,
-                        factory=factory,
-                        cores=cores,
-                        validate=self.validate,
-                        keep_schedule=self.keep_schedule,
-                    )
+                for scheduler in self.schedulers:
+                    for topology in self.topologies:
+                        for cores in self.core_counts:
+                            if cap is not None and cores > cap:
+                                continue
+                            yield RunPoint(
+                                workload=seeded,
+                                manager_name=manager_name,
+                                factory=factory,
+                                cores=cores,
+                                validate=self.validate,
+                                keep_schedule=self.keep_schedule,
+                                scheduler=scheduler,
+                                topology=topology,
+                            )
 
     def effective_workloads(self) -> Tuple[WorkloadSpec, ...]:
         """The workload axis after applying the seed axis.
@@ -302,6 +362,8 @@ class SweepSpec:
             "max_cores": dict(self.max_cores),
             "validate": self.validate,
             "keep_schedule": self.keep_schedule,
+            "schedulers": list(self.schedulers),
+            "topologies": list(self.topologies),
         }
 
     def spec_hash(self) -> str:

@@ -21,22 +21,23 @@ to unit-test in isolation.
 from __future__ import annotations
 
 import abc
-from dataclasses import dataclass, field
-from typing import List, Mapping, Optional, Sequence
+from typing import Mapping, NamedTuple
 
 from repro.trace.task import TaskDescriptor
 
+# The outcome records are NamedTuples: one SubmitOutcome and one
+# FinishOutcome is created per task on the simulation hot path, and tuple
+# construction is several times cheaper than a frozen-dataclass __init__.
 
-@dataclass(frozen=True)
-class ReadyNotification:
+
+class ReadyNotification(NamedTuple):
     """A task reported ready by the manager at ``time_us``."""
 
     task_id: int
     time_us: float
 
 
-@dataclass(frozen=True)
-class SubmitOutcome:
+class SubmitOutcome(NamedTuple):
     """Result of submitting one task to a manager.
 
     Attributes
@@ -57,8 +58,7 @@ class SubmitOutcome:
     ready: tuple[ReadyNotification, ...] = ()
 
 
-@dataclass(frozen=True)
-class FinishOutcome:
+class FinishOutcome(NamedTuple):
     """Result of notifying a manager that a task finished.
 
     Attributes

@@ -1,41 +1,53 @@
 """Event queue and simulation driver.
 
-The engine is intentionally minimal: a binary heap of ``(time, priority,
-sequence, payload)`` tuples with deterministic ordering.  The higher-level
-:class:`repro.system.machine.Machine` uses it to interleave task
-submissions, ready notifications and task completions; manager models use
-it only indirectly (they reason about resource timelines instead of
-scheduling fine-grained events, which keeps large traces tractable).
+The engine is intentionally minimal: a binary heap of :class:`Event`
+records with deterministic ``(time, priority, sequence)`` ordering.  It
+is the shared kernel of the simulation: the layered machine runtime in
+:mod:`repro.system.machine` drives its main loop on it, and manager
+models use it only indirectly (they reason about resource timelines
+instead of scheduling fine-grained events, which keeps large traces
+tractable).
+
+Because the machine loop dispatches one :class:`Event` per task
+submission, ready notification and completion, the engine is a genuine
+hot path: events are plain tuples (``NamedTuple``) so creation and heap
+comparisons run at C speed, and :meth:`Simulator.run` keeps a fast path
+free of per-event horizon checks.
 """
 
 from __future__ import annotations
 
 import heapq
 import itertools
-from dataclasses import dataclass, field
-from typing import Any, Callable, Iterator, Optional
+from typing import Any, Callable, Iterator, NamedTuple, Optional
 
 from repro.common.errors import SimulationError
 
 
-@dataclass(order=True, frozen=True)
-class Event:
+class Event(NamedTuple):
     """A single scheduled event.
 
-    Ordering is by ``(time, priority, sequence)``; ``payload`` and ``kind``
-    never participate in comparisons, which keeps the ordering total and
-    deterministic even when payloads are not comparable.
+    Ordering is by ``(time, priority, sequence)``.  Queue-issued events
+    have a unique per-queue ``sequence``, so the trailing ``kind`` and
+    ``payload`` fields never decide an ordering in practice — the order
+    stays total and deterministic even when payloads are not mutually
+    comparable.
     """
 
     time: float
     priority: int
     sequence: int
-    kind: str = field(compare=False)
-    payload: Any = field(compare=False, default=None)
+    kind: str
+    payload: Any = None
+
+
+_tuple_new = tuple.__new__
 
 
 class EventQueue:
     """A deterministic priority queue of :class:`Event` objects."""
+
+    __slots__ = ("_heap", "_counter")
 
     def __init__(self) -> None:
         self._heap: list[Event] = []
@@ -47,11 +59,19 @@ class EventQueue:
     def __bool__(self) -> bool:
         return bool(self._heap)
 
+    @property
+    def next_time(self) -> Optional[float]:
+        """Timestamp of the earliest pending event, or ``None`` when empty."""
+        heap = self._heap
+        return heap[0][0] if heap else None
+
     def push(self, time: float, kind: str, payload: Any = None, priority: int = 0) -> Event:
         """Schedule an event and return it."""
         if time < 0:
             raise SimulationError(f"cannot schedule an event at negative time {time}")
-        event = Event(time=time, priority=priority, sequence=next(self._counter), kind=kind, payload=payload)
+        # tuple.__new__ skips the namedtuple's Python-level __new__ —
+        # one event is created per simulated task step, so this matters.
+        event = _tuple_new(Event, (time, priority, next(self._counter), kind, payload))
         heapq.heappush(self._heap, event)
         return event
 
@@ -84,6 +104,8 @@ class Simulator:
     time order and dispatches them.  The simulator tracks the current
     simulation time and enforces that it never moves backwards.
     """
+
+    __slots__ = ("queue", "now", "_handlers", "_processed", "_running")
 
     def __init__(self) -> None:
         self.queue = EventQueue()
@@ -144,21 +166,54 @@ class Simulator:
         cut short mid-simulation, not idled out.
         """
         self._running = True
-        dispatched = 0
-        stopped_by_max_events = False
         try:
-            while self.queue:
-                if until is not None and self.queue.peek().time > until:
-                    break
-                if max_events is not None and dispatched >= max_events:
-                    stopped_by_max_events = True
-                    break
-                self.step()
-                dispatched += 1
-            if until is not None and not stopped_by_max_events:
-                self.now = max(self.now, until)
+            if until is None and max_events is None:
+                self._run_to_exhaustion()
+                return self.now
+            return self._run_bounded(until, max_events)
         finally:
             self._running = False
+
+    def _run_to_exhaustion(self) -> None:
+        """Hot path: drain the queue with no per-event horizon checks.
+
+        The monotonic-time guard of :meth:`step` is kept (a handler that
+        pushes an absolute event below ``now`` must fail loudly, exactly
+        as it does on the bounded path) — it costs one comparison on the
+        branch where time does not advance.
+        """
+        heap = self.queue._heap
+        handlers = self._handlers
+        handlers_get = handlers.get
+        pop = heapq.heappop
+        while heap:
+            event = pop(heap)
+            time = event[0]
+            if time > self.now:
+                self.now = time
+            elif time < self.now - 1e-12:
+                raise SimulationError(
+                    f"event {event[3]!r} at t={time} is in the past (now={self.now})"
+                )
+            handler = handlers_get(event[3])
+            if handler is None:
+                raise SimulationError(f"no handler registered for event kind {event[3]!r}")
+            handler(self, event)
+            self._processed += 1
+
+    def _run_bounded(self, until: Optional[float], max_events: Optional[int]) -> float:
+        dispatched = 0
+        stopped_by_max_events = False
+        while self.queue:
+            if until is not None and self.queue.peek().time > until:
+                break
+            if max_events is not None and dispatched >= max_events:
+                stopped_by_max_events = True
+                break
+            self.step()
+            dispatched += 1
+        if until is not None and not stopped_by_max_events:
+            self.now = max(self.now, until)
         return self.now
 
     def reset(self) -> None:

@@ -7,13 +7,50 @@ ready tasks, free cores execute them for their traced duration, and
 completions are fed back to the manager — exactly the loop described in
 Section V-B of the paper.
 
-* :class:`repro.system.machine.Machine` — the event-driven simulator.
-* :class:`repro.system.machine.MachineConfig` — core count and options.
+The runtime is layered (see ``README.md``, "Architecture"):
+
+* :class:`repro.system.machine.Machine` — the event-driven simulator,
+  running on the shared :class:`repro.sim.engine.Simulator` kernel.
+* :class:`repro.system.machine.MachineConfig` — core count, scheduler
+  policy, topology and options.
+* :class:`repro.system.scheduling.SchedulerPolicy` — pluggable ready-task
+  dispatch (``fifo`` / ``sjf`` / ``ljf`` / ``locality``).
+* :class:`repro.system.topology.CoreTopology` /
+  :class:`repro.system.topology.CorePool` — heterogeneous worker cores
+  (per-core speed factors, big.LITTLE splits).
+* :class:`repro.system.timeline.TaskTimeline` — struct-of-arrays per-task
+  schedule record.
 * :class:`repro.system.results.MachineResult` — schedule, makespan and
-  per-component statistics of one run.
+  per-component statistics of one run (incl. per-core utilisation).
 """
 
 from repro.system.machine import Machine, MachineConfig, simulate
 from repro.system.results import MachineResult
+from repro.system.scheduling import (
+    DurationPriorityPolicy,
+    FifoPolicy,
+    LocalityPolicy,
+    SchedulerPolicy,
+    list_policies,
+    make_policy,
+)
+from repro.system.timeline import TaskTimeline
+from repro.system.topology import CorePool, CoreTopology, TopologySpec, resolve_topology
 
-__all__ = ["Machine", "MachineConfig", "MachineResult", "simulate"]
+__all__ = [
+    "Machine",
+    "MachineConfig",
+    "MachineResult",
+    "simulate",
+    "SchedulerPolicy",
+    "FifoPolicy",
+    "DurationPriorityPolicy",
+    "LocalityPolicy",
+    "make_policy",
+    "list_policies",
+    "CoreTopology",
+    "CorePool",
+    "TopologySpec",
+    "resolve_topology",
+    "TaskTimeline",
+]

@@ -15,26 +15,44 @@ finishes — unless the manager does not support the pragma (Nexus++), in
 which case it degrades to a full ``taskwait`` exactly as the paper
 describes.
 
-Ready tasks are dispatched to worker cores in the order the manager
-reports them (the RTS reads them from the Nexus IO unit in FIFO order);
-"free worker cores start executing tasks directly after they are
-reported as ready", with no extra communication overhead, matching the
-paper's *Nexus# only* simulation mode.
+The runtime is layered:
+
+* the event loop runs on the shared :class:`repro.sim.engine.Simulator`
+  kernel (one event per submission step, ready notification and task
+  completion, with completions processed first at equal timestamps);
+* ready-task dispatch is delegated to a pluggable
+  :class:`repro.system.scheduling.SchedulerPolicy` (FIFO by default,
+  reproducing the paper's "free worker cores start executing tasks
+  directly after they are reported as ready");
+* worker cores live in a :class:`repro.system.topology.CorePool` built
+  from a :class:`~repro.system.topology.CoreTopology`, so heterogeneous
+  (e.g. big.LITTLE) machines are one config knob away — a task occupying
+  a core of speed ``s`` holds it for ``(overhead + duration) / s``;
+* per-task times land in a struct-of-arrays
+  :class:`repro.system.timeline.TaskTimeline` (preallocated, indexed by
+  task id), and each trace is compiled once into flat op/operand arrays
+  that are cached on the trace object, so replaying the same trace across
+  managers, core counts and policies skips all per-event type dispatch.
+
+With the default configuration (FIFO policy, homogeneous unit-speed
+topology) the schedule — and therefore every golden-trace makespan — is
+bit-identical to the pre-refactor monolithic loop.
 """
 
 from __future__ import annotations
 
-import heapq
-import itertools
-from collections import deque
-from dataclasses import dataclass, field
-from typing import Deque, Dict, Iterator, List, Optional, Set, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
 
-from repro.common.errors import ConfigurationError, SimulationError
+from repro.common.errors import SimulationError
 from repro.common.validation import check_positive
 from repro.managers.base import TaskManagerModel
+from repro.sim.engine import Simulator
 from repro.system.results import MachineResult
-from repro.trace.dag import build_dependency_graph, validate_schedule
+from repro.system.scheduling import PolicyLike, SchedulerPolicy, make_policy
+from repro.system.timeline import TaskTimeline
+from repro.system.topology import CorePool, CoreTopology, TopologyLike, resolve_topology
+from repro.trace.dag import validate_schedule
 from repro.trace.events import TaskSubmitEvent, TaskwaitEvent, TaskwaitOnEvent
 from repro.trace.task import TaskDescriptor
 from repro.trace.trace import Trace
@@ -46,6 +64,78 @@ _PRIORITY_DONE = 0
 _PRIORITY_READY = 1
 _PRIORITY_MASTER = 2
 
+_KIND_DONE = "task-done"
+_KIND_READY = "task-ready"
+_KIND_MASTER = "master-step"
+
+# Compiled trace op codes.
+_OP_SUBMIT = 0
+_OP_WAIT = 1
+_OP_WAIT_ON = 2
+
+#: Attribute name under which a trace caches its compiled form.
+_COMPILED_ATTR = "_compiled_machine_program"
+
+
+class _CompiledTrace:
+    """Flat, type-dispatch-free representation of a trace's event list.
+
+    One entry per trace event: an op code plus preresolved operands (the
+    descriptor, the precomputed written-address tuple, the ``taskwait
+    on`` address).  Compiling once per trace removes the per-event
+    ``isinstance`` chain and the per-parameter direction checks from the
+    master loop; the compiled form is cached on the trace object, so
+    sweeps replaying one trace across many grid cells compile it once.
+    """
+
+    __slots__ = ("ops", "tasks", "write_addrs", "wait_addrs", "num_tasks",
+                 "task_ids", "slot_of", "task_by_slot")
+
+    def __init__(self, trace: Trace) -> None:
+        events = trace.events
+        count = len(events)
+        self.ops: List[int] = [0] * count
+        self.tasks: List[Optional[TaskDescriptor]] = [None] * count
+        self.write_addrs: List[Tuple[int, ...]] = [()] * count
+        self.wait_addrs: List[int] = [0] * count
+        task_ids: List[int] = []
+        task_by_slot: List[TaskDescriptor] = []
+        for index, event in enumerate(events):
+            if isinstance(event, TaskSubmitEvent):
+                task = event.task
+                self.ops[index] = _OP_SUBMIT
+                self.tasks[index] = task
+                self.write_addrs[index] = task.output_addresses
+                task_ids.append(task.task_id)
+                task_by_slot.append(task)
+            elif isinstance(event, TaskwaitEvent):
+                self.ops[index] = _OP_WAIT
+            elif isinstance(event, TaskwaitOnEvent):
+                self.ops[index] = _OP_WAIT_ON
+                self.wait_addrs[index] = event.address
+            else:
+                raise SimulationError(f"unknown trace event {event!r}")
+        self.num_tasks = len(task_ids)
+        self.task_ids = task_ids
+        self.task_by_slot = task_by_slot
+        # Dense ids (TraceBuilder's invariant) index arrays directly;
+        # sparse ids (hand-extended traces) go through an explicit map.
+        if task_ids == list(range(len(task_ids))):
+            self.slot_of: Optional[Dict[int, int]] = None
+        else:
+            self.slot_of = {task_id: slot for slot, task_id in enumerate(task_ids)}
+
+
+def _compile_trace(trace: Trace) -> _CompiledTrace:
+    """Return the cached compiled form of ``trace`` (compile on first use)."""
+    compiled = trace.__dict__.get(_COMPILED_ATTR)
+    if compiled is None:
+        compiled = _CompiledTrace(trace)
+        # Trace is a frozen dataclass; the cache is invisible to equality,
+        # hashing and (via Trace.__getstate__) pickling.
+        object.__setattr__(trace, _COMPILED_ATTR, compiled)
+    return compiled
+
 
 @dataclass(frozen=True)
 class MachineConfig:
@@ -56,79 +146,116 @@ class MachineConfig:
     #: When true, the resulting schedule is checked against the reference
     #: dependency DAG (slow for very large traces; used by tests).
     validate: bool = False
-    #: When true, per-task schedule times are kept in the result (they are
-    #: always collected; this flag only controls whether they are retained,
-    #: to save memory on very large sweeps).
+    #: When true, per-task schedule times are kept in the result.  When
+    #: false the machine skips collecting them entirely (no per-task
+    #: timeline is allocated), which saves memory on very large sweeps —
+    #: unless ``validate`` forces collection.
     keep_schedule: bool = True
+    #: Ready-task dispatch discipline: a policy name ("fifo", "sjf",
+    #: "ljf", "locality") or a :class:`SchedulerPolicy` instance.
+    scheduler: PolicyLike = "fifo"
+    #: Worker-core topology: a spec string ("homogeneous",
+    #: "biglittle:0.5", "speeds:1,1,0.5,0.5"), a
+    #: :class:`~repro.system.topology.TopologySpec`, or a concrete
+    #: :class:`~repro.system.topology.CoreTopology` (must match
+    #: ``num_cores``).
+    topology: TopologyLike = "homogeneous"
 
     def __post_init__(self) -> None:
         check_positive("num_cores", self.num_cores)
 
 
 class Machine:
-    """Simulates one trace on one manager with a fixed number of cores."""
+    """Simulates one trace on one manager over a configured core topology."""
 
     def __init__(self, manager: TaskManagerModel, config: MachineConfig) -> None:
         self.manager = manager
         self.config = config
+        self.policy: SchedulerPolicy = make_policy(config.scheduler)
+        self.topology: CoreTopology = resolve_topology(config.topology, config.num_cores)
+        #: Events dispatched by the most recent :meth:`run` (throughput metric).
+        self.last_events_processed = 0
 
     # -- public API -------------------------------------------------------------
     def run(self, trace: Trace) -> MachineResult:
         """Replay ``trace`` and return the resulting schedule and metrics."""
         manager = self.manager
         manager.reset()
+        policy = self.policy
+        policy.reset()
+        pool = CorePool(self.topology)
+        compiled = _compile_trace(trace)
 
-        heap: List[Tuple[float, int, int, object]] = []
-        counter = itertools.count()
-
-        def push(time: float, priority: int, payload: object) -> None:
-            heapq.heappush(heap, (time, priority, next(counter), payload))
+        sim = Simulator()
+        queue = sim.queue
+        push = queue.push
 
         # --- state -------------------------------------------------------------
-        events = trace.events
-        num_events = len(events)
+        ops = compiled.ops
+        op_tasks = compiled.tasks
+        op_write_addrs = compiled.write_addrs
+        op_wait_addrs = compiled.wait_addrs
+        num_events = len(ops)
+        num_tasks = compiled.num_tasks
+        slot_of = compiled.slot_of
+        task_by_slot = compiled.task_by_slot
+
         event_index = 0
         master_time = 0.0
         master_blocked: Optional[Tuple[str, Optional[int]]] = None
         master_done = False
-
-        idle_cores = self.config.num_cores
-        ready_queue: Deque[int] = deque()
         outstanding = 0
 
-        task_map: Dict[int, TaskDescriptor] = {}
         last_writer: Dict[int, int] = {}
-        finished: Set[int] = set()
-
-        submit_times: Dict[int, float] = {}
-        ready_times: Dict[int, float] = {}
-        start_times: Dict[int, float] = {}
-        finish_times: Dict[int, float] = {}
+        dispatched = bytearray(num_tasks)
+        finished = bytearray(num_tasks)
+        finished_count = 0
         core_busy_us = 0.0
-        makespan = 0.0
+
+        collect = self.config.keep_schedule or self.config.validate
+        timeline = TaskTimeline(
+            num_tasks,
+            task_ids=None if slot_of is None else compiled.task_ids,
+        ) if collect else None
+        if timeline is not None:
+            submit_arr = timeline.submit
+            ready_arr = timeline.ready
+            start_arr = timeline.start
+            finish_arr = timeline.finish
+            core_arr = timeline.core
 
         worker_overhead = manager.worker_overhead_us
+        supports_taskwait_on = manager.supports_taskwait_on
+        speeds = pool.speeds
+        busy_us = pool.busy_us
+        acquire = pool.acquire
+        release = pool.release
+        idle_ranks = pool.idle_ranks  # read-only emptiness view (hot path)
+        wants_start_events = policy.wants_start_events
+        enqueue = policy.enqueue
+        select = policy.select
+        policy_pending = policy.__len__
+        manager_submit = manager.submit
+        manager_finish = manager.finish
 
         # --- helpers -------------------------------------------------------------
-        def start_task(task_id: int, now: float) -> None:
-            nonlocal idle_cores, core_busy_us
-            task = task_map[task_id]
-            start = now
-            duration = worker_overhead + task.duration_us
-            end = start + duration
-            idle_cores -= 1
+        def start_task(task_id: int, slot: int, now: float) -> None:
+            nonlocal core_busy_us
+            task = task_by_slot[slot]
+            core = acquire()
+            nominal = worker_overhead + task.duration_us
+            speed = speeds[core]
+            duration = nominal if speed == 1.0 else nominal / speed
+            end = now + duration
             core_busy_us += duration
-            start_times[task_id] = start
-            finish_times[task_id] = end
-            push(end, _PRIORITY_DONE, ("done", task_id))
-
-        def dispatch_ready(task_id: int, now: float) -> None:
-            if task_id in start_times:
-                raise SimulationError(f"task {task_id} reported ready twice")
-            if idle_cores > 0:
-                start_task(task_id, now)
-            else:
-                ready_queue.append(task_id)
+            busy_us[core] += duration
+            if collect:
+                start_arr[slot] = now
+                finish_arr[slot] = end
+                core_arr[slot] = core
+            if wants_start_events:
+                policy.on_start(task_id, task, core, now)
+            push(end, _KIND_DONE, (task_id, slot, core), _PRIORITY_DONE)
 
         def barrier_satisfied(now: float) -> bool:
             """Check (and clear) the master's barrier if it is resolved."""
@@ -141,130 +268,173 @@ class Machine:
                     return False
             else:
                 assert waited_task is not None
-                if waited_task not in finished:
+                waited_slot = waited_task if slot_of is None else slot_of[waited_task]
+                if not finished[waited_slot]:
                     return False
             master_blocked = None
-            master_time = max(master_time, now)
+            if now > master_time:
+                master_time = now
             return True
 
         def advance_master(now: float) -> None:
             """Process trace events until a submission, a block, or the end."""
             nonlocal event_index, master_time, master_blocked, master_done, outstanding
-            master_time = max(master_time, now)
+            if now > master_time:
+                master_time = now
             while event_index < num_events:
-                event = events[event_index]
-                if isinstance(event, TaskSubmitEvent):
-                    task = event.task
-                    event_index += 1
-                    task_map[task.task_id] = task
-                    submit_times[task.task_id] = master_time
+                op = ops[event_index]
+                if op == _OP_SUBMIT:
+                    task = op_tasks[event_index]
+                    task_id = task.task_id
+                    slot = task_id if slot_of is None else slot_of[task_id]
                     outstanding += 1
-                    for param in task.params:
-                        if param.direction.writes:
-                            last_writer[param.address] = task.task_id
-                    outcome = manager.submit(task, master_time)
+                    if collect:
+                        submit_arr[slot] = master_time
+                    for address in op_write_addrs[event_index]:
+                        last_writer[address] = task_id
+                    event_index += 1
+                    outcome = manager_submit(task, master_time)
                     for notification in outcome.ready:
-                        ready_times[notification.task_id] = notification.time_us
-                        push(max(notification.time_us, master_time), _PRIORITY_READY,
-                             ("ready", notification.task_id))
-                    next_time = max(outcome.accept_time_us,
-                                    master_time + task.creation_overhead_us)
+                        ready_id = notification.task_id
+                        ready_time = notification.time_us
+                        if collect:
+                            ready_arr[ready_id if slot_of is None else slot_of[ready_id]] = ready_time
+                        push(ready_time if ready_time > master_time else master_time,
+                             _KIND_READY, ready_id, _PRIORITY_READY)
+                    next_time = master_time + task.creation_overhead_us
+                    if outcome.accept_time_us > next_time:
+                        next_time = outcome.accept_time_us
                     if next_time < master_time:
                         raise SimulationError(
-                            f"manager {manager.name} accepted task {task.task_id} in the past"
+                            f"manager {manager.name} accepted task {task_id} in the past"
                         )
                     master_time = next_time
-                    if event_index < num_events:
-                        push(master_time, _PRIORITY_MASTER, ("master", None))
-                    else:
+                    if event_index >= num_events:
                         master_done = True
-                    return
-                if isinstance(event, TaskwaitEvent):
+                        return
+                    pending = queue.next_time
+                    if pending is not None and pending <= master_time:
+                        push(master_time, _KIND_MASTER, None, _PRIORITY_MASTER)
+                        return
+                    # No pending event sorts before the next master step
+                    # (equal-time completions/readies outrank the master's
+                    # priority, so they only exist when the head is <=
+                    # master_time): keep submitting inline instead of
+                    # bouncing through the event queue.  Event order — and
+                    # therefore the schedule — is provably unchanged.
+                    continue
+                if op == _OP_WAIT:
                     if outstanding == 0:
                         event_index += 1
                         continue
                     master_blocked = ("all", None)
                     return
-                if isinstance(event, TaskwaitOnEvent):
-                    degrade = not manager.supports_taskwait_on
-                    if degrade:
-                        if outstanding == 0:
-                            event_index += 1
-                            continue
-                        master_blocked = ("all", None)
-                        return
-                    writer = last_writer.get(event.address)
-                    if writer is None or writer in finished:
+                # op == _OP_WAIT_ON
+                if not supports_taskwait_on:
+                    # Nexus++-style degradation to a full taskwait
+                    # (Section III of the paper).
+                    if outstanding == 0:
                         event_index += 1
                         continue
-                    master_blocked = ("task", writer)
+                    master_blocked = ("all", None)
                     return
-                raise SimulationError(f"unknown trace event {event!r}")
+                writer = last_writer.get(op_wait_addrs[event_index])
+                if writer is None or finished[writer if slot_of is None else slot_of[writer]]:
+                    event_index += 1
+                    continue
+                master_blocked = ("task", writer)
+                return
             master_done = True
+
+        # --- event handlers ------------------------------------------------------
+        def on_master(sim: Simulator, event) -> None:
+            if master_blocked is None and not master_done:
+                advance_master(event[0])
+
+        def on_ready(sim: Simulator, event) -> None:
+            task_id = event[4]
+            slot = task_id if slot_of is None else slot_of[task_id]
+            if dispatched[slot]:
+                raise SimulationError(f"task {task_id} reported ready twice")
+            dispatched[slot] = 1
+            now = event[0]
+            if idle_ranks:
+                start_task(task_id, slot, now)
+            else:
+                enqueue(task_id, task_by_slot[slot], now)
+
+        def on_done(sim: Simulator, event) -> None:
+            nonlocal outstanding, finished_count
+            task_id, slot, core = event[4]
+            now = event[0]
+            outstanding -= 1
+            finished[slot] = 1
+            finished_count += 1
+            outcome = manager_finish(task_id, now)
+            for notification in outcome.ready:
+                ready_id = notification.task_id
+                ready_time = notification.time_us
+                if collect:
+                    ready_arr[ready_id if slot_of is None else slot_of[ready_id]] = ready_time
+                push(ready_time if ready_time > now else now,
+                     _KIND_READY, ready_id, _PRIORITY_READY)
+            # The freed core picks up the next queued ready task, if any.
+            release(core)
+            if policy_pending():
+                next_task = select(core, now)
+                if next_task is not None:
+                    next_slot = next_task if slot_of is None else slot_of[next_task]
+                    start_task(next_task, next_slot, now)
+            # Barriers resolve on completions (cheap inline guard: the
+            # master is usually not blocked).
+            if master_blocked is not None and barrier_satisfied(now) and not master_done:
+                push(master_time, _KIND_MASTER, None, _PRIORITY_MASTER)
+
+        sim.on(_KIND_MASTER, on_master)
+        sim.on(_KIND_READY, on_ready)
+        sim.on(_KIND_DONE, on_done)
 
         # --- main loop ------------------------------------------------------------
         advance_master(0.0)
-        while heap:
-            now, _priority, _seq, payload = heapq.heappop(heap)
-            makespan = max(makespan, now)
-            kind = payload[0]
-            if kind == "master":
-                if master_blocked is None and not master_done:
-                    advance_master(now)
-            elif kind == "ready":
-                dispatch_ready(payload[1], now)
-            elif kind == "done":
-                task_id = payload[1]
-                outstanding -= 1
-                finished.add(task_id)
-                outcome = manager.finish(task_id, now)
-                for notification in outcome.ready:
-                    ready_times[notification.task_id] = notification.time_us
-                    push(max(notification.time_us, now), _PRIORITY_READY,
-                         ("ready", notification.task_id))
-                # The freed core picks up the next queued ready task, if any.
-                idle_cores += 1
-                if ready_queue:
-                    next_task = ready_queue.popleft()
-                    start_task(next_task, now)
-                # Barriers resolve on completions.
-                if barrier_satisfied(now) and not master_done:
-                    push(master_time, _PRIORITY_MASTER, ("master", None))
-            else:  # pragma: no cover - defensive
-                raise SimulationError(f"unknown event payload {payload!r}")
+        sim.run()
+        self.last_events_processed = sim.processed_events
+        makespan = sim.now if sim.now > master_time else master_time
 
         # --- consistency checks -----------------------------------------------------
-        expected_tasks = trace.num_tasks
-        if len(finish_times) != expected_tasks:
-            missing = expected_tasks - len(finish_times)
+        if finished_count != num_tasks:
+            missing = num_tasks - finished_count
             raise SimulationError(
-                f"{manager.name} on {trace.name}: {missing} of {expected_tasks} tasks never ran "
+                f"{manager.name} on {trace.name}: {missing} of {num_tasks} tasks never ran "
                 "(deadlock or lost ready notification)"
             )
         if not master_done or master_blocked is not None:
             raise SimulationError(
                 f"{manager.name} on {trace.name}: master thread did not reach the end of the trace"
             )
-        makespan = max(makespan, master_time)
 
         if self.config.validate:
-            validate_schedule(trace, start_times, finish_times)
+            assert timeline is not None
+            validate_schedule(trace, timeline.start_dict(), timeline.finish_dict())
 
-        keep = self.config.keep_schedule
+        keep = self.config.keep_schedule and timeline is not None
         return MachineResult(
             trace_name=trace.name,
             manager_name=manager.name,
             num_cores=self.config.num_cores,
             makespan_us=makespan,
             total_work_us=trace.total_work_us,
-            num_tasks=expected_tasks,
-            submit_times=submit_times if keep else {},
-            ready_times=ready_times if keep else {},
-            start_times=start_times if keep else {},
-            finish_times=finish_times if keep else {},
+            num_tasks=num_tasks,
+            submit_times=timeline.submit_dict() if keep else {},
+            ready_times=timeline.ready_dict() if keep else {},
+            start_times=timeline.start_dict() if keep else {},
+            finish_times=timeline.finish_dict() if keep else {},
             master_finish_us=master_time,
             core_busy_us=core_busy_us,
             manager_stats=dict(manager.statistics()),
+            scheduler=policy.name,
+            topology=self.topology.describe(),
+            per_core_busy_us=tuple(pool.busy_us),
+            task_cores=timeline.core_dict() if keep else {},
         )
 
 
@@ -275,7 +445,18 @@ def simulate(
     *,
     validate: bool = False,
     keep_schedule: bool = True,
+    scheduler: PolicyLike = "fifo",
+    topology: TopologyLike = "homogeneous",
 ) -> MachineResult:
     """Convenience wrapper: run ``trace`` on ``manager`` with ``num_cores``."""
-    machine = Machine(manager, MachineConfig(num_cores=num_cores, validate=validate, keep_schedule=keep_schedule))
+    machine = Machine(
+        manager,
+        MachineConfig(
+            num_cores=num_cores,
+            validate=validate,
+            keep_schedule=keep_schedule,
+            scheduler=scheduler,
+            topology=topology,
+        ),
+    )
     return machine.run(trace)

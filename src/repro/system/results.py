@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Mapping, Optional
+from typing import Dict, Mapping, Tuple
 
 from repro.common.errors import AnalysisError
 
@@ -28,6 +28,15 @@ class MachineResult:
     master_finish_us: float = 0.0
     core_busy_us: float = 0.0
     manager_stats: Mapping[str, object] = field(default_factory=dict)
+    #: Ready-task dispatch policy the machine ran ("fifo" unless swept).
+    scheduler: str = "fifo"
+    #: Topology identity (``CoreTopology.describe()``; empty for legacy
+    #: results deserialised from old documents).
+    topology: Mapping[str, object] = field(default_factory=dict)
+    #: Busy time accumulated by each core, indexed by core id.
+    per_core_busy_us: Tuple[float, ...] = ()
+    #: Core that executed each task (kept only with ``keep_schedule``).
+    task_cores: Dict[int, int] = field(default_factory=dict)
 
     # -- derived metrics -----------------------------------------------------
     @property
@@ -47,6 +56,25 @@ class MachineResult:
         if self.makespan_us <= 0 or self.num_cores <= 0:
             return 0.0
         return min(1.0, self.core_busy_us / (self.makespan_us * self.num_cores))
+
+    @property
+    def per_core_utilization(self) -> Tuple[float, ...]:
+        """Fraction of the makespan each core spent busy, by core id.
+
+        Empty when the machine did not report per-core busy times (old
+        serialised results).
+        """
+        if self.makespan_us <= 0:
+            return tuple(0.0 for _ in self.per_core_busy_us)
+        return tuple(min(1.0, busy / self.makespan_us) for busy in self.per_core_busy_us)
+
+    @property
+    def core_utilization_imbalance(self) -> float:
+        """Max minus min per-core utilisation (0.0 = perfectly balanced)."""
+        utilisation = self.per_core_utilization
+        if not utilisation:
+            return 0.0
+        return max(utilisation) - min(utilisation)
 
     @property
     def mean_ready_latency_us(self) -> float:
@@ -76,9 +104,26 @@ class MachineResult:
                 count += 1
         return total / count if count else 0.0
 
+    def _non_default_topology_label(self) -> "str | None":
+        """Label for the topology when it differs from the paper's machine.
+
+        The default is *homogeneous at unit speed* — a homogeneous
+        topology with any other speed factor still changes every timing
+        and must be reported (e.g. ``homogeneous:0.5``).
+        """
+        if not self.topology:
+            return None
+        kind = str(self.topology.get("kind", "homogeneous"))
+        speeds = self.topology.get("speed_factors") or ()
+        if kind == "homogeneous":
+            if all(speed == 1.0 for speed in speeds):
+                return None
+            return f"homogeneous:{speeds[0]:g}" if speeds else "homogeneous"
+        return kind
+
     def summary(self) -> Dict[str, object]:
         """Compact dictionary used by reports and benchmark output."""
-        return {
+        summary: Dict[str, object] = {
             "trace": self.trace_name,
             "manager": self.manager_name,
             "cores": self.num_cores,
@@ -87,3 +132,13 @@ class MachineResult:
             "core_utilization": round(self.core_utilization, 3),
             "mean_ready_latency_us": round(self.mean_ready_latency_us, 3),
         }
+        if self.scheduler != "fifo":
+            summary["scheduler"] = self.scheduler
+        topology_label = self._non_default_topology_label()
+        if topology_label is not None:
+            summary["topology"] = topology_label
+        utilisation = self.per_core_utilization
+        if utilisation:
+            summary["core_util_min"] = round(min(utilisation), 3)
+            summary["core_util_max"] = round(max(utilisation), 3)
+        return summary

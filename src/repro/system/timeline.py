@@ -1,0 +1,73 @@
+"""Struct-of-arrays per-task schedule record.
+
+The pre-refactor machine loop kept five dictionaries keyed by task id
+(submit/ready/start/finish times plus the descriptor map).  Task ids are
+assigned densely in submission order by :class:`~repro.trace.trace.
+TraceBuilder`, so the natural representation is a set of preallocated
+arrays indexed by task id — no hashing on the hot path, better locality,
+and one bulk conversion to the dict form the result layer serialises.
+
+Traces whose ids are *not* dense (hand-built via ``TraceBuilder.extend``)
+are handled by an explicit slot map; the machine compiles it once per
+trace, so the hot loop never branches on density per event.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+NAN = float("nan")
+
+
+class TaskTimeline:
+    """Preallocated per-task schedule arrays, indexed by *slot*.
+
+    For dense traces (the normal case) slot == task id.  For sparse ids
+    the machine passes ``task_ids`` — the id of each slot in submission
+    order — and indexes through its compiled slot map.
+    """
+
+    __slots__ = ("num_tasks", "task_ids", "submit", "ready", "start", "finish", "core")
+
+    def __init__(self, num_tasks: int, task_ids: Optional[Sequence[int]] = None) -> None:
+        self.num_tasks = num_tasks
+        self.task_ids: Optional[List[int]] = list(task_ids) if task_ids is not None else None
+        self.submit: List[float] = [NAN] * num_tasks
+        self.ready: List[float] = [NAN] * num_tasks
+        self.start: List[float] = [NAN] * num_tasks
+        self.finish: List[float] = [NAN] * num_tasks
+        self.core: List[int] = [-1] * num_tasks
+
+    # -- export --------------------------------------------------------------
+    def _id_of(self, slot: int) -> int:
+        return slot if self.task_ids is None else self.task_ids[slot]
+
+    def _as_dict(self, values: List[float]) -> Dict[int, float]:
+        """Dict view of one array, skipping never-written (NaN) slots."""
+        id_of = self._id_of
+        return {
+            id_of(slot): value
+            for slot, value in enumerate(values)
+            if value == value  # not NaN
+        }
+
+    def submit_dict(self) -> Dict[int, float]:
+        return self._as_dict(self.submit)
+
+    def ready_dict(self) -> Dict[int, float]:
+        return self._as_dict(self.ready)
+
+    def start_dict(self) -> Dict[int, float]:
+        return self._as_dict(self.start)
+
+    def finish_dict(self) -> Dict[int, float]:
+        return self._as_dict(self.finish)
+
+    def core_dict(self) -> Dict[int, int]:
+        """Task id -> core id that executed it (only scheduled tasks)."""
+        id_of = self._id_of
+        return {
+            id_of(slot): core
+            for slot, core in enumerate(self.core)
+            if core >= 0
+        }

@@ -26,37 +26,44 @@ from __future__ import annotations
 
 import enum
 from collections import deque
-from dataclasses import dataclass, field
-from typing import Deque, List, Optional, Set
+from typing import Deque, List, NamedTuple, Optional, Set
 
 from repro.common.errors import SimulationError
 
 
 class AccessMode(enum.Enum):
-    """How a task accesses an address (collapsed from the pragma clauses)."""
+    """How a task accesses an address (collapsed from the pragma clauses).
+
+    ``reads`` / ``writes`` are precomputed member attributes (not
+    properties): they are consulted for every access on the dependency
+    hot path.
+    """
 
     READ = "read"
     WRITE = "write"
     READWRITE = "readwrite"
 
-    @property
-    def reads(self) -> bool:
-        return self in (AccessMode.READ, AccessMode.READWRITE)
-
-    @property
-    def writes(self) -> bool:
-        return self in (AccessMode.WRITE, AccessMode.READWRITE)
+    #: True for READ and READWRITE.
+    reads: bool
+    #: True for WRITE and READWRITE.
+    writes: bool
 
 
-@dataclass(frozen=True)
-class Waiter:
+AccessMode.READ.reads = True
+AccessMode.READ.writes = False
+AccessMode.WRITE.reads = False
+AccessMode.WRITE.writes = True
+AccessMode.READWRITE.reads = True
+AccessMode.READWRITE.writes = True
+
+
+class Waiter(NamedTuple):
     """One entry of an address' kick-off list."""
 
     task_id: int
     mode: AccessMode
 
 
-@dataclass
 class AddressState:
     """Dependency state of a single tracked address.
 
@@ -72,15 +79,31 @@ class AddressState:
     waiters:
         Kick-off list: tasks that accessed the address after the current
         owners and must wait, in program order.
+    total_waiters_enqueued / max_kickoff_length:
+        Cumulative statistics.
+
+    One instance exists per live address, created and destroyed as tasks
+    come and go — a ``__slots__`` class keeps that churn cheap.
     """
 
-    address: int
-    active_writer: Optional[int] = None
-    active_readers: Set[int] = field(default_factory=set)
-    waiters: Deque[Waiter] = field(default_factory=deque)
-    #: cumulative statistics
-    total_waiters_enqueued: int = 0
-    max_kickoff_length: int = 0
+    __slots__ = ("address", "active_writer", "active_readers", "waiters",
+                 "total_waiters_enqueued", "max_kickoff_length")
+
+    def __init__(
+        self,
+        address: int,
+        active_writer: Optional[int] = None,
+        active_readers: Optional[Set[int]] = None,
+        waiters: Optional[Deque[Waiter]] = None,
+        total_waiters_enqueued: int = 0,
+        max_kickoff_length: int = 0,
+    ) -> None:
+        self.address = address
+        self.active_writer = active_writer
+        self.active_readers = active_readers if active_readers is not None else set()
+        self.waiters = waiters if waiters is not None else deque()
+        self.total_waiters_enqueued = total_waiters_enqueued
+        self.max_kickoff_length = max_kickoff_length
 
     # -- queries -------------------------------------------------------------
     @property
@@ -123,9 +146,11 @@ class AddressState:
         return True
 
     def _enqueue(self, task_id: int, mode: AccessMode) -> None:
-        self.waiters.append(Waiter(task_id=task_id, mode=mode))
+        self.waiters.append(Waiter(task_id, mode))
         self.total_waiters_enqueued += 1
-        self.max_kickoff_length = max(self.max_kickoff_length, len(self.waiters))
+        length = len(self.waiters)
+        if length > self.max_kickoff_length:
+            self.max_kickoff_length = length
 
     # -- completion -------------------------------------------------------------
     def finish(self, task_id: int) -> List[Waiter]:

@@ -32,6 +32,31 @@ from repro.common.validation import check_positive, check_power_of_two
 from repro.taskgraph.address_state import AccessMode, AddressState
 
 
+def _set_index(address: int, num_sets: int) -> int:
+    """Set (line) index an address maps to.
+
+    Addresses are cache-line aligned in the generated traces; skip the
+    low 6 offset bits so consecutive lines land in consecutive sets.
+    Module-level so the hot access paths and :meth:`AddressTable.
+    set_index` share one definition.
+    """
+    return (address >> 6) & (num_sets - 1)
+
+
+def _ways_for(kickoff_length: int, kickoff_capacity: int) -> int:
+    """Ways an entry with ``kickoff_length`` waiters occupies.
+
+    One way for the entry itself plus one chained dummy entry per
+    overflowing chunk of the kick-off list (the paper's dummy-entry
+    mechanism).  Inlined arithmetic on the hot path — called four times
+    per address access.
+    """
+    if kickoff_length <= kickoff_capacity:
+        return 1
+    overflow = kickoff_length - kickoff_capacity
+    return 1 + -(-overflow // kickoff_capacity)
+
+
 @dataclass
 class TableStats:
     """Cumulative statistics of an :class:`AddressTable`."""
@@ -82,9 +107,7 @@ class AddressTable:
     # -- geometry -----------------------------------------------------------
     def set_index(self, address: int) -> int:
         """Set (line) index the address maps to."""
-        # Addresses are cache-line aligned in the generated traces; skip the
-        # low 6 offset bits so consecutive lines land in consecutive sets.
-        return (address >> 6) & (self.num_sets - 1)
+        return _set_index(address, self.num_sets)
 
     @property
     def capacity_entries(self) -> int:
@@ -101,11 +124,7 @@ class AddressTable:
         entry = self._entries.get(address)
         if entry is None:
             return 0
-        # 1 way for the entry itself plus one dummy entry per overflowing
-        # chunk of the kick-off list.
-        overflow = max(0, entry.kickoff_length - self.kickoff_capacity)
-        dummies = -(-overflow // self.kickoff_capacity) if overflow else 0
-        return 1 + dummies
+        return _ways_for(len(entry.waiters), self.kickoff_capacity)
 
     def set_occupancy(self, set_idx: int) -> int:
         """Number of ways currently used in set ``set_idx``."""
@@ -125,9 +144,11 @@ class AddressTable:
         ``set_conflict`` says the insertion hit a structurally full set
         (the timing layer charges a stall for it).
         """
-        self.stats.lookups += 1
-        entry = self._entries.get(address)
-        set_idx = self.set_index(address)
+        stats = self.stats
+        stats.lookups += 1
+        entries = self._entries
+        entry = entries.get(address)
+        set_idx = _set_index(address, self.num_sets)
         set_conflict = False
         if entry is None:
             occupancy = self._set_occupancy.get(set_idx, 0)
@@ -137,18 +158,20 @@ class AddressTable:
                 # dummy-entry mechanism guarantees forward progress) but
                 # report the conflict so timing can charge for it.
                 set_conflict = True
-                self.stats.set_conflicts += 1
-            entry = AddressState(address=address)
-            self._entries[address] = entry
+                stats.set_conflicts += 1
+            entry = AddressState(address)
+            entries[address] = entry
             self._set_occupancy[set_idx] = occupancy + 1
-            self.stats.insertions += 1
-            self.stats.max_live_entries = max(self.stats.max_live_entries, len(self._entries))
-        before_ways = self.ways_used(address)
+            stats.insertions += 1
+            if len(entries) > stats.max_live_entries:
+                stats.max_live_entries = len(entries)
+        capacity = self.kickoff_capacity
+        before_ways = _ways_for(len(entry.waiters), capacity)
         must_wait = entry.insert(task_id, mode)
-        after_ways = self.ways_used(address)
+        after_ways = _ways_for(len(entry.waiters), capacity)
         if after_ways != before_ways:
             self._set_occupancy[set_idx] = self._set_occupancy.get(set_idx, 0) + (after_ways - before_ways)
-            self.stats.dummy_entries_peak = max(self.stats.dummy_entries_peak, after_ways - 1)
+            stats.dummy_entries_peak = max(stats.dummy_entries_peak, after_ways - 1)
         return must_wait, set_conflict
 
     def finish_access(self, address: int, task_id: int) -> list:
@@ -163,11 +186,12 @@ class AddressTable:
             from repro.common.errors import SimulationError
 
             raise SimulationError(f"{self.name}: finish on untracked address {address:#x}")
-        set_idx = self.set_index(address)
-        before_ways = self.ways_used(address)
+        set_idx = _set_index(address, self.num_sets)
+        capacity = self.kickoff_capacity
+        before_ways = _ways_for(len(entry.waiters), capacity)
         released = entry.finish(task_id)
-        after_ways = self.ways_used(address)
-        if entry.is_idle:
+        after_ways = _ways_for(len(entry.waiters), capacity)
+        if entry.active_writer is None and not entry.active_readers and not entry.waiters:
             del self._entries[address]
             self._set_occupancy[set_idx] = max(0, self._set_occupancy.get(set_idx, 0) - before_ways)
             self.stats.evictions += 1

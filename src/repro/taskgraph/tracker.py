@@ -20,8 +20,7 @@ tests assert against the reference DAG.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, NamedTuple, Optional, Tuple
 
 from repro.common.errors import ConfigurationError, SimulationError
 from repro.taskgraph.address_state import AccessMode
@@ -29,11 +28,14 @@ from repro.taskgraph.dep_counts import DependenceCountsTable
 from repro.taskgraph.function_table import FunctionTable
 from repro.taskgraph.table import AddressTable
 from repro.taskgraph.task_pool import TaskPool
-from repro.trace.task import TaskDescriptor
+from repro.trace.task import Direction, TaskDescriptor
+
+# The result records below are NamedTuples, not dataclasses: two of them
+# are created per task on the simulation hot path, and tuple construction
+# is several times cheaper than a frozen-dataclass __init__.
 
 
-@dataclass(frozen=True)
-class AccessRecord:
+class AccessRecord(NamedTuple):
     """One deduplicated address access of a task."""
 
     address: int
@@ -43,8 +45,7 @@ class AccessRecord:
     set_conflict: bool
 
 
-@dataclass(frozen=True)
-class InsertResult:
+class InsertResult(NamedTuple):
     """Outcome of inserting one task into the task graph(s)."""
 
     task_id: int
@@ -65,8 +66,7 @@ class InsertResult:
         return counts
 
 
-@dataclass(frozen=True)
-class FinishAccessRecord:
+class FinishAccessRecord(NamedTuple):
     """Cleanup of one address access when its task finishes."""
 
     address: int
@@ -74,8 +74,7 @@ class FinishAccessRecord:
     kicked_off: Tuple[int, ...]
 
 
-@dataclass(frozen=True)
-class FinishResult:
+class FinishResult(NamedTuple):
     """Outcome of retiring one finished task."""
 
     task_id: int
@@ -97,6 +96,14 @@ class FinishResult:
         return counts
 
 
+#: Direction -> AccessMode for the common single-occurrence case.
+_MODE_OF_DIRECTION = {
+    Direction.IN: AccessMode.READ,
+    Direction.OUT: AccessMode.WRITE,
+    Direction.INOUT: AccessMode.READWRITE,
+}
+
+
 def merge_access_modes(task: TaskDescriptor) -> List[Tuple[int, AccessMode]]:
     """Deduplicate a task's parameter list into one access per address.
 
@@ -105,29 +112,26 @@ def merge_access_modes(task: TaskDescriptor) -> List[Tuple[int, AccessMode]]:
     hardware tracks the address once, with the union of the access modes.
     Declaration order of the first occurrence is preserved because the
     Input Parser distributes parameters in arrival order.
+
+    Runs once per task submission on the hot path (the tracker caches the
+    result for the task's retirement), so the common all-distinct case is
+    a single dict-fill pass with a precomputed Direction->AccessMode map.
     """
-    order: List[int] = []
-    modes: Dict[int, Tuple[bool, bool]] = {}
-    for param in task.params:
-        reads = param.direction.reads
-        writes = param.direction.writes
-        if param.address in modes:
-            prev_reads, prev_writes = modes[param.address]
-            modes[param.address] = (prev_reads or reads, prev_writes or writes)
-        else:
-            modes[param.address] = (reads, writes)
-            order.append(param.address)
-    result: List[Tuple[int, AccessMode]] = []
-    for address in order:
-        reads, writes = modes[address]
-        if reads and writes:
-            mode = AccessMode.READWRITE
-        elif writes:
-            mode = AccessMode.WRITE
-        else:
-            mode = AccessMode.READ
-        result.append((address, mode))
-    return result
+    params = task.params
+    merged: Dict[int, AccessMode] = {}
+    mode_of = _MODE_OF_DIRECTION
+    for param in params:
+        address = param.address
+        mode = mode_of[param.direction]
+        previous = merged.get(address)
+        if previous is None:
+            merged[address] = mode
+        elif previous is not mode:
+            # Any two distinct modes union to READWRITE (READ|WRITE,
+            # READ|READWRITE, WRITE|READWRITE all read and write).
+            merged[address] = AccessMode.READWRITE
+    # Python dicts preserve insertion order == first-occurrence order.
+    return list(merged.items())
 
 
 class DependencyTracker:
@@ -168,6 +172,9 @@ class DependencyTracker:
         self.function_table = function_table or FunctionTable()
         #: tasks that were reported ready and are waiting to run or running
         self._in_flight: Dict[int, TaskDescriptor] = {}
+        #: per-task merged accesses, computed at insert and replayed at
+        #: finish (recomputing the merge would double the hot-path cost)
+        self._merged_accesses: Dict[int, List[Tuple[int, AccessMode]]] = {}
         self.total_inserted = 0
         self.total_finished = 0
 
@@ -190,35 +197,39 @@ class DependencyTracker:
     # -- main interface ---------------------------------------------------------
     def insert_task(self, task: TaskDescriptor) -> InsertResult:
         """Insert ``task`` into the task graph(s) and compute its readiness."""
-        if task.task_id in self._in_flight:
-            raise SimulationError(f"task {task.task_id} inserted twice")
-        self._in_flight[task.task_id] = task
+        task_id = task.task_id
+        if task_id in self._in_flight:
+            raise SimulationError(f"task {task_id} inserted twice")
+        self._in_flight[task_id] = task
         pool_was_full = self.task_pool.insert(task)
         self.function_table.intern(task.function)
+        merged = merge_access_modes(task)
+        self._merged_accesses[task_id] = merged
         accesses: List[AccessRecord] = []
+        append = accesses.append
+        tables = self.tables
+        distribute = self._distribute
+        num_tables = self.num_tables
         dependence_count = 0
-        for address, mode in merge_access_modes(task):
-            table_index = self.table_for(address)
-            must_wait, set_conflict = self.tables[table_index].insert_access(address, task.task_id, mode)
+        for address, mode in merged:
+            table_index = distribute(address)
+            if not 0 <= table_index < num_tables:
+                raise SimulationError(
+                    f"distribution function returned table {table_index} for address "
+                    f"{address:#x}; valid range is [0, {num_tables})"
+                )
+            must_wait, set_conflict = tables[table_index].insert_access(address, task_id, mode)
             if must_wait:
                 dependence_count += 1
-            accesses.append(
-                AccessRecord(
-                    address=address,
-                    mode=mode,
-                    table_index=table_index,
-                    must_wait=must_wait,
-                    set_conflict=set_conflict,
-                )
-            )
-        self.dep_counts.register(task.task_id, dependence_count, params_total=len(accesses))
+            append(AccessRecord(address, mode, table_index, must_wait, set_conflict))
+        self.dep_counts.register(task_id, dependence_count, params_total=len(accesses))
         self.total_inserted += 1
         return InsertResult(
-            task_id=task.task_id,
-            accesses=tuple(accesses),
-            dependence_count=dependence_count,
-            ready=dependence_count == 0,
-            pool_was_full=pool_was_full,
+            task_id,
+            tuple(accesses),
+            dependence_count,
+            dependence_count == 0,
+            pool_was_full,
         )
 
     def finish_task(self, task_id: int) -> FinishResult:
@@ -226,28 +237,39 @@ class DependencyTracker:
         task = self._in_flight.pop(task_id, None)
         if task is None:
             raise SimulationError(f"finish for unknown or already finished task {task_id}")
-        if self.dep_counts.pending(task_id) != 0:
+        dep_counts = self.dep_counts
+        if dep_counts.pending(task_id) != 0:
             raise SimulationError(
                 f"task {task_id} finished while still having "
-                f"{self.dep_counts.pending(task_id)} unresolved dependencies"
+                f"{dep_counts.pending(task_id)} unresolved dependencies"
             )
-        pooled = self.task_pool.remove(task_id)
+        self.task_pool.remove(task_id)
+        merged = self._merged_accesses.pop(task_id)
         accesses: List[FinishAccessRecord] = []
+        append = accesses.append
         newly_ready: List[int] = []
-        for address, _mode in merge_access_modes(pooled):
-            table_index = self.table_for(address)
-            released = self.tables[table_index].finish_access(address, task_id)
+        tables = self.tables
+        distribute = self._distribute
+        num_tables = self.num_tables
+        decrement = dep_counts.decrement
+        for address, _mode in merged:
+            table_index = distribute(address)
+            if not 0 <= table_index < num_tables:
+                raise SimulationError(
+                    f"distribution function returned table {table_index} for address "
+                    f"{address:#x}; valid range is [0, {num_tables})"
+                )
+            released = tables[table_index].finish_access(address, task_id)
             kicked: List[int] = []
             for waiter in released:
-                kicked.append(waiter.task_id)
-                if self.dep_counts.decrement(waiter.task_id):
-                    newly_ready.append(waiter.task_id)
-            accesses.append(
-                FinishAccessRecord(address=address, table_index=table_index, kicked_off=tuple(kicked))
-            )
-        self.dep_counts.remove(task_id)
+                waiter_id = waiter.task_id
+                kicked.append(waiter_id)
+                if decrement(waiter_id):
+                    newly_ready.append(waiter_id)
+            append(FinishAccessRecord(address, table_index, tuple(kicked)))
+        dep_counts.remove(task_id)
         self.total_finished += 1
-        return FinishResult(task_id=task_id, accesses=tuple(accesses), newly_ready=tuple(newly_ready))
+        return FinishResult(task_id, tuple(accesses), tuple(newly_ready))
 
     def reset(self) -> None:
         """Return the tracker to its initial empty state."""
@@ -257,5 +279,6 @@ class DependencyTracker:
         self.task_pool.reset()
         self.function_table.reset()
         self._in_flight.clear()
+        self._merged_accesses.clear()
         self.total_inserted = 0
         self.total_finished = 0

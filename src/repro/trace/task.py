@@ -18,21 +18,21 @@ from repro.common.errors import TraceError
 
 
 class Direction(enum.Enum):
-    """Access direction of a task parameter (the OmpSs pragma clauses)."""
+    """Access direction of a task parameter (the OmpSs pragma clauses).
+
+    ``reads`` / ``writes`` are precomputed member attributes rather than
+    properties: dependency resolution consults them once per parameter per
+    task, which makes them one of the hottest lookups in the simulator.
+    """
 
     IN = "in"
     OUT = "out"
     INOUT = "inout"
 
-    @property
-    def reads(self) -> bool:
-        """True when the task reads the parameter (``in`` or ``inout``)."""
-        return self in (Direction.IN, Direction.INOUT)
-
-    @property
-    def writes(self) -> bool:
-        """True when the task writes the parameter (``out`` or ``inout``)."""
-        return self in (Direction.OUT, Direction.INOUT)
+    #: True when the task reads the parameter (``in`` or ``inout``).
+    reads: bool
+    #: True when the task writes the parameter (``out`` or ``inout``).
+    writes: bool
 
     @classmethod
     def parse(cls, value: "str | Direction") -> "Direction":
@@ -43,6 +43,14 @@ class Direction(enum.Enum):
             return cls(value.lower())
         except (ValueError, AttributeError) as exc:
             raise TraceError(f"unknown parameter direction {value!r}") from exc
+
+
+Direction.IN.reads = True
+Direction.IN.writes = False
+Direction.OUT.reads = False
+Direction.OUT.writes = True
+Direction.INOUT.reads = True
+Direction.INOUT.writes = True
 
 
 @dataclass(frozen=True)

@@ -49,6 +49,15 @@ class Trace:
                     raise TraceError(f"duplicate task id {task_id} in trace {self.name!r}")
                 seen_ids.add(task_id)
 
+    def __getstate__(self) -> Dict[str, object]:
+        """Exclude runtime caches (e.g. the machine's compiled program) from
+        pickles, so shipping a trace to sweep workers stays lean."""
+        return {
+            key: value
+            for key, value in self.__dict__.items()
+            if not key.startswith("_compiled")
+        }
+
     # -- iteration helpers -------------------------------------------------
     def __len__(self) -> int:
         return len(self.events)

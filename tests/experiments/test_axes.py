@@ -1,0 +1,133 @@
+"""Tests for the scheduler / topology sweep axes.
+
+The contract: axes enumerate as part of the deterministic grid order,
+cache keys invalidate exactly when an axis entry changes (and never when
+only its spelling changes), and mixed-axis results never merge into one
+curve.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.experiments.runner import curve_display_key, run_sweep, rows_to_studies
+from repro.experiments.spec import SweepSpec
+
+
+def small_spec(**kwargs):
+    defaults = dict(
+        workloads=("microbench",),
+        managers=("ideal",),
+        core_counts=(2,),
+        seeds=(2015,),
+        scale=0.05,
+    )
+    defaults.update(kwargs)
+    return SweepSpec(**defaults)
+
+
+class TestAxisNormalisation:
+    def test_aliases_canonicalise_in_spec(self):
+        spec = small_spec(schedulers=("shortest",), topologies=("BIG_LITTLE:0.5",))
+        assert spec.schedulers == ("sjf",)
+        assert spec.topologies == ("biglittle:0.5:0.5",)
+
+    def test_duplicate_axis_entries_rejected_after_aliasing(self):
+        with pytest.raises(ConfigurationError):
+            small_spec(schedulers=("sjf", "shortest"))
+        with pytest.raises(ConfigurationError):
+            small_spec(topologies=("biglittle", "biglittle:0.5:0.5"))
+
+    def test_empty_axes_rejected(self):
+        with pytest.raises(ConfigurationError):
+            small_spec(schedulers=())
+        with pytest.raises(ConfigurationError):
+            small_spec(topologies=())
+
+    def test_grid_order_is_schedulers_then_topologies_then_cores(self):
+        spec = small_spec(
+            core_counts=(1, 2),
+            schedulers=("fifo", "sjf"),
+            topologies=("homogeneous", "biglittle"),
+        )
+        cells = [(p.scheduler, p.topology, p.cores) for p in spec.points()]
+        assert cells == [
+            ("fifo", "homogeneous", 1), ("fifo", "homogeneous", 2),
+            ("fifo", "biglittle:0.5:0.5", 1), ("fifo", "biglittle:0.5:0.5", 2),
+            ("sjf", "homogeneous", 1), ("sjf", "homogeneous", 2),
+            ("sjf", "biglittle:0.5:0.5", 1), ("sjf", "biglittle:0.5:0.5", 2),
+        ]
+        assert spec.num_points() == 8
+
+
+class TestCacheKeys:
+    def _point(self, **axis):
+        return next(iter(small_spec(**axis).points()))
+
+    def test_scheduler_changes_cache_key(self):
+        assert (self._point(schedulers=("fifo",)).cache_key()
+                != self._point(schedulers=("sjf",)).cache_key())
+
+    def test_topology_changes_cache_key(self):
+        assert (self._point(topologies=("homogeneous",)).cache_key()
+                != self._point(topologies=("biglittle",)).cache_key())
+        assert (self._point(topologies=("biglittle:0.5",)).cache_key()
+                != self._point(topologies=("biglittle:0.25",)).cache_key())
+
+    def test_aliased_spellings_share_a_cache_key(self):
+        assert (self._point(schedulers=("shortest",)).cache_key()
+                == self._point(schedulers=("sjf",)).cache_key())
+        assert (self._point(topologies=("big_little",)).cache_key()
+                == self._point(topologies=("biglittle:0.5:0.5",)).cache_key())
+
+    def test_point_replacement_keeps_axis_identity(self):
+        point = self._point(schedulers=("sjf",), topologies=("biglittle",))
+        clone = dataclasses.replace(point)
+        assert clone.cache_key() == point.cache_key()
+
+    def test_spec_hash_covers_axes(self):
+        assert (small_spec(schedulers=("fifo", "sjf")).spec_hash()
+                != small_spec(schedulers=("fifo",)).spec_hash())
+        assert (small_spec(topologies=("biglittle",)).spec_hash()
+                != small_spec().spec_hash())
+
+
+class TestCurveLabels:
+    def test_display_key_suffixes_only_swept_axes(self):
+        assert curve_display_key("Ideal", "fifo", "homogeneous", False, False) == "Ideal"
+        assert curve_display_key("Ideal", "sjf", "homogeneous", True, False) == "Ideal [sjf]"
+        assert curve_display_key("Ideal", "fifo", "biglittle:0.5:0.5", False, True) == \
+            "Ideal @biglittle:0.5:0.5"
+        assert curve_display_key("Ideal", "sjf", "biglittle:0.5:0.5", True, True) == \
+            "Ideal [sjf] @biglittle:0.5:0.5"
+
+    def test_mixed_axis_outcome_gets_one_curve_per_combination(self):
+        spec = small_spec(
+            core_counts=(1, 2),
+            schedulers=("fifo", "sjf"),
+            topologies=("homogeneous", "biglittle"),
+        )
+        outcome = run_sweep(spec)
+        study = outcome.studies()["microbench"]
+        assert sorted(study.curves) == sorted(
+            curve_display_key("Ideal", s, t, True, True)
+            for s in ("fifo", "sjf")
+            for t in ("homogeneous", "biglittle:0.5:0.5")
+        )
+        for curve in study.curves.values():
+            assert curve.core_counts == (1, 2)
+        # Re-grouping straight from the JSONL rows matches the outcome.
+        regrouped = rows_to_studies(outcome.rows)
+        assert sorted(regrouped["microbench"].curves) == sorted(study.curves)
+
+    def test_single_axis_sweep_keeps_plain_manager_labels(self):
+        outcome = run_sweep(small_spec())
+        assert list(outcome.studies()["microbench"].curves) == ["Ideal"]
+
+    def test_results_carry_axis_identity(self):
+        outcome = run_sweep(small_spec(schedulers=("locality",), topologies=("biglittle",)))
+        result = outcome.results[0]
+        assert result.scheduler == "locality"
+        assert result.topology["kind"] == "big_little"
+        assert len(result.per_core_busy_us) == 2

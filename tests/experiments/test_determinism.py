@@ -22,24 +22,30 @@ from repro.experiments.spec import SweepSpec
 #: Cheap workloads only — hypothesis runs each property several times.
 WORKLOAD_POOL = ("microbench", "c-ray", "sparselu")
 MANAGER_POOL = ("ideal", "nanos", "nexus#2", "nexus++")
+SCHEDULER_POOL = ("fifo", "sjf", "ljf", "locality")
+TOPOLOGY_POOL = ("homogeneous", "biglittle:0.5", "homogeneous:2", "biglittle:0.25:0.5")
 
 
 def sweep_specs():
-    """Strategy producing small but varied sweep grids."""
+    """Strategy producing small but varied sweep grids (mixed axes too)."""
     return st.builds(
-        lambda workloads, managers, cores, seed, keep: SweepSpec(
+        lambda workloads, managers, cores, seed, keep, schedulers, topologies: SweepSpec(
             workloads=workloads,
             managers=managers,
             core_counts=sorted(cores),
             seeds=(seed,),
             scale=0.02,
             keep_schedule=keep,
+            schedulers=schedulers,
+            topologies=topologies,
         ),
         workloads=st.lists(st.sampled_from(WORKLOAD_POOL), min_size=1, max_size=2, unique=True),
         managers=st.lists(st.sampled_from(MANAGER_POOL), min_size=1, max_size=2, unique=True),
         cores=st.lists(st.integers(min_value=1, max_value=8), min_size=1, max_size=2, unique=True),
         seed=st.integers(min_value=0, max_value=2**31 - 1),
         keep=st.booleans(),
+        schedulers=st.lists(st.sampled_from(SCHEDULER_POOL), min_size=1, max_size=2, unique=True),
+        topologies=st.lists(st.sampled_from(TOPOLOGY_POOL), min_size=1, max_size=2, unique=True),
     )
 
 

@@ -1,0 +1,94 @@
+"""Property tests: every scheduler x topology combination stays valid.
+
+The refactor's core guarantee: whatever dispatch policy and core topology
+a machine is configured with, the resulting schedule must still respect
+every data dependency of the trace (``validate_schedule``), run every
+task exactly once, and keep the makespan within its theoretical bounds.
+Checked exhaustively on the committed golden traces and, via hypothesis,
+on random task programs.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.managers.ideal import IdealManager
+from repro.nexus.nexussharp import NexusSharpConfig, NexusSharpManager
+from repro.system.machine import simulate
+from repro.system.scheduling import list_policies
+from repro.trace.dag import build_dependency_graph
+from repro.trace.serialization import load_trace
+from repro.workloads.synthetic import generate_random_dag
+
+GOLDEN_DATA = Path(__file__).parent.parent / "golden" / "data"
+
+#: Small golden traces (kept cheap: the full matrix is policies x
+#: topologies x traces).
+GOLDEN_KEYS = ("microbench", "gaussian", "synthetic")
+
+TOPOLOGIES = ("homogeneous", "homogeneous:0.5", "biglittle:0.5", "biglittle:0.25:0.5:2")
+
+ALL_POLICIES = tuple(list_policies())
+
+
+@pytest.fixture(scope="module")
+def golden_traces():
+    return {key: load_trace(GOLDEN_DATA / f"{key}.json.gz") for key in GOLDEN_KEYS}
+
+
+@pytest.mark.parametrize("topology", TOPOLOGIES)
+@pytest.mark.parametrize("scheduler", ALL_POLICIES)
+@pytest.mark.parametrize("key", GOLDEN_KEYS)
+def test_policy_topology_matrix_respects_dependencies(golden_traces, key, scheduler, topology):
+    """validate=True runs validate_schedule inside the machine."""
+    trace = golden_traces[key]
+    result = simulate(trace, IdealManager(), 8, validate=True,
+                      scheduler=scheduler, topology=topology)
+    assert result.num_tasks == trace.num_tasks
+    assert len(result.finish_times) == trace.num_tasks
+    assert result.scheduler == scheduler
+
+
+@pytest.mark.parametrize("scheduler", ALL_POLICIES)
+def test_policy_matrix_with_hardware_manager(golden_traces, scheduler):
+    """The policies also hold under a timed hardware manager model."""
+    trace = golden_traces["microbench"]
+    manager = NexusSharpManager(NexusSharpConfig(num_task_graphs=2, frequency_mhz=100.0))
+    result = simulate(trace, manager, 4, validate=True,
+                      scheduler=scheduler, topology="biglittle:0.5")
+    assert len(result.finish_times) == trace.num_tasks
+
+
+@pytest.mark.parametrize("topology", TOPOLOGIES)
+@pytest.mark.parametrize("scheduler", ALL_POLICIES)
+def test_makespan_bounds_hold_on_golden_synthetic(golden_traces, scheduler, topology):
+    """Critical path (scaled by the fastest core) bounds every makespan."""
+    trace = golden_traces["synthetic"]
+    graph = build_dependency_graph(trace)
+    result = simulate(trace, IdealManager(), 8, validate=True,
+                      scheduler=scheduler, topology=topology)
+    from repro.system.topology import resolve_topology
+
+    speeds = resolve_topology(topology, 8).speed_factors
+    fastest, slowest = max(speeds), min(speeds)
+    assert result.makespan_us >= graph.critical_path_length() / fastest - 1e-6
+    assert result.makespan_us <= graph.total_work() / slowest + 1e-6
+
+
+@settings(max_examples=20, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(
+    num_tasks=st.integers(min_value=1, max_value=40),
+    seed=st.integers(min_value=0, max_value=2**31 - 1),
+    cores=st.integers(min_value=1, max_value=8),
+    scheduler=st.sampled_from(ALL_POLICIES),
+    topology=st.sampled_from(TOPOLOGIES),
+)
+def test_random_dags_stay_valid_for_every_policy(num_tasks, seed, cores, scheduler, topology):
+    trace = generate_random_dag(num_tasks, max_predecessors=3, seed=seed)
+    result = simulate(trace, IdealManager(), cores, validate=True,
+                      scheduler=scheduler, topology=topology)
+    assert len(result.finish_times) == trace.num_tasks

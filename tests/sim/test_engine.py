@@ -177,3 +177,23 @@ class TestEventDataclass:
         early = Event(time=1.0, priority=0, sequence=0, kind="a", payload=object())
         late = Event(time=2.0, priority=0, sequence=1, kind="b", payload=object())
         assert early < late
+
+    def test_queue_events_with_incomparable_payloads_order_fine(self):
+        q = EventQueue()
+        q.push(1.0, "a", payload=object())
+        q.push(1.0, "b", payload=object())  # same time+priority: sequence decides
+        assert [q.pop().kind for _ in range(2)] == ["a", "b"]
+
+
+class TestNextTime:
+    def test_next_time_of_empty_queue_is_none(self):
+        assert EventQueue().next_time is None
+
+    def test_next_time_tracks_the_head(self):
+        q = EventQueue()
+        q.push(5.0, "late")
+        assert q.next_time == 5.0
+        q.push(2.0, "early")
+        assert q.next_time == 2.0
+        q.pop()
+        assert q.next_time == 5.0

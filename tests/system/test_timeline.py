@@ -1,0 +1,31 @@
+"""Unit tests for the struct-of-arrays task timeline."""
+
+from repro.system.timeline import TaskTimeline
+
+
+class TestDenseTimeline:
+    def test_written_slots_export_as_dicts(self):
+        timeline = TaskTimeline(3)
+        timeline.submit[0] = 1.0
+        timeline.submit[2] = 3.0
+        timeline.start[2] = 4.0
+        timeline.core[2] = 5
+        assert timeline.submit_dict() == {0: 1.0, 2: 3.0}
+        assert timeline.start_dict() == {2: 4.0}
+        assert timeline.core_dict() == {2: 5}
+
+    def test_unwritten_arrays_export_empty(self):
+        timeline = TaskTimeline(4)
+        assert timeline.ready_dict() == {}
+        assert timeline.finish_dict() == {}
+        assert timeline.core_dict() == {}
+
+
+class TestSparseTimeline:
+    def test_slots_map_back_to_original_task_ids(self):
+        timeline = TaskTimeline(2, task_ids=[10, 99])
+        timeline.finish[0] = 7.0
+        timeline.finish[1] = 8.0
+        timeline.core[1] = 3
+        assert timeline.finish_dict() == {10: 7.0, 99: 8.0}
+        assert timeline.core_dict() == {99: 3}

@@ -1,0 +1,128 @@
+"""Unit tests for core topologies, topology specs and the core pool."""
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.system.topology import (
+    CorePool,
+    CoreTopology,
+    TopologySpec,
+    canonical_topology,
+    resolve_topology,
+)
+
+
+class TestCoreTopology:
+    def test_homogeneous(self):
+        topology = CoreTopology.homogeneous(4)
+        assert topology.num_cores == 4
+        assert topology.speed_factors == (1.0, 1.0, 1.0, 1.0)
+        assert topology.is_uniform_unit_speed
+
+    def test_big_little_split(self):
+        topology = CoreTopology.big_little(8, big_fraction=0.25, little_speed=0.5)
+        assert topology.speed_factors == (1.0, 1.0) + (0.5,) * 6
+        assert not topology.is_uniform_unit_speed
+
+    def test_big_little_always_has_one_big_core(self):
+        topology = CoreTopology.big_little(1, big_fraction=0.5)
+        assert topology.speed_factors == (1.0,)
+
+    def test_from_speeds(self):
+        topology = CoreTopology.from_speeds([2.0, 1.0, 0.25])
+        assert topology.kind == "custom"
+        assert topology.num_cores == 3
+
+    def test_rejects_empty_and_nonpositive(self):
+        with pytest.raises(ConfigurationError):
+            CoreTopology(speed_factors=())
+        with pytest.raises(ConfigurationError):
+            CoreTopology.from_speeds([1.0, 0.0])
+        with pytest.raises(ConfigurationError):
+            CoreTopology.homogeneous(0)
+
+
+class TestTopologySpec:
+    @pytest.mark.parametrize("text, canonical", [
+        ("homogeneous", "homogeneous"),
+        ("HOMO", "homogeneous"),
+        ("homogeneous:2.0", "homogeneous:2"),
+        ("biglittle", "biglittle:0.5:0.5"),
+        ("big_little:0.25", "biglittle:0.5:0.25"),
+        ("biglittle:0.25:0.5", "biglittle:0.25:0.5"),
+        ("biglittle:0.25:0.5:2", "biglittle:0.25:0.5:2"),
+        ("speeds:1,0.5", "speeds:1,0.5"),
+    ])
+    def test_parse_and_canonical(self, text, canonical):
+        assert canonical_topology(text) == canonical
+        # canonical forms round-trip to themselves
+        assert canonical_topology(canonical) == canonical
+
+    def test_parse_rejects_garbage(self):
+        for bad in ("ring", "biglittle:a", "speeds:", "homogeneous:x"):
+            with pytest.raises(ConfigurationError):
+                TopologySpec.parse(bad)
+
+    def test_build_homogeneous_applies_core_count(self):
+        topology = TopologySpec.parse("homogeneous").build(16)
+        assert topology.num_cores == 16 and topology.is_uniform_unit_speed
+
+    def test_build_custom_requires_matching_core_count(self):
+        spec = TopologySpec.parse("speeds:1,0.5")
+        assert spec.build(2).speed_factors == (1.0, 0.5)
+        with pytest.raises(ConfigurationError):
+            spec.build(3)
+
+    def test_describe_distinguishes_shapes(self):
+        docs = {
+            canonical_topology(text): TopologySpec.parse(text).describe()
+            for text in ("homogeneous", "biglittle:0.5", "biglittle:0.25:0.5", "speeds:1,0.5")
+        }
+        rendered = [str(sorted(doc.items())) for doc in docs.values()]
+        assert len(set(rendered)) == len(rendered)
+
+
+class TestResolveTopology:
+    def test_resolve_string(self):
+        assert resolve_topology("biglittle", 4).kind == "big_little"
+
+    def test_resolve_concrete_checks_core_count(self):
+        topology = CoreTopology.homogeneous(4)
+        assert resolve_topology(topology, 4) is topology
+        with pytest.raises(ConfigurationError):
+            resolve_topology(topology, 8)
+
+    def test_canonical_rejects_concrete_topology(self):
+        with pytest.raises(ConfigurationError):
+            canonical_topology(CoreTopology.homogeneous(2))
+
+
+class TestCorePool:
+    def test_homogeneous_hands_out_lowest_id_first(self):
+        pool = CorePool(CoreTopology.homogeneous(3))
+        assert [pool.acquire() for _ in range(3)] == [0, 1, 2]
+        assert pool.idle_count == 0
+
+    def test_fastest_idle_core_first(self):
+        pool = CorePool(CoreTopology.from_speeds([0.5, 2.0, 1.0]))
+        assert pool.acquire() == 1  # fastest
+        assert pool.acquire() == 2
+        assert pool.acquire() == 0
+        pool.release(2)
+        pool.release(0)
+        assert pool.acquire() == 2  # fastest of the released pair
+
+    def test_acquire_exhausted_raises(self):
+        pool = CorePool(CoreTopology.homogeneous(1))
+        pool.acquire()
+        with pytest.raises(ConfigurationError):
+            pool.acquire()
+
+    def test_busy_accounting_and_reset(self):
+        pool = CorePool(CoreTopology.homogeneous(2))
+        core = pool.acquire()
+        pool.add_busy(core, 12.5)
+        assert pool.busy_us[core] == 12.5
+        pool.reset()
+        assert pool.busy_us == [0.0, 0.0]
+        assert pool.idle_count == 2
