@@ -198,6 +198,14 @@ def parse_manager(name: str) -> Tuple[str, ManagerFactory]:
     Recognised names: ``ideal``, ``nanos``, ``sw400``, ``nexus++``,
     ``nexus#<n>`` (e.g. ``nexus#6``), ``nexus#<n>@<MHz>``.  This is the
     parser behind both :func:`make_manager` and the sweep CLI.
+
+    >>> name, factory = parse_manager("nexus#6")
+    >>> name
+    'Nexus# 6TG'
+    >>> factory().name
+    'Nexus# 6TG'
+    >>> parse_manager("ideal")[0]
+    'Ideal'
     """
     token = name.strip().lower()
     if token == "ideal":

@@ -45,6 +45,13 @@ def _add_grid_arguments(parser: argparse.ArgumentParser) -> None:
                         help="core topologies to sweep: homogeneous (default), "
                              "biglittle[:little_speed | :big_fraction:little_speed], "
                              "speeds:<s0>,<s1>,...")
+    parser.add_argument("--stream", action="store_true",
+                        help="replay grid cells through the streaming machine "
+                             "path (bounded memory; identical schedules, no "
+                             "per-task times in the results)")
+    parser.add_argument("--max-tasks", type=int, default=None,
+                        help="bound every workload to its first N task "
+                             "submissions (trace-size scaling axis)")
 
 
 def _spec_from_args(args: argparse.Namespace) -> SweepSpec:
@@ -59,6 +66,8 @@ def _spec_from_args(args: argparse.Namespace) -> SweepSpec:
         max_cores=max_cores,
         schedulers=tuple(args.schedulers) if args.schedulers else ("fifo",),
         topologies=tuple(args.topologies) if args.topologies else ("homogeneous",),
+        stream=args.stream,
+        max_tasks=args.max_tasks,
     )
 
 

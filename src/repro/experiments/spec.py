@@ -24,11 +24,12 @@ from typing import Dict, Iterator, Mapping, Optional, Sequence, Tuple, Union
 
 from repro.analysis.factories import ManagerFactory, describe_factory, parse_manager
 from repro.common.errors import ConfigurationError
-from repro.system.machine import simulate
+from repro.system.machine import simulate, simulate_stream
 from repro.system.results import MachineResult
 from repro.system.scheduling import canonical_policy_name, describe_policy
 from repro.system.topology import TopologySpec, canonical_topology
 from repro.trace.serialization import RESULT_FORMAT_VERSION, json_digest, trace_digest
+from repro.trace.stream import TaskStream, limit_stream, truncate_trace
 from repro.trace.trace import Trace
 
 #: Bump whenever a change alters simulated behaviour without touching any
@@ -46,10 +47,18 @@ ManagersLike = Union[Mapping[str, ManagerFactory], Sequence[str]]
 
 
 @functools.lru_cache(maxsize=16)
-def _named_trace(name: str, scale: float, seed: Optional[int]) -> Trace:
-    """Per-process memo of generated registry traces (sweeps reuse them)."""
+def _named_trace(name: str, scale: float, seed: Optional[int],
+                 max_tasks: Optional[int] = None) -> Trace:
+    """Per-process memo of generated registry traces (sweeps reuse them).
+
+    ``max_tasks`` is part of the key so truncated workloads share one
+    Trace object across grid cells too — which is what lets the machine's
+    per-trace compiled-program cache work for them.
+    """
     from repro.workloads.registry import get_workload
 
+    if max_tasks is not None:
+        return truncate_trace(_named_trace(name, scale, seed), max_tasks)
     return get_workload(name, scale=scale, seed=seed)
 
 
@@ -61,18 +70,33 @@ class WorkloadSpec:
     scale: float = 1.0
     seed: Optional[int] = None
     trace: Optional[Trace] = None
+    #: Bound the workload to its first N task submissions (a final
+    #: ``taskwait`` is appended when the cut is short; see
+    #: :func:`repro.trace.stream.limit_stream`).  ``None`` = whole trace.
+    max_tasks: Optional[int] = None
     #: Lazily memoised content digest of an inline trace (hashing a large
     #: trace is expensive and describe() runs once per grid cell).
     _digest: Optional[str] = dataclass_field(default=None, repr=False, compare=False)
+    #: Lazily memoised truncation of an inline trace (sharing one Trace
+    #: object across grid cells keeps its compiled-program cache warm).
+    _truncated: Optional[Trace] = dataclass_field(default=None, repr=False, compare=False)
 
     @classmethod
-    def of(cls, workload: WorkloadLike, *, scale: float = 1.0, seed: Optional[int] = None) -> "WorkloadSpec":
+    def of(cls, workload: WorkloadLike, *, scale: float = 1.0, seed: Optional[int] = None,
+           max_tasks: Optional[int] = None) -> "WorkloadSpec":
         if isinstance(workload, WorkloadSpec):
-            return workload
+            if max_tasks is None or workload.max_tasks == max_tasks:
+                return workload
+            if workload.max_tasks is None:
+                return replace(workload, max_tasks=max_tasks)
+            raise ConfigurationError(
+                f"workload {workload.name!r} already bounds max_tasks to "
+                f"{workload.max_tasks}, conflicting with the requested {max_tasks}"
+            )
         if isinstance(workload, Trace):
-            return cls(name=workload.name, trace=workload)
+            return cls(name=workload.name, trace=workload, max_tasks=max_tasks)
         if isinstance(workload, str):
-            return cls(name=workload, scale=scale, seed=seed)
+            return cls(name=workload, scale=scale, seed=seed, max_tasks=max_tasks)
         raise ConfigurationError(f"cannot interpret {workload!r} as a workload")
 
     def with_seed(self, seed: Optional[int]) -> "WorkloadSpec":
@@ -82,17 +106,45 @@ class WorkloadSpec:
         return replace(self, seed=seed)
 
     def resolve(self) -> Trace:
-        """Materialise the trace (memoised per process for named workloads)."""
+        """Materialise the trace (memoised per process for named workloads;
+        truncated inline traces are memoised on the spec instance)."""
         if self.trace is not None:
-            return self.trace
-        return _named_trace(self.name, self.scale, self.seed)
+            if self.max_tasks is None:
+                return self.trace
+            if self._truncated is None:
+                object.__setattr__(
+                    self, "_truncated", truncate_trace(self.trace, self.max_tasks))
+            return self._truncated
+        if self.max_tasks is None:
+            # Same positional key as the internal recursion, so truncated
+            # and untruncated cells share one cached base trace.
+            return _named_trace(self.name, self.scale, self.seed)
+        return _named_trace(self.name, self.scale, self.seed, self.max_tasks)
+
+    def resolve_stream(self) -> TaskStream:
+        """Open the workload as a lazy task stream (no materialisation).
+
+        Named workloads stream straight from their generators, so a
+        streaming grid cell never holds the full trace in memory; inline
+        traces are already materialised and simply pass through.
+        """
+        from repro.workloads.registry import get_workload_stream
+
+        source: TaskStream = self.trace if self.trace is not None else (
+            get_workload_stream(self.name, scale=self.scale, seed=self.seed))
+        return limit_stream(source, self.max_tasks)
 
     def describe(self) -> Dict[str, object]:
         if self.trace is not None:
             if self._digest is None:
                 object.__setattr__(self, "_digest", trace_digest(self.trace))
-            return {"name": self.name, "inline_digest": self._digest}
-        return {"name": self.name, "scale": self.scale, "seed": self.seed}
+            doc: Dict[str, object] = {"name": self.name, "inline_digest": self._digest}
+        else:
+            doc = {"name": self.name, "scale": self.scale, "seed": self.seed}
+        # Only present when set, so pre-axis cache keys stay valid.
+        if self.max_tasks is not None:
+            doc["max_tasks"] = self.max_tasks
+        return doc
 
 
 @dataclass(frozen=True)
@@ -109,6 +161,10 @@ class RunPoint:
     scheduler: str = "fifo"
     #: Canonical topology-shape string (see repro.system.topology).
     topology: str = "homogeneous"
+    #: Replay through :meth:`Machine.run_stream` instead of materialising
+    #: the trace (same schedule by the stream-equivalence guarantee, but
+    #: bounded memory; per-task times are not collected).
+    stream: bool = False
 
     def describe(self) -> Dict[str, object]:
         """Self-describing identity of the point (JSONL / cache key).
@@ -116,9 +172,12 @@ class RunPoint:
         ``scheduler`` and ``topology`` are part of the identity, so the
         content-addressed cache invalidates exactly when either axis
         changes; the structured policy/topology configuration is included
-        so renamed-but-identical spellings cannot collide.
+        so renamed-but-identical spellings cannot collide.  ``stream`` is
+        part of the identity too (only recorded when set, so pre-axis
+        cache keys stay valid): streamed results never collect per-task
+        schedules, which makes them a distinct result shape.
         """
-        return {
+        doc: Dict[str, object] = {
             "workload": self.workload.describe(),
             "manager": self.manager_name,
             "manager_config": dict(describe_factory(self.factory)),
@@ -130,6 +189,9 @@ class RunPoint:
             "topology": self.topology,
             "topology_config": TopologySpec.parse(self.topology).describe(),
         }
+        if self.stream:
+            doc["stream"] = True
+        return doc
 
     @property
     def cacheable(self) -> bool:
@@ -162,6 +224,16 @@ class RunPoint:
 
     def run(self) -> MachineResult:
         """Execute the simulation for this point."""
+        if self.stream:
+            return simulate_stream(
+                self.workload.resolve_stream(),
+                self.factory(),
+                self.cores,
+                validate=self.validate,
+                keep_schedule=self.keep_schedule,
+                scheduler=self.scheduler,
+                topology=self.topology,
+            )
         return simulate(
             self.workload.resolve(),
             self.factory(),
@@ -237,6 +309,27 @@ class SweepSpec:
         ``"biglittle[:little_speed]"`` /
         ``"biglittle:<big_fraction>:<little_speed>"``,
         ``"speeds:<s0>,<s1>,..."``), applied to every core count.
+    stream:
+        Replay every grid cell through the streaming machine path
+        (:meth:`Machine.run_stream <repro.system.machine.Machine.
+        run_stream>`): bounded memory, identical schedules, no per-task
+        times in the results.
+    max_tasks:
+        Bound every workload to its first ``max_tasks`` submissions (the
+        scale axis for trace-size studies); applied per workload via
+        :func:`repro.trace.stream.limit_stream`.
+
+    Example
+    -------
+    >>> spec = SweepSpec(
+    ...     workloads=["microbench"],
+    ...     managers=["ideal", "nexus#2"],
+    ...     core_counts=[1, 4],
+    ... )
+    >>> spec.num_points()
+    4
+    >>> [point.cores for point in spec.points()]
+    [1, 4, 1, 4]
     """
 
     workloads: Tuple[WorkloadSpec, ...]
@@ -248,6 +341,8 @@ class SweepSpec:
     keep_schedule: bool = False
     schedulers: Tuple[str, ...] = ("fifo",)
     topologies: Tuple[str, ...] = ("homogeneous",)
+    stream: bool = False
+    max_tasks: Optional[int] = None
     name: str = "sweep"
 
     def __init__(
@@ -263,6 +358,8 @@ class SweepSpec:
         keep_schedule: bool = False,
         schedulers: Sequence[str] = ("fifo",),
         topologies: Sequence[str] = ("homogeneous",),
+        stream: bool = False,
+        max_tasks: Optional[int] = None,
         name: str = "sweep",
     ) -> None:
         if not workloads:
@@ -280,10 +377,12 @@ class SweepSpec:
         for cores in core_counts:
             if cores <= 0:
                 raise ConfigurationError(f"core counts must be positive, got {cores}")
+        if max_tasks is not None and max_tasks <= 0:
+            raise ConfigurationError(f"max_tasks must be positive, got {max_tasks}")
         object.__setattr__(
             self,
             "workloads",
-            tuple(WorkloadSpec.of(w, scale=scale) for w in workloads),
+            tuple(WorkloadSpec.of(w, scale=scale, max_tasks=max_tasks) for w in workloads),
         )
         object.__setattr__(self, "managers", _normalize_managers(managers))
         object.__setattr__(self, "core_counts", tuple(int(c) for c in core_counts))
@@ -295,6 +394,8 @@ class SweepSpec:
             "schedulers", schedulers, canonical_policy_name))
         object.__setattr__(self, "topologies", _normalize_axis(
             "topologies", topologies, canonical_topology))
+        object.__setattr__(self, "stream", bool(stream))
+        object.__setattr__(self, "max_tasks", max_tasks)
         object.__setattr__(self, "name", name)
 
     # -- grid enumeration --------------------------------------------------
@@ -324,6 +425,7 @@ class SweepSpec:
                                 keep_schedule=self.keep_schedule,
                                 scheduler=scheduler,
                                 topology=topology,
+                                stream=self.stream,
                             )
 
     def effective_workloads(self) -> Tuple[WorkloadSpec, ...]:
@@ -349,8 +451,13 @@ class SweepSpec:
         return sum(1 for _ in self.points())
 
     def describe(self) -> Dict[str, object]:
-        """Serialisable description of the whole grid."""
-        return {
+        """Serialisable description of the whole grid.
+
+        ``stream`` is recorded only when set, so pre-streaming spec
+        hashes stay stable (``max_tasks`` already shows up through the
+        per-workload descriptions).
+        """
+        doc: Dict[str, object] = {
             "name": self.name,
             "workloads": [w.describe() for w in self.workloads],
             "managers": [
@@ -365,6 +472,9 @@ class SweepSpec:
             "schedulers": list(self.schedulers),
             "topologies": list(self.topologies),
         }
+        if self.stream:
+            doc["stream"] = True
+        return doc
 
     def spec_hash(self) -> str:
         """Content hash of the grid (reported in sweep summaries/JSONL).

@@ -15,7 +15,15 @@ between task submissions.  This package defines that representation:
   parameter addresses using OmpSs semantics (RAW, WAR and WAW hazards on
   the same address), computes critical paths and checks schedules.
 * :mod:`repro.trace.stats` — per-trace statistics matching Table II.
-* :mod:`repro.trace.serialization` — a JSON-lines on-disk format.
+* :mod:`repro.trace.stream` — the streaming pipeline: the
+  :class:`~repro.trace.stream.TaskStream` protocol, replayable
+  :class:`~repro.trace.stream.TraceStream` sources and
+  :func:`~repro.trace.stream.materialize`, so million-task workloads
+  never need the whole program in memory.
+* :mod:`repro.trace.serialization` — on-disk formats: a single-document
+  JSON trace plus a chunked JSONL stream format with lazy, bounded-memory
+  readers (:class:`~repro.trace.serialization.TraceWriter` /
+  :func:`~repro.trace.serialization.open_trace_stream`).
 """
 
 from repro.trace.task import Direction, Parameter, TaskDescriptor
@@ -23,7 +31,25 @@ from repro.trace.events import TaskSubmitEvent, TaskwaitEvent, TaskwaitOnEvent, 
 from repro.trace.trace import Trace, TraceBuilder
 from repro.trace.dag import DependencyGraph, build_dependency_graph, validate_schedule
 from repro.trace.stats import TraceStatistics, compute_statistics
-from repro.trace.serialization import load_trace, save_trace, trace_from_json, trace_to_json
+from repro.trace.stream import (
+    EventEmitter,
+    TaskStream,
+    TraceStream,
+    as_stream,
+    limit_stream,
+    materialize,
+    truncate_trace,
+)
+from repro.trace.serialization import (
+    TraceWriter,
+    iter_trace_events,
+    load_trace,
+    open_trace_stream,
+    save_trace,
+    trace_from_json,
+    trace_to_json,
+    write_trace_stream,
+)
 
 __all__ = [
     "Direction",
@@ -40,8 +66,19 @@ __all__ = [
     "validate_schedule",
     "TraceStatistics",
     "compute_statistics",
+    "EventEmitter",
+    "TaskStream",
+    "TraceStream",
+    "as_stream",
+    "limit_stream",
+    "materialize",
+    "truncate_trace",
+    "TraceWriter",
+    "iter_trace_events",
     "load_trace",
+    "open_trace_stream",
     "save_trace",
     "trace_from_json",
     "trace_to_json",
+    "write_trace_stream",
 ]

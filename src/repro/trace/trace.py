@@ -30,6 +30,20 @@ class Trace:
     metadata:
         Free-form generator parameters (frame counts, matrix sizes, seed,
         scale factor, ...), recorded so experiments are self-describing.
+
+    Example
+    -------
+    >>> builder = TraceBuilder("example")
+    >>> a = builder.add_task("produce", duration_us=10.0, outputs=[0x1000])
+    >>> b = builder.add_task("consume", duration_us=5.0, inputs=[0x1000])
+    >>> builder.add_taskwait()
+    >>> trace = builder.build()
+    >>> trace.num_tasks, trace.num_barriers
+    (2, 1)
+    >>> trace.total_work_us
+    15.0
+    >>> [task.function for task in trace.tasks()]
+    ['produce', 'consume']
     """
 
     name: str
@@ -63,6 +77,12 @@ class Trace:
         return len(self.events)
 
     def __iter__(self) -> Iterator[TraceEvent]:
+        return iter(self.events)
+
+    def iter_events(self) -> Iterator[TraceEvent]:
+        """Yield the events in order (a trace satisfies the
+        :class:`~repro.trace.stream.TaskStream` protocol, so every
+        streaming consumer also accepts materialised traces)."""
         return iter(self.events)
 
     def tasks(self) -> Iterator[TaskDescriptor]:
@@ -142,6 +162,14 @@ class TraceBuilder:
     Task ids are assigned sequentially in submission order, which is also
     the order the hardware receives them, so ids double as submission
     ranks everywhere in the simulation.
+
+    >>> builder = TraceBuilder("ids")
+    >>> builder.add_task("t", duration_us=1.0, outputs=[0x2000]).task_id
+    0
+    >>> builder.add_task("t", duration_us=1.0, outputs=[0x2040]).task_id
+    1
+    >>> builder.num_tasks
+    2
     """
 
     def __init__(self, name: str, metadata: Optional[Mapping[str, object]] = None) -> None:

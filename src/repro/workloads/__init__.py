@@ -19,18 +19,45 @@ Every generator accepts:
 The :data:`WORKLOADS` registry maps the paper's benchmark names (e.g.
 ``"h264dec-1x1-10f"``) to ready-to-call generators using the paper's
 parameters.
+
+Every generator exists in two byte-identical forms: ``generate_*``
+materialises a :class:`~repro.trace.trace.Trace`, while ``stream_*``
+returns a lazy, replayable :class:`~repro.trace.stream.TraceStream`
+whose live memory stays bounded regardless of task count (see
+``docs/streaming.md``).
 """
 
 from repro.workloads.addressing import AddressSpace
-from repro.workloads.cray import generate_cray
-from repro.workloads.rotcc import generate_rotcc
-from repro.workloads.sparselu import generate_sparselu
-from repro.workloads.streamcluster import generate_streamcluster
-from repro.workloads.h264dec import H264Geometry, generate_h264dec
-from repro.workloads.gaussian import generate_gaussian_elimination, gaussian_task_count, gaussian_avg_flops
-from repro.workloads.microbench import generate_microbenchmark
-from repro.workloads.synthetic import generate_chain, generate_fork_join, generate_independent, generate_random_dag
-from repro.workloads.registry import WORKLOADS, get_workload, list_workloads, paper_table2_workloads
+from repro.workloads.cray import generate_cray, stream_cray
+from repro.workloads.rotcc import generate_rotcc, stream_rotcc
+from repro.workloads.sparselu import generate_sparselu, stream_sparselu
+from repro.workloads.streamcluster import generate_streamcluster, stream_streamcluster
+from repro.workloads.h264dec import H264Geometry, generate_h264dec, stream_h264dec
+from repro.workloads.gaussian import (
+    generate_gaussian_elimination,
+    gaussian_task_count,
+    gaussian_avg_flops,
+    stream_gaussian_elimination,
+)
+from repro.workloads.microbench import generate_microbenchmark, stream_microbenchmark
+from repro.workloads.synthetic import (
+    generate_chain,
+    generate_fork_join,
+    generate_independent,
+    generate_random_dag,
+    stream_chain,
+    stream_fork_join,
+    stream_independent,
+    stream_random_dag,
+)
+from repro.workloads.registry import (
+    STREAMS,
+    WORKLOADS,
+    get_workload,
+    get_workload_stream,
+    list_workloads,
+    paper_table2_workloads,
+)
 
 __all__ = [
     "AddressSpace",
@@ -48,8 +75,21 @@ __all__ = [
     "generate_independent",
     "generate_chain",
     "generate_fork_join",
+    "stream_cray",
+    "stream_rotcc",
+    "stream_sparselu",
+    "stream_streamcluster",
+    "stream_h264dec",
+    "stream_gaussian_elimination",
+    "stream_microbenchmark",
+    "stream_random_dag",
+    "stream_independent",
+    "stream_chain",
+    "stream_fork_join",
+    "STREAMS",
     "WORKLOADS",
     "get_workload",
+    "get_workload_stream",
     "list_workloads",
     "paper_table2_workloads",
 ]

@@ -12,17 +12,63 @@ Table II: 1200 tasks, 7381 ms total work, 6151 µs average task size,
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Iterator, Optional
 
 from repro.common.errors import ConfigurationError
 from repro.common.rng import make_rng
-from repro.trace.trace import Trace, TraceBuilder
+from repro.trace.events import TraceEvent
+from repro.trace.stream import EventEmitter, TraceStream, materialize
+from repro.trace.trace import Trace
 from repro.workloads.addressing import AddressSpace
 
 #: Paper values (Table II).
 PAPER_NUM_TASKS = 1200
 PAPER_AVG_TASK_US = 6151.0
 PAPER_TOTAL_WORK_MS = 7381.0
+
+
+def stream_cray(
+    scale: float = 1.0,
+    seed: Optional[int] = None,
+    *,
+    num_lines: Optional[int] = None,
+    avg_task_us: float = PAPER_AVG_TASK_US,
+    duration_cv: float = 0.15,
+) -> TraceStream:
+    """Stream a c-ray trace (see :func:`generate_cray` for parameters)."""
+    if scale <= 0:
+        raise ConfigurationError(f"scale must be positive, got {scale}")
+    if num_lines is None:
+        num_lines = max(1, round(PAPER_NUM_TASKS * scale))
+    if num_lines <= 0:
+        raise ConfigurationError(f"num_lines must be positive, got {num_lines}")
+    lines = num_lines
+
+    def events() -> Iterator[TraceEvent]:
+        rng = make_rng(seed, "c-ray")
+        space = AddressSpace(seed=seed)
+        emit = EventEmitter()
+        line_addresses = space.alloc(lines)
+        durations = rng.normal(avg_task_us, avg_task_us * duration_cv, size=lines)
+        durations = durations.clip(min=avg_task_us * 0.1)
+        for line, address in enumerate(line_addresses):
+            yield emit.task(
+                "render_line",
+                duration_us=float(durations[line]),
+                outputs=[address],
+            )
+        yield emit.taskwait()
+
+    return TraceStream(
+        "c-ray",
+        events,
+        metadata={
+            "suite": "Starbench",
+            "num_lines": num_lines,
+            "avg_task_us": avg_task_us,
+            "scale": scale,
+        },
+    )
 
 
 def generate_cray(
@@ -49,31 +95,6 @@ def generate_cray(
         Coefficient of variation of the task durations (ray tracing lines
         vary with scene content).
     """
-    if scale <= 0:
-        raise ConfigurationError(f"scale must be positive, got {scale}")
-    if num_lines is None:
-        num_lines = max(1, round(PAPER_NUM_TASKS * scale))
-    if num_lines <= 0:
-        raise ConfigurationError(f"num_lines must be positive, got {num_lines}")
-    rng = make_rng(seed, "c-ray")
-    space = AddressSpace(seed=seed)
-    builder = TraceBuilder(
-        "c-ray",
-        metadata={
-            "suite": "Starbench",
-            "num_lines": num_lines,
-            "avg_task_us": avg_task_us,
-            "scale": scale,
-        },
-    )
-    line_addresses = space.alloc(num_lines)
-    durations = rng.normal(avg_task_us, avg_task_us * duration_cv, size=num_lines)
-    durations = durations.clip(min=avg_task_us * 0.1)
-    for line, address in enumerate(line_addresses):
-        builder.add_task(
-            "render_line",
-            duration_us=float(durations[line]),
-            outputs=[address],
-        )
-    builder.add_taskwait()
-    return builder.build()
+    return materialize(stream_cray(
+        scale, seed,
+        num_lines=num_lines, avg_task_us=avg_task_us, duration_cv=duration_cv))

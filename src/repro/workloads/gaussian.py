@@ -22,11 +22,13 @@ reported in Table III; execution time assumes 2-GFLOPS worker cores
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Iterator, Optional
 
 from repro.common.constants import GAUSSIAN_CORE_GFLOPS
 from repro.common.errors import ConfigurationError
-from repro.trace.trace import Trace, TraceBuilder
+from repro.trace.events import TraceEvent
+from repro.trace.stream import EventEmitter, TraceStream, materialize
+from repro.trace.trace import Trace
 from repro.workloads.addressing import AddressSpace
 
 #: Matrix sizes evaluated in Table III / Figure 9.
@@ -52,6 +54,57 @@ def gaussian_avg_flops(matrix_size: int) -> float:
     return total / gaussian_task_count(n)
 
 
+def stream_gaussian_elimination(
+    matrix_size: int = 250,
+    *,
+    core_gflops: float = GAUSSIAN_CORE_GFLOPS,
+    seed: Optional[int] = None,
+) -> TraceStream:
+    """Stream the Gaussian-elimination trace (see
+    :func:`generate_gaussian_elimination`).
+
+    Live generator state is the O(n) row-address list — small next to the
+    O(n²/2) task count.
+    """
+    if matrix_size < 2:
+        raise ConfigurationError(f"matrix_size must be >= 2, got {matrix_size}")
+    if core_gflops <= 0:
+        raise ConfigurationError(f"core_gflops must be positive, got {core_gflops}")
+    n = matrix_size
+
+    def events() -> Iterator[TraceEvent]:
+        space = AddressSpace(seed=seed)
+        emit = EventEmitter()
+        row_addresses = space.alloc(n)
+        flops_to_us = 1.0 / (core_gflops * 1000.0)  # FLOPs -> µs at core_gflops GFLOP/s
+        for i in range(1, n):  # elimination steps (the last row needs no step)
+            weight_flops = n - i + 1
+            duration_us = weight_flops * flops_to_us
+            pivot_row = row_addresses[i - 1]
+            # Pivot task T_i^i.
+            yield emit.task("pivot", duration_us=duration_us, inouts=[pivot_row])
+            # Update tasks T_i^j for all rows below the pivot.
+            for j in range(i + 1, n + 1):
+                yield emit.task(
+                    "eliminate",
+                    duration_us=duration_us,
+                    inputs=[pivot_row],
+                    inouts=[row_addresses[j - 1]],
+                )
+        yield emit.taskwait()
+
+    return TraceStream(
+        f"gaussian-{n}",
+        events,
+        metadata={
+            "matrix_size": n,
+            "core_gflops": core_gflops,
+            "num_tasks": gaussian_task_count(n),
+            "avg_flops": gaussian_avg_flops(n),
+        },
+    )
+
+
 def generate_gaussian_elimination(
     matrix_size: int = 250,
     *,
@@ -71,37 +124,5 @@ def generate_gaussian_elimination(
         Unused (the workload is fully deterministic); accepted for
         interface uniformity with the other generators.
     """
-    if matrix_size < 2:
-        raise ConfigurationError(f"matrix_size must be >= 2, got {matrix_size}")
-    if core_gflops <= 0:
-        raise ConfigurationError(f"core_gflops must be positive, got {core_gflops}")
-    n = matrix_size
-    space = AddressSpace(seed=seed)
-    row_addresses = space.alloc(n)
-    flops_to_us = 1.0 / (core_gflops * 1000.0)  # FLOPs -> µs at core_gflops GFLOP/s
-
-    builder = TraceBuilder(
-        f"gaussian-{n}",
-        metadata={
-            "matrix_size": n,
-            "core_gflops": core_gflops,
-            "num_tasks": gaussian_task_count(n),
-            "avg_flops": gaussian_avg_flops(n),
-        },
-    )
-    for i in range(1, n):  # elimination steps (the last row needs no step)
-        weight_flops = n - i + 1
-        duration_us = weight_flops * flops_to_us
-        pivot_row = row_addresses[i - 1]
-        # Pivot task T_i^i.
-        builder.add_task("pivot", duration_us=duration_us, inouts=[pivot_row])
-        # Update tasks T_i^j for all rows below the pivot.
-        for j in range(i + 1, n + 1):
-            builder.add_task(
-                "eliminate",
-                duration_us=duration_us,
-                inputs=[pivot_row],
-                inouts=[row_addresses[j - 1]],
-            )
-    builder.add_taskwait()
-    return builder.build()
+    return materialize(stream_gaussian_elimination(
+        matrix_size, core_gflops=core_gflops, seed=seed))

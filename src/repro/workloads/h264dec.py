@@ -29,12 +29,14 @@ is documented in EXPERIMENTS.md.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import Iterator, Optional
 
 from repro.common.constants import H264_FRAME_HEIGHT, H264_FRAME_WIDTH, H264_MACROBLOCK_PIXELS
 from repro.common.errors import ConfigurationError
 from repro.common.rng import make_rng
-from repro.trace.trace import Trace, TraceBuilder
+from repro.trace.events import TraceEvent
+from repro.trace.stream import EventEmitter, TraceStream, materialize
+from repro.trace.trace import Trace
 from repro.workloads.addressing import AddressSpace
 
 #: Average task durations per macroblock grouping (Table II).
@@ -62,6 +64,105 @@ class H264Geometry:
     def task_grid(self, grouping: int) -> tuple[int, int]:
         """(rows, cols) of the task grid for ``grouping x grouping`` blocks."""
         return (-(-self.mb_rows // grouping), -(-self.mb_cols // grouping))
+
+
+def stream_h264dec(
+    grouping: int = 1,
+    num_frames: int = 10,
+    seed: Optional[int] = None,
+    *,
+    scale: float = 1.0,
+    geometry: Optional[H264Geometry] = None,
+    avg_task_us: Optional[float] = None,
+    frame_buffers: int = 4,
+    duration_cv: float = 0.30,
+    inter_frame_dependency: bool = True,
+) -> TraceStream:
+    """Stream an h264dec trace (see :func:`generate_h264dec`).
+
+    Live generator state is the O(frame_buffers x task-grid) address
+    map — independent of ``num_frames``, so arbitrarily long streams
+    decode with the footprint of the decoded-picture buffer, like a real
+    decoder.
+    """
+    if grouping <= 0:
+        raise ConfigurationError(f"grouping must be positive, got {grouping}")
+    if num_frames <= 0:
+        raise ConfigurationError(f"num_frames must be positive, got {num_frames}")
+    if frame_buffers <= 0:
+        raise ConfigurationError(f"frame_buffers must be positive, got {frame_buffers}")
+    if scale <= 0:
+        raise ConfigurationError(f"scale must be positive, got {scale}")
+    if geometry is None:
+        if scale != 1.0:
+            factor = scale ** 0.5
+            geometry = H264Geometry(
+                frame_width=max(H264_MACROBLOCK_PIXELS, int(H264_FRAME_WIDTH * factor)),
+                frame_height=max(H264_MACROBLOCK_PIXELS, int(H264_FRAME_HEIGHT * factor)),
+            )
+        else:
+            geometry = H264Geometry()
+    if avg_task_us is None:
+        if grouping in PAPER_AVG_TASK_US:
+            avg_task_us = PAPER_AVG_TASK_US[grouping]
+        else:
+            # Work scales with the number of macroblocks in a task.
+            avg_task_us = PAPER_AVG_TASK_US[1] * grouping * grouping
+
+    rows, cols = geometry.task_grid(grouping)
+    name = f"h264dec-{grouping}x{grouping}-{num_frames}f"
+    mean_task_us = avg_task_us
+
+    def events() -> Iterator[TraceEvent]:
+        rng = make_rng(seed, "h264dec", grouping)
+        space = AddressSpace(seed=seed)
+        emit = EventEmitter()
+
+        # One address per task-grid block per frame buffer.  Buffers are
+        # recycled every `frame_buffers` frames, exactly like a real
+        # decoder's decoded-picture buffer.
+        buffer_blocks = [space.alloc_grid(rows, cols) for _ in range(frame_buffers)]
+
+        for frame in range(num_frames):
+            buffer_index = frame % frame_buffers
+            blocks = buffer_blocks[buffer_index]
+            prev_blocks = buffer_blocks[(frame - 1) % frame_buffers] if frame > 0 else None
+            if frame >= frame_buffers:
+                # Wait for the frame that previously used this buffer to be
+                # fully decoded (its bottom-right block is the last writer).
+                yield emit.taskwait_on(int(blocks[rows - 1, cols - 1]))
+            jitter = rng.normal(1.0, duration_cv, size=(rows, cols)).clip(min=0.2)
+            for r in range(rows):
+                for c in range(cols):
+                    inputs = []
+                    if c > 0:
+                        inputs.append(int(blocks[r, c - 1]))        # left neighbour
+                    if r > 0 and c < cols - 1:
+                        inputs.append(int(blocks[r - 1, c + 1]))    # upper-right neighbour
+                    if inter_frame_dependency and prev_blocks is not None:
+                        inputs.append(int(prev_blocks[r, c]))       # motion-compensation ref
+                    yield emit.task(
+                        "decode_mb",
+                        duration_us=float(mean_task_us * jitter[r, c]),
+                        inputs=inputs,
+                        inouts=[int(blocks[r, c])],
+                    )
+        yield emit.taskwait()
+
+    return TraceStream(
+        name,
+        events,
+        metadata={
+            "suite": "Starbench",
+            "grouping": grouping,
+            "num_frames": num_frames,
+            "task_grid_rows": rows,
+            "task_grid_cols": cols,
+            "avg_task_us": avg_task_us,
+            "frame_buffers": frame_buffers,
+            "scale": scale,
+        },
+    )
 
 
 def generate_h264dec(
@@ -104,76 +205,8 @@ def generate_h264dec(
         When true, each block additionally reads the co-located block of
         the previous frame (motion compensation reference).
     """
-    if grouping <= 0:
-        raise ConfigurationError(f"grouping must be positive, got {grouping}")
-    if num_frames <= 0:
-        raise ConfigurationError(f"num_frames must be positive, got {num_frames}")
-    if frame_buffers <= 0:
-        raise ConfigurationError(f"frame_buffers must be positive, got {frame_buffers}")
-    if scale <= 0:
-        raise ConfigurationError(f"scale must be positive, got {scale}")
-    if geometry is None:
-        if scale != 1.0:
-            factor = scale ** 0.5
-            geometry = H264Geometry(
-                frame_width=max(H264_MACROBLOCK_PIXELS, int(H264_FRAME_WIDTH * factor)),
-                frame_height=max(H264_MACROBLOCK_PIXELS, int(H264_FRAME_HEIGHT * factor)),
-            )
-        else:
-            geometry = H264Geometry()
-    if avg_task_us is None:
-        if grouping in PAPER_AVG_TASK_US:
-            avg_task_us = PAPER_AVG_TASK_US[grouping]
-        else:
-            # Work scales with the number of macroblocks in a task.
-            avg_task_us = PAPER_AVG_TASK_US[1] * grouping * grouping
-
-    rng = make_rng(seed, "h264dec", grouping)
-    space = AddressSpace(seed=seed)
-    rows, cols = geometry.task_grid(grouping)
-    name = f"h264dec-{grouping}x{grouping}-{num_frames}f"
-    builder = TraceBuilder(
-        name,
-        metadata={
-            "suite": "Starbench",
-            "grouping": grouping,
-            "num_frames": num_frames,
-            "task_grid_rows": rows,
-            "task_grid_cols": cols,
-            "avg_task_us": avg_task_us,
-            "frame_buffers": frame_buffers,
-            "scale": scale,
-        },
-    )
-
-    # One address per task-grid block per frame buffer.  Buffers are
-    # recycled every `frame_buffers` frames, exactly like a real decoder's
-    # decoded-picture buffer.
-    buffer_blocks = [space.alloc_grid(rows, cols) for _ in range(frame_buffers)]
-
-    for frame in range(num_frames):
-        buffer_index = frame % frame_buffers
-        blocks = buffer_blocks[buffer_index]
-        prev_blocks = buffer_blocks[(frame - 1) % frame_buffers] if frame > 0 else None
-        if frame >= frame_buffers:
-            # Wait for the frame that previously used this buffer to be
-            # fully decoded (its bottom-right block is the last writer).
-            builder.add_taskwait_on(int(blocks[rows - 1, cols - 1]))
-        jitter = rng.normal(1.0, duration_cv, size=(rows, cols)).clip(min=0.2)
-        for r in range(rows):
-            for c in range(cols):
-                inputs = []
-                if c > 0:
-                    inputs.append(int(blocks[r, c - 1]))        # left neighbour
-                if r > 0 and c < cols - 1:
-                    inputs.append(int(blocks[r - 1, c + 1]))    # upper-right neighbour
-                if inter_frame_dependency and prev_blocks is not None:
-                    inputs.append(int(prev_blocks[r, c]))       # motion-compensation ref
-                builder.add_task(
-                    "decode_mb",
-                    duration_us=float(avg_task_us * jitter[r, c]),
-                    inputs=inputs,
-                    inouts=[int(blocks[r, c])],
-                )
-    builder.add_taskwait()
-    return builder.build()
+    return materialize(stream_h264dec(
+        grouping, num_frames, seed,
+        scale=scale, geometry=geometry, avg_task_us=avg_task_us,
+        frame_buffers=frame_buffers, duration_cv=duration_cv,
+        inter_frame_dependency=inter_frame_dependency))

@@ -11,15 +11,52 @@ negligible duration.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Iterator, Optional
 
 from repro.common.errors import ConfigurationError
-from repro.trace.trace import Trace, TraceBuilder
+from repro.trace.events import TraceEvent
+from repro.trace.stream import EventEmitter, TraceStream, materialize
+from repro.trace.trace import Trace
 from repro.workloads.addressing import AddressSpace
 
 #: Cycle counts quoted in the paper for this micro-benchmark.
 PAPER_NEXUS_SHARP_CYCLES = 78
 PAPER_TASK_SUPERSCALAR_CYCLES = 172
+
+
+def stream_microbenchmark(
+    num_tasks: int = 5,
+    params_per_task: int = 2,
+    *,
+    duration_us: float = 0.01,
+    seed: Optional[int] = None,
+) -> TraceStream:
+    """Stream the micro-benchmark (see :func:`generate_microbenchmark`)."""
+    if num_tasks <= 0:
+        raise ConfigurationError(f"num_tasks must be positive, got {num_tasks}")
+    if params_per_task <= 0:
+        raise ConfigurationError(f"params_per_task must be positive, got {params_per_task}")
+    if duration_us < 0:
+        raise ConfigurationError(f"duration_us must be >= 0, got {duration_us}")
+
+    def events() -> Iterator[TraceEvent]:
+        space = AddressSpace(seed=seed)
+        emit = EventEmitter()
+        for _ in range(num_tasks):
+            addresses = space.alloc(params_per_task)
+            yield emit.task("micro_task", duration_us=duration_us, outputs=addresses)
+        yield emit.taskwait()
+
+    return TraceStream(
+        "microbench-independent",
+        events,
+        metadata={
+            "num_tasks": num_tasks,
+            "params_per_task": params_per_task,
+            "paper_nexus_sharp_cycles": PAPER_NEXUS_SHARP_CYCLES,
+            "paper_task_superscalar_cycles": PAPER_TASK_SUPERSCALAR_CYCLES,
+        },
+    )
 
 
 def generate_microbenchmark(
@@ -43,24 +80,5 @@ def generate_microbenchmark(
     seed:
         Accepted for interface uniformity; the trace is deterministic.
     """
-    if num_tasks <= 0:
-        raise ConfigurationError(f"num_tasks must be positive, got {num_tasks}")
-    if params_per_task <= 0:
-        raise ConfigurationError(f"params_per_task must be positive, got {params_per_task}")
-    if duration_us < 0:
-        raise ConfigurationError(f"duration_us must be >= 0, got {duration_us}")
-    space = AddressSpace(seed=seed)
-    builder = TraceBuilder(
-        "microbench-independent",
-        metadata={
-            "num_tasks": num_tasks,
-            "params_per_task": params_per_task,
-            "paper_nexus_sharp_cycles": PAPER_NEXUS_SHARP_CYCLES,
-            "paper_task_superscalar_cycles": PAPER_TASK_SUPERSCALAR_CYCLES,
-        },
-    )
-    for _ in range(num_tasks):
-        addresses = space.alloc(params_per_task)
-        builder.add_task("micro_task", duration_us=duration_us, outputs=addresses)
-    builder.add_taskwait()
-    return builder.build()
+    return materialize(stream_microbenchmark(
+        num_tasks, params_per_task, duration_us=duration_us, seed=seed))

@@ -4,6 +4,13 @@ Maps the benchmark names used throughout the paper's tables and figures
 to ready-to-call trace generators.  The registry is what the benchmark
 harness and the command-line driver use, so experiment scripts refer to
 workloads exactly the way the paper does (e.g. ``"h264dec-1x1-10f"``).
+
+Every workload exists in two forms that produce byte-identical traces:
+
+* :func:`get_workload_stream` returns a lazy, replayable
+  :class:`~repro.trace.stream.TraceStream` (bounded generator memory);
+* :func:`get_workload` materialises the stream into a classic
+  :class:`~repro.trace.trace.Trace`.
 """
 
 from __future__ import annotations
@@ -11,50 +18,68 @@ from __future__ import annotations
 from typing import Callable, Dict, Optional
 
 from repro.common.errors import ConfigurationError
+from repro.trace.stream import TraceStream, materialize
 from repro.trace.trace import Trace
-from repro.workloads.cray import generate_cray
-from repro.workloads.gaussian import PAPER_MATRIX_SIZES, generate_gaussian_elimination
-from repro.workloads.h264dec import generate_h264dec
-from repro.workloads.microbench import generate_microbenchmark
-from repro.workloads.rotcc import generate_rotcc
-from repro.workloads.sparselu import generate_sparselu
-from repro.workloads.streamcluster import generate_streamcluster
+from repro.workloads.cray import stream_cray
+from repro.workloads.gaussian import stream_gaussian_elimination
+from repro.workloads.h264dec import stream_h264dec
+from repro.workloads.microbench import stream_microbenchmark
+from repro.workloads.rotcc import stream_rotcc
+from repro.workloads.sparselu import stream_sparselu
+from repro.workloads.streamcluster import stream_streamcluster
 
 #: A workload factory takes (scale, seed) and returns a trace.
 WorkloadFactory = Callable[[float, Optional[int]], Trace]
 
+#: A stream factory takes (scale, seed) and returns a lazy task stream.
+StreamFactory = Callable[[float, Optional[int]], TraceStream]
 
-def _h264_factory(grouping: int) -> WorkloadFactory:
-    def factory(scale: float = 1.0, seed: Optional[int] = None) -> Trace:
-        return generate_h264dec(grouping=grouping, num_frames=10, seed=seed, scale=scale)
+
+def _h264_stream_factory(grouping: int) -> StreamFactory:
+    def factory(scale: float = 1.0, seed: Optional[int] = None) -> TraceStream:
+        return stream_h264dec(grouping=grouping, num_frames=10, seed=seed, scale=scale)
 
     return factory
 
 
-def _gaussian_factory(matrix_size: int) -> WorkloadFactory:
-    def factory(scale: float = 1.0, seed: Optional[int] = None) -> Trace:
+def _gaussian_stream_factory(matrix_size: int) -> StreamFactory:
+    def factory(scale: float = 1.0, seed: Optional[int] = None) -> TraceStream:
         # The Gaussian benchmark is defined by its matrix size; `scale`
         # shrinks the matrix (keeping the triangular dependency shape).
         effective = max(4, int(round(matrix_size * (scale ** 0.5))))
-        return generate_gaussian_elimination(matrix_size=effective, seed=seed)
+        return stream_gaussian_elimination(matrix_size=effective, seed=seed)
 
     return factory
 
 
+#: Lazy stream factories — the single source of truth for every named
+#: workload; the materialised registry below is derived from it.
+STREAMS: Dict[str, StreamFactory] = {
+    "c-ray": lambda scale=1.0, seed=None: stream_cray(scale=scale, seed=seed),
+    "rot-cc": lambda scale=1.0, seed=None: stream_rotcc(scale=scale, seed=seed),
+    "sparselu": lambda scale=1.0, seed=None: stream_sparselu(scale=scale, seed=seed),
+    "streamcluster": lambda scale=1.0, seed=None: stream_streamcluster(scale=scale, seed=seed),
+    "h264dec-1x1-10f": _h264_stream_factory(1),
+    "h264dec-2x2-10f": _h264_stream_factory(2),
+    "h264dec-4x4-10f": _h264_stream_factory(4),
+    "h264dec-8x8-10f": _h264_stream_factory(8),
+    "gaussian-250": _gaussian_stream_factory(250),
+    "gaussian-500": _gaussian_stream_factory(500),
+    "gaussian-1000": _gaussian_stream_factory(1000),
+    "gaussian-3000": _gaussian_stream_factory(3000),
+    "microbench": lambda scale=1.0, seed=None: stream_microbenchmark(seed=seed),
+}
+
+
+def _materialized(factory: StreamFactory) -> WorkloadFactory:
+    def generate(scale: float = 1.0, seed: Optional[int] = None) -> Trace:
+        return materialize(factory(scale, seed))
+
+    return generate
+
+
 WORKLOADS: Dict[str, WorkloadFactory] = {
-    "c-ray": lambda scale=1.0, seed=None: generate_cray(scale=scale, seed=seed),
-    "rot-cc": lambda scale=1.0, seed=None: generate_rotcc(scale=scale, seed=seed),
-    "sparselu": lambda scale=1.0, seed=None: generate_sparselu(scale=scale, seed=seed),
-    "streamcluster": lambda scale=1.0, seed=None: generate_streamcluster(scale=scale, seed=seed),
-    "h264dec-1x1-10f": _h264_factory(1),
-    "h264dec-2x2-10f": _h264_factory(2),
-    "h264dec-4x4-10f": _h264_factory(4),
-    "h264dec-8x8-10f": _h264_factory(8),
-    "gaussian-250": _gaussian_factory(250),
-    "gaussian-500": _gaussian_factory(500),
-    "gaussian-1000": _gaussian_factory(1000),
-    "gaussian-3000": _gaussian_factory(3000),
-    "microbench": lambda scale=1.0, seed=None: generate_microbenchmark(seed=seed),
+    name: _materialized(factory) for name, factory in STREAMS.items()
 }
 
 #: The workloads listed in Table II, in the paper's row order.
@@ -71,7 +96,11 @@ TABLE2_WORKLOADS = (
 
 
 def list_workloads() -> list[str]:
-    """Names of all registered workloads."""
+    """Names of all registered workloads.
+
+    >>> "c-ray" in list_workloads() and "microbench" in list_workloads()
+    True
+    """
     return sorted(WORKLOADS)
 
 
@@ -81,11 +110,27 @@ def paper_table2_workloads() -> tuple[str, ...]:
 
 
 def get_workload(name: str, scale: float = 1.0, seed: Optional[int] = None) -> Trace:
-    """Generate the named workload at the given scale."""
+    """Generate the named workload at the given scale.
+
+    >>> trace = get_workload("microbench")
+    >>> trace.num_tasks
+    5
+    """
+    return materialize(get_workload_stream(name, scale=scale, seed=seed))
+
+
+def get_workload_stream(
+    name: str, scale: float = 1.0, seed: Optional[int] = None
+) -> TraceStream:
+    """Open the named workload as a lazy task stream.
+
+    The stream replays deterministically (generators re-seed per replay)
+    and materialises to the exact trace :func:`get_workload` returns.
+    """
     try:
-        factory = WORKLOADS[name]
+        factory = STREAMS[name]
     except KeyError as exc:
         raise ConfigurationError(
-            f"unknown workload {name!r}; available: {', '.join(sorted(WORKLOADS))}"
+            f"unknown workload {name!r}; available: {', '.join(sorted(STREAMS))}"
         ) from exc
     return factory(scale, seed)

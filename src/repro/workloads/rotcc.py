@@ -10,16 +10,65 @@ Table II: 16262 tasks, 8150 ms total work, 501 µs average task size,
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Iterator, Optional
 
 from repro.common.errors import ConfigurationError
 from repro.common.rng import make_rng
-from repro.trace.trace import Trace, TraceBuilder
+from repro.trace.events import TraceEvent
+from repro.trace.stream import EventEmitter, TraceStream, materialize
+from repro.trace.trace import Trace
 from repro.workloads.addressing import AddressSpace
 
 #: Paper values (Table II).
 PAPER_NUM_TASKS = 16262
 PAPER_AVG_TASK_US = 501.0
+
+
+def stream_rotcc(
+    scale: float = 1.0,
+    seed: Optional[int] = None,
+    *,
+    num_lines: Optional[int] = None,
+    avg_task_us: float = PAPER_AVG_TASK_US,
+    rotate_fraction: float = 0.55,
+    duration_cv: float = 0.10,
+) -> TraceStream:
+    """Stream a rot-cc trace (see :func:`generate_rotcc` for parameters)."""
+    if scale <= 0:
+        raise ConfigurationError(f"scale must be positive, got {scale}")
+    if not 0.0 < rotate_fraction < 1.0:
+        raise ConfigurationError(f"rotate_fraction must be in (0, 1), got {rotate_fraction}")
+    if num_lines is None:
+        num_lines = max(1, round(PAPER_NUM_TASKS * scale / 2))
+    if num_lines <= 0:
+        raise ConfigurationError(f"num_lines must be positive, got {num_lines}")
+    lines = num_lines
+
+    def events() -> Iterator[TraceEvent]:
+        rng = make_rng(seed, "rot-cc")
+        space = AddressSpace(seed=seed)
+        emit = EventEmitter()
+        pair_work_us = 2.0 * avg_task_us
+        line_addresses = space.alloc(lines)
+        rotate_jitter = rng.normal(1.0, duration_cv, size=lines).clip(min=0.1)
+        convert_jitter = rng.normal(1.0, duration_cv, size=lines).clip(min=0.1)
+        for line, address in enumerate(line_addresses):
+            rotate_us = pair_work_us * rotate_fraction * float(rotate_jitter[line])
+            convert_us = pair_work_us * (1.0 - rotate_fraction) * float(convert_jitter[line])
+            yield emit.task("rotate_line", duration_us=rotate_us, inouts=[address])
+            yield emit.task("color_convert_line", duration_us=convert_us, inouts=[address])
+        yield emit.taskwait()
+
+    return TraceStream(
+        "rot-cc",
+        events,
+        metadata={
+            "suite": "Starbench",
+            "num_lines": num_lines,
+            "avg_task_us": avg_task_us,
+            "scale": scale,
+        },
+    )
 
 
 def generate_rotcc(
@@ -53,33 +102,7 @@ def generate_rotcc(
     duration_cv:
         Coefficient of variation of task durations.
     """
-    if scale <= 0:
-        raise ConfigurationError(f"scale must be positive, got {scale}")
-    if not 0.0 < rotate_fraction < 1.0:
-        raise ConfigurationError(f"rotate_fraction must be in (0, 1), got {rotate_fraction}")
-    if num_lines is None:
-        num_lines = max(1, round(PAPER_NUM_TASKS * scale / 2))
-    if num_lines <= 0:
-        raise ConfigurationError(f"num_lines must be positive, got {num_lines}")
-    rng = make_rng(seed, "rot-cc")
-    space = AddressSpace(seed=seed)
-    builder = TraceBuilder(
-        "rot-cc",
-        metadata={
-            "suite": "Starbench",
-            "num_lines": num_lines,
-            "avg_task_us": avg_task_us,
-            "scale": scale,
-        },
-    )
-    pair_work_us = 2.0 * avg_task_us
-    line_addresses = space.alloc(num_lines)
-    rotate_jitter = rng.normal(1.0, duration_cv, size=num_lines).clip(min=0.1)
-    convert_jitter = rng.normal(1.0, duration_cv, size=num_lines).clip(min=0.1)
-    for line, address in enumerate(line_addresses):
-        rotate_us = pair_work_us * rotate_fraction * float(rotate_jitter[line])
-        convert_us = pair_work_us * (1.0 - rotate_fraction) * float(convert_jitter[line])
-        builder.add_task("rotate_line", duration_us=rotate_us, inouts=[address])
-        builder.add_task("color_convert_line", duration_us=convert_us, inouts=[address])
-    builder.add_taskwait()
-    return builder.build()
+    return materialize(stream_rotcc(
+        scale, seed,
+        num_lines=num_lines, avg_task_us=avg_task_us,
+        rotate_fraction=rotate_fraction, duration_cv=duration_cv))

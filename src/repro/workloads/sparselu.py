@@ -21,13 +21,15 @@ wave-parallelism toward the end of the factorisation.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Iterator, Optional
 
 import numpy as np
 
 from repro.common.errors import ConfigurationError
 from repro.common.rng import make_rng
-from repro.trace.trace import Trace, TraceBuilder
+from repro.trace.events import TraceEvent
+from repro.trace.stream import EventEmitter, TraceStream, materialize
+from repro.trace.trace import Trace
 from repro.workloads.addressing import AddressSpace
 
 #: Paper values (Table II).
@@ -39,6 +41,98 @@ PAPER_AVG_TASK_US = 696.0
 DEFAULT_NUM_BLOCKS = 56
 #: Default fraction of off-diagonal blocks that are populated initially.
 DEFAULT_DENSITY = 0.85
+
+
+def stream_sparselu(
+    scale: float = 1.0,
+    seed: Optional[int] = None,
+    *,
+    num_blocks: Optional[int] = None,
+    density: float = DEFAULT_DENSITY,
+    avg_task_us: float = PAPER_AVG_TASK_US,
+    duration_cv: float = 0.20,
+) -> TraceStream:
+    """Stream a sparselu trace (see :func:`generate_sparselu`).
+
+    Live generator state is the O(NB²) block map — tiny next to the
+    O(NB³) task count, so big factorisations stream without holding
+    their tasks in memory.
+    """
+    if scale <= 0:
+        raise ConfigurationError(f"scale must be positive, got {scale}")
+    if not 0.0 < density <= 1.0:
+        raise ConfigurationError(f"density must be in (0, 1], got {density}")
+    if num_blocks is None:
+        num_blocks = max(2, round(DEFAULT_NUM_BLOCKS * scale ** (1.0 / 3.0)))
+    if num_blocks < 2:
+        raise ConfigurationError(f"num_blocks must be >= 2, got {num_blocks}")
+    nb = num_blocks
+
+    def events() -> Iterator[TraceEvent]:
+        rng = make_rng(seed, "sparselu")
+        space = AddressSpace(seed=seed)
+        emit = EventEmitter()
+
+        # Populated-block map; diagonal blocks always exist.
+        populated = rng.random((nb, nb)) < density
+        np.fill_diagonal(populated, True)
+        block_addresses = space.alloc_grid(nb, nb)
+
+        # Duration model: bmod dominates the task count, so anchor the mean
+        # on it and make lu0 heavier (it factorises a full block).
+        lu0_us = avg_task_us * 2.0
+        panel_us = avg_task_us * 0.9
+        bmod_us = avg_task_us * 1.0
+
+        def jittered(mean: float) -> float:
+            return float(max(mean * 0.1, rng.normal(mean, mean * duration_cv)))
+
+        for k in range(nb):
+            diag = int(block_addresses[k, k])
+            yield emit.task("lu0", duration_us=jittered(lu0_us), inouts=[diag])
+            for j in range(k + 1, nb):
+                if populated[k, j]:
+                    yield emit.task(
+                        "fwd",
+                        duration_us=jittered(panel_us),
+                        inputs=[diag],
+                        inouts=[int(block_addresses[k, j])],
+                    )
+            for i in range(k + 1, nb):
+                if populated[i, k]:
+                    yield emit.task(
+                        "bdiv",
+                        duration_us=jittered(panel_us),
+                        inputs=[diag],
+                        inouts=[int(block_addresses[i, k])],
+                    )
+            for i in range(k + 1, nb):
+                if not populated[i, k]:
+                    continue
+                for j in range(k + 1, nb):
+                    if not populated[k, j]:
+                        continue
+                    # Fill-in: the target block becomes populated if it was not.
+                    populated[i, j] = True
+                    yield emit.task(
+                        "bmod",
+                        duration_us=jittered(bmod_us),
+                        inputs=[int(block_addresses[i, k]), int(block_addresses[k, j])],
+                        inouts=[int(block_addresses[i, j])],
+                    )
+        yield emit.taskwait()
+
+    return TraceStream(
+        "sparselu",
+        events,
+        metadata={
+            "suite": "OmpSs examples",
+            "num_blocks": nb,
+            "density": density,
+            "avg_task_us": avg_task_us,
+            "scale": scale,
+        },
+    )
 
 
 def generate_sparselu(
@@ -70,75 +164,7 @@ def generate_sparselu(
     duration_cv:
         Coefficient of variation of task durations.
     """
-    if scale <= 0:
-        raise ConfigurationError(f"scale must be positive, got {scale}")
-    if not 0.0 < density <= 1.0:
-        raise ConfigurationError(f"density must be in (0, 1], got {density}")
-    if num_blocks is None:
-        num_blocks = max(2, round(DEFAULT_NUM_BLOCKS * scale ** (1.0 / 3.0)))
-    if num_blocks < 2:
-        raise ConfigurationError(f"num_blocks must be >= 2, got {num_blocks}")
-    rng = make_rng(seed, "sparselu")
-    space = AddressSpace(seed=seed)
-    nb = num_blocks
-
-    # Populated-block map; diagonal blocks always exist.
-    populated = rng.random((nb, nb)) < density
-    np.fill_diagonal(populated, True)
-    block_addresses = space.alloc_grid(nb, nb)
-
-    builder = TraceBuilder(
-        "sparselu",
-        metadata={
-            "suite": "OmpSs examples",
-            "num_blocks": nb,
-            "density": density,
-            "avg_task_us": avg_task_us,
-            "scale": scale,
-        },
-    )
-
-    # Duration model: bmod dominates the task count, so anchor the mean on
-    # it and make lu0 heavier (it factorises a full block).
-    lu0_us = avg_task_us * 2.0
-    panel_us = avg_task_us * 0.9
-    bmod_us = avg_task_us * 1.0
-
-    def jittered(mean: float) -> float:
-        return float(max(mean * 0.1, rng.normal(mean, mean * duration_cv)))
-
-    for k in range(nb):
-        diag = int(block_addresses[k, k])
-        builder.add_task("lu0", duration_us=jittered(lu0_us), inouts=[diag])
-        for j in range(k + 1, nb):
-            if populated[k, j]:
-                builder.add_task(
-                    "fwd",
-                    duration_us=jittered(panel_us),
-                    inputs=[diag],
-                    inouts=[int(block_addresses[k, j])],
-                )
-        for i in range(k + 1, nb):
-            if populated[i, k]:
-                builder.add_task(
-                    "bdiv",
-                    duration_us=jittered(panel_us),
-                    inputs=[diag],
-                    inouts=[int(block_addresses[i, k])],
-                )
-        for i in range(k + 1, nb):
-            if not populated[i, k]:
-                continue
-            for j in range(k + 1, nb):
-                if not populated[k, j]:
-                    continue
-                # Fill-in: the target block becomes populated if it was not.
-                populated[i, j] = True
-                builder.add_task(
-                    "bmod",
-                    duration_us=jittered(bmod_us),
-                    inputs=[int(block_addresses[i, k]), int(block_addresses[k, j])],
-                    inouts=[int(block_addresses[i, j])],
-                )
-    builder.add_taskwait()
-    return builder.build()
+    return materialize(stream_sparselu(
+        scale, seed,
+        num_blocks=num_blocks, density=density,
+        avg_task_us=avg_task_us, duration_cv=duration_cv))

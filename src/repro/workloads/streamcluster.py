@@ -16,11 +16,13 @@ dependent and gives the runtime its periodic synchronisation cost.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Iterator, Optional
 
 from repro.common.errors import ConfigurationError
 from repro.common.rng import make_rng
-from repro.trace.trace import Trace, TraceBuilder
+from repro.trace.events import TraceEvent
+from repro.trace.stream import EventEmitter, TraceStream, materialize
+from repro.trace.trace import Trace
 from repro.workloads.addressing import AddressSpace
 
 #: Paper values (Table II).
@@ -28,6 +30,69 @@ PAPER_NUM_TASKS = 652776
 PAPER_AVG_TASK_US = 364.0
 #: "groups of about 400 tasks"
 PAPER_GROUP_SIZE = 400
+
+
+def stream_streamcluster(
+    scale: float = 1.0,
+    seed: Optional[int] = None,
+    *,
+    num_rounds: Optional[int] = None,
+    group_size: int = PAPER_GROUP_SIZE,
+    avg_task_us: float = PAPER_AVG_TASK_US,
+    recluster_us: float = 900.0,
+    duration_cv: float = 0.25,
+) -> TraceStream:
+    """Stream a streamcluster trace (see :func:`generate_streamcluster`).
+
+    Live generator state is O(group_size) — the paper's full 652776-task
+    workload streams with the same footprint as a single round.
+    """
+    if scale <= 0:
+        raise ConfigurationError(f"scale must be positive, got {scale}")
+    if group_size <= 0:
+        raise ConfigurationError(f"group_size must be positive, got {group_size}")
+    if num_rounds is None:
+        paper_rounds = PAPER_NUM_TASKS / (PAPER_GROUP_SIZE + 1)
+        num_rounds = max(1, round(paper_rounds * scale))
+    if num_rounds <= 0:
+        raise ConfigurationError(f"num_rounds must be positive, got {num_rounds}")
+    rounds = num_rounds
+
+    def events() -> Iterator[TraceEvent]:
+        rng = make_rng(seed, "streamcluster")
+        space = AddressSpace(seed=seed)
+        emit = EventEmitter()
+        centers_address = space.alloc_one()
+        chunk_addresses = space.alloc(group_size)
+        for _round in range(rounds):
+            jitter = rng.normal(1.0, duration_cv, size=group_size).clip(min=0.1)
+            for chunk in range(group_size):
+                yield emit.task(
+                    "compute_gain",
+                    duration_us=float(avg_task_us * jitter[chunk]),
+                    inputs=[centers_address],
+                    inouts=[chunk_addresses[chunk]],
+                )
+            yield emit.taskwait()
+            yield emit.task(
+                "recluster",
+                duration_us=float(max(recluster_us * 0.1,
+                                      rng.normal(recluster_us, recluster_us * duration_cv))),
+                inouts=[centers_address],
+            )
+        yield emit.taskwait()
+
+    return TraceStream(
+        "streamcluster",
+        events,
+        metadata={
+            "suite": "Starbench",
+            "num_rounds": num_rounds,
+            "group_size": group_size,
+            "avg_task_us": avg_task_us,
+            "scale": scale,
+        },
+    )
 
 
 def generate_streamcluster(
@@ -59,45 +124,7 @@ def generate_streamcluster(
     duration_cv:
         Coefficient of variation of task durations.
     """
-    if scale <= 0:
-        raise ConfigurationError(f"scale must be positive, got {scale}")
-    if group_size <= 0:
-        raise ConfigurationError(f"group_size must be positive, got {group_size}")
-    if num_rounds is None:
-        paper_rounds = PAPER_NUM_TASKS / (PAPER_GROUP_SIZE + 1)
-        num_rounds = max(1, round(paper_rounds * scale))
-    if num_rounds <= 0:
-        raise ConfigurationError(f"num_rounds must be positive, got {num_rounds}")
-    rng = make_rng(seed, "streamcluster")
-    space = AddressSpace(seed=seed)
-    builder = TraceBuilder(
-        "streamcluster",
-        metadata={
-            "suite": "Starbench",
-            "num_rounds": num_rounds,
-            "group_size": group_size,
-            "avg_task_us": avg_task_us,
-            "scale": scale,
-        },
-    )
-
-    centers_address = space.alloc_one()
-    chunk_addresses = space.alloc(group_size)
-
-    for _round in range(num_rounds):
-        jitter = rng.normal(1.0, duration_cv, size=group_size).clip(min=0.1)
-        for chunk in range(group_size):
-            builder.add_task(
-                "compute_gain",
-                duration_us=float(avg_task_us * jitter[chunk]),
-                inputs=[centers_address],
-                inouts=[chunk_addresses[chunk]],
-            )
-        builder.add_taskwait()
-        builder.add_task(
-            "recluster",
-            duration_us=float(max(recluster_us * 0.1, rng.normal(recluster_us, recluster_us * duration_cv))),
-            inouts=[centers_address],
-        )
-    builder.add_taskwait()
-    return builder.build()
+    return materialize(stream_streamcluster(
+        scale, seed,
+        num_rounds=num_rounds, group_size=group_size,
+        avg_task_us=avg_task_us, recluster_us=recluster_us, duration_cv=duration_cv))

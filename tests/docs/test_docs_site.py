@@ -1,0 +1,81 @@
+"""Docs-site integrity tests.
+
+The structural checks (nav <-> files, internal links) run everywhere with
+no dependencies; the actual ``mkdocs build --strict`` runs when
+mkdocs-material is installed (the CI docs job installs it) and is
+skipped otherwise.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import re
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent.parent
+DOCS_DIR = REPO_ROOT / "docs"
+MKDOCS_YML = REPO_ROOT / "mkdocs.yml"
+
+REQUIRED_PAGES = ("index.md", "architecture.md", "managers.md",
+                  "experiments.md", "streaming.md")
+
+_MD_LINK = re.compile(r"\]\(([^)#]+)(?:#[^)]*)?\)")
+
+
+def test_all_required_pages_exist():
+    assert MKDOCS_YML.exists()
+    for page in REQUIRED_PAGES:
+        assert (DOCS_DIR / page).exists(), f"docs/{page} is missing"
+
+
+def test_nav_references_existing_pages_and_covers_required_ones():
+    text = MKDOCS_YML.read_text(encoding="utf-8")
+    nav_pages = re.findall(r":\s*([\w./-]+\.md)\s*$", text, flags=re.MULTILINE)
+    assert nav_pages, "mkdocs.yml nav lists no pages"
+    for page in nav_pages:
+        assert (DOCS_DIR / page).exists(), f"nav references missing docs/{page}"
+    assert set(REQUIRED_PAGES) <= set(nav_pages)
+
+
+def test_internal_links_resolve():
+    """Every relative .md link in the docs points at an existing page
+    (the offline mirror of mkdocs --strict link validation)."""
+    for page in DOCS_DIR.glob("*.md"):
+        for target in _MD_LINK.findall(page.read_text(encoding="utf-8")):
+            if "://" in target or target.startswith("mailto:"):
+                continue
+            resolved = (page.parent / target).resolve()
+            assert resolved.exists(), f"{page.name}: broken link -> {target}"
+
+
+def test_docs_mention_no_stale_module_paths():
+    """Module paths cited in the docs must import (docs rot guard)."""
+    cited = set()
+    for page in DOCS_DIR.glob("*.md"):
+        cited.update(re.findall(r"`(repro(?:\.\w+)+)`", page.read_text(encoding="utf-8")))
+    def importable(candidate: str) -> bool:
+        try:
+            return importlib.util.find_spec(candidate) is not None
+        except ModuleNotFoundError:
+            return False
+
+    for path in sorted(cited):
+        # Accept either a module path or module.attr (strip the attr).
+        parent = path.rsplit(".", 1)[0]
+        if not (importable(path) or importable(parent)):
+            pytest.fail(f"docs cite {path}, which does not import")
+
+
+@pytest.mark.skipif(importlib.util.find_spec("mkdocs") is None,
+                    reason="mkdocs not installed (CI docs job installs mkdocs-material)")
+def test_mkdocs_build_strict(tmp_path):
+    result = subprocess.run(
+        [sys.executable, "-m", "mkdocs", "build", "--strict",
+         "--site-dir", str(tmp_path / "site")],
+        cwd=REPO_ROOT, capture_output=True, text=True,
+    )
+    assert result.returncode == 0, f"mkdocs build --strict failed:\n{result.stderr}"

@@ -1,0 +1,141 @@
+"""The --stream / max_tasks axis through the experiment layer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.cli import main as cli_main
+from repro.experiments.runner import SweepRunner
+from repro.experiments.spec import RunPoint, SweepSpec, WorkloadSpec
+from repro.trace.serialization import trace_digest
+from repro.workloads.synthetic import generate_independent
+
+
+def _spec(**kwargs):
+    defaults = dict(
+        workloads=["microbench"],
+        managers=["ideal"],
+        core_counts=[2],
+    )
+    defaults.update(kwargs)
+    return SweepSpec(**defaults)
+
+
+class TestSpecAxis:
+    def test_stream_flag_reaches_every_point(self):
+        spec = _spec(stream=True, managers=["ideal", "nexus#2"], core_counts=[1, 2])
+        points = list(spec.points())
+        assert len(points) == 4
+        assert all(point.stream for point in points)
+
+    def test_stream_recorded_only_when_set(self):
+        assert "stream" not in _spec().describe()
+        assert _spec(stream=True).describe()["stream"] is True
+        point = next(_spec().points())
+        assert "stream" not in point.describe()
+
+    def test_spec_hash_stable_for_non_streaming_grids(self):
+        # Adding the axis must not move hashes of pre-axis specs (cache
+        # compatibility): stream=False is the exact old identity.
+        assert _spec().spec_hash() == _spec(stream=False).spec_hash()
+        assert _spec().spec_hash() != _spec(stream=True).spec_hash()
+
+    def test_cache_keys_distinguish_stream_from_materialised(self):
+        materialised = next(_spec().points())
+        streamed = next(_spec(stream=True).points())
+        assert materialised.cache_key() != streamed.cache_key()
+
+    def test_max_tasks_flows_into_workloads(self):
+        spec = _spec(workloads=["c-ray"], scale=0.05, max_tasks=7)
+        workload = spec.workloads[0]
+        assert workload.max_tasks == 7
+        assert workload.resolve().num_tasks == 7
+        assert workload.describe()["max_tasks"] == 7
+
+    def test_max_tasks_changes_cache_identity(self):
+        full = next(_spec(workloads=["c-ray"], scale=0.05).points())
+        limited = next(_spec(workloads=["c-ray"], scale=0.05, max_tasks=7).points())
+        assert full.cache_key() != limited.cache_key()
+
+    def test_invalid_max_tasks_rejected(self):
+        from repro.common.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            _spec(max_tasks=0)
+
+    def test_conflicting_max_tasks_rejected(self):
+        from repro.common.errors import ConfigurationError
+
+        bounded = WorkloadSpec(name="c-ray", scale=0.05, max_tasks=100)
+        assert WorkloadSpec.of(bounded, max_tasks=100) is bounded
+        assert WorkloadSpec.of(bounded, max_tasks=None) is bounded
+        with pytest.raises(ConfigurationError, match="conflicting"):
+            _spec(workloads=[bounded], max_tasks=10)
+
+    def test_stream_points_honour_keep_schedule(self):
+        spec = _spec(stream=True, keep_schedule=True)
+        result = next(spec.points()).run()
+        assert result.start_times  # per-task times collected, as requested
+
+    def test_truncated_named_traces_are_memoised(self):
+        a = WorkloadSpec(name="c-ray", scale=0.05, seed=1, max_tasks=7)
+        b = WorkloadSpec(name="c-ray", scale=0.05, seed=1, max_tasks=7)
+        assert a.resolve() is b.resolve()
+
+    def test_truncated_inline_traces_are_memoised(self):
+        spec = WorkloadSpec(name="inline", trace=generate_independent(12, seed=4),
+                            max_tasks=5)
+        assert spec.resolve() is spec.resolve()
+
+
+class TestWorkloadSpecStreaming:
+    def test_resolve_stream_matches_resolve(self):
+        from repro.trace.stream import materialize
+
+        for spec in (
+            WorkloadSpec(name="c-ray", scale=0.05, seed=2015),
+            WorkloadSpec(name="c-ray", scale=0.05, seed=2015, max_tasks=9),
+            WorkloadSpec(name="inline", trace=generate_independent(12, seed=4), max_tasks=5),
+        ):
+            assert trace_digest(materialize(spec.resolve_stream())) == \
+                trace_digest(spec.resolve())
+
+
+class TestStreamedRuns:
+    def test_streamed_points_match_materialised_makespans(self):
+        spec = _spec(workloads=["c-ray"], scale=0.02, seeds=(2015,),
+                     managers=["ideal", "nexus#2"])
+        streamed_spec = _spec(workloads=["c-ray"], scale=0.02, seeds=(2015,),
+                              managers=["ideal", "nexus#2"], stream=True)
+        runner = SweepRunner()
+        base = runner.run(spec)
+        streamed = runner.run(streamed_spec)
+        for lhs, rhs in zip(base.results, streamed.results):
+            assert lhs.makespan_us == rhs.makespan_us
+            assert rhs.submit_times == {}  # streamed rows carry no schedules
+
+    def test_streamed_points_are_cacheable_and_parallelisable(self, tmp_path):
+        spec = _spec(stream=True, managers=["ideal", "nexus#2"], core_counts=[1, 2])
+        cold = SweepRunner(cache_dir=tmp_path / "cache").run(spec)
+        warm = SweepRunner(cache_dir=tmp_path / "cache").run(spec)
+        parallel = SweepRunner(n_jobs=2, cache_dir=tmp_path / "cache2").run(spec)
+        assert cold.executed == 4 and warm.executed == 0 and warm.cache_hits == 4
+        assert cold.jsonl_lines() == warm.jsonl_lines() == parallel.jsonl_lines()
+
+
+class TestCli:
+    def test_stream_and_max_tasks_flags(self, capsys, tmp_path):
+        out = tmp_path / "rows.jsonl"
+        code = cli_main([
+            "sweep", "--workloads", "microbench", "--managers", "ideal",
+            "--cores", "1", "--stream", "--max-tasks", "3",
+            "--output", str(out), "--quiet",
+        ])
+        assert code == 0
+        assert "1 points" in capsys.readouterr().out
+        from repro.trace.serialization import iter_jsonl
+
+        (row,) = list(iter_jsonl(out))
+        assert row["point"]["stream"] is True
+        assert row["point"]["workload"]["max_tasks"] == 3
+        assert row["result"]["num_tasks"] == 3

@@ -1,0 +1,83 @@
+"""Stream-vs-materialised golden equivalence.
+
+The streaming replay path (`Machine.run_stream`) must produce
+**byte-identical** makespans to the materialised path (`Machine.run`)
+— the golden-trace guarantee extended to streaming.  Every committed
+golden trace is replayed three ways under all four golden managers:
+
+* materialised (the classic pinned numbers),
+* streamed straight from the in-memory trace,
+* streamed from a chunked JSONL file on disk,
+
+and all three must equal the committed expected makespans exactly.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.system.machine import simulate_stream
+from repro.trace.serialization import load_trace, open_trace_stream, write_trace_stream
+from repro.workloads.registry import STREAMS
+
+from golden_config import GOLDEN_MANAGERS
+
+GOLDEN_DIR = Path(__file__).parent
+DATA_DIR = GOLDEN_DIR / "data"
+EXPECTED = json.loads((GOLDEN_DIR / "expected_makespans.json").read_text(encoding="utf-8"))
+
+TRACE_KEYS = sorted(EXPECTED["traces"])
+MANAGER_KEYS = list(GOLDEN_MANAGERS)
+
+
+@pytest.mark.parametrize("manager_key", MANAGER_KEYS)
+@pytest.mark.parametrize("key", TRACE_KEYS)
+def test_streamed_replay_matches_golden_makespans(key, manager_key):
+    trace = load_trace(DATA_DIR / f"{key}.json.gz")
+    expected = EXPECTED["traces"][key]["makespans_us"][manager_key]
+    factory = GOLDEN_MANAGERS[manager_key]
+    result = simulate_stream(trace, factory(), num_cores=EXPECTED["cores"])
+    assert result.makespan_us == expected, (
+        f"{manager_key} on golden {key}: streamed makespan {result.makespan_us!r} != "
+        f"materialised golden {expected!r} — the streaming path diverged from run()"
+    )
+    assert result.num_tasks == EXPECTED["traces"][key]["num_tasks"]
+
+
+@pytest.mark.parametrize("key", TRACE_KEYS)
+def test_chunked_disk_replay_matches_golden_makespans(key, tmp_path):
+    """Golden trace -> chunked JSONL -> lazy stream -> simulate: exact."""
+    trace = load_trace(DATA_DIR / f"{key}.json.gz")
+    path = write_trace_stream(trace, tmp_path / f"{key}.jsonl.gz", chunk_size=64)
+    stream = open_trace_stream(path)
+    factory = GOLDEN_MANAGERS["nexussharp"]
+    expected = EXPECTED["traces"][key]["makespans_us"]["nexussharp"]
+    result = simulate_stream(stream, factory(), num_cores=EXPECTED["cores"])
+    assert result.makespan_us == expected
+
+
+def test_small_lookahead_does_not_change_schedules():
+    """The lookahead window is an IO amortisation, not a semantic knob."""
+    trace = load_trace(DATA_DIR / "h264dec.json.gz")
+    expected = EXPECTED["traces"]["h264dec"]["makespans_us"]["nexuspp"]
+    factory = GOLDEN_MANAGERS["nexuspp"]
+    for lookahead in (1, 7, 4096):
+        result = simulate_stream(trace, factory(), num_cores=EXPECTED["cores"],
+                                 lookahead=lookahead)
+        assert result.makespan_us == expected, f"lookahead={lookahead}"
+
+
+@pytest.mark.parametrize("name", sorted(STREAMS))
+def test_registry_streams_materialize_to_registry_traces(name):
+    """get_workload_stream(...) and get_workload(...) are byte-identical."""
+    from repro.trace.serialization import trace_digest
+    from repro.trace.stream import materialize
+    from repro.workloads.registry import get_workload, get_workload_stream
+
+    scale = 0.01 if name.startswith(("gaussian", "h264dec")) else 0.002
+    a = get_workload(name, scale=scale, seed=20150525)
+    b = materialize(get_workload_stream(name, scale=scale, seed=20150525))
+    assert trace_digest(a) == trace_digest(b)

@@ -1,0 +1,79 @@
+"""Bounded-memory property of the streaming pipeline.
+
+The contract (docs/streaming.md): with ``keep_schedule=False``, live
+state of generator + machine is O(in-flight window), never O(total
+tasks).  The test simulates a 100k-task synthetic stream under a fixed
+``tracemalloc`` ceiling — far below what materialising the same trace
+allocates — and checks the ceiling is *scale-invariant* by comparing
+two stream lengths.
+"""
+
+from __future__ import annotations
+
+import tracemalloc
+
+from repro.managers.ideal import IdealManager
+from repro.system.machine import simulate_stream
+from repro.workloads.synthetic import stream_fork_join
+
+#: Python-heap peak allowed for streaming a 100k-task trace (bytes).
+#: Measured headroom is ~10x: the streaming run peaks around 2 MB.
+STREAM_HEAP_CEILING = 24 * 1024 * 1024
+
+#: Fork-join geometry: width 250 + 1 reduce per phase.
+WIDTH = 250
+
+
+def _stream(num_phases: int):
+    return stream_fork_join(num_phases, WIDTH, duration_us=20.0, seed=2015)
+
+
+def _peak_bytes(num_phases: int) -> tuple[int, int]:
+    """(traced peak bytes, tasks simulated) for one streaming run."""
+    tracemalloc.start()
+    result = simulate_stream(_stream(num_phases), IdealManager(), 16, max_in_flight=2048)
+    _, peak = tracemalloc.get_traced_memory()
+    tracemalloc.stop()
+    return peak, result.num_tasks
+
+
+def test_100k_task_stream_stays_under_fixed_heap_ceiling():
+    num_phases = 400  # 400 * 251 = 100_400 tasks
+    peak, num_tasks = _peak_bytes(num_phases)
+    assert num_tasks == num_phases * (WIDTH + 1)
+    assert peak < STREAM_HEAP_CEILING, (
+        f"streaming a {num_tasks}-task trace peaked at {peak / 1e6:.1f} MB "
+        f"(ceiling {STREAM_HEAP_CEILING / 1e6:.1f} MB) — the streaming path "
+        "is materialising per-task state"
+    )
+
+
+def test_stream_peak_is_scale_invariant():
+    """10x more tasks must not move the heap peak materially."""
+    small_peak, _ = _peak_bytes(10)     # ~2.5k tasks
+    large_peak, _ = _peak_bytes(100)    # ~25k tasks
+    # Allow slack for allocator noise, but forbid anything resembling
+    # linear growth (10x tasks -> would be ~10x peak if state leaked).
+    assert large_peak < max(2 * small_peak, small_peak + 4 * 1024 * 1024), (
+        f"peak grew from {small_peak / 1e6:.2f} MB to {large_peak / 1e6:.2f} MB "
+        "with 10x the tasks — per-task state is not being retired"
+    )
+
+
+def test_materialised_trace_dwarfs_streaming_peak():
+    """Sanity anchor: materialising even a 25k-task prefix costs more
+    Python heap than streaming it end to end."""
+    from repro.trace.stream import materialize
+
+    num_phases = 100
+    tracemalloc.start()
+    trace = materialize(_stream(num_phases))
+    _, materialise_peak = tracemalloc.get_traced_memory()
+    tracemalloc.stop()
+    assert trace.num_tasks == num_phases * (WIDTH + 1)
+
+    stream_peak, _ = _peak_bytes(num_phases)
+    assert stream_peak < materialise_peak / 3, (
+        f"streaming peak {stream_peak / 1e6:.2f} MB vs materialise peak "
+        f"{materialise_peak / 1e6:.2f} MB — expected a wide margin"
+    )

@@ -1,0 +1,158 @@
+"""Chunked JSONL trace serialization: round trips at chunk boundaries,
+lazy readers, and truncation detection."""
+
+from __future__ import annotations
+
+import gzip
+import json
+
+import pytest
+
+from repro.common.errors import TraceError
+from repro.trace.serialization import (
+    TraceWriter,
+    iter_trace_events,
+    load_trace,
+    open_trace_stream,
+    read_stream_header,
+    save_trace,
+    trace_digest,
+    write_trace_stream,
+)
+from repro.trace.stream import materialize
+from repro.workloads.synthetic import generate_fork_join, generate_random_dag
+
+
+@pytest.fixture(scope="module")
+def trace():
+    """A trace with all three event kinds and non-trivial size."""
+    return generate_random_dag(40, max_predecessors=3, seed=20150525)
+
+
+class TestChunkBoundaryRoundTrip:
+    def test_round_trip_at_chunk_boundaries(self, trace, tmp_path):
+        n = len(trace.events)
+        for chunk_size in (1, n - 1, n, n + 1):
+            path = tmp_path / f"chunk-{chunk_size}.jsonl"
+            write_trace_stream(trace, path, chunk_size=chunk_size)
+            loaded = materialize(open_trace_stream(path))
+            assert trace_digest(loaded) == trace_digest(trace), f"chunk_size={chunk_size}"
+            assert loaded.name == trace.name
+            assert dict(loaded.metadata) == dict(trace.metadata)
+
+    def test_gzip_round_trip(self, trace, tmp_path):
+        path = tmp_path / "trace.jsonl.gz"
+        write_trace_stream(trace, path, chunk_size=7)
+        assert trace_digest(materialize(open_trace_stream(path))) == trace_digest(trace)
+        # sanity: the file really is gzip
+        with gzip.open(path, "rt", encoding="utf-8") as handle:
+            assert json.loads(handle.readline())["kind"] == "trace-stream"
+
+    def test_barrier_events_survive(self, tmp_path):
+        fj = generate_fork_join(2, 3, seed=5)
+        path = tmp_path / "fj.jsonl"
+        write_trace_stream(fj, path, chunk_size=2)
+        assert trace_digest(materialize(open_trace_stream(path))) == trace_digest(fj)
+
+
+class TestLazyReader:
+    def test_stream_is_replayable(self, trace, tmp_path):
+        path = tmp_path / "replay.jsonl"
+        write_trace_stream(trace, path, chunk_size=8)
+        stream = open_trace_stream(path)
+        assert list(stream.iter_events()) == list(stream.iter_events())
+
+    def test_header_read_eagerly_events_lazily(self, trace, tmp_path):
+        path = tmp_path / "lazy.jsonl"
+        write_trace_stream(trace, path, chunk_size=8)
+        stream = open_trace_stream(path)
+        assert stream.name == trace.name
+        iterator = stream.iter_events()
+        first = next(iterator)
+        assert first == trace.events[0]
+
+    def test_load_trace_reads_both_formats(self, trace, tmp_path):
+        doc_path = save_trace(trace, tmp_path / "doc.json")
+        stream_path = write_trace_stream(trace, tmp_path / "stream.jsonl")
+        assert trace_digest(load_trace(doc_path)) == trace_digest(trace)
+        assert trace_digest(load_trace(stream_path)) == trace_digest(trace)
+
+    def test_load_trace_detects_stream_with_oversized_header(self, trace, tmp_path):
+        """A header line longer than the sniff window must still be
+        recognised as the chunked format."""
+        path = tmp_path / "bigmeta.jsonl"
+        metadata = dict(trace.metadata)
+        metadata["notes"] = "x" * 100_000
+        with TraceWriter(path, trace.name, metadata, chunk_size=16) as writer:
+            writer.extend(trace.iter_events())
+        loaded = load_trace(path)
+        assert loaded.name == trace.name
+        assert tuple(loaded.events) == trace.events
+
+    def test_document_metadata_cannot_spoof_the_sniffer(self, trace, tmp_path):
+        """A document trace whose metadata mimics the stream marker must
+        still load through the document path."""
+        spoofed = type(trace)(name="spoof", events=trace.events,
+                              metadata={"kind": "trace-stream", "pad": "y" * 100_000})
+        path = save_trace(spoofed, tmp_path / "spoof.json")
+        assert trace_digest(load_trace(path)) == trace_digest(spoofed)
+
+
+class TestWriterBehaviour:
+    def test_writer_counts(self, trace, tmp_path):
+        path = tmp_path / "counts.jsonl"
+        with TraceWriter(path, trace.name, dict(trace.metadata), chunk_size=5) as writer:
+            writer.extend(trace.iter_events())
+        assert writer.num_events == len(trace.events)
+        assert writer.num_tasks == trace.num_tasks
+
+    def test_write_after_close_rejected(self, trace, tmp_path):
+        writer = TraceWriter(tmp_path / "closed.jsonl", "t")
+        writer.close()
+        with pytest.raises(TraceError):
+            writer.write(trace.events[0])
+
+    def test_invalid_configuration_rejected(self, tmp_path):
+        with pytest.raises(TraceError):
+            TraceWriter(tmp_path / "x.jsonl", "")
+        with pytest.raises(TraceError):
+            TraceWriter(tmp_path / "x.jsonl", "t", chunk_size=0)
+
+
+class TestCorruptionDetection:
+    def _write(self, trace, path, chunk_size=8):
+        write_trace_stream(trace, path, chunk_size=chunk_size)
+        return path
+
+    def test_missing_footer_detected(self, trace, tmp_path):
+        path = self._write(trace, tmp_path / "trunc.jsonl")
+        lines = path.read_text(encoding="utf-8").splitlines()
+        path.write_text("\n".join(lines[:-1]) + "\n", encoding="utf-8")
+        with pytest.raises(TraceError, match="footer"):
+            list(iter_trace_events(path))
+
+    def test_dropped_chunk_detected(self, trace, tmp_path):
+        path = self._write(trace, tmp_path / "dropped.jsonl")
+        lines = path.read_text(encoding="utf-8").splitlines()
+        del lines[1]  # remove the first event chunk, keep the footer
+        path.write_text("\n".join(lines) + "\n", encoding="utf-8")
+        with pytest.raises(TraceError, match="disagree"):
+            list(iter_trace_events(path))
+
+    def test_failed_writer_leaves_no_footer(self, trace, tmp_path):
+        path = tmp_path / "crashed.jsonl"
+        with pytest.raises(RuntimeError):
+            with TraceWriter(path, "t") as writer:
+                writer.write(trace.events[0])
+                raise RuntimeError("simulated crash")
+        with pytest.raises(TraceError, match="footer"):
+            list(iter_trace_events(path))
+
+    def test_document_trace_is_not_a_stream(self, trace, tmp_path):
+        path = save_trace(trace, tmp_path / "doc.json")
+        with pytest.raises(TraceError, match="kind"):
+            read_stream_header(path)
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(TraceError, match="does not exist"):
+            open_trace_stream(tmp_path / "nope.jsonl")

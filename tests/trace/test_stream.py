@@ -1,0 +1,153 @@
+"""Unit tests for the streaming trace pipeline (repro.trace.stream)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.errors import TraceError
+from repro.trace.events import TaskSubmitEvent, TaskwaitEvent, TaskwaitOnEvent
+from repro.trace.serialization import trace_digest
+from repro.trace.stream import (
+    EventEmitter,
+    TaskStream,
+    TraceStream,
+    as_stream,
+    limit_stream,
+    materialize,
+    truncate_trace,
+)
+from repro.trace.trace import Trace, TraceBuilder
+from repro.workloads.synthetic import (
+    generate_independent,
+    stream_fork_join,
+    stream_independent,
+)
+
+
+def _tiny_stream(n: int = 5) -> TraceStream:
+    def events():
+        emit = EventEmitter()
+        for i in range(n):
+            yield emit.task("work", duration_us=2.0, outputs=[0x1000 + 64 * i])
+        yield emit.taskwait()
+
+    return TraceStream("tiny", events, metadata={"n": n})
+
+
+class TestEventEmitter:
+    def test_sequential_ids_mirror_trace_builder(self):
+        emit = EventEmitter()
+        builder = TraceBuilder("ref")
+        for i in range(4):
+            event = emit.task("f", duration_us=1.0, inputs=[0x10], outputs=[0x2000 + 64 * i])
+            ref = builder.add_task("f", duration_us=1.0, inputs=[0x10], outputs=[0x2000 + 64 * i])
+            assert event.task == ref
+        assert emit.num_tasks == 4
+
+    def test_barrier_events(self):
+        emit = EventEmitter()
+        assert isinstance(emit.taskwait(), TaskwaitEvent)
+        assert emit.taskwait_on(0x40).address == 0x40
+
+    def test_params_and_address_lists_are_exclusive(self):
+        emit = EventEmitter()
+        with pytest.raises(TraceError):
+            emit.task("f", duration_us=1.0, inputs=[1], params=())
+
+
+class TestTraceStream:
+    def test_replayable(self):
+        stream = _tiny_stream()
+        first = list(stream.iter_events())
+        second = list(stream.iter_events())
+        assert first == second
+        assert len(first) == 6
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(TraceError):
+            TraceStream("", lambda: iter(()))
+
+    def test_satisfies_protocol(self):
+        assert isinstance(_tiny_stream(), TaskStream)
+        assert isinstance(generate_independent(3, seed=1), TaskStream)
+
+
+class TestMaterialize:
+    def test_round_trip_equals_builder_output(self):
+        trace = materialize(_tiny_stream())
+        assert isinstance(trace, Trace)
+        assert trace.name == "tiny"
+        assert trace.num_tasks == 5
+        assert trace.metadata["n"] == 5
+
+    def test_stream_generator_matches_generate(self):
+        a = materialize(stream_independent(7, seed=3))
+        b = generate_independent(7, seed=3)
+        assert trace_digest(a) == trace_digest(b)
+
+    def test_duplicate_ids_rejected(self):
+        dup = TaskSubmitEvent(materialize(_tiny_stream()).events[0].task)
+        with pytest.raises(TraceError):
+            materialize(as_stream([dup, dup], name="dup"))
+
+
+class TestAsStream:
+    def test_trace_passes_through(self):
+        trace = generate_independent(3, seed=1)
+        assert as_stream(trace) is trace
+
+    def test_iterable_is_wrapped(self):
+        events = list(_tiny_stream().iter_events())
+        stream = as_stream(events, name="wrapped")
+        assert stream.name == "wrapped"
+        assert list(stream.iter_events()) == events
+
+
+class TestLimitStream:
+    def test_none_is_identity(self):
+        stream = _tiny_stream()
+        assert limit_stream(stream, None) is stream
+
+    def test_truncates_and_appends_taskwait(self):
+        limited = materialize(limit_stream(_tiny_stream(10), 4))
+        assert limited.num_tasks == 4
+        assert isinstance(limited.events[-1], TaskwaitEvent)
+        assert limited.metadata["max_tasks"] == 4
+
+    def test_no_double_taskwait_when_cut_lands_on_barrier(self):
+        # fork-join: width tasks, taskwait, reduce, ... — cutting right
+        # after a phase keeps exactly one join barrier.
+        limited = materialize(limit_stream(stream_fork_join(3, 4, seed=1), 4))
+        kinds = [type(e).__name__ for e in limited.events]
+        assert kinds.count("TaskwaitEvent") == 1
+
+    def test_limit_larger_than_stream_changes_only_metadata(self):
+        base = materialize(_tiny_stream(5))
+        limited = materialize(limit_stream(_tiny_stream(5), 50))
+        assert limited.events == base.events
+        assert limited.metadata["max_tasks"] == 50
+
+    def test_barriers_before_cut_survive(self):
+        def events():
+            emit = EventEmitter()
+            yield emit.task("a", duration_us=1.0, outputs=[0x100])
+            yield emit.taskwait_on(0x100)
+            yield emit.task("b", duration_us=1.0, outputs=[0x140])
+            yield emit.task("c", duration_us=1.0, outputs=[0x180])
+
+        limited = materialize(limit_stream(TraceStream("s", events), 2))
+        assert isinstance(limited.events[1], TaskwaitOnEvent)
+        assert limited.num_tasks == 2
+
+    def test_non_positive_limit_rejected(self):
+        with pytest.raises(TraceError):
+            limit_stream(_tiny_stream(), 0)
+
+
+class TestTruncateTrace:
+    def test_matches_limit_stream(self):
+        trace = generate_independent(10, seed=2)
+        truncated = truncate_trace(trace, 6)
+        via_stream = materialize(limit_stream(trace, 6))
+        assert trace_digest(truncated) == trace_digest(via_stream)
+        assert truncate_trace(trace, None) is trace
