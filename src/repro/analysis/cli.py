@@ -18,6 +18,7 @@ import sys
 from typing import Optional, Sequence
 
 from repro.analysis.factories import parse_manager
+from repro.common.profiling import maybe_profile
 from repro.analysis.figures import (
     distribution_quality_report,
     figure7_report,
@@ -95,6 +96,9 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="core topology: homogeneous (default), "
                             "biglittle[:little_speed | :big_fraction:little_speed], "
                             "speeds:<s0>,<s1>,...")
+    p_sim.add_argument("--profile", action="store_true",
+                       help="wrap the simulation in cProfile and print the top "
+                            "25 cumulative entries to stderr (hot-path triage)")
     _add_runner_arguments(p_sim)
     return parser
 
@@ -135,7 +139,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             topologies=(args.topology,),
             name=f"simulate:{trace.name}",
         )
-        outcome = _runner_from_args(args).run(spec)
+        with maybe_profile(args.profile):
+            outcome = _runner_from_args(args).run(spec)
         result = outcome.results[0]
         summary = result.summary()
         summary.setdefault("scheduler", result.scheduler)

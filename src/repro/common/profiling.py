@@ -1,0 +1,50 @@
+"""cProfile plumbing for the command-line entry points.
+
+Hot-path regressions in the simulator are easiest to diagnose from the
+exact command that exposed them; the ``--profile`` flags of
+``analysis.cli simulate`` and ``experiments.cli sweep`` wrap the run in
+:func:`maybe_profile` instead of requiring an ad-hoc script.
+"""
+
+from __future__ import annotations
+
+import cProfile
+import io
+import pstats
+import sys
+from contextlib import contextmanager
+from typing import Iterator, Optional, TextIO
+
+#: Number of rows printed from the cumulative-time profile.
+PROFILE_TOP = 25
+
+
+@contextmanager
+def maybe_profile(
+    enabled: bool,
+    stream: Optional[TextIO] = None,
+    top: int = PROFILE_TOP,
+) -> Iterator[None]:
+    """Profile the wrapped block when ``enabled``; no-op otherwise.
+
+    On exit, the ``top`` entries by *cumulative* time are printed to
+    ``stream`` (stderr by default, so piped stdout output stays clean).
+    Note that only the calling process is profiled: parallel sweeps
+    (``--n-jobs > 1``) execute grid cells in worker processes, so profile
+    sweeps serially.
+    """
+    if not enabled:
+        yield
+        return
+    profiler = cProfile.Profile()
+    profiler.enable()
+    try:
+        yield
+    finally:
+        profiler.disable()
+        out = stream or sys.stderr
+        buffer = io.StringIO()
+        stats = pstats.Stats(profiler, stream=buffer)
+        stats.sort_stats("cumulative").print_stats(top)
+        out.write(buffer.getvalue())
+        out.flush()

@@ -19,6 +19,7 @@ import argparse
 import sys
 from typing import Optional, Sequence
 
+from repro.common.profiling import maybe_profile
 from repro.experiments.runner import SweepRunner, rows_to_studies
 from repro.experiments.spec import SweepSpec
 from repro.trace.serialization import iter_jsonl
@@ -88,6 +89,11 @@ def _build_parser() -> argparse.ArgumentParser:
                          help="stream result rows to this JSONL file")
     p_sweep.add_argument("--quiet", action="store_true",
                          help="suppress the rendered speedup tables")
+    p_sweep.add_argument("--profile", action="store_true",
+                         help="wrap the sweep in cProfile and print the top 25 "
+                              "cumulative entries to stderr (profile serially: "
+                              "--n-jobs > 1 runs cells in worker processes the "
+                              "profiler cannot see)")
 
     p_hash = sub.add_parser("spec-hash", help="print the content hash of a sweep grid")
     _add_grid_arguments(p_hash)
@@ -120,7 +126,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return 0
     # command == "sweep"
     runner = SweepRunner(n_jobs=args.n_jobs, cache_dir=args.cache_dir)
-    outcome = runner.run(spec, jsonl_path=args.output)
+    with maybe_profile(args.profile):
+        outcome = runner.run(spec, jsonl_path=args.output)
     if not args.quiet:
         for study in outcome.studies().values():
             print(study.render())

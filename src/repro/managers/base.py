@@ -105,6 +105,19 @@ class TaskManagerModel(abc.ABC):
         """Notify the manager at ``time_us`` that ``task_id`` finished."""
 
     # -- optional hooks ------------------------------------------------------
+    def prepare_trace(self, trace) -> None:
+        """Optional hook: the machine announces the trace it will replay.
+
+        Called by :meth:`repro.system.machine.Machine.run` after
+        :meth:`reset` and before the first :meth:`submit`.  Managers that
+        run a :class:`~repro.taskgraph.tracker.DependencyTracker` bind
+        the trace's compiled access program here so dependency resolution
+        runs over preresolved int arrays; the default is a no-op.
+        Streaming replays (:meth:`~repro.system.machine.Machine.run_stream`)
+        never call it — :meth:`reset` must therefore also undo whatever
+        this hook set up.
+        """
+
     def describe(self) -> Mapping[str, object]:
         """Return a serialisable description of the configuration."""
         return {"name": self.name, "supports_taskwait_on": self.supports_taskwait_on}

@@ -27,10 +27,13 @@ class IdealManager(TaskManagerModel):
     worker_overhead_us = 0.0
 
     def __init__(self) -> None:
-        self._tracker = DependencyTracker(num_tables=1)
+        self._tracker = DependencyTracker(num_tables=1, distribution_key=("central",))
 
     def reset(self) -> None:
         self._tracker.reset()
+
+    def prepare_trace(self, trace) -> None:
+        self._tracker.bind_program(trace.access_program())
 
     def submit(self, task: TaskDescriptor, time_us: float) -> SubmitOutcome:
         result = self._tracker.insert_task(task)

@@ -92,12 +92,24 @@ class NexusPlusPlusManager(TaskManagerModel):
                 name="nexus++-task-graph",
             ),
             task_pool=TaskPool(capacity=self.config.task_pool_entries, name="nexus++-task-pool"),
+            distribution_key=("central",),
         )
         # Pipeline resources.  The Insert stage and the finished-task
         # cleanup share the single task graph's port.
         self._input_parser = SerialResource("nexus++-input-parser")
         self._task_graph = SerialResource("nexus++-task-graph-port")
         self._write_back = SerialResource("nexus++-write-back")
+        # Precomputed cycle->µs constants and per-parameter-count tables
+        # (grown on demand): per-task pipeline costs are table lookups
+        # with bit-identical values instead of method calls + multiplies.
+        timing = self.config.timing
+        cycle_us = self._cycle_us
+        self._fifo_us = self.config.fifo_latency_cycles * cycle_us
+        self._writeback_us = timing.writeback_cycles * cycle_us
+        self._notify_us = timing.finish_notify_cycles * cycle_us
+        self._input_us: list[float] = []
+        self._insert_cycles: list[int] = []
+        self._cleanup_cycles: list[int] = []
         #: Per-task bookkeeping for statistics.
         self._ready_latency_total_us = 0.0
         self._ready_count = 0
@@ -106,6 +118,20 @@ class NexusPlusPlusManager(TaskManagerModel):
     def _cycles(self, cycles: float) -> float:
         """Convert manager cycles to micro-seconds."""
         return cycles * self._cycle_us
+
+    def _grow_tables(self, count: int) -> None:
+        """Extend the per-parameter-count latency tables up to ``count``."""
+        timing = self.config.timing
+        cycle_us = self._cycle_us
+        input_us = self._input_us
+        while len(input_us) <= count:
+            input_us.append(timing.input_cycles(len(input_us)) * cycle_us)
+        insert_cycles = self._insert_cycles
+        while len(insert_cycles) <= count:
+            insert_cycles.append(timing.insert_cycles(len(insert_cycles)))
+        cleanup_cycles = self._cleanup_cycles
+        while len(cleanup_cycles) <= count:
+            cleanup_cycles.append(timing.cleanup_cycles(len(cleanup_cycles)))
 
     @property
     def frequency(self) -> Frequency:
@@ -120,25 +146,59 @@ class NexusPlusPlusManager(TaskManagerModel):
         self._ready_latency_total_us = 0.0
         self._ready_count = 0
 
+    def prepare_trace(self, trace) -> None:
+        self._tracker.bind_program(trace.access_program())
+
     # -- TaskManagerModel --------------------------------------------------------
     def submit(self, task: TaskDescriptor, time_us: float) -> SubmitOutcome:
         timing = self.config.timing
         result = self._tracker.insert_task(task)
-        num_params = max(1, task.num_params)
+        accesses = result.accesses
+        num_params = task.num_params
+        if num_params < 1:
+            num_params = 1
+        num_accesses = len(accesses) or 1
+        if max(num_params, num_accesses) >= len(self._input_us):
+            self._grow_tables(max(num_params, num_accesses))
 
-        # Stage 1: Input Parser receives the whole task.
-        _, input_end = self._input_parser.reserve(time_us, self._cycles(timing.input_cycles(num_params)))
+        # Stage 1: Input Parser receives the whole task.  The serial
+        # reservations below inline SerialResource.reserve (start =
+        # max(earliest, next_free); end = start + duration) — identical
+        # arithmetic without a call per pipeline stage.
+        parser = self._input_parser
+        duration = self._input_us[num_params]
+        next_free = parser._next_free
+        start = time_us if time_us > next_free else next_free
+        input_end = start + duration
+        parser._next_free = input_end
+        stats = parser.stats
+        stats.reservations += 1
+        stats.busy_time += duration
+        stats.total_wait += start - time_us
+        stats.last_busy_until = input_end
 
         # Stage 2: Insert into the single task graph (whole task at once).
-        insert_available = input_end + self._cycles(self.config.fifo_latency_cycles)
-        insert_cycles = timing.insert_cycles(len(result.accesses) or 1)
-        conflict_cycles = timing.set_conflict_stall_cycles * sum(1 for a in result.accesses if a.set_conflict)
-        _, insert_end = self._task_graph.reserve(insert_available, self._cycles(insert_cycles + conflict_cycles))
+        insert_available = input_end + self._fifo_us
+        insert_cycles = self._insert_cycles[num_accesses]
+        conflicts = result.set_conflict_count
+        if conflicts:
+            insert_cycles += timing.set_conflict_stall_cycles * conflicts
+        graph = self._task_graph
+        duration = insert_cycles * self._cycle_us
+        next_free = graph._next_free
+        start = insert_available if insert_available > next_free else next_free
+        insert_end = start + duration
+        graph._next_free = insert_end
+        stats = graph.stats
+        stats.reservations += 1
+        stats.busy_time += duration
+        stats.total_wait += start - insert_available
+        stats.last_busy_until = insert_end
 
         ready: tuple[ReadyNotification, ...] = ()
         if result.ready:
-            wb_available = insert_end + self._cycles(self.config.fifo_latency_cycles)
-            _, wb_end = self._write_back.reserve(wb_available, self._cycles(timing.writeback_cycles))
+            wb_available = insert_end + self._fifo_us
+            _, wb_end = self._write_back.reserve(wb_available, self._writeback_us)
             ready = (ReadyNotification(task.task_id, wb_end),)
             self._ready_latency_total_us += wb_end - time_us
             self._ready_count += 1
@@ -150,22 +210,47 @@ class NexusPlusPlusManager(TaskManagerModel):
     def finish(self, task_id: int, time_us: float) -> FinishOutcome:
         timing = self.config.timing
         result = self._tracker.finish_task(task_id)
-        num_params = max(1, result.num_accesses)
+        num_params = result.num_accesses
+        if num_params < 1:
+            num_params = 1
+        if num_params >= len(self._cleanup_cycles):
+            self._grow_tables(num_params)
 
-        # The finished-task notification arrives over the same IO unit.
-        _, notify_end = self._input_parser.reserve(time_us, self._cycles(timing.finish_notify_cycles))
+        # The finished-task notification arrives over the same IO unit
+        # (serial reservations inlined as in submit).
+        parser = self._input_parser
+        duration = self._notify_us
+        next_free = parser._next_free
+        start = time_us if time_us > next_free else next_free
+        notify_end = start + duration
+        parser._next_free = notify_end
+        stats = parser.stats
+        stats.reservations += 1
+        stats.busy_time += duration
+        stats.total_wait += start - time_us
+        stats.last_busy_until = notify_end
 
         # Cleanup of the single task graph: delete the task's entries and
         # walk the kick-off lists of its addresses.
-        cleanup_available = notify_end + self._cycles(self.config.fifo_latency_cycles)
-        cleanup_cycles = timing.cleanup_cycles(num_params)
-        cleanup_cycles += timing.kickoff_cycles_per_waiter * result.num_kickoffs
-        _, cleanup_end = self._task_graph.reserve(cleanup_available, self._cycles(cleanup_cycles))
+        cleanup_available = notify_end + self._fifo_us
+        cleanup_cycles = self._cleanup_cycles[num_params]
+        cleanup_cycles += timing.kickoff_cycles_per_waiter * result.kickoff_count
+        graph = self._task_graph
+        duration = cleanup_cycles * self._cycle_us
+        next_free = graph._next_free
+        start = cleanup_available if cleanup_available > next_free else next_free
+        cleanup_end = start + duration
+        graph._next_free = cleanup_end
+        stats = graph.stats
+        stats.reservations += 1
+        stats.busy_time += duration
+        stats.total_wait += start - cleanup_available
+        stats.last_busy_until = cleanup_end
 
         notifications: List[ReadyNotification] = []
-        wb_available = cleanup_end + self._cycles(self.config.fifo_latency_cycles)
+        wb_available = cleanup_end + self._fifo_us
         for ready_task in result.newly_ready:
-            _, wb_end = self._write_back.reserve(wb_available, self._cycles(timing.writeback_cycles))
+            _, wb_end = self._write_back.reserve(wb_available, self._writeback_us)
             notifications.append(ReadyNotification(ready_task, wb_end))
             self._ready_latency_total_us += wb_end - time_us
             self._ready_count += 1

@@ -116,10 +116,17 @@ class NexusSharpManager(TaskManagerModel):
                 name=f"nexus#-TG{index}",
             ),
             task_pool=TaskPool(capacity=self.config.task_pool_entries, name="nexus#-task-pool"),
+            distribution_key=("nexus-hash", num_tg),
         )
         timing = self.config.timing
         self._input_parser = SerialResource("nexus#-input-parser")
-        self._task_graph_ports = [SerialResource(f"nexus#-TG{i}-port") for i in range(num_tg)]
+        # The per-task-graph insertion ports are plain next-free/busy-time
+        # arrays: the submit/finish loops touch one port per access, and
+        # the serial-reservation arithmetic (start = max(visible, free);
+        # end = start + duration) is accumulated inline instead of one
+        # SerialResource.reserve call per access.
+        self._tg_next_free: List[float] = [0.0] * num_tg
+        self._tg_busy_us: List[float] = [0.0] * num_tg
         self._write_back = SerialResource("nexus#-write-back")
         self._arbiter = DependenceCountsArbiter(
             cycles_per_result=timing.arbiter_cycles_per_result,
@@ -127,12 +134,46 @@ class NexusSharpManager(TaskManagerModel):
             decrement_cycles=timing.arbiter_decrement_cycles,
             cycle_us=self._cycle_us,
         )
+        # Precomputed cycle->µs constants and per-index offset tables
+        # (grown on demand): every per-access multiply in the pipeline
+        # model becomes a table lookup with bit-identical values.
+        cycle_us = self._cycle_us
+        self._args_fifo_us = timing.args_fifo_latency_cycles * cycle_us
+        self._insert_us = timing.insert_cycles_per_param * cycle_us
+        self._insert_conflict_us = (
+            (timing.insert_cycles_per_param + timing.set_conflict_stall_cycles) * cycle_us
+        )
+        self._fwd_us: List[float] = []
+        self._fin_fwd_us: List[float] = []
+        self._input_us: List[float] = []
+        self._fin_input_us: List[float] = []
         self._ready_latency_total_us = 0.0
         self._ready_count = 0
 
     # -- helpers ---------------------------------------------------------------
     def _cycles(self, cycles: float) -> float:
         return cycles * self._cycle_us
+
+    def _grow_submit_tables(self, count: int) -> None:
+        """Extend the per-parameter-index offset/occupancy tables."""
+        timing = self.config.timing
+        cycle_us = self._cycle_us
+        fwd = self._fwd_us
+        while len(fwd) < count:
+            fwd.append(timing.param_forward_offset_cycles(len(fwd)) * cycle_us)
+        inp = self._input_us
+        while len(inp) <= count:
+            inp.append(timing.input_cycles(len(inp)) * cycle_us)
+
+    def _grow_finish_tables(self, count: int) -> None:
+        timing = self.config.timing
+        cycle_us = self._cycle_us
+        fwd = self._fin_fwd_us
+        while len(fwd) < count:
+            fwd.append(timing.finish_param_forward_offset_cycles(len(fwd)) * cycle_us)
+        inp = self._fin_input_us
+        while len(inp) <= count:
+            inp.append(timing.finish_input_cycles(len(inp)) * cycle_us)
 
     @property
     def frequency(self) -> Frequency:
@@ -146,12 +187,16 @@ class NexusSharpManager(TaskManagerModel):
     def reset(self) -> None:
         self._tracker.reset()
         self._input_parser.reset()
-        for port in self._task_graph_ports:
-            port.reset()
+        num_tg = self.config.num_task_graphs
+        self._tg_next_free = [0.0] * num_tg
+        self._tg_busy_us = [0.0] * num_tg
         self._write_back.reset()
         self._arbiter.reset()
         self._ready_latency_total_us = 0.0
         self._ready_count = 0
+
+    def prepare_trace(self, trace) -> None:
+        self._tracker.bind_program(trace.access_program())
 
     # -- ready-path helper --------------------------------------------------------
     def _write_back_ready(self, task_id: int, concluded_us: float, reference_us: float) -> ReadyNotification:
@@ -165,74 +210,129 @@ class NexusSharpManager(TaskManagerModel):
 
     # -- TaskManagerModel --------------------------------------------------------
     def submit(self, task: TaskDescriptor, time_us: float) -> SubmitOutcome:
-        timing = self.config.timing
         result = self._tracker.insert_task(task)
-        num_params = max(1, task.num_params)
+        accesses = result.accesses
+        num_params = task.num_params
+        if num_params < 1:
+            num_params = 1
+        input_us = self._input_us
+        if num_params >= len(input_us) or len(accesses) > len(self._fwd_us):
+            self._grow_submit_tables(max(num_params, len(accesses)))
+            input_us = self._input_us
 
         # Stage 1: Input Parser.  Parameters are forwarded to their task
         # graphs as they arrive; the descriptor is written to the Task
-        # Pool at the end.
-        ip_start, ip_end = self._input_parser.reserve(time_us, self._cycles(timing.input_cycles(num_params)))
+        # Pool at the end.  (SerialResource.reserve inlined: start =
+        # max(earliest, next_free); end = start + duration.)
+        parser = self._input_parser
+        duration = input_us[num_params]
+        next_free = parser._next_free
+        ip_start = time_us if time_us > next_free else next_free
+        ip_end = ip_start + duration
+        parser._next_free = ip_end
+        parser_stats = parser.stats
+        parser_stats.reservations += 1
+        parser_stats.busy_time += duration
+        parser_stats.total_wait += ip_start - time_us
+        parser_stats.last_busy_until = ip_end
 
-        # Stage 2: per-parameter insertion at the owning task graph.
-        insert_ends: List[float] = []
-        for index, access in enumerate(result.accesses):
-            forward_us = ip_start + self._cycles(timing.param_forward_offset_cycles(index))
-            visible_us = forward_us + self._cycles(timing.args_fifo_latency_cycles)
-            insert_cycles = timing.insert_cycles_per_param
-            if access.set_conflict:
-                insert_cycles += timing.set_conflict_stall_cycles
-            _, tg_end = self._task_graph_ports[access.table_index].reserve(
-                visible_us, self._cycles(insert_cycles)
-            )
-            insert_ends.append(tg_end)
-
-        ready: tuple[ReadyNotification, ...] = ()
-        if result.accesses:
-            # Stage 3: the arbiter gathers one result per parameter, in the
-            # order the task graphs produce them.
-            self._arbiter.begin_task(task.task_id, expected_results=len(result.accesses))
-            concluded: Optional[float] = None
-            for tg_end in sorted(insert_ends):
-                concluded = self._arbiter.collect_result(task.task_id, tg_end)
-            assert concluded is not None  # the last collect always concludes
-            if result.ready:
-                ready = (self._write_back_ready(task.task_id, concluded, time_us),)
-        else:
+        if not accesses:
             # A task with an empty parameter list is trivially ready; it
             # skips the task graphs entirely and is reported straight from
             # the Input Parser through the ready path.
             ready = (self._write_back_ready(task.task_id, ip_end, time_us),)
+            return SubmitOutcome(accept_time_us=ip_end, ready=ready)
+
+        # Stage 2: per-parameter insertion at the owning task graph.  One
+        # serial port per task graph, accumulated arithmetically: the
+        # reservation is start = max(visible, next_free), end = start +
+        # occupancy, exactly what SerialResource.reserve computes.
+        fwd_us = self._fwd_us
+        fifo_us = self._args_fifo_us
+        plain_us = self._insert_us
+        conflict_us = self._insert_conflict_us
+        tg_next_free = self._tg_next_free
+        tg_busy_us = self._tg_busy_us
+        insert_ends: List[float] = []
+        append_end = insert_ends.append
+        index = 0
+        for access in accesses:
+            visible_us = ip_start + fwd_us[index] + fifo_us
+            index += 1
+            occupancy_us = conflict_us if access.set_conflict else plain_us
+            port = access.table_index
+            next_free = tg_next_free[port]
+            start = visible_us if visible_us > next_free else next_free
+            tg_end = start + occupancy_us
+            tg_next_free[port] = tg_end
+            tg_busy_us[port] += occupancy_us
+            append_end(tg_end)
+
+        # Stage 3: the arbiter gathers one result per parameter, in the
+        # order the task graphs produce them.
+        insert_ends.sort()
+        concluded = self._arbiter.gather(insert_ends)
+        ready: tuple[ReadyNotification, ...] = ()
+        if result.ready:
+            ready = (self._write_back_ready(task.task_id, concluded, time_us),)
 
         return SubmitOutcome(accept_time_us=ip_end, ready=ready)
 
     def finish(self, task_id: int, time_us: float) -> FinishOutcome:
         timing = self.config.timing
         result = self._tracker.finish_task(task_id)
-        num_params = max(1, result.num_accesses)
+        accesses = result.accesses
+        num_params = len(accesses)
+        if num_params < 1:
+            num_params = 1
+        fin_input_us = self._fin_input_us
+        if num_params >= len(fin_input_us) or len(accesses) > len(self._fin_fwd_us):
+            self._grow_finish_tables(max(num_params, len(accesses)))
+            fin_input_us = self._fin_input_us
 
         # The Input Parser reads the finished task's I/O list from the Task
-        # Pool and redistributes the addresses to the Finished Args buffers.
-        fp_start, fp_end = self._input_parser.reserve(
-            time_us, self._cycles(timing.finish_input_cycles(num_params))
-        )
+        # Pool and redistributes the addresses to the Finished Args
+        # buffers (serial reservation inlined as in submit).
+        parser = self._input_parser
+        duration = fin_input_us[num_params]
+        next_free = parser._next_free
+        fp_start = time_us if time_us > next_free else next_free
+        fp_end = fp_start + duration
+        parser._next_free = fp_end
+        parser_stats = parser.stats
+        parser_stats.reservations += 1
+        parser_stats.busy_time += duration
+        parser_stats.total_wait += fp_start - time_us
+        parser_stats.last_busy_until = fp_end
 
         # Each owning task graph updates its entry and emits the kicked-off
         # waiters; the arbiter then decrements their dependence counts.
+        fwd_us = self._fin_fwd_us
+        fifo_us = self._args_fifo_us
+        cycle_us = self._cycle_us
+        update_cycles_base = timing.finish_update_cycles_per_param
+        kickoff_cycles = timing.kickoff_cycles_per_waiter
+        tg_next_free = self._tg_next_free
+        tg_busy_us = self._tg_busy_us
+        decrement_many = self._arbiter.decrement_many
         last_decrement: Dict[int, float] = {}
-        for index, access in enumerate(result.accesses):
-            forward_us = fp_start + self._cycles(timing.finish_param_forward_offset_cycles(index))
-            visible_us = forward_us + self._cycles(timing.args_fifo_latency_cycles)
-            update_cycles = timing.finish_update_cycles_per_param
-            update_cycles += timing.kickoff_cycles_per_waiter * len(access.kicked_off)
-            _, tg_end = self._task_graph_ports[access.table_index].reserve(
-                visible_us, self._cycles(update_cycles)
-            )
-            for waiter in access.kicked_off:
-                decrement_end = self._arbiter.decrement(tg_end)
-                previous = last_decrement.get(waiter, 0.0)
-                last_decrement[waiter] = max(previous, decrement_end)
-
+        index = 0
+        for access in accesses:
+            visible_us = fp_start + fwd_us[index] + fifo_us
+            index += 1
+            kicked = access.kicked_off
+            occupancy_us = (update_cycles_base + kickoff_cycles * len(kicked)) * cycle_us
+            port = access.table_index
+            next_free = tg_next_free[port]
+            start = visible_us if visible_us > next_free else next_free
+            tg_end = start + occupancy_us
+            tg_next_free[port] = tg_end
+            tg_busy_us[port] += occupancy_us
+            if kicked:
+                for waiter, decrement_end in zip(kicked, decrement_many(tg_end, len(kicked))):
+                    previous = last_decrement.get(waiter, 0.0)
+                    if decrement_end > previous:
+                        last_decrement[waiter] = decrement_end
         notifications: List[ReadyNotification] = []
         for ready_task in result.newly_ready:
             concluded = last_decrement.get(ready_task, fp_end)
@@ -251,7 +351,7 @@ class NexusSharpManager(TaskManagerModel):
         }
 
     def statistics(self) -> Mapping[str, object]:
-        per_tg_busy = [port.stats.busy_time for port in self._task_graph_ports]
+        per_tg_busy = list(self._tg_busy_us)
         per_tg_conflicts = [table.stats.set_conflicts for table in self._tracker.tables]
         return {
             "tasks_inserted": self._tracker.total_inserted,

@@ -183,6 +183,16 @@ class TaskProgram:
         """The task functions declared on this program."""
         return dict(self._functions)
 
-    def build(self) -> Trace:
-        """Freeze the recorded program into an immutable trace."""
-        return self._builder.build()
+    def build(self, precompile: bool = False) -> Trace:
+        """Freeze the recorded program into an immutable trace.
+
+        With ``precompile=True`` the trace's compiled access program (the
+        interned, deduplicated per-task address lists the dependency
+        engine runs on) is built eagerly instead of on first simulation,
+        which front-loads the one-time compile cost for latency-sensitive
+        callers.
+        """
+        trace = self._builder.build()
+        if precompile:
+            trace.access_program()
+        return trace

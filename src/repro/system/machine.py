@@ -201,6 +201,10 @@ class Machine:
         """Replay ``trace`` and return the resulting schedule and metrics."""
         manager = self.manager
         manager.reset()
+        # Hand the manager the trace's compiled access program so its
+        # dependency tracker can run over preresolved int arrays (managers
+        # without a tracker ignore this).
+        manager.prepare_trace(trace)
         policy = self.policy
         policy.reset()
         pool = CorePool(self.topology)

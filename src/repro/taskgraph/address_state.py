@@ -34,9 +34,9 @@ from repro.common.errors import SimulationError
 class AccessMode(enum.Enum):
     """How a task accesses an address (collapsed from the pragma clauses).
 
-    ``reads`` / ``writes`` are precomputed member attributes (not
-    properties): they are consulted for every access on the dependency
-    hot path.
+    ``reads`` / ``writes`` / ``flags`` are precomputed member attributes
+    (not properties): they are consulted for every access on the
+    dependency hot path.
     """
 
     READ = "read"
@@ -47,14 +47,24 @@ class AccessMode(enum.Enum):
     reads: bool
     #: True for WRITE and READWRITE.
     writes: bool
+    #: Integer direction flags (bit 0 = reads, bit 1 = writes), matching
+    #: :mod:`repro.trace.compiled`; the compiled dependency engine works
+    #: on these plain ints instead of enum members.
+    flags: int
 
 
 AccessMode.READ.reads = True
 AccessMode.READ.writes = False
+AccessMode.READ.flags = 1
 AccessMode.WRITE.reads = False
 AccessMode.WRITE.writes = True
+AccessMode.WRITE.flags = 2
 AccessMode.READWRITE.reads = True
 AccessMode.READWRITE.writes = True
+AccessMode.READWRITE.flags = 3
+
+#: Direction flags -> AccessMode (index with ``flags``; 0 is invalid).
+MODE_OF_FLAGS: tuple = (None, AccessMode.READ, AccessMode.WRITE, AccessMode.READWRITE)
 
 
 class Waiter(NamedTuple):
@@ -191,4 +201,149 @@ class AddressState:
             self.waiters.popleft()
             self.active_readers.add(head.task_id)
             released.append(head)
+        return released
+
+
+class AddressCell:
+    """Array-backed per-address state used by the compiled engine.
+
+    Same dependency semantics as :class:`AddressState` (the golden
+    tracker-equivalence suite pins the two against each other), laid out
+    for the hot path:
+
+    * the kick-off list is two parallel plain lists (``waiter_ids`` /
+      ``waiter_flags``) consumed through a ``waiter_head`` cursor, so
+      activation is index arithmetic instead of ``deque`` object churn
+      (the cursor region is compacted opportunistically);
+    * access modes are the integer direction flags of
+      :data:`MODE_OF_FLAGS` (bit 0 = reads, bit 1 = writes) — no enum
+      attribute lookups per access;
+    * ``recycle()`` re-initialises the cell in place, so the tracker
+      keeps evicted cells on a free list instead of allocating a fresh
+      reader set and waiter lists for every address insertion.
+    """
+
+    __slots__ = ("address", "writer", "readers", "waiter_ids", "waiter_flags",
+                 "waiter_head", "klen", "total_waiters_enqueued", "max_kickoff_length")
+
+    def __init__(self, address: int) -> None:
+        self.address = address
+        #: Task currently owning the address for writing, or -1.
+        self.writer = -1
+        self.readers: Set[int] = set()
+        self.waiter_ids: List[int] = []
+        self.waiter_flags: List[int] = []
+        self.waiter_head = 0
+        #: Pending waiter count (``len(waiter_ids) - waiter_head``), kept
+        #: as a field so the hot paths read one attribute instead of
+        #: recomputing list lengths.
+        self.klen = 0
+        self.total_waiters_enqueued = 0
+        self.max_kickoff_length = 0
+
+    def recycle(self, address: int) -> None:
+        """Re-initialise the (evicted) cell for a new address, in place."""
+        self.address = address
+        self.writer = -1
+        self.readers.clear()
+        self.waiter_ids.clear()
+        self.waiter_flags.clear()
+        self.waiter_head = 0
+        self.klen = 0
+        self.total_waiters_enqueued = 0
+        self.max_kickoff_length = 0
+
+    # -- queries -------------------------------------------------------------
+    @property
+    def kickoff_length(self) -> int:
+        """Current number of tasks waiting on this address."""
+        return self.klen
+
+    @property
+    def is_idle(self) -> bool:
+        """True when no unfinished task references this address."""
+        return self.writer < 0 and not self.readers and self.klen == 0
+
+    # -- insertion -------------------------------------------------------------
+    def insert(self, task_id: int, flags: int) -> bool:
+        """Register an access with direction ``flags``; True = must wait."""
+        if self.klen == 0:
+            # No queued waiters: the access may become an owner directly;
+            # otherwise it queues (program order per address).
+            if flags & 2:  # writes
+                if self.writer < 0 and not self.readers:
+                    self.writer = task_id
+                    return False
+            elif self.writer < 0:  # pure reader
+                self.readers.add(task_id)
+                return False
+        self.waiter_ids.append(task_id)
+        self.waiter_flags.append(flags)
+        self.total_waiters_enqueued += 1
+        length = self.klen + 1
+        self.klen = length
+        if length > self.max_kickoff_length:
+            self.max_kickoff_length = length
+        return True
+
+    # -- completion -------------------------------------------------------------
+    def finish(self, task_id: int, flags_out: Optional[List[int]] = None) -> List[int]:
+        """Register that ``task_id`` finished; return the kicked-off ids.
+
+        The returned tasks have been activated on this address (they
+        became active readers / the writer); the caller must decrement
+        their dependence counts, in order.  When ``flags_out`` is given,
+        the direction flags of the released waiters are appended to it
+        (the raw table API uses this to rebuild ``Waiter`` records; the
+        compiled engine needs the ids only).
+        """
+        if self.writer == task_id:
+            self.writer = -1
+        elif task_id in self.readers:
+            self.readers.discard(task_id)
+        else:
+            raise SimulationError(
+                f"task {task_id} finished but is neither the active writer nor an active "
+                f"reader of address {self.address:#x}"
+            )
+        released: List[int] = []
+        if self.klen:
+            ids = self.waiter_ids
+            head = self.waiter_head
+            end = len(ids)
+            flags = self.waiter_flags
+            readers = self.readers
+            while head < end:
+                flag = flags[head]
+                if flag & 2:
+                    if self.writer < 0 and not readers:
+                        waiter = ids[head]
+                        head += 1
+                        self.writer = waiter
+                        released.append(waiter)
+                        if flags_out is not None:
+                            flags_out.append(flag)
+                    break
+                # head is a pure reader: consecutive readers start together.
+                if self.writer >= 0:
+                    break
+                waiter = ids[head]
+                head += 1
+                readers.add(waiter)
+                released.append(waiter)
+                if flags_out is not None:
+                    flags_out.append(flag)
+            if released:
+                self.klen = end - head
+            if head >= end:
+                ids.clear()
+                flags.clear()
+                head = 0
+            elif head > 64 and head * 2 >= end:
+                # Compact the consumed prefix so long-lived kick-off lists
+                # stay O(pending waiters), like the deque they replace.
+                del ids[:head]
+                del flags[:head]
+                head = 0
+            self.waiter_head = head
         return released

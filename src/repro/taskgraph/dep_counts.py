@@ -7,86 +7,81 @@ Buffers* and *Sim. Tasks Dep. Counts Buffer* of Figure 2) and stored in
 the global *Dep. Counts Table*; in Nexus++ a single table holds it
 directly.  This module implements the table itself; the arbiter timing
 lives with the manager models.
+
+The table is a plain ``task_id -> pending`` integer dict: one register,
+one decrement per resolved dependence and one removal run per task on
+the simulation hot path, so the per-entry record object the pre-compiled
+engine allocated is gone.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import Dict
 
 from repro.common.errors import SimulationError
-
-
-@dataclass
-class DepCountEntry:
-    """Book-keeping for one in-flight task."""
-
-    task_id: int
-    pending: int
-    params_seen: int = 0
-    params_total: int = 0
-
-    @property
-    def is_ready(self) -> bool:
-        return self.pending == 0
 
 
 class DependenceCountsTable:
     """Tracks the outstanding dependence count of every in-flight task."""
 
+    __slots__ = ("name", "_pending", "peak_entries")
+
     def __init__(self, name: str = "dep-counts") -> None:
         self.name = name
-        self._entries: Dict[int, DepCountEntry] = {}
+        self._pending: Dict[int, int] = {}
         self.peak_entries = 0
 
     def __len__(self) -> int:
-        return len(self._entries)
+        return len(self._pending)
 
     def __contains__(self, task_id: int) -> bool:
-        return task_id in self._entries
+        return task_id in self._pending
 
-    def register(self, task_id: int, pending: int, params_total: int = 0) -> DepCountEntry:
+    def register(self, task_id: int, pending: int) -> None:
         """Create the entry for a newly inserted task."""
-        if task_id in self._entries:
+        entries = self._pending
+        if task_id in entries:
             raise SimulationError(f"{self.name}: task {task_id} registered twice")
         if pending < 0:
-            raise SimulationError(f"{self.name}: negative dependence count {pending} for task {task_id}")
-        entry = DepCountEntry(task_id=task_id, pending=pending, params_total=params_total)
-        self._entries[task_id] = entry
-        self.peak_entries = max(self.peak_entries, len(self._entries))
-        return entry
+            raise SimulationError(
+                f"{self.name}: negative dependence count {pending} for task {task_id}"
+            )
+        entries[task_id] = pending
+        if len(entries) > self.peak_entries:
+            self.peak_entries = len(entries)
 
     def pending(self, task_id: int) -> int:
         """Outstanding dependence count of ``task_id``."""
-        entry = self._entries.get(task_id)
-        if entry is None:
+        count = self._pending.get(task_id)
+        if count is None:
             raise SimulationError(f"{self.name}: task {task_id} is not in flight")
-        return entry.pending
+        return count
 
     def decrement(self, task_id: int, amount: int = 1) -> bool:
         """Decrease the count of ``task_id``; return ``True`` when it hits zero."""
-        entry = self._entries.get(task_id)
-        if entry is None:
+        entries = self._pending
+        count = entries.get(task_id)
+        if count is None:
             raise SimulationError(f"{self.name}: decrement for unknown task {task_id}")
         if amount < 0:
             raise SimulationError(f"{self.name}: negative decrement {amount}")
-        entry.pending -= amount
-        if entry.pending < 0:
+        count -= amount
+        if count < 0:
             raise SimulationError(
-                f"{self.name}: dependence count of task {task_id} went negative ({entry.pending})"
+                f"{self.name}: dependence count of task {task_id} went negative ({count})"
             )
-        return entry.pending == 0
+        entries[task_id] = count
+        return count == 0
 
     def remove(self, task_id: int) -> None:
         """Delete the entry of a finished task."""
-        if task_id not in self._entries:
+        if self._pending.pop(task_id, None) is None:
             raise SimulationError(f"{self.name}: removing unknown task {task_id}")
-        del self._entries[task_id]
 
     def ready_tasks(self) -> list[int]:
         """Ids of in-flight tasks whose count is currently zero."""
-        return [t for t, e in self._entries.items() if e.pending == 0]
+        return [t for t, pending in self._pending.items() if pending == 0]
 
     def reset(self) -> None:
-        self._entries.clear()
+        self._pending.clear()
         self.peak_entries = 0

@@ -1,7 +1,7 @@
 """Set-associative address table.
 
 The hardware keeps the per-address state of
-:class:`repro.taskgraph.address_state.AddressState` in a cache-like,
+:class:`repro.taskgraph.address_state.AddressCell` in a cache-like,
 set-associative memory ("It uses the same set-associative data structure
 to maintain a Kick-Off List for each incoming memory address",
 Section IV-C).  Functionally the table behaves like a dictionary keyed by
@@ -9,27 +9,41 @@ address; structurally it has a bounded number of sets and ways, and an
 insertion that maps to a full set stalls the task graph "until one task
 finishes, which its parameters share the same line" (Section IV-D).
 
-This model keeps the functional behaviour exact (the dictionary) while
-accounting for the structural hazards: entries occupy ways in their set
-while any unfinished task references them, long kick-off lists spill into
-chained *dummy entries* that occupy additional ways (the mechanism the
+This model keeps the functional behaviour exact while accounting for the
+structural hazards: entries occupy ways in their set while any unfinished
+task references them, long kick-off lists spill into chained *dummy
+entries* that occupy additional ways (the mechanism the
 Gaussian-elimination experiment validates), and set-conflict events are
 counted so the timing layer can charge stall cycles for them.
+
+Two access paths share the storage model:
+
+* the **raw-address API** (:meth:`AddressTable.insert_access` /
+  :meth:`finish_access`) keeps a dictionary of
+  :class:`~repro.taskgraph.address_state.AddressCell` cells — the path
+  for direct users and streams whose address set is not known up front;
+* the **compiled path** of
+  :class:`repro.taskgraph.tracker.DependencyTracker` owns cells in a
+  flat array indexed by the trace's dense address ids and only uses the
+  table for its structural accounting — the per-set occupancy array
+  (``set_occupancy_array``), the way/dummy-entry arithmetic
+  (:func:`ways_for`) and the statistics/live counters (``stats`` /
+  ``_dense_live``), updated inline in the tracker's hot loops.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Iterator, Optional
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional
 
 from repro.common.constants import (
     DEFAULT_KICKOFF_CAPACITY,
     DEFAULT_TABLE_SETS,
     DEFAULT_TABLE_WAYS,
 )
-from repro.common.errors import ConfigurationError
+from repro.common.errors import SimulationError
 from repro.common.validation import check_positive, check_power_of_two
-from repro.taskgraph.address_state import AccessMode, AddressState
+from repro.taskgraph.address_state import AccessMode, AddressCell, MODE_OF_FLAGS, Waiter
 
 
 def _set_index(address: int, num_sets: int) -> int:
@@ -43,13 +57,14 @@ def _set_index(address: int, num_sets: int) -> int:
     return (address >> 6) & (num_sets - 1)
 
 
-def _ways_for(kickoff_length: int, kickoff_capacity: int) -> int:
+def ways_for(kickoff_length: int, kickoff_capacity: int) -> int:
     """Ways an entry with ``kickoff_length`` waiters occupies.
 
     One way for the entry itself plus one chained dummy entry per
     overflowing chunk of the kick-off list (the paper's dummy-entry
-    mechanism).  Inlined arithmetic on the hot path — called four times
-    per address access.
+    mechanism).  The hot paths only evaluate this when a kick-off list
+    actually crosses the capacity boundary (``kickoff_length`` and its
+    neighbour both ``<= capacity`` means one way on both sides).
     """
     if kickoff_length <= kickoff_capacity:
         return 1
@@ -57,9 +72,13 @@ def _ways_for(kickoff_length: int, kickoff_capacity: int) -> int:
     return 1 + -(-overflow // kickoff_capacity)
 
 
-@dataclass
+@dataclass(slots=True)
 class TableStats:
-    """Cumulative statistics of an :class:`AddressTable`."""
+    """Cumulative statistics of an :class:`AddressTable`.
+
+    ``slots=True``: the lookup/insertion counters are bumped once per
+    access on the dependency hot path.
+    """
 
     lookups: int = 0
     insertions: int = 0
@@ -100,8 +119,13 @@ class AddressTable:
         self.ways = ways
         self.kickoff_capacity = kickoff_capacity
         self.name = name
-        self._entries: Dict[int, AddressState] = {}
-        self._set_occupancy: Dict[int, int] = {}
+        self._entries: Dict[int, AddressCell] = {}
+        #: Ways in use per set — a flat list (the compiled engine indexes
+        #: it with precomputed set indices; a dict would re-hash per access).
+        self._set_occupancy: List[int] = [0] * num_sets
+        #: Entries owned by the compiled engine (dense cells live in the
+        #: tracker's array, not in ``_entries``).
+        self._dense_live = 0
         self.stats = TableStats()
 
     # -- geometry -----------------------------------------------------------
@@ -116,22 +140,27 @@ class AddressTable:
 
     @property
     def live_entries(self) -> int:
-        """Number of addresses currently tracked."""
-        return len(self._entries)
+        """Number of addresses currently tracked (raw + compiled)."""
+        return len(self._entries) + self._dense_live
 
     def ways_used(self, address: int) -> int:
         """Number of ways the entry for ``address`` occupies (with dummies)."""
         entry = self._entries.get(address)
         if entry is None:
             return 0
-        return _ways_for(len(entry.waiters), self.kickoff_capacity)
+        return ways_for(entry.kickoff_length, self.kickoff_capacity)
 
     def set_occupancy(self, set_idx: int) -> int:
         """Number of ways currently used in set ``set_idx``."""
-        return self._set_occupancy.get(set_idx, 0)
+        return self._set_occupancy[set_idx]
+
+    @property
+    def set_occupancy_array(self) -> List[int]:
+        """The mutable per-set way counters (compiled-engine hot path)."""
+        return self._set_occupancy
 
     # -- functional interface -------------------------------------------------
-    def lookup(self, address: int) -> Optional[AddressState]:
+    def lookup(self, address: int) -> Optional[AddressCell]:
         """Return the entry for ``address`` if it is currently tracked."""
         self.stats.lookups += 1
         return self._entries.get(address)
@@ -149,64 +178,79 @@ class AddressTable:
         entries = self._entries
         entry = entries.get(address)
         set_idx = _set_index(address, self.num_sets)
+        occupancy = self._set_occupancy
         set_conflict = False
         if entry is None:
-            occupancy = self._set_occupancy.get(set_idx, 0)
-            if occupancy >= self.ways:
+            if occupancy[set_idx] >= self.ways:
                 # Structurally the hardware would stall until a way frees
                 # up; functionally we still track the address (the paper's
                 # dummy-entry mechanism guarantees forward progress) but
                 # report the conflict so timing can charge for it.
                 set_conflict = True
                 stats.set_conflicts += 1
-            entry = AddressState(address)
+            entry = AddressCell(address)
             entries[address] = entry
-            self._set_occupancy[set_idx] = occupancy + 1
+            occupancy[set_idx] += 1
             stats.insertions += 1
-            if len(entries) > stats.max_live_entries:
-                stats.max_live_entries = len(entries)
+            live = len(entries) + self._dense_live
+            if live > stats.max_live_entries:
+                stats.max_live_entries = live
+            # A fresh entry has no waiters: the access always proceeds.
+            must_wait = entry.insert(task_id, mode.flags)
+            return must_wait, set_conflict
         capacity = self.kickoff_capacity
-        before_ways = _ways_for(len(entry.waiters), capacity)
-        must_wait = entry.insert(task_id, mode)
-        after_ways = _ways_for(len(entry.waiters), capacity)
-        if after_ways != before_ways:
-            self._set_occupancy[set_idx] = self._set_occupancy.get(set_idx, 0) + (after_ways - before_ways)
-            stats.dummy_entries_peak = max(stats.dummy_entries_peak, after_ways - 1)
+        length_before = entry.kickoff_length
+        must_wait = entry.insert(task_id, mode.flags)
+        if must_wait and length_before + 1 > capacity:
+            before_ways = ways_for(length_before, capacity)
+            after_ways = ways_for(length_before + 1, capacity)
+            if after_ways != before_ways:
+                occupancy[set_idx] += after_ways - before_ways
+                if after_ways - 1 > stats.dummy_entries_peak:
+                    stats.dummy_entries_peak = after_ways - 1
         return must_wait, set_conflict
 
-    def finish_access(self, address: int, task_id: int) -> list:
+    def finish_access(self, address: int, task_id: int) -> List[Waiter]:
         """Record that ``task_id`` (an active accessor of ``address``) finished.
 
         Returns the list of :class:`~repro.taskgraph.address_state.Waiter`
-        objects that were kicked off.  When the address becomes idle its
+        records that were kicked off.  When the address becomes idle its
         entry is evicted, freeing its way(s).
         """
         entry = self._entries.get(address)
         if entry is None:
-            from repro.common.errors import SimulationError
-
             raise SimulationError(f"{self.name}: finish on untracked address {address:#x}")
         set_idx = _set_index(address, self.num_sets)
         capacity = self.kickoff_capacity
-        before_ways = _ways_for(len(entry.waiters), capacity)
-        released = entry.finish(task_id)
-        after_ways = _ways_for(len(entry.waiters), capacity)
-        if entry.active_writer is None and not entry.active_readers and not entry.waiters:
+        length_before = entry.kickoff_length
+        released_flags: List[int] = []
+        released_ids = entry.finish(task_id, flags_out=released_flags)
+        occupancy = self._set_occupancy
+        if entry.is_idle:
             del self._entries[address]
-            self._set_occupancy[set_idx] = max(0, self._set_occupancy.get(set_idx, 0) - before_ways)
+            before_ways = ways_for(length_before, capacity)
+            occupancy[set_idx] = max(0, occupancy[set_idx] - before_ways)
             self.stats.evictions += 1
-        elif after_ways != before_ways:
-            self._set_occupancy[set_idx] = max(0, self._set_occupancy.get(set_idx, 0) + (after_ways - before_ways))
-        return released
+        elif length_before > capacity or entry.kickoff_length > capacity:
+            before_ways = ways_for(length_before, capacity)
+            after_ways = ways_for(entry.kickoff_length, capacity)
+            if after_ways != before_ways:
+                occupancy[set_idx] = max(0, occupancy[set_idx] + (after_ways - before_ways))
+        modes = MODE_OF_FLAGS
+        return [
+            Waiter(waiter_id, modes[flag])
+            for waiter_id, flag in zip(released_ids, released_flags)
+        ]
 
-    def iter_entries(self) -> Iterator[AddressState]:
-        """Iterate over the currently tracked address entries."""
+    def iter_entries(self) -> Iterator[AddressCell]:
+        """Iterate over the raw-path tracked address entries."""
         return iter(self._entries.values())
 
     def reset(self) -> None:
         """Drop all entries and statistics."""
         self._entries.clear()
-        self._set_occupancy.clear()
+        self._set_occupancy = [0] * self.num_sets
+        self._dense_live = 0
         self.stats = TableStats()
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

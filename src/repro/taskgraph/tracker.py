@@ -16,6 +16,25 @@ The timing layers in :mod:`repro.nexus` translate these reports into
 pipeline occupancy; the functional result (who waits for whom) is
 identical for every hardware configuration, which the property-based
 tests assert against the reference DAG.
+
+Two execution paths produce identical results (pinned against each other
+— and against the frozen pre-compiled engine — by the golden
+tracker-equivalence suite):
+
+* the **compiled path**: :meth:`bind_program` resolves a trace's
+  :class:`~repro.trace.compiled.CompiledAccessProgram` against this
+  tracker's distribution function and table geometry once, yielding one
+  preresolved ``(address_id, raw address, mode, flags, table_index,
+  set_index)`` row per deduplicated access.  ``insert_task`` /
+  ``finish_task`` then run over those int rows and an address-id-indexed
+  cell array — no per-submit merging, no address re-hashing, no
+  distribution hashing, and evicted cells are recycled through a free
+  list.  Resolutions are cached on the program (keyed by
+  ``distribution_key`` + geometry), so every tracker of the same manager
+  configuration shares one resolution per trace;
+* the **dynamic path** (no bound program): the original access-by-access
+  algorithm over the tables' raw-address API, used by streaming replays
+  and direct callers whose tasks are not known up front.
 """
 
 from __future__ import annotations
@@ -23,11 +42,12 @@ from __future__ import annotations
 from typing import Callable, Dict, List, NamedTuple, Optional, Tuple
 
 from repro.common.errors import ConfigurationError, SimulationError
-from repro.taskgraph.address_state import AccessMode
+from repro.taskgraph.address_state import AccessMode, AddressCell, MODE_OF_FLAGS
 from repro.taskgraph.dep_counts import DependenceCountsTable
 from repro.taskgraph.function_table import FunctionTable
-from repro.taskgraph.table import AddressTable
+from repro.taskgraph.table import AddressTable, ways_for
 from repro.taskgraph.task_pool import TaskPool
+from repro.trace.compiled import CompiledAccessProgram
 from repro.trace.task import Direction, TaskDescriptor
 
 # The result records below are NamedTuples, not dataclasses: two of them
@@ -53,10 +73,18 @@ class InsertResult(NamedTuple):
     dependence_count: int
     ready: bool
     pool_was_full: bool
+    #: Number of accesses that hit a structurally full set (precounted so
+    #: the timing layers do not re-scan the access list per task).
+    set_conflict_count: int = 0
 
     @property
     def num_accesses(self) -> int:
         return len(self.accesses)
+
+    @property
+    def num_set_conflicts(self) -> int:
+        """Number of accesses that hit a structurally full set."""
+        return self.set_conflict_count
 
     def accesses_per_table(self) -> Dict[int, int]:
         """Number of accesses routed to each task graph."""
@@ -80,6 +108,9 @@ class FinishResult(NamedTuple):
     task_id: int
     accesses: Tuple[FinishAccessRecord, ...]
     newly_ready: Tuple[int, ...]
+    #: Total kicked-off waiters over all accesses (precounted so the
+    #: timing layers do not re-scan the access list per task).
+    kickoff_count: int = 0
 
     @property
     def num_accesses(self) -> int:
@@ -87,7 +118,7 @@ class FinishResult(NamedTuple):
 
     @property
     def num_kickoffs(self) -> int:
-        return sum(len(a.kicked_off) for a in self.accesses)
+        return self.kickoff_count
 
     def accesses_per_table(self) -> Dict[int, int]:
         counts: Dict[int, int] = {}
@@ -113,9 +144,10 @@ def merge_access_modes(task: TaskDescriptor) -> List[Tuple[int, AccessMode]]:
     Declaration order of the first occurrence is preserved because the
     Input Parser distributes parameters in arrival order.
 
-    Runs once per task submission on the hot path (the tracker caches the
-    result for the task's retirement), so the common all-distinct case is
-    a single dict-fill pass with a precomputed Direction->AccessMode map.
+    This is the dynamic-path twin of the compile-time merge in
+    :class:`~repro.trace.compiled.CompiledAccessProgram`; it runs once
+    per task submission when no program is bound (the tracker caches the
+    result for the task's retirement).
     """
     params = task.params
     merged: Dict[int, AccessMode] = {}
@@ -132,6 +164,61 @@ def merge_access_modes(task: TaskDescriptor) -> List[Tuple[int, AccessMode]]:
             merged[address] = AccessMode.READWRITE
     # Python dicts preserve insertion order == first-occurrence order.
     return list(merged.items())
+
+
+class _ResolvedProgram:
+    """A compiled access program resolved against one tracker config.
+
+    ``rows[slot]`` holds one preresolved tuple per deduplicated access of
+    the task in that slot: ``(address_id, raw address, AccessMode,
+    direction flags, table index, set index)``.  Everything the hot loops
+    consume is an int (or a preresolved object), so the per-access work
+    collapses to tuple unpacking plus the state transition itself.
+    """
+
+    __slots__ = ("program", "rows", "num_addresses")
+
+    def __init__(
+        self,
+        program: CompiledAccessProgram,
+        num_tables: int,
+        distribute: Callable[[int], int],
+        set_bits: List[int],
+    ) -> None:
+        addresses = program.addresses
+        count = len(addresses)
+        table_of: List[int] = [0] * count
+        set_of: List[int] = [0] * count
+        for dense, address in enumerate(addresses):
+            table_index = distribute(address)
+            if not 0 <= table_index < num_tables:
+                raise SimulationError(
+                    f"distribution function returned table {table_index} for address "
+                    f"{address:#x}; valid range is [0, {num_tables})"
+                )
+            table_of[dense] = table_index
+            set_of[dense] = (address >> 6) & set_bits[table_index]
+        modes = MODE_OF_FLAGS
+        offsets = program.offsets
+        addr_ids = program.addr_ids
+        flags = program.flags
+        rows: List[Tuple[Tuple[int, int, AccessMode, int, int, int], ...]] = []
+        for slot in range(program.num_tasks):
+            start, end = offsets[slot], offsets[slot + 1]
+            rows.append(tuple(
+                (
+                    addr_ids[i],
+                    addresses[addr_ids[i]],
+                    modes[flags[i]],
+                    flags[i],
+                    table_of[addr_ids[i]],
+                    set_of[addr_ids[i]],
+                )
+                for i in range(start, end)
+            ))
+        self.program = program
+        self.rows = rows
+        self.num_addresses = count
 
 
 class DependencyTracker:
@@ -151,6 +238,12 @@ class DependencyTracker:
     task_pool / function_table:
         Optional pre-configured structures (defaults are created
         otherwise).
+    distribution_key:
+        Hashable identity of ``distribute``'s behaviour (e.g.
+        ``("nexus-hash", 6)``).  When given, program resolutions are
+        cached on the compiled program and shared by every tracker with
+        the same key and table geometry; without it each
+        :meth:`bind_program` resolves privately.
     """
 
     def __init__(
@@ -160,11 +253,13 @@ class DependencyTracker:
         table_factory: Optional[Callable[[int], AddressTable]] = None,
         task_pool: Optional[TaskPool] = None,
         function_table: Optional[FunctionTable] = None,
+        distribution_key: Optional[object] = None,
     ) -> None:
         if num_tables <= 0:
             raise ConfigurationError(f"num_tables must be positive, got {num_tables}")
         self.num_tables = num_tables
         self._distribute = distribute or (lambda address: 0)
+        self._distribution_key = distribution_key
         factory = table_factory or (lambda index: AddressTable(name=f"TG{index}"))
         self.tables: List[AddressTable] = [factory(i) for i in range(num_tables)]
         self.dep_counts = DependenceCountsTable()
@@ -172,9 +267,24 @@ class DependencyTracker:
         self.function_table = function_table or FunctionTable()
         #: tasks that were reported ready and are waiting to run or running
         self._in_flight: Dict[int, TaskDescriptor] = {}
-        #: per-task merged accesses, computed at insert and replayed at
-        #: finish (recomputing the merge would double the hot-path cost)
+        #: per-task merged accesses of the dynamic path, computed at insert
+        #: and replayed at finish (recomputing the merge would double the
+        #: hot-path cost)
         self._merged_accesses: Dict[int, List[Tuple[int, AccessMode]]] = {}
+        # -- compiled-path state (populated by bind_program) ---------------
+        self._resolved: Optional[_ResolvedProgram] = None
+        #: dense address id -> live cell (compiled path)
+        self._cells: List[Optional[AddressCell]] = []
+        #: evicted cells recycled across insertions (and across runs)
+        self._free_cells: List[AddressCell] = []
+        # Per-table structures prefetched at bind time so the compiled hot
+        # loops index parallel lists instead of chasing attributes (the
+        # stats / occupancy objects are replaced by AddressTable.reset, so
+        # these are refreshed on every bind).
+        self._stats_by: List = []
+        self._occ_by: List[List[int]] = []
+        self._ways_by: List[int] = []
+        self._cap_by: List[int] = []
         self.total_inserted = 0
         self.total_finished = 0
 
@@ -194,12 +304,75 @@ class DependencyTracker:
         """Number of tasks inserted but not yet finished."""
         return len(self._in_flight)
 
+    @property
+    def bound_program(self) -> Optional[CompiledAccessProgram]:
+        """The compiled access program currently bound, if any."""
+        return self._resolved.program if self._resolved is not None else None
+
+    # -- program binding --------------------------------------------------------
+    def bind_program(self, program: Optional[CompiledAccessProgram]) -> None:
+        """Switch the tracker onto the compiled path for ``program``.
+
+        Resolves the program against this tracker's distribution function
+        and table geometry (cached on the program when a
+        ``distribution_key`` identifies the configuration) and allocates
+        the dense cell array.  Passing ``None`` unbinds, returning the
+        tracker to the dynamic access-by-access path.  Binding requires an
+        empty tracker (call :meth:`reset` first): mixing per-path state
+        for the same address would corrupt the bookkeeping.
+        """
+        if self._in_flight:
+            raise SimulationError(
+                "cannot (re)bind an access program while tasks are in flight"
+            )
+        if program is None:
+            self._resolved = None
+            self._recycle_cells()
+            return
+        resolved: Optional[_ResolvedProgram] = None
+        cache_key: Optional[tuple] = None
+        set_bits = [table.num_sets - 1 for table in self.tables]
+        if self._distribution_key is not None:
+            cache_key = (self._distribution_key, self.num_tables, tuple(set_bits))
+            resolved = program.resolution_cache.get(cache_key)  # type: ignore[assignment]
+        if resolved is None:
+            resolved = _ResolvedProgram(program, self.num_tables, self._distribute, set_bits)
+            if cache_key is not None:
+                program.resolution_cache[cache_key] = resolved
+        self._resolved = resolved
+        self._recycle_cells()
+        self._cells = [None] * resolved.num_addresses
+        tables = self.tables
+        self._stats_by = [table.stats for table in tables]
+        self._occ_by = [table.set_occupancy_array for table in tables]
+        self._ways_by = [table.ways for table in tables]
+        self._cap_by = [table.kickoff_capacity for table in tables]
+
+    def _recycle_cells(self) -> None:
+        """Move any live dense cells onto the free list."""
+        cells = self._cells
+        if cells:
+            free = self._free_cells
+            for cell in cells:
+                if cell is not None:
+                    free.append(cell)
+        self._cells = []
+
     # -- main interface ---------------------------------------------------------
     def insert_task(self, task: TaskDescriptor) -> InsertResult:
         """Insert ``task`` into the task graph(s) and compute its readiness."""
         task_id = task.task_id
         if task_id in self._in_flight:
             raise SimulationError(f"task {task_id} inserted twice")
+        resolved = self._resolved
+        if resolved is not None:
+            slot = resolved.program.slot(task_id)
+            if slot < 0:
+                raise SimulationError(
+                    f"task {task_id} is not in the bound access program; "
+                    "reset the tracker (or bind the right trace) first"
+                )
+            return self._insert_compiled(task, resolved.rows[slot])
         self._in_flight[task_id] = task
         pool_was_full = self.task_pool.insert(task)
         self.function_table.intern(task.function)
@@ -211,6 +384,7 @@ class DependencyTracker:
         distribute = self._distribute
         num_tables = self.num_tables
         dependence_count = 0
+        conflict_count = 0
         for address, mode in merged:
             table_index = distribute(address)
             if not 0 <= table_index < num_tables:
@@ -221,8 +395,10 @@ class DependencyTracker:
             must_wait, set_conflict = tables[table_index].insert_access(address, task_id, mode)
             if must_wait:
                 dependence_count += 1
+            if set_conflict:
+                conflict_count += 1
             append(AccessRecord(address, mode, table_index, must_wait, set_conflict))
-        self.dep_counts.register(task_id, dependence_count, params_total=len(accesses))
+        self.dep_counts.register(task_id, dependence_count)
         self.total_inserted += 1
         return InsertResult(
             task_id,
@@ -230,6 +406,86 @@ class DependencyTracker:
             dependence_count,
             dependence_count == 0,
             pool_was_full,
+            conflict_count,
+        )
+
+    def _insert_compiled(self, task: TaskDescriptor, rows) -> InsertResult:
+        """Compiled-path insertion over preresolved access rows."""
+        task_id = task.task_id
+        self._in_flight[task_id] = task
+        pool_was_full = self.task_pool.insert(task)
+        self.function_table.intern(task.function)
+        cells = self._cells
+        free = self._free_cells
+        tables = self.tables
+        stats_by = self._stats_by
+        occ_by = self._occ_by
+        ways_by = self._ways_by
+        cap_by = self._cap_by
+        dependence_count = 0
+        conflict_count = 0
+        accesses: List[AccessRecord] = []
+        append = accesses.append
+        record = AccessRecord
+        for aid, address, mode, flag, table_index, set_idx in rows:
+            cell = cells[aid]
+            stats = stats_by[table_index]
+            stats.lookups += 1
+            set_conflict = False
+            if cell is None:
+                occupancy = occ_by[table_index]
+                ways_in_use = occupancy[set_idx]
+                if ways_in_use >= ways_by[table_index]:
+                    # Structurally the hardware would stall until a way
+                    # frees up; functionally the address is still tracked
+                    # (dummy entries guarantee forward progress) and the
+                    # conflict is reported so timing can charge for it.
+                    set_conflict = True
+                    conflict_count += 1
+                    stats.set_conflicts += 1
+                if free:
+                    cell = free.pop()
+                    cell.recycle(address)
+                else:
+                    cell = AddressCell(address)
+                cells[aid] = cell
+                occupancy[set_idx] = ways_in_use + 1
+                table = tables[table_index]
+                live = table._dense_live + 1
+                table._dense_live = live
+                stats.insertions += 1
+                if live > stats.max_live_entries:
+                    stats.max_live_entries = live
+                # A fresh cell has no owners and no waiters: the access
+                # proceeds immediately (the common no-conflict fast path).
+                if flag & 2:
+                    cell.writer = task_id
+                else:
+                    cell.readers.add(task_id)
+                must_wait = False
+            else:
+                length_before = cell.klen
+                must_wait = cell.insert(task_id, flag)
+                if must_wait:
+                    dependence_count += 1
+                    capacity = cap_by[table_index]
+                    if length_before + 1 > capacity:
+                        before_ways = ways_for(length_before, capacity)
+                        after_ways = ways_for(length_before + 1, capacity)
+                        if after_ways != before_ways:
+                            occ_by[table_index][set_idx] += after_ways - before_ways
+                            if after_ways - 1 > stats.dummy_entries_peak:
+                                stats.dummy_entries_peak = after_ways - 1
+            append(record(address, mode, table_index, must_wait, set_conflict))
+        self.dep_counts.register(task_id, dependence_count)
+        self.total_inserted += 1
+        return InsertResult(
+            task_id,
+            tuple(accesses),
+            dependence_count,
+            dependence_count == 0,
+            pool_was_full,
+            conflict_count,
         )
 
     def finish_task(self, task_id: int) -> FinishResult:
@@ -244,6 +500,9 @@ class DependencyTracker:
                 f"{dep_counts.pending(task_id)} unresolved dependencies"
             )
         self.task_pool.remove(task_id)
+        resolved = self._resolved
+        if resolved is not None:
+            return self._finish_compiled(task_id, resolved.rows[resolved.program.slot(task_id)])
         merged = self._merged_accesses.pop(task_id)
         accesses: List[FinishAccessRecord] = []
         append = accesses.append
@@ -252,6 +511,7 @@ class DependencyTracker:
         distribute = self._distribute
         num_tables = self.num_tables
         decrement = dep_counts.decrement
+        kickoff_count = 0
         for address, _mode in merged:
             table_index = distribute(address)
             if not 0 <= table_index < num_tables:
@@ -266,13 +526,72 @@ class DependencyTracker:
                 kicked.append(waiter_id)
                 if decrement(waiter_id):
                     newly_ready.append(waiter_id)
+            kickoff_count += len(kicked)
             append(FinishAccessRecord(address, table_index, tuple(kicked)))
         dep_counts.remove(task_id)
         self.total_finished += 1
-        return FinishResult(task_id, tuple(accesses), tuple(newly_ready))
+        return FinishResult(task_id, tuple(accesses), tuple(newly_ready), kickoff_count)
+
+    def _finish_compiled(self, task_id: int, rows) -> FinishResult:
+        """Compiled-path retirement over preresolved access rows."""
+        cells = self._cells
+        free = self._free_cells
+        tables = self.tables
+        occ_by = self._occ_by
+        cap_by = self._cap_by
+        stats_by = self._stats_by
+        pending = self.dep_counts._pending
+        accesses: List[FinishAccessRecord] = []
+        append = accesses.append
+        newly_ready: List[int] = []
+        record = FinishAccessRecord
+        kickoff_count = 0
+        for aid, address, _mode, _flag, table_index, set_idx in rows:
+            cell = cells[aid]
+            if cell is None:
+                raise SimulationError(
+                    f"{tables[table_index].name}: finish on untracked address {address:#x}"
+                )
+            length_before = cell.klen
+            released = cell.finish(task_id)
+            if released:
+                kickoff_count += len(released)
+                for waiter_id in released:
+                    count = pending[waiter_id] - 1
+                    pending[waiter_id] = count
+                    if count == 0:
+                        newly_ready.append(waiter_id)
+                kicked = tuple(released)
+            else:
+                kicked = ()
+            if cell.writer < 0 and cell.klen == 0 and not cell.readers:
+                # Idle: evict the cell, free its way(s), recycle it.
+                cells[aid] = None
+                free.append(cell)
+                occupancy = occ_by[table_index]
+                before_ways = ways_for(length_before, cap_by[table_index])
+                remaining = occupancy[set_idx] - before_ways
+                occupancy[set_idx] = remaining if remaining > 0 else 0
+                table = tables[table_index]
+                table._dense_live -= 1
+                stats_by[table_index].evictions += 1
+            else:
+                capacity = cap_by[table_index]
+                length_after = cell.klen
+                if length_before > capacity or length_after > capacity:
+                    before_ways = ways_for(length_before, capacity)
+                    after_ways = ways_for(length_after, capacity)
+                    if after_ways != before_ways:
+                        occupancy = occ_by[table_index]
+                        remaining = occupancy[set_idx] + (after_ways - before_ways)
+                        occupancy[set_idx] = remaining if remaining > 0 else 0
+            append(record(address, table_index, kicked))
+        self.dep_counts.remove(task_id)
+        self.total_finished += 1
+        return FinishResult(task_id, tuple(accesses), tuple(newly_ready), kickoff_count)
 
     def reset(self) -> None:
-        """Return the tracker to its initial empty state."""
+        """Return the tracker to its initial empty state (and unbind)."""
         for table in self.tables:
             table.reset()
         self.dep_counts.reset()
@@ -280,5 +599,7 @@ class DependencyTracker:
         self.function_table.reset()
         self._in_flight.clear()
         self._merged_accesses.clear()
+        self._resolved = None
+        self._recycle_cells()
         self.total_inserted = 0
         self.total_finished = 0

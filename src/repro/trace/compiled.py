@@ -1,0 +1,163 @@
+"""Compiled per-trace access programs.
+
+The dependency engine answers one question per parameter of every
+submitted task: *which address, accessed how, lands in which task
+graph?*  Asking it with raw 48-bit addresses means re-hashing the same
+addresses and re-merging the same parameter lists on every submission of
+every run — pure overhead when the trace is known up front.
+
+:class:`CompiledAccessProgram` moves that work to compile time, once per
+trace:
+
+* every distinct parameter address is *interned* to a dense integer id
+  (``0 .. num_addresses-1``, in first-appearance order), so downstream
+  state can live in flat arrays indexed by id instead of hash tables
+  keyed by 48-bit addresses;
+* every task's parameter list is *deduplicated* into its access program —
+  one ``(address_id, direction-flags)`` pair per distinct address, first
+  occurrence order preserved, flags OR-merged exactly like the hardware
+  merges duplicate pragma clauses — and stored in flat arrays
+  (``offsets`` + per-access columns) addressed by task slot.
+
+The program is pure integers: it knows nothing about managers, table
+counts or hash functions.  Distribution-specific resolutions (address id
+→ task-graph index, set index, ...) are layered on top by
+:meth:`repro.taskgraph.tracker.DependencyTracker.bind_program`, which
+caches them in :attr:`CompiledAccessProgram.resolution_cache` so every
+tracker with the same distribution key shares one resolved program.
+
+Programs are cached on the owning :class:`~repro.trace.trace.Trace` (see
+:meth:`Trace.access_program`) under a ``_compiled*`` attribute, which
+``Trace.__getstate__`` already excludes from pickles.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.trace.task import Direction, TaskDescriptor
+
+#: Direction flags of one access: bit 0 = reads, bit 1 = writes.
+FLAG_READS = 1
+FLAG_WRITES = 2
+FLAG_READWRITE = FLAG_READS | FLAG_WRITES
+
+#: Direction -> flag bits (module-level so compilation is one dict hit).
+_FLAG_OF_DIRECTION = {
+    Direction.IN: FLAG_READS,
+    Direction.OUT: FLAG_WRITES,
+    Direction.INOUT: FLAG_READWRITE,
+}
+
+
+class CompiledAccessProgram:
+    """Interned, deduplicated access lists of one trace, in flat arrays.
+
+    Attributes
+    ----------
+    addresses:
+        Dense id → raw 48-bit address (first-appearance order).
+    id_of:
+        Raw address → dense id (the interning map).
+    task_ids:
+        Task slot → task id, in submission order.
+    offsets:
+        ``offsets[slot] .. offsets[slot+1]`` delimit task ``slot``'s
+        accesses in the flat columns below (``len == num_tasks + 1``).
+    addr_ids / flags:
+        Flat per-access columns: dense address id and direction flags
+        (:data:`FLAG_READS` / :data:`FLAG_WRITES` bits).
+    resolution_cache:
+        Scratch dict for layers above (the dependency tracker caches its
+        per-distribution resolved programs here, keyed by distribution
+        key and table geometry).
+    """
+
+    __slots__ = ("addresses", "id_of", "task_ids", "offsets", "addr_ids",
+                 "flags", "_slot_of", "resolution_cache")
+
+    def __init__(self, tasks: Iterable[TaskDescriptor]) -> None:
+        addresses: List[int] = []
+        id_of: Dict[int, int] = {}
+        task_ids: List[int] = []
+        offsets: List[int] = [0]
+        addr_ids: List[int] = []
+        flags: List[int] = []
+        flag_of = _FLAG_OF_DIRECTION
+        for task in tasks:
+            task_ids.append(task.task_id)
+            merged: Dict[int, int] = {}
+            for param in task.params:
+                address = param.address
+                flag = flag_of[param.direction]
+                previous = merged.get(address)
+                if previous is None:
+                    merged[address] = flag
+                elif previous != flag:
+                    # Any two distinct directions union to read-write,
+                    # exactly like merge_access_modes.
+                    merged[address] = FLAG_READWRITE
+            for address, flag in merged.items():
+                dense = id_of.get(address)
+                if dense is None:
+                    dense = len(addresses)
+                    id_of[address] = dense
+                    addresses.append(address)
+                addr_ids.append(dense)
+                flags.append(flag)
+            offsets.append(len(addr_ids))
+        self.addresses = addresses
+        self.id_of = id_of
+        self.task_ids = task_ids
+        self.offsets = offsets
+        self.addr_ids = addr_ids
+        self.flags = flags
+        # Dense task ids (the TraceBuilder invariant) index slots directly;
+        # sparse ids go through an explicit map.
+        if task_ids == list(range(len(task_ids))):
+            self._slot_of: Optional[Dict[int, int]] = None
+        else:
+            self._slot_of = {task_id: slot for slot, task_id in enumerate(task_ids)}
+        self.resolution_cache: Dict[object, object] = {}
+
+    # -- geometry ----------------------------------------------------------
+    @property
+    def num_tasks(self) -> int:
+        """Number of task access programs compiled."""
+        return len(self.task_ids)
+
+    @property
+    def num_addresses(self) -> int:
+        """Number of distinct interned addresses."""
+        return len(self.addresses)
+
+    @property
+    def num_accesses(self) -> int:
+        """Total deduplicated accesses over all tasks."""
+        return len(self.addr_ids)
+
+    def slot(self, task_id: int) -> int:
+        """Task slot of ``task_id``, or ``-1`` when not in the program."""
+        slot_of = self._slot_of
+        if slot_of is None:
+            return task_id if 0 <= task_id < len(self.task_ids) else -1
+        return slot_of.get(task_id, -1)
+
+    def task_accesses(self, task_id: int) -> List[Tuple[int, int]]:
+        """``(address_id, flags)`` pairs of one task (convenience view)."""
+        slot = self.slot(task_id)
+        if slot < 0:
+            raise KeyError(f"task {task_id} is not in the access program")
+        start, end = self.offsets[slot], self.offsets[slot + 1]
+        return list(zip(self.addr_ids[start:end], self.flags[start:end]))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"CompiledAccessProgram(tasks={self.num_tasks}, "
+            f"addresses={self.num_addresses}, accesses={self.num_accesses})"
+        )
+
+
+def compile_access_program(tasks: Iterable[TaskDescriptor]) -> CompiledAccessProgram:
+    """Compile an iterable of task descriptors into an access program."""
+    return CompiledAccessProgram(tasks)

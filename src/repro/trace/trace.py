@@ -137,6 +137,24 @@ class Trace:
             return (0, 0)
         return (min(counts), max(counts))
 
+    def access_program(self):
+        """The trace's compiled access program (compiled on first use).
+
+        Interns every parameter address to a dense id and precomputes each
+        task's deduplicated access list into flat arrays (see
+        :mod:`repro.trace.compiled`).  The result is cached on the trace —
+        like the machine's compiled op program — under a ``_compiled*``
+        attribute that :meth:`__getstate__` keeps out of pickles, so
+        replaying one trace across many managers compiles it exactly once.
+        """
+        program = self.__dict__.get("_compiled_access_program")
+        if program is None:
+            from repro.trace.compiled import CompiledAccessProgram
+
+            program = CompiledAccessProgram(self.tasks())
+            object.__setattr__(self, "_compiled_access_program", program)
+        return program
+
     def with_name(self, name: str) -> "Trace":
         """Return a copy of the trace under a different name."""
         return Trace(name=name, events=self.events, metadata=dict(self.metadata))

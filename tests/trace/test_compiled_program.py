@@ -1,0 +1,147 @@
+"""Tests for the compiled per-trace access program."""
+
+import pickle
+
+import pytest
+
+from repro.taskgraph.address_state import AccessMode, MODE_OF_FLAGS
+from repro.taskgraph.tracker import DependencyTracker, merge_access_modes
+from repro.trace.compiled import FLAG_READS, FLAG_READWRITE, FLAG_WRITES, CompiledAccessProgram
+from repro.trace.task import Direction, Parameter, TaskDescriptor
+from repro.trace.trace import TraceBuilder
+from repro.workloads.synthetic import generate_random_dag
+
+
+def build_trace():
+    builder = TraceBuilder("compiled-program")
+    builder.add_task("a", duration_us=1.0, outputs=[0x1000])
+    builder.add_task("b", duration_us=1.0, inputs=[0x1000], outputs=[0x2000])
+    builder.add_task("c", duration_us=1.0, inputs=[0x1000, 0x2000], inouts=[0x3000])
+    builder.add_taskwait()
+    return builder.build()
+
+
+class TestCompilation:
+    def test_addresses_interned_densely_in_first_appearance_order(self):
+        program = build_trace().access_program()
+        assert program.addresses == [0x1000, 0x2000, 0x3000]
+        assert program.id_of == {0x1000: 0, 0x2000: 1, 0x3000: 2}
+        assert program.num_addresses == 3
+
+    def test_per_task_access_lists_and_flags(self):
+        program = build_trace().access_program()
+        assert program.num_tasks == 3
+        assert program.task_accesses(0) == [(0, FLAG_WRITES)]
+        assert program.task_accesses(1) == [(0, FLAG_READS), (1, FLAG_WRITES)]
+        assert program.task_accesses(2) == [(0, FLAG_READS), (1, FLAG_READS), (2, FLAG_READWRITE)]
+
+    def test_duplicate_addresses_merge_like_merge_access_modes(self):
+        task = TaskDescriptor(
+            task_id=0,
+            function="f",
+            params=(
+                Parameter(address=0x40, direction=Direction.IN),
+                Parameter(address=0x40, direction=Direction.OUT),
+                Parameter(address=0x80, direction=Direction.IN),
+                Parameter(address=0x80, direction=Direction.IN),
+            ),
+            duration_us=1.0,
+        )
+        program = CompiledAccessProgram([task])
+        assert program.task_accesses(0) == [(0, FLAG_READWRITE), (1, FLAG_READS)]
+        merged = merge_access_modes(task)
+        assert [(program.addresses[aid], MODE_OF_FLAGS[flag]) for aid, flag in
+                program.task_accesses(0)] == merged
+
+    def test_flags_agree_with_access_mode_members(self):
+        assert AccessMode.READ.flags == FLAG_READS
+        assert AccessMode.WRITE.flags == FLAG_WRITES
+        assert AccessMode.READWRITE.flags == FLAG_READWRITE
+        for flag in (FLAG_READS, FLAG_WRITES, FLAG_READWRITE):
+            assert MODE_OF_FLAGS[flag].flags == flag
+
+    def test_dense_and_sparse_task_ids(self):
+        program = build_trace().access_program()
+        assert program.slot(0) == 0 and program.slot(2) == 2
+        assert program.slot(99) == -1
+        sparse = CompiledAccessProgram([
+            TaskDescriptor(task_id=7, function="f", params=(), duration_us=1.0),
+            TaskDescriptor(task_id=3, function="f", params=(), duration_us=1.0),
+        ])
+        assert sparse.slot(7) == 0
+        assert sparse.slot(3) == 1
+        assert sparse.slot(0) == -1
+
+    def test_unknown_task_raises_keyerror(self):
+        with pytest.raises(KeyError):
+            build_trace().access_program().task_accesses(42)
+
+
+class TestTraceCache:
+    def test_program_is_cached_on_the_trace(self):
+        trace = build_trace()
+        assert trace.access_program() is trace.access_program()
+
+    def test_cache_excluded_from_pickles(self):
+        trace = build_trace()
+        trace.access_program()
+        clone = pickle.loads(pickle.dumps(trace))
+        assert "_compiled_access_program" not in clone.__dict__
+        # The clone compiles its own program on demand.
+        assert clone.access_program().addresses == trace.access_program().addresses
+
+    def test_resolutions_shared_across_trackers_with_same_key(self):
+        trace = generate_random_dag(40, max_predecessors=3, seed=3)
+        program = trace.access_program()
+        first = DependencyTracker(num_tables=2, distribute=lambda a: a % 2,
+                                  distribution_key=("mod", 2))
+        second = DependencyTracker(num_tables=2, distribute=lambda a: a % 2,
+                                   distribution_key=("mod", 2))
+        first.bind_program(program)
+        second.bind_program(program)
+        assert len(program.resolution_cache) == 1
+        assert first._resolved is second._resolved
+
+
+class TestBindingSemantics:
+    def test_bound_tracker_rejects_foreign_tasks(self):
+        from repro.common.errors import SimulationError
+
+        trace = build_trace()
+        tracker = DependencyTracker()
+        tracker.bind_program(trace.access_program())
+        foreign = TaskDescriptor(task_id=77, function="f", params=(), duration_us=1.0)
+        with pytest.raises(SimulationError):
+            tracker.insert_task(foreign)
+
+    def test_rebind_with_tasks_in_flight_rejected(self):
+        from repro.common.errors import SimulationError
+
+        trace = build_trace()
+        tracker = DependencyTracker()
+        tracker.bind_program(trace.access_program())
+        tracker.insert_task(next(trace.tasks()))
+        with pytest.raises(SimulationError):
+            tracker.bind_program(trace.access_program())
+
+    def test_reset_unbinds_and_restores_dynamic_path(self):
+        trace = build_trace()
+        tracker = DependencyTracker()
+        tracker.bind_program(trace.access_program())
+        tracker.reset()
+        assert tracker.bound_program is None
+        foreign = TaskDescriptor(
+            task_id=123, function="f",
+            params=(Parameter(address=0x9000, direction=Direction.OUT),),
+            duration_us=1.0,
+        )
+        result = tracker.insert_task(foreign)
+        assert result.ready is True
+
+    def test_out_of_range_distribution_rejected_at_bind(self):
+        from repro.common.errors import SimulationError
+
+        trace = build_trace()
+        tracker = DependencyTracker(num_tables=2, distribute=lambda a: 5)
+        with pytest.raises(SimulationError):
+            tracker.bind_program(trace.access_program())
