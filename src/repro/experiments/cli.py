@@ -53,6 +53,13 @@ def _add_grid_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--max-tasks", type=int, default=None,
                         help="bound every workload to its first N task "
                              "submissions (trace-size scaling axis)")
+    parser.add_argument("--dynamic", action="store_true",
+                        help="replay grid cells through the dynamic engine "
+                             "(tasks spawn tasks at runtime; requires dynamic "
+                             "workloads: fib, nqueens, recursive-sort, strassen)")
+    parser.add_argument("--depths", type=int, nargs="+", default=None,
+                        help="recursion depths to sweep for dynamic workloads "
+                             "(fib's n, nqueens' board size, ...)")
 
 
 def _spec_from_args(args: argparse.Namespace) -> SweepSpec:
@@ -69,6 +76,8 @@ def _spec_from_args(args: argparse.Namespace) -> SweepSpec:
         topologies=tuple(args.topologies) if args.topologies else ("homogeneous",),
         stream=args.stream,
         max_tasks=args.max_tasks,
+        dynamic=args.dynamic,
+        depths=tuple(args.depths) if args.depths else (None,),
     )
 
 

@@ -328,7 +328,7 @@ def workload_key_map(workload_docs: List[Dict[str, Any]]) -> Dict[str, str]:
             continue
         fields = [
             field_name
-            for field_name in ("seed", "scale", "inline_digest")
+            for field_name in ("seed", "scale", "depth", "max_tasks", "inline_digest")
             if len({canonical_json_line(doc.get(field_name)) for doc in unique.values()}) > 1
         ]
         for identity, doc in unique.items():

@@ -24,7 +24,8 @@ from typing import Dict, Iterator, Mapping, Optional, Sequence, Tuple, Union
 
 from repro.analysis.factories import ManagerFactory, describe_factory, parse_manager
 from repro.common.errors import ConfigurationError
-from repro.system.machine import simulate, simulate_stream
+from repro.system.machine import simulate, simulate_dynamic, simulate_stream
+from repro.trace.dynamic import DynamicProgram
 from repro.system.results import MachineResult
 from repro.system.scheduling import canonical_policy_name, describe_policy
 from repro.system.topology import TopologySpec, canonical_topology
@@ -48,18 +49,20 @@ ManagersLike = Union[Mapping[str, ManagerFactory], Sequence[str]]
 
 @functools.lru_cache(maxsize=16)
 def _named_trace(name: str, scale: float, seed: Optional[int],
-                 max_tasks: Optional[int] = None) -> Trace:
+                 max_tasks: Optional[int] = None,
+                 depth: Optional[int] = None) -> Trace:
     """Per-process memo of generated registry traces (sweeps reuse them).
 
     ``max_tasks`` is part of the key so truncated workloads share one
     Trace object across grid cells too — which is what lets the machine's
-    per-trace compiled-program cache work for them.
+    per-trace compiled-program cache work for them.  ``depth`` applies to
+    dynamic workloads only (the trace is their serial elaboration).
     """
     from repro.workloads.registry import get_workload
 
     if max_tasks is not None:
-        return truncate_trace(_named_trace(name, scale, seed), max_tasks)
-    return get_workload(name, scale=scale, seed=seed)
+        return truncate_trace(_named_trace(name, scale, seed, depth=depth), max_tasks)
+    return get_workload(name, scale=scale, seed=seed, depth=depth)
 
 
 @dataclass(frozen=True)
@@ -74,6 +77,10 @@ class WorkloadSpec:
     #: ``taskwait`` is appended when the cut is short; see
     #: :func:`repro.trace.stream.limit_stream`).  ``None`` = whole trace.
     max_tasks: Optional[int] = None
+    #: Recursion depth of a *dynamic* workload (fib's n, nqueens' board
+    #: size, ...); ``None`` keeps the workload's default.  Only recorded
+    #: in descriptions when set, so pre-axis cache keys stay stable.
+    depth: Optional[int] = None
     #: Lazily memoised content digest of an inline trace (hashing a large
     #: trace is expensive and describe() runs once per grid cell).
     _digest: Optional[str] = dataclass_field(default=None, repr=False, compare=False)
@@ -105,9 +112,23 @@ class WorkloadSpec:
             return self
         return replace(self, seed=seed)
 
+    def with_depth(self, depth: Optional[int]) -> "WorkloadSpec":
+        """Apply a sweep-level depth (dynamic workloads only)."""
+        if depth is None or not self.is_dynamic:
+            return self
+        return replace(self, depth=depth)
+
+    @property
+    def is_dynamic(self) -> bool:
+        """Whether the workload names a dynamic (spawning) program."""
+        from repro.workloads.registry import is_dynamic_workload
+
+        return self.trace is None and is_dynamic_workload(self.name)
+
     def resolve(self) -> Trace:
         """Materialise the trace (memoised per process for named workloads;
-        truncated inline traces are memoised on the spec instance)."""
+        truncated inline traces are memoised on the spec instance).  For
+        dynamic workloads this is the serial elaboration."""
         if self.trace is not None:
             if self.max_tasks is None:
                 return self.trace
@@ -118,21 +139,46 @@ class WorkloadSpec:
         if self.max_tasks is None:
             # Same positional key as the internal recursion, so truncated
             # and untruncated cells share one cached base trace.
-            return _named_trace(self.name, self.scale, self.seed)
-        return _named_trace(self.name, self.scale, self.seed, self.max_tasks)
+            return _named_trace(self.name, self.scale, self.seed, depth=self.depth)
+        return _named_trace(self.name, self.scale, self.seed, self.max_tasks,
+                            depth=self.depth)
 
     def resolve_stream(self) -> TaskStream:
         """Open the workload as a lazy task stream (no materialisation).
 
         Named workloads stream straight from their generators, so a
         streaming grid cell never holds the full trace in memory; inline
-        traces are already materialised and simply pass through.
+        traces are already materialised and simply pass through.  A
+        *dynamic* workload is wrapped as a plain event stream over its
+        serial elaboration: a ``stream`` grid cell must replay the same
+        schedule as its materialised twin (only ``RunPoint.dynamic``
+        selects the dynamic engine — handing the raw ``DynamicProgram``
+        to ``run_stream`` would silently change the science).
         """
+        from repro.trace.stream import TraceStream
         from repro.workloads.registry import get_workload_stream
 
         source: TaskStream = self.trace if self.trace is not None else (
-            get_workload_stream(self.name, scale=self.scale, seed=self.seed))
+            get_workload_stream(self.name, scale=self.scale, seed=self.seed,
+                                depth=self.depth))
+        if isinstance(source, DynamicProgram):
+            source = TraceStream(source.name, source.iter_events,
+                                 metadata=source.metadata)
         return limit_stream(source, self.max_tasks)
+
+    def resolve_dynamic(self):
+        """Build the workload's :class:`~repro.trace.dynamic.DynamicProgram`.
+
+        Programs are cheap to build (the machine re-runs them anyway), so
+        unlike :meth:`resolve` nothing is memoised.
+        """
+        from repro.workloads.registry import get_dynamic_program
+
+        if not self.is_dynamic:
+            raise ConfigurationError(
+                f"workload {self.name!r} is not a dynamic workload")
+        return get_dynamic_program(self.name, scale=self.scale, seed=self.seed,
+                                   depth=self.depth)
 
     def describe(self) -> Dict[str, object]:
         if self.trace is not None:
@@ -144,6 +190,8 @@ class WorkloadSpec:
         # Only present when set, so pre-axis cache keys stay valid.
         if self.max_tasks is not None:
             doc["max_tasks"] = self.max_tasks
+        if self.depth is not None:
+            doc["depth"] = self.depth
         return doc
 
 
@@ -165,6 +213,12 @@ class RunPoint:
     #: the trace (same schedule by the stream-equivalence guarantee, but
     #: bounded memory; per-task times are not collected).
     stream: bool = False
+    #: Replay through the *dynamic* engine (:meth:`Machine.run_dynamic`):
+    #: the workload's DynamicProgram spawns tasks while the machine runs
+    #: instead of replaying its serial elaboration.  Combined with
+    #: ``stream`` this selects the dynamic (access-by-access) tracker
+    #: path; alone it uses the growable compiled path.
+    dynamic: bool = False
 
     def describe(self) -> Dict[str, object]:
         """Self-describing identity of the point (JSONL / cache key).
@@ -191,6 +245,8 @@ class RunPoint:
         }
         if self.stream:
             doc["stream"] = True
+        if self.dynamic:
+            doc["dynamic"] = True
         return doc
 
     @property
@@ -224,6 +280,17 @@ class RunPoint:
 
     def run(self) -> MachineResult:
         """Execute the simulation for this point."""
+        if self.dynamic:
+            return simulate_dynamic(
+                self.workload.resolve_dynamic(),
+                self.factory(),
+                self.cores,
+                compiled=not self.stream,
+                validate=self.validate,
+                keep_schedule=self.keep_schedule,
+                scheduler=self.scheduler,
+                topology=self.topology,
+            )
         if self.stream:
             return simulate_stream(
                 self.workload.resolve_stream(),
@@ -318,6 +385,17 @@ class SweepSpec:
         Bound every workload to its first ``max_tasks`` submissions (the
         scale axis for trace-size studies); applied per workload via
         :func:`repro.trace.stream.limit_stream`.
+    dynamic:
+        Replay every grid cell through the dynamic engine
+        (:meth:`Machine.run_dynamic <repro.system.machine.Machine.
+        run_dynamic>`): the workload's program spawns tasks while the
+        machine runs.  Requires dynamic workloads (``fib``, ``nqueens``,
+        ``recursive-sort``, ``strassen``); with ``stream`` also set the
+        tracker uses its dynamic access-by-access path.
+    depths:
+        Recursion depths to sweep for dynamic workloads (``(None,)``
+        keeps each workload's default); like ``seeds``, the axis only
+        multiplies workloads it affects.
 
     Example
     -------
@@ -343,6 +421,8 @@ class SweepSpec:
     topologies: Tuple[str, ...] = ("homogeneous",)
     stream: bool = False
     max_tasks: Optional[int] = None
+    dynamic: bool = False
+    depths: Tuple[Optional[int], ...] = (None,)
     name: str = "sweep"
 
     def __init__(
@@ -360,6 +440,8 @@ class SweepSpec:
         topologies: Sequence[str] = ("homogeneous",),
         stream: bool = False,
         max_tasks: Optional[int] = None,
+        dynamic: bool = False,
+        depths: Sequence[Optional[int]] = (None,),
         name: str = "sweep",
     ) -> None:
         if not workloads:
@@ -368,6 +450,8 @@ class SweepSpec:
             raise ConfigurationError("core_counts must not be empty")
         if not seeds:
             raise ConfigurationError("seeds must not be empty (use (None,) for defaults)")
+        if not depths:
+            raise ConfigurationError("depths must not be empty (use (None,) for defaults)")
         if not schedulers:
             raise ConfigurationError("schedulers must not be empty (use ('fifo',) for the default)")
         if not topologies:
@@ -379,11 +463,28 @@ class SweepSpec:
                 raise ConfigurationError(f"core counts must be positive, got {cores}")
         if max_tasks is not None and max_tasks <= 0:
             raise ConfigurationError(f"max_tasks must be positive, got {max_tasks}")
-        object.__setattr__(
-            self,
-            "workloads",
-            tuple(WorkloadSpec.of(w, scale=scale, max_tasks=max_tasks) for w in workloads),
-        )
+        workload_specs = tuple(
+            WorkloadSpec.of(w, scale=scale, max_tasks=max_tasks) for w in workloads)
+        if dynamic:
+            if max_tasks is not None:
+                raise ConfigurationError(
+                    "max_tasks does not apply to dynamic replays (the task set "
+                    "is produced by the running program)")
+            not_dynamic = [w.name for w in workload_specs if not w.is_dynamic]
+            if not_dynamic:
+                raise ConfigurationError(
+                    f"dynamic sweeps need dynamic workloads; {', '.join(not_dynamic)} "
+                    "are static (see repro.workloads.registry.DYNAMIC_PROGRAMS)")
+        if any(d is not None for d in depths):
+            # Like seeds, depth multiplies only workloads it affects —
+            # but a grid where it affects nothing is a spelling mistake.
+            if not any(w.is_dynamic for w in workload_specs):
+                raise ConfigurationError(
+                    "the depths axis applies to dynamic workloads only")
+            for depth in depths:
+                if depth is not None and depth <= 0:
+                    raise ConfigurationError(f"depths must be positive, got {depth}")
+        object.__setattr__(self, "workloads", workload_specs)
         object.__setattr__(self, "managers", _normalize_managers(managers))
         object.__setattr__(self, "core_counts", tuple(int(c) for c in core_counts))
         object.__setattr__(self, "seeds", tuple(seeds))
@@ -396,6 +497,8 @@ class SweepSpec:
             "topologies", topologies, canonical_topology))
         object.__setattr__(self, "stream", bool(stream))
         object.__setattr__(self, "max_tasks", max_tasks)
+        object.__setattr__(self, "dynamic", bool(dynamic))
+        object.__setattr__(self, "depths", tuple(depths))
         object.__setattr__(self, "name", name)
 
     # -- grid enumeration --------------------------------------------------
@@ -426,23 +529,25 @@ class SweepSpec:
                                 scheduler=scheduler,
                                 topology=topology,
                                 stream=self.stream,
+                                dynamic=self.dynamic,
                             )
 
     def effective_workloads(self) -> Tuple[WorkloadSpec, ...]:
-        """The workload axis after applying the seed axis.
+        """The workload axis after applying the seed and depth axes.
 
-        The seed axis multiplies only workloads it actually affects:
-        inline traces (and repeated seed values) would otherwise re-run
-        identical points once per seed.
+        Each axis multiplies only workloads it actually affects: inline
+        traces ignore seeds, static workloads ignore depths, and repeated
+        values would otherwise re-run identical points.
         """
         effective: list[WorkloadSpec] = []
         for workload in self.workloads:
             emitted: list[WorkloadSpec] = []
             for seed in self.seeds:
-                seeded = workload.with_seed(seed)
-                if any(seeded == previous for previous in emitted):
-                    continue
-                emitted.append(seeded)
+                for depth in self.depths:
+                    varied = workload.with_seed(seed).with_depth(depth)
+                    if any(varied == previous for previous in emitted):
+                        continue
+                    emitted.append(varied)
             effective.extend(emitted)
         return tuple(effective)
 
@@ -474,6 +579,10 @@ class SweepSpec:
         }
         if self.stream:
             doc["stream"] = True
+        if self.dynamic:
+            doc["dynamic"] = True
+        if any(depth is not None for depth in self.depths):
+            doc["depths"] = list(self.depths)
         return doc
 
     def spec_hash(self) -> str:

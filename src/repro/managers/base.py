@@ -109,14 +109,41 @@ class TaskManagerModel(abc.ABC):
         """Optional hook: the machine announces the trace it will replay.
 
         Called by :meth:`repro.system.machine.Machine.run` after
-        :meth:`reset` and before the first :meth:`submit`.  Managers that
-        run a :class:`~repro.taskgraph.tracker.DependencyTracker` bind
-        the trace's compiled access program here so dependency resolution
-        runs over preresolved int arrays; the default is a no-op.
+        :meth:`reset` and before the first :meth:`submit`.  The default
+        forwards the trace's compiled access program to
+        :meth:`prepare_program`; managers that run a
+        :class:`~repro.taskgraph.tracker.DependencyTracker` bind it there
+        so dependency resolution runs over preresolved int arrays.
         Streaming replays (:meth:`~repro.system.machine.Machine.run_stream`)
         never call it — :meth:`reset` must therefore also undo whatever
         this hook set up.
         """
+        self.prepare_program(trace.access_program())
+
+    def prepare_program(self, program) -> None:
+        """Optional hook: bind a compiled access program for the next run.
+
+        ``program`` is a :class:`~repro.trace.compiled.
+        CompiledAccessProgram`; it may be *empty and growable* — dynamic
+        runs (:meth:`repro.system.machine.Machine.run_dynamic`) bind a
+        fresh program per run and intern each task as it is spawned, so
+        a binding manager must tolerate tasks appearing after the bind
+        (the tracker's resolution extends itself lazily).  The default
+        is a no-op: managers without a tracker simply ignore programs.
+        """
+
+    def abandon_run(self) -> None:
+        """A run died mid-flight: drop every per-run binding *now*.
+
+        Called by the machine when a replay raises, **before** the
+        exception propagates.  Without it, a failed run leaves the
+        manager's tracker bound to the trace's shared compiled program
+        with tasks still marked in flight — poisoning any later direct
+        use of the manager (e.g. ``bind_program`` refuses to rebind) in
+        the same process.  The default simply :meth:`reset`\\ s, which
+        every manager already guarantees to clear bindings.
+        """
+        self.reset()
 
     def describe(self) -> Mapping[str, object]:
         """Return a serialisable description of the configuration."""

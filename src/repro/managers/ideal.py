@@ -32,8 +32,8 @@ class IdealManager(TaskManagerModel):
     def reset(self) -> None:
         self._tracker.reset()
 
-    def prepare_trace(self, trace) -> None:
-        self._tracker.bind_program(trace.access_program())
+    def prepare_program(self, program) -> None:
+        self._tracker.bind_program(program)
 
     def submit(self, task: TaskDescriptor, time_us: float) -> SubmitOutcome:
         result = self._tracker.insert_task(task)

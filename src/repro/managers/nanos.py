@@ -83,8 +83,8 @@ class NanosManager(TaskManagerModel):
         self._tracker.reset()
         self._lock.reset()
 
-    def prepare_trace(self, trace) -> None:
-        self._tracker.bind_program(trace.access_program())
+    def prepare_program(self, program) -> None:
+        self._tracker.bind_program(program)
 
     # -- TaskManagerModel ------------------------------------------------------
     def submit(self, task: TaskDescriptor, time_us: float) -> SubmitOutcome:

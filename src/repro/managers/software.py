@@ -57,8 +57,8 @@ class VandierendonckManager(TaskManagerModel):
         self._tracker.reset()
         self._lock.reset()
 
-    def prepare_trace(self, trace) -> None:
-        self._tracker.bind_program(trace.access_program())
+    def prepare_program(self, program) -> None:
+        self._tracker.bind_program(program)
 
     def submit(self, task: TaskDescriptor, time_us: float) -> SubmitOutcome:
         result = self._tracker.insert_task(task)

@@ -146,8 +146,8 @@ class NexusPlusPlusManager(TaskManagerModel):
         self._ready_latency_total_us = 0.0
         self._ready_count = 0
 
-    def prepare_trace(self, trace) -> None:
-        self._tracker.bind_program(trace.access_program())
+    def prepare_program(self, program) -> None:
+        self._tracker.bind_program(program)
 
     # -- TaskManagerModel --------------------------------------------------------
     def submit(self, task: TaskDescriptor, time_us: float) -> SubmitOutcome:

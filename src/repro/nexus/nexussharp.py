@@ -195,8 +195,8 @@ class NexusSharpManager(TaskManagerModel):
         self._ready_latency_total_us = 0.0
         self._ready_count = 0
 
-    def prepare_trace(self, trace) -> None:
-        self._tracker.bind_program(trace.access_program())
+    def prepare_program(self, program) -> None:
+        self._tracker.bind_program(program)
 
     # -- ready-path helper --------------------------------------------------------
     def _write_back_ready(self, task_id: int, concluded_us: float, reference_us: float) -> ReadyNotification:

@@ -24,7 +24,7 @@ The runtime is layered (see ``README.md``, "Architecture"):
   per-component statistics of one run (incl. per-core utilisation).
 """
 
-from repro.system.machine import Machine, MachineConfig, simulate, simulate_stream
+from repro.system.machine import Machine, MachineConfig, simulate, simulate_dynamic, simulate_stream
 from repro.system.results import MachineResult
 from repro.system.scheduling import (
     DurationPriorityPolicy,
@@ -42,6 +42,7 @@ __all__ = [
     "MachineConfig",
     "MachineResult",
     "simulate",
+    "simulate_dynamic",
     "simulate_stream",
     "SchedulerPolicy",
     "FifoPolicy",

@@ -65,13 +65,14 @@ from repro.system.scheduling import PolicyLike, SchedulerPolicy, make_policy
 from repro.system.timeline import TaskTimeline
 from repro.system.topology import CorePool, CoreTopology, TopologyLike, resolve_topology
 from repro.trace.dag import validate_schedule
+from repro.trace.dynamic import DynamicProgram
 from repro.trace.events import TaskSubmitEvent, TaskwaitEvent, TaskwaitOnEvent, TraceEvent
 from repro.trace.stream import TaskStream, as_stream
 from repro.trace.task import TaskDescriptor
 from repro.trace.trace import Trace
 
 #: Anything `Machine.run_stream` accepts as a task source.
-StreamLike = Union[TaskStream, Trace, Iterable[TraceEvent]]
+StreamLike = Union[TaskStream, Trace, Iterable[TraceEvent], DynamicProgram]
 
 #: Default number of trace events buffered ahead of the master thread in
 #: streaming mode (amortises chunked-file decode; see `run_stream`).
@@ -180,6 +181,12 @@ class MachineConfig:
     #: :class:`~repro.system.topology.CoreTopology` (must match
     #: ``num_cores``).
     topology: TopologyLike = "homogeneous"
+    #: Dynamic runs only: when true, a task suspended in a task-level
+    #: ``taskwait`` keeps its core blocked until its children drain
+    #: (naive tied-task semantics; deadlocks when the spawn tree is
+    #: deeper than the core count).  The default releases the core at
+    #: the scheduling point, like the OmpSs runtime.
+    taskwait_holds_core: bool = False
 
     def __post_init__(self) -> None:
         check_positive("num_cores", self.num_cores)
@@ -195,10 +202,43 @@ class Machine:
         self.topology: CoreTopology = resolve_topology(config.topology, config.num_cores)
         #: Events dispatched by the most recent :meth:`run` (throughput metric).
         self.last_events_processed = 0
+        #: Task ids in the order the most recent *dynamic* run dispatched
+        #: their ready notifications (the differential fuzz suite pins
+        #: this between the two tracking paths); ``()`` after static runs.
+        self.last_ready_order: Tuple[int, ...] = ()
 
     # -- public API -------------------------------------------------------------
-    def run(self, trace: Trace) -> MachineResult:
-        """Replay ``trace`` and return the resulting schedule and metrics."""
+    def run(self, trace: Union[Trace, DynamicProgram]) -> MachineResult:
+        """Replay ``trace`` and return the resulting schedule and metrics.
+
+        A :class:`~repro.trace.dynamic.DynamicProgram` source runs on the
+        dynamic engine with the **compiled** tracking path (a growable
+        access program bound to the manager); see :meth:`run_dynamic`.
+        """
+        if isinstance(trace, DynamicProgram):
+            return self.run_dynamic(trace, compiled=True)
+        try:
+            return self._run_trace(trace)
+        except BaseException:
+            self._abandon()
+            raise
+
+    def _abandon(self) -> None:
+        """Clear per-run manager bindings after a failed replay.
+
+        Without this, a run that raises mid-flight leaves the manager's
+        dependency tracker bound to the trace's shared
+        ``Trace.access_program()`` cache with tasks still in flight —
+        poisoning later direct use of the manager (``bind_program``
+        refuses to rebind) in the same process.
+        """
+        try:
+            self.manager.abandon_run()
+        except Exception:
+            # The original exception is what the caller needs to see.
+            pass
+
+    def _run_trace(self, trace: Trace) -> MachineResult:
         manager = self.manager
         manager.reset()
         # Hand the manager the trace's compiled access program so its
@@ -505,7 +545,29 @@ class Machine:
            guarded by the golden equivalence tests plus the
            scheduler/topology parity matrix in
            ``tests/system/test_run_stream.py``.
+
+        A :class:`~repro.trace.dynamic.DynamicProgram` source runs on the
+        dynamic engine with the **dynamic** (access-by-access) tracking
+        path — the streaming counterpart of :meth:`run`'s compiled
+        dispatch; both paths are byte-identical on deterministic
+        programs (``lookahead`` does not apply, ``max_in_flight``
+        back-pressures the master's spawns).
         """
+        if isinstance(stream, DynamicProgram):
+            return self.run_dynamic(stream, compiled=False, max_in_flight=max_in_flight)
+        try:
+            return self._run_stream(stream, max_in_flight=max_in_flight, lookahead=lookahead)
+        except BaseException:
+            self._abandon()
+            raise
+
+    def _run_stream(
+        self,
+        stream: StreamLike,
+        *,
+        max_in_flight: Optional[int],
+        lookahead: int,
+    ) -> MachineResult:
         if max_in_flight is not None and max_in_flight <= 0:
             raise SimulationError(f"max_in_flight must be positive, got {max_in_flight}")
         if lookahead <= 0:
@@ -799,6 +861,35 @@ class Machine:
             task_cores=task_cores if keep else {},
         )
 
+    def run_dynamic(
+        self,
+        program: DynamicProgram,
+        *,
+        compiled: bool = True,
+        max_in_flight: Optional[int] = None,
+    ) -> MachineResult:
+        """Replay a dynamic task program (spawns and taskwaits at runtime).
+
+        Tasks may be created by the master thread *and* by running tasks,
+        so nothing about the task set is known at t=0; the engine lives
+        in :mod:`repro.system.dynamic` (semantics documented there).
+
+        ``compiled=True`` binds a fresh growable compiled access program
+        to the manager (the tracker's preresolved-int hot path, extended
+        task by task); ``compiled=False`` uses the tracker's dynamic
+        access-by-access path.  Both produce byte-identical schedules on
+        deterministic programs — pinned by the fuzz corpus in
+        ``tests/fuzz/``.
+        """
+        from repro.system.dynamic import run_dynamic
+
+        try:
+            return run_dynamic(self, program, compiled=compiled,
+                               max_in_flight=max_in_flight)
+        except BaseException:
+            self._abandon()
+            raise
+
 
 def simulate(
     trace: Trace,
@@ -866,3 +957,46 @@ def simulate_stream(
         ),
     )
     return machine.run_stream(stream, max_in_flight=max_in_flight, lookahead=lookahead)
+
+
+def simulate_dynamic(
+    program: DynamicProgram,
+    manager: TaskManagerModel,
+    num_cores: int,
+    *,
+    compiled: bool = True,
+    validate: bool = False,
+    keep_schedule: bool = True,
+    scheduler: PolicyLike = "fifo",
+    topology: TopologyLike = "homogeneous",
+    taskwait_holds_core: bool = False,
+    max_in_flight: Optional[int] = None,
+) -> MachineResult:
+    """Convenience wrapper around :meth:`Machine.run_dynamic`.
+
+    >>> from repro.managers.ideal import IdealManager
+    >>> from repro.trace.dynamic import Compute, DynamicProgram, Spawn, Taskwait, task_request
+    >>> def child(addr):
+    ...     return task_request("leaf", 10.0, outputs=[addr])
+    >>> def master():
+    ...     _ = yield Spawn(child(0x1000))
+    ...     _ = yield Spawn(child(0x1040))
+    ...     yield Taskwait()
+    >>> result = simulate_dynamic(DynamicProgram("pair", master), IdealManager(), num_cores=2)
+    >>> result.makespan_us
+    10.0
+    >>> result.num_tasks
+    2
+    """
+    machine = Machine(
+        manager,
+        MachineConfig(
+            num_cores=num_cores,
+            validate=validate,
+            keep_schedule=keep_schedule,
+            scheduler=scheduler,
+            topology=topology,
+            taskwait_holds_core=taskwait_holds_core,
+        ),
+    )
+    return machine.run_dynamic(program, compiled=compiled, max_in_flight=max_in_flight)

@@ -25,6 +25,11 @@ class TaskTimeline:
     For dense traces (the normal case) slot == task id.  For sparse ids
     the machine passes ``task_ids`` — the id of each slot in submission
     order — and indexes through its compiled slot map.
+
+    Dynamic runs, whose task ids are **not known at t=0**, use a
+    *growable* timeline instead (:meth:`growable` + :meth:`add_task`):
+    slots are appended in submission order as tasks are spawned, keeping
+    the struct-of-arrays layout without preallocation.
     """
 
     __slots__ = ("num_tasks", "task_ids", "submit", "ready", "start", "finish", "core")
@@ -37,6 +42,26 @@ class TaskTimeline:
         self.start: List[float] = [NAN] * num_tasks
         self.finish: List[float] = [NAN] * num_tasks
         self.core: List[int] = [-1] * num_tasks
+
+    @classmethod
+    def growable(cls) -> "TaskTimeline":
+        """An empty timeline that grows one slot per :meth:`add_task`."""
+        return cls(0, task_ids=())
+
+    def add_task(self, task_id: int) -> int:
+        """Append a slot for ``task_id`` (submission order); return it."""
+        task_ids = self.task_ids
+        if task_ids is None:
+            raise ValueError("add_task requires a growable timeline (use TaskTimeline.growable())")
+        slot = self.num_tasks
+        task_ids.append(task_id)
+        self.num_tasks = slot + 1
+        self.submit.append(NAN)
+        self.ready.append(NAN)
+        self.start.append(NAN)
+        self.finish.append(NAN)
+        self.core.append(-1)
+        return slot
 
     # -- export --------------------------------------------------------------
     def _id_of(self, slot: int) -> int:

@@ -174,9 +174,16 @@ class _ResolvedProgram:
     direction flags, table index, set index)``.  Everything the hot loops
     consume is an int (or a preresolved object), so the per-access work
     collapses to tuple unpacking plus the state transition itself.
+
+    Growable programs (dynamic runs interning tasks as they are spawned)
+    are supported by :meth:`extend`: new addresses and new task rows are
+    *appended* — existing entries never move — so a resolution shared by
+    several trackers of the same configuration stays valid while any of
+    them extends it.
     """
 
-    __slots__ = ("program", "rows", "num_addresses")
+    __slots__ = ("program", "rows", "num_addresses",
+                 "_num_tables", "_distribute", "_set_bits", "_table_of", "_set_of")
 
     def __init__(
         self,
@@ -185,40 +192,58 @@ class _ResolvedProgram:
         distribute: Callable[[int], int],
         set_bits: List[int],
     ) -> None:
+        self.program = program
+        self.rows: List[Tuple[Tuple[int, int, AccessMode, int, int, int], ...]] = []
+        self.num_addresses = 0
+        self._num_tables = num_tables
+        self._distribute = distribute
+        self._set_bits = set_bits
+        self._table_of: List[int] = []
+        self._set_of: List[int] = []
+        self.extend()
+
+    def extend(self) -> None:
+        """Resolve everything the program interned since the last call."""
+        program = self.program
         addresses = program.addresses
         count = len(addresses)
-        table_of: List[int] = [0] * count
-        set_of: List[int] = [0] * count
-        for dense, address in enumerate(addresses):
-            table_index = distribute(address)
-            if not 0 <= table_index < num_tables:
-                raise SimulationError(
-                    f"distribution function returned table {table_index} for address "
-                    f"{address:#x}; valid range is [0, {num_tables})"
-                )
-            table_of[dense] = table_index
-            set_of[dense] = (address >> 6) & set_bits[table_index]
-        modes = MODE_OF_FLAGS
-        offsets = program.offsets
-        addr_ids = program.addr_ids
-        flags = program.flags
-        rows: List[Tuple[Tuple[int, int, AccessMode, int, int, int], ...]] = []
-        for slot in range(program.num_tasks):
-            start, end = offsets[slot], offsets[slot + 1]
-            rows.append(tuple(
-                (
-                    addr_ids[i],
-                    addresses[addr_ids[i]],
-                    modes[flags[i]],
-                    flags[i],
-                    table_of[addr_ids[i]],
-                    set_of[addr_ids[i]],
-                )
-                for i in range(start, end)
-            ))
-        self.program = program
-        self.rows = rows
-        self.num_addresses = count
+        table_of = self._table_of
+        set_of = self._set_of
+        if count > len(table_of):
+            num_tables = self._num_tables
+            distribute = self._distribute
+            set_bits = self._set_bits
+            for dense in range(len(table_of), count):
+                address = addresses[dense]
+                table_index = distribute(address)
+                if not 0 <= table_index < num_tables:
+                    raise SimulationError(
+                        f"distribution function returned table {table_index} for address "
+                        f"{address:#x}; valid range is [0, {num_tables})"
+                    )
+                table_of.append(table_index)
+                set_of.append((address >> 6) & set_bits[table_index])
+            self.num_addresses = count
+        rows = self.rows
+        num_tasks = program.num_tasks
+        if num_tasks > len(rows):
+            modes = MODE_OF_FLAGS
+            offsets = program.offsets
+            addr_ids = program.addr_ids
+            flags = program.flags
+            for slot in range(len(rows), num_tasks):
+                start, end = offsets[slot], offsets[slot + 1]
+                rows.append(tuple(
+                    (
+                        addr_ids[i],
+                        addresses[addr_ids[i]],
+                        modes[flags[i]],
+                        flags[i],
+                        table_of[addr_ids[i]],
+                        set_of[addr_ids[i]],
+                    )
+                    for i in range(start, end)
+                ))
 
 
 class DependencyTracker:
@@ -370,9 +395,18 @@ class DependencyTracker:
             if slot < 0:
                 raise SimulationError(
                     f"task {task_id} is not in the bound access program; "
-                    "reset the tracker (or bind the right trace) first"
+                    "intern it (CompiledAccessProgram.add_task), reset the "
+                    "tracker, or bind the right trace first"
                 )
-            return self._insert_compiled(task, resolved.rows[slot])
+            rows = resolved.rows
+            if slot >= len(rows):
+                # The bound program grew (dynamic run): resolve the new
+                # addresses/rows and widen the dense cell array to match.
+                resolved.extend()
+            cells = self._cells
+            if resolved.num_addresses > len(cells):
+                cells.extend([None] * (resolved.num_addresses - len(cells)))
+            return self._insert_compiled(task, rows[slot])
         self._in_flight[task_id] = task
         pool_was_full = self.task_pool.insert(task)
         self.function_table.intern(task.function)

@@ -15,6 +15,10 @@ between task submissions.  This package defines that representation:
   parameter addresses using OmpSs semantics (RAW, WAR and WAW hazards on
   the same address), computes critical paths and checks schedules.
 * :mod:`repro.trace.stats` — per-trace statistics matching Table II.
+* :mod:`repro.trace.dynamic` — dynamic task programs: tasks that spawn
+  tasks and issue ``taskwait`` while the machine runs
+  (:class:`~repro.trace.dynamic.DynamicProgram`, body op vocabulary,
+  serial elaboration back to a static trace).
 * :mod:`repro.trace.stream` — the streaming pipeline: the
   :class:`~repro.trace.stream.TaskStream` protocol, replayable
   :class:`~repro.trace.stream.TraceStream` sources and
@@ -27,8 +31,18 @@ between task submissions.  This package defines that representation:
 """
 
 from repro.trace.task import Direction, Parameter, TaskDescriptor
-from repro.trace.events import TaskSubmitEvent, TaskwaitEvent, TaskwaitOnEvent, TraceEvent
+from repro.trace.events import SpawnEvent, TaskSubmitEvent, TaskwaitEvent, TaskwaitOnEvent, TraceEvent
 from repro.trace.trace import Trace, TraceBuilder
+from repro.trace.dynamic import (
+    Compute,
+    DynamicProgram,
+    Spawn,
+    Taskwait,
+    TaskwaitOn,
+    TaskRequest,
+    is_dynamic_program,
+    task_request,
+)
 from repro.trace.dag import DependencyGraph, build_dependency_graph, validate_schedule
 from repro.trace.stats import TraceStatistics, compute_statistics
 from repro.trace.stream import (
@@ -56,7 +70,16 @@ __all__ = [
     "Parameter",
     "TaskDescriptor",
     "TraceEvent",
+    "SpawnEvent",
     "TaskSubmitEvent",
+    "Compute",
+    "Spawn",
+    "Taskwait",
+    "TaskwaitOn",
+    "TaskRequest",
+    "DynamicProgram",
+    "is_dynamic_program",
+    "task_request",
     "TaskwaitEvent",
     "TaskwaitOnEvent",
     "Trace",

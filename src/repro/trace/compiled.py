@@ -29,6 +29,13 @@ tracker with the same distribution key shares one resolved program.
 Programs are cached on the owning :class:`~repro.trace.trace.Trace` (see
 :meth:`Trace.access_program`) under a ``_compiled*`` attribute, which
 ``Trace.__getstate__`` already excludes from pickles.
+
+Programs are also *growable*: :meth:`CompiledAccessProgram.add_task`
+interns one task incrementally, appending to every flat array without
+moving existing ids or slots.  Dynamic runs (tasks spawned while the
+machine is running; see :mod:`repro.trace.dynamic`) build a fresh empty
+program per run and extend it task by task, and the tracker resolutions
+layered on top extend themselves lazily to match.
 """
 
 from __future__ import annotations
@@ -76,7 +83,12 @@ class CompiledAccessProgram:
     __slots__ = ("addresses", "id_of", "task_ids", "offsets", "addr_ids",
                  "flags", "_slot_of", "resolution_cache")
 
-    def __init__(self, tasks: Iterable[TaskDescriptor]) -> None:
+    def __init__(self, tasks: Iterable[TaskDescriptor] = ()) -> None:
+        # Bulk compilation stays a tight local-variable loop: this runs
+        # once per trace on the static hot path (add_task — the growable
+        # entry point for dynamic runs — pays method-call and duplicate
+        # checks the bulk path does not need, since Trace already
+        # guarantees unique ids).
         addresses: List[int] = []
         id_of: Dict[int, int] = {}
         task_ids: List[int] = []
@@ -119,6 +131,56 @@ class CompiledAccessProgram:
         else:
             self._slot_of = {task_id: slot for slot, task_id in enumerate(task_ids)}
         self.resolution_cache: Dict[object, object] = {}
+
+    def add_task(self, task: TaskDescriptor) -> int:
+        """Intern ``task``'s accesses incrementally; return its slot.
+
+        This is how dynamic runs keep the compiled dependency-resolution
+        path: the machine interns each task the moment it is spawned, and
+        the tracker's bound resolution extends itself lazily (appending
+        rows and addresses only — existing slots and address ids never
+        move, so resolutions shared across trackers stay valid).
+        """
+        task_id = task.task_id
+        slot_of = self._slot_of
+        if slot_of is not None:
+            if task_id in slot_of:
+                raise ValueError(f"task {task_id} is already in the access program")
+        elif task_id < len(self.task_ids):
+            raise ValueError(f"task {task_id} is already in the access program")
+        addresses = self.addresses
+        id_of = self.id_of
+        addr_ids = self.addr_ids
+        flags = self.flags
+        flag_of = _FLAG_OF_DIRECTION
+        slot = len(self.task_ids)
+        self.task_ids.append(task_id)
+        merged: Dict[int, int] = {}
+        for param in task.params:
+            address = param.address
+            flag = flag_of[param.direction]
+            previous = merged.get(address)
+            if previous is None:
+                merged[address] = flag
+            elif previous != flag:
+                # Any two distinct directions union to read-write,
+                # exactly like merge_access_modes.
+                merged[address] = FLAG_READWRITE
+        for address, flag in merged.items():
+            dense = id_of.get(address)
+            if dense is None:
+                dense = len(addresses)
+                id_of[address] = dense
+                addresses.append(address)
+            addr_ids.append(dense)
+            flags.append(flag)
+        self.offsets.append(len(addr_ids))
+        if slot_of is not None:
+            slot_of[task_id] = slot
+        elif task_id != slot:
+            # First sparse id: fall back to the explicit map.
+            self._slot_of = {tid: s for s, tid in enumerate(self.task_ids)}
+        return slot
 
     # -- geometry ----------------------------------------------------------
     @property

@@ -7,6 +7,11 @@ paper supports (Section VII: ``in``, ``out``, ``inout``, ``taskwait``,
 ``taskwait on``):
 
 * :class:`TaskSubmitEvent` — the master submits one task.
+* :class:`SpawnEvent` — a *task* submits one task (dynamic nested
+  parallelism).  It subclasses :class:`TaskSubmitEvent`, so every
+  consumer that replays submissions statically (the machine's compiled
+  trace, the DAG analysis, serialization) treats a recorded spawn as a
+  plain submission; the extra ``parent_id`` keeps the provenance.
 * :class:`TaskwaitEvent` — the master blocks until *all* previously
   submitted tasks have finished.
 * :class:`TaskwaitOnEvent` — the master blocks until the data behind one
@@ -19,7 +24,7 @@ paper supports (Section VII: ``in``, ``out``, ``inout``, ``taskwait``,
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Union
+from typing import Optional, Union
 
 from repro.common.constants import ADDRESS_MASK
 from repro.common.errors import TraceError
@@ -35,6 +40,24 @@ class TaskSubmitEvent:
     @property
     def kind(self) -> str:
         return "submit"
+
+
+@dataclass(frozen=True)
+class SpawnEvent(TaskSubmitEvent):
+    """A running task (``parent_id``) submits ``task`` to the manager.
+
+    Produced by dynamic runs and by the serial elaboration of a
+    :class:`~repro.trace.dynamic.DynamicProgram`.  ``parent_id`` is
+    ``None`` when the master thread itself performed the submission.
+    Because this is a :class:`TaskSubmitEvent`, a trace containing
+    recorded spawns replays through the static machine unchanged.
+    """
+
+    parent_id: Optional[int] = None
+
+    @property
+    def kind(self) -> str:
+        return "spawn"
 
 
 @dataclass(frozen=True)

@@ -50,11 +50,21 @@ from repro.workloads.synthetic import (
     stream_independent,
     stream_random_dag,
 )
+from repro.workloads.recursive import (
+    fib_program,
+    nqueens_program,
+    recursive_sort_program,
+    strassen_program,
+)
+from repro.workloads.fuzz import FuzzSpec, fuzz_program
 from repro.workloads.registry import (
+    DYNAMIC_PROGRAMS,
     STREAMS,
     WORKLOADS,
+    get_dynamic_program,
     get_workload,
     get_workload_stream,
+    is_dynamic_workload,
     list_workloads,
     paper_table2_workloads,
 )
@@ -86,10 +96,19 @@ __all__ = [
     "stream_independent",
     "stream_chain",
     "stream_fork_join",
+    "fib_program",
+    "nqueens_program",
+    "recursive_sort_program",
+    "strassen_program",
+    "FuzzSpec",
+    "fuzz_program",
+    "DYNAMIC_PROGRAMS",
     "STREAMS",
     "WORKLOADS",
+    "get_dynamic_program",
     "get_workload",
     "get_workload_stream",
+    "is_dynamic_workload",
     "list_workloads",
     "paper_table2_workloads",
 ]

@@ -1,0 +1,217 @@
+"""Seeded workload fuzzer: random dynamic spawn trees with controlled shape.
+
+:func:`fuzz_program` generates a random :class:`~repro.trace.dynamic.
+DynamicProgram` from a :class:`FuzzSpec` — a fully seeded description of
+the tree shape (depth, fan-out), the address-conflict density, and the
+barrier behaviour of both the master and the spawned tasks.  It is the
+workload side of the differential fuzz suite (``tests/fuzz/``): every
+spec replays deterministically, so a failing seed is a reproducible
+regression case.
+
+Guarantees (by construction):
+
+* **Deterministic** — the entire tree (requests, addresses, durations,
+  barrier placement) is prebuilt depth-first from ``make_rng(seed)``
+  when the program is created; bodies only replay prebuilt requests, so
+  structure never depends on run interleaving (the contract in
+  :mod:`repro.trace.dynamic`).
+* **Deadlock-free** — conflict addresses are only ever shared between
+  *siblings* (tasks spawned by the same parent): a later sibling may
+  read or ``inout`` an earlier sibling's output.  Sibling address waits
+  point backwards in insertion order and never involve an ancestor, so
+  they cannot close a cycle with ``taskwait`` edges.
+* **Joined** — the master program always ends with a full ``taskwait``,
+  so dangling children (tasks whose parent finished without joining
+  them — generated with ``1 - join_probability``) still drain before
+  the program ends.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.common.errors import ConfigurationError
+from repro.common.rng import make_rng
+from repro.trace.dynamic import (
+    Compute,
+    DynamicProgram,
+    Spawn,
+    Taskwait,
+    TaskwaitOn,
+    TaskRequest,
+    task_request,
+)
+from repro.workloads.addressing import AddressSpace
+
+
+@dataclass(frozen=True)
+class FuzzSpec:
+    """Knobs of one fuzzed dynamic program (hashable, replayable)."""
+
+    #: RNG seed; the sole source of randomness.
+    seed: int
+    #: Maximum spawn-tree depth below the roots (0 = flat programs).
+    max_depth: int = 3
+    #: Maximum children a task spawns (actual count is drawn per task).
+    max_children: int = 3
+    #: Number of root tasks the master submits.
+    roots: int = 4
+    #: Probability that a task reads / inouts an earlier sibling's output.
+    conflict_density: float = 0.4
+    #: Probability that a ``conflict`` parameter is ``inout`` (else ``in``).
+    inout_probability: float = 0.3
+    #: Probability a parent joins its children with a final ``taskwait``
+    #: (otherwise they dangle until an ancestor barrier or program end).
+    join_probability: float = 0.8
+    #: Probability of a mid-body ``taskwait`` between two spawns.
+    mid_taskwait_probability: float = 0.2
+    #: Probability the master inserts a barrier between two roots
+    #: (``taskwait on`` one-third of the time, full ``taskwait`` else).
+    master_barrier_probability: float = 0.4
+    #: Task compute-duration bounds (µs).
+    duration_range_us: Tuple[float, float] = (0.5, 20.0)
+    #: Hard cap on the number of spawned tasks (bounds runaway trees).
+    max_tasks: int = 400
+    #: Probability a spawned child is itself allowed to spawn (scaled
+    #: down with depth, so trees thin out naturally).
+    recurse_probability: float = 0.7
+
+    def __post_init__(self) -> None:
+        if self.max_depth < 0:
+            raise ConfigurationError(f"max_depth must be >= 0, got {self.max_depth}")
+        if self.max_children < 0:
+            raise ConfigurationError(f"max_children must be >= 0, got {self.max_children}")
+        if self.roots <= 0:
+            raise ConfigurationError(f"roots must be positive, got {self.roots}")
+        if self.max_tasks <= 0:
+            raise ConfigurationError(f"max_tasks must be positive, got {self.max_tasks}")
+        low, high = self.duration_range_us
+        if low < 0 or high < low:
+            raise ConfigurationError(f"invalid duration range {self.duration_range_us}")
+        for name in ("conflict_density", "inout_probability", "join_probability",
+                     "mid_taskwait_probability", "master_barrier_probability",
+                     "recurse_probability"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ConfigurationError(f"{name} must be in [0, 1], got {value}")
+
+    def describe(self) -> dict:
+        """Serialisable identity (used for corpus files and metadata)."""
+        return {
+            "seed": self.seed,
+            "max_depth": self.max_depth,
+            "max_children": self.max_children,
+            "roots": self.roots,
+            "conflict_density": self.conflict_density,
+            "inout_probability": self.inout_probability,
+            "join_probability": self.join_probability,
+            "mid_taskwait_probability": self.mid_taskwait_probability,
+            "master_barrier_probability": self.master_barrier_probability,
+            "duration_range_us": list(self.duration_range_us),
+            "max_tasks": self.max_tasks,
+            "recurse_probability": self.recurse_probability,
+        }
+
+
+def fuzz_program(spec: FuzzSpec) -> DynamicProgram:
+    """Generate the random dynamic program described by ``spec``.
+
+    >>> program = fuzz_program(FuzzSpec(seed=42))
+    >>> program.elaborate().num_tasks == program.metadata["num_tasks"]
+    True
+    >>> fuzz_program(FuzzSpec(seed=42)).elaborate() == program.elaborate()
+    True
+    """
+    rng = make_rng(spec.seed, "fuzz-program")
+    space = AddressSpace(seed=spec.seed)
+    low, high = spec.duration_range_us
+    budget = [spec.max_tasks]
+
+    def draw_duration() -> float:
+        return float(rng.uniform(low, high)) if high > low else float(low)
+
+    def build_task(depth: int, sibling_outputs: List[int]) -> Tuple[TaskRequest, int]:
+        """One task at ``depth``; returns (request, its output address)."""
+        budget[0] -= 1
+        output = space.alloc_one()
+        inputs: List[int] = []
+        inouts: List[int] = []
+        for addr in sibling_outputs:
+            if rng.random() < spec.conflict_density:
+                (inouts if rng.random() < spec.inout_probability else inputs).append(addr)
+        duration = draw_duration()
+        may_recurse = (
+            depth < spec.max_depth
+            and spec.max_children > 0
+            and budget[0] > 0
+            and rng.random() < spec.recurse_probability
+        )
+        if not may_recurse:
+            return task_request(
+                "fz_leaf", duration,
+                inputs=inputs, outputs=[output], inouts=inouts), output
+        num_children = int(rng.integers(1, spec.max_children + 1))
+        children: List[TaskRequest] = []
+        child_outputs: List[int] = []
+        for _ in range(num_children):
+            if budget[0] <= 0:
+                break
+            child, child_output = build_task(depth + 1, child_outputs)
+            children.append(child)
+            child_outputs.append(child_output)
+        # Deterministic body plan drawn at construction time: segment
+        # durations around the spawns, optional mid-body joins, and the
+        # final join.  The declared duration is the exact compute sum.
+        segments = [draw_duration() * 0.25 for _ in range(len(children) + 1)]
+        mid_joins = [rng.random() < spec.mid_taskwait_probability
+                     for _ in range(len(children))]
+        join_at_end = rng.random() < spec.join_probability
+        total_compute = float(sum(segments))
+
+        def body(children=tuple(children), segments=tuple(segments),
+                 mid_joins=tuple(mid_joins), join_at_end=join_at_end):
+            yield Compute(segments[0])
+            for index, child in enumerate(children):
+                _ = yield Spawn(child)
+                if mid_joins[index]:
+                    yield Taskwait()
+                yield Compute(segments[index + 1])
+            if join_at_end:
+                yield Taskwait()
+
+        node = task_request(
+            "fz_node", total_compute,
+            inputs=inputs, outputs=[output], inouts=inouts, body=body)
+        return node, output
+
+    roots: List[TaskRequest] = []
+    root_outputs: List[int] = []
+    barriers: List[Optional[object]] = []
+    for _ in range(spec.roots):
+        if budget[0] <= 0:
+            break
+        root, root_output = build_task(0, root_outputs)
+        roots.append(root)
+        root_outputs.append(root_output)
+        if rng.random() < spec.master_barrier_probability:
+            if root_outputs and rng.random() < (1.0 / 3.0):
+                barriers.append(TaskwaitOn(
+                    root_outputs[int(rng.integers(0, len(root_outputs)))]))
+            else:
+                barriers.append(Taskwait())
+        else:
+            barriers.append(None)
+    num_tasks = spec.max_tasks - budget[0]
+
+    def master(roots=tuple(roots), barriers=tuple(barriers)):
+        for root, barrier in zip(roots, barriers):
+            _ = yield Spawn(root)
+            if barrier is not None:
+                yield barrier
+        yield Taskwait()
+
+    return DynamicProgram(
+        f"fuzz-{spec.seed}", master,
+        metadata={"workload": "fuzz", "num_tasks": num_tasks, **spec.describe()},
+    )

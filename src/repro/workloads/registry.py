@@ -11,19 +11,36 @@ Every workload exists in two forms that produce byte-identical traces:
   :class:`~repro.trace.stream.TraceStream` (bounded generator memory);
 * :func:`get_workload` materialises the stream into a classic
   :class:`~repro.trace.trace.Trace`.
+
+**Dynamic workloads** (``fib``, ``nqueens``, ``recursive-sort``,
+``strassen``) are registered alongside the static ones: their factories
+return a :class:`~repro.trace.dynamic.DynamicProgram`, which satisfies
+the stream protocol through its serial elaboration — so
+:func:`get_workload` still yields a static trace (the elaboration), while
+:func:`get_dynamic_program` (and the machine's dynamic replay paths)
+exercise the insert-while-running regime.  Their recursion depth is a
+first-class experiment axis: pass ``depth`` to either getter (see
+:data:`DYNAMIC_PROGRAMS` for what "depth" means per workload).
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Optional
+from typing import Callable, Dict, Optional, Union
 
 from repro.common.errors import ConfigurationError
-from repro.trace.stream import TraceStream, materialize
+from repro.trace.dynamic import DynamicProgram
+from repro.trace.stream import TaskStream, TraceStream, materialize
 from repro.trace.trace import Trace
 from repro.workloads.cray import stream_cray
 from repro.workloads.gaussian import stream_gaussian_elimination
 from repro.workloads.h264dec import stream_h264dec
 from repro.workloads.microbench import stream_microbenchmark
+from repro.workloads.recursive import (
+    fib_program,
+    nqueens_program,
+    recursive_sort_program,
+    strassen_program,
+)
 from repro.workloads.rotcc import stream_rotcc
 from repro.workloads.sparselu import stream_sparselu
 from repro.workloads.streamcluster import stream_streamcluster
@@ -32,7 +49,10 @@ from repro.workloads.streamcluster import stream_streamcluster
 WorkloadFactory = Callable[[float, Optional[int]], Trace]
 
 #: A stream factory takes (scale, seed) and returns a lazy task stream.
-StreamFactory = Callable[[float, Optional[int]], TraceStream]
+StreamFactory = Callable[[float, Optional[int]], TaskStream]
+
+#: A dynamic factory takes (scale, seed, depth) and returns a program.
+DynamicFactory = Callable[[float, Optional[int], Optional[int]], DynamicProgram]
 
 
 def _h264_stream_factory(grouping: int) -> StreamFactory:
@@ -69,6 +89,55 @@ STREAMS: Dict[str, StreamFactory] = {
     "gaussian-3000": _gaussian_stream_factory(3000),
     "microbench": lambda scale=1.0, seed=None: stream_microbenchmark(seed=seed),
 }
+
+#: Dynamic (insert-while-running) workloads: factory(scale, seed, depth)
+#: -> DynamicProgram.  "depth" per workload: fib -> n, nqueens -> board
+#: size, recursive-sort -> log2(blocks), strassen -> recursion depth.
+DYNAMIC_PROGRAMS: Dict[str, DynamicFactory] = {
+    "fib": lambda scale=1.0, seed=None, depth=None: fib_program(
+        n=12 if depth is None else depth, seed=seed, scale=scale),
+    "nqueens": lambda scale=1.0, seed=None, depth=None: nqueens_program(
+        n=6 if depth is None else depth, seed=seed, scale=scale),
+    "recursive-sort": lambda scale=1.0, seed=None, depth=None: recursive_sort_program(
+        num_blocks=2 ** (5 if depth is None else depth), seed=seed, scale=scale),
+    "strassen": lambda scale=1.0, seed=None, depth=None: strassen_program(
+        depth=2 if depth is None else depth, seed=seed, scale=scale),
+}
+
+# Dynamic programs satisfy the stream protocol (serial elaboration), so
+# they live in the same registry every consumer already walks.
+STREAMS.update({
+    name: (lambda factory: lambda scale=1.0, seed=None: factory(scale, seed, None))(factory)
+    for name, factory in DYNAMIC_PROGRAMS.items()
+})
+
+
+def is_dynamic_workload(name: str) -> bool:
+    """Whether ``name`` is a dynamic (insert-while-running) workload.
+
+    >>> is_dynamic_workload("fib"), is_dynamic_workload("c-ray")
+    (True, False)
+    """
+    return name in DYNAMIC_PROGRAMS
+
+
+def get_dynamic_program(
+    name: str, scale: float = 1.0, seed: Optional[int] = None,
+    depth: Optional[int] = None,
+) -> DynamicProgram:
+    """Build the named dynamic workload program.
+
+    >>> get_dynamic_program("fib", depth=5).metadata["n"]
+    5
+    """
+    try:
+        factory = DYNAMIC_PROGRAMS[name]
+    except KeyError as exc:
+        raise ConfigurationError(
+            f"unknown dynamic workload {name!r}; available: "
+            f"{', '.join(sorted(DYNAMIC_PROGRAMS))}"
+        ) from exc
+    return factory(scale, seed, depth)
 
 
 def _materialized(factory: StreamFactory) -> WorkloadFactory:
@@ -109,24 +178,36 @@ def paper_table2_workloads() -> tuple[str, ...]:
     return TABLE2_WORKLOADS
 
 
-def get_workload(name: str, scale: float = 1.0, seed: Optional[int] = None) -> Trace:
+def get_workload(
+    name: str, scale: float = 1.0, seed: Optional[int] = None,
+    depth: Optional[int] = None,
+) -> Trace:
     """Generate the named workload at the given scale.
+
+    For a dynamic workload this materialises its serial elaboration (a
+    valid static trace with the same tasks and addresses).
 
     >>> trace = get_workload("microbench")
     >>> trace.num_tasks
     5
     """
-    return materialize(get_workload_stream(name, scale=scale, seed=seed))
+    return materialize(get_workload_stream(name, scale=scale, seed=seed, depth=depth))
 
 
 def get_workload_stream(
-    name: str, scale: float = 1.0, seed: Optional[int] = None
-) -> TraceStream:
+    name: str, scale: float = 1.0, seed: Optional[int] = None,
+    depth: Optional[int] = None,
+) -> TaskStream:
     """Open the named workload as a lazy task stream.
 
     The stream replays deterministically (generators re-seed per replay)
     and materialises to the exact trace :func:`get_workload` returns.
+    Dynamic workloads return their :class:`~repro.trace.dynamic.
+    DynamicProgram` (which streams its serial elaboration); ``depth`` is
+    only valid for them.
     """
+    if depth is not None:
+        return get_dynamic_program(name, scale=scale, seed=seed, depth=depth)
     try:
         factory = STREAMS[name]
     except KeyError as exc:

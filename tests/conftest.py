@@ -1,8 +1,33 @@
-"""Shared fixtures for the Nexus# reproduction test suite."""
+"""Shared fixtures for the Nexus# reproduction test suite.
+
+Also registers the hypothesis profiles: ``ci`` (derandomized fixed seed,
+bounded examples, no deadline — what the CI workflow selects via
+``HYPOTHESIS_PROFILE=ci`` so fuzz tests are reproducible across runs)
+and ``thorough`` (for local deep fuzzing).  The default profile stays
+untouched for interactive development.
+"""
 
 from __future__ import annotations
 
+import os
+
 import pytest
+from hypothesis import HealthCheck, settings
+
+settings.register_profile(
+    "ci",
+    derandomize=True,
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.register_profile(
+    "thorough",
+    max_examples=400,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "default"))
 
 from repro.managers.ideal import IdealManager
 from repro.managers.nanos import NanosManager

@@ -1,0 +1,50 @@
+"""The pinned fuzz corpus: fixed-seed regression cases.
+
+Each entry is a :class:`repro.workloads.fuzz.FuzzSpec` that replays
+deterministically without hypothesis — the CI regression layer of the
+differential fuzz suite.  When the hypothesis-driven tests in
+``test_fuzz_dynamic.py`` find a failing configuration, pin it here (with
+a comment naming the bug) so it is replayed forever.
+
+The corpus deliberately spans the scenario axes:
+
+* flat vs deep spawn trees, narrow vs wide fan-out;
+* zero conflict density vs address-conflict-heavy siblings;
+* fully joined trees vs dangling children (parents finishing with
+  children still in flight);
+* barrier-free masters vs masters mixing ``taskwait`` / ``taskwait on``
+  (the latter exercises the Nexus++ degradation path).
+"""
+
+from __future__ import annotations
+
+from repro.workloads.fuzz import FuzzSpec
+
+CORPUS: tuple[FuzzSpec, ...] = (
+    # Flat, wide, no recursion: the degenerate "static-like" case.
+    FuzzSpec(seed=101, max_depth=0, max_children=0, roots=12,
+             conflict_density=0.6, master_barrier_probability=0.5),
+    # Deep and narrow: recursion depth beyond typical core counts, so
+    # the suspend/resume (core release) path is exercised hard.
+    FuzzSpec(seed=202, max_depth=6, max_children=1, roots=2,
+             recurse_probability=0.95, conflict_density=0.2),
+    # Wide fan-out with heavy sibling conflicts (RAW/WAR/WAW storms).
+    FuzzSpec(seed=303, max_depth=2, max_children=5, roots=3,
+             conflict_density=0.9, inout_probability=0.6),
+    # Dangling-heavy: most parents never join their children.
+    FuzzSpec(seed=404, max_depth=3, max_children=3, roots=4,
+             join_probability=0.15, mid_taskwait_probability=0.05),
+    # Barrier-heavy master with taskwait-on mixed in.
+    FuzzSpec(seed=505, max_depth=2, max_children=3, roots=8,
+             master_barrier_probability=0.9, conflict_density=0.5),
+    # Mid-body joins everywhere (serialising spawn bursts).
+    FuzzSpec(seed=606, max_depth=3, max_children=4, roots=3,
+             mid_taskwait_probability=0.8, join_probability=0.9),
+    # Near-zero durations: completions pile up at equal timestamps, so
+    # the event queue's deterministic tie-breaking carries the run.
+    FuzzSpec(seed=707, max_depth=3, max_children=3, roots=4,
+             duration_range_us=(0.0, 0.5), conflict_density=0.5),
+    # Budget-capped runaway tree (the max_tasks cut mid-construction).
+    FuzzSpec(seed=808, max_depth=5, max_children=5, roots=5,
+             recurse_probability=0.9, max_tasks=120),
+)

@@ -1,0 +1,21 @@
+"""The four golden manager configurations, as fresh-instance factories.
+
+Mirrors ``tests/golden/golden_config.GOLDEN_MANAGERS`` (same paper
+configurations) without importing across test directories.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.factories import (
+    ideal_factory,
+    nanos_factory,
+    nexus_pp_factory,
+    nexus_sharp_factory,
+)
+
+GOLDEN_TEST_MANAGERS = {
+    "ideal": ideal_factory(),
+    "nanos": nanos_factory(),
+    "nexuspp": nexus_pp_factory(),
+    "nexussharp": nexus_sharp_factory(6),
+}

@@ -17,12 +17,19 @@ from repro.analysis.factories import (
     nexus_pp_factory,
     nexus_sharp_factory,
 )
+from repro.trace.dynamic import DynamicProgram
 from repro.trace.trace import Trace
 from repro.workloads.cray import generate_cray
 from repro.workloads.gaussian import generate_gaussian_elimination
 from repro.workloads.h264dec import generate_h264dec
 from repro.workloads.microbench import generate_microbenchmark
 from repro.workloads.rotcc import generate_rotcc
+from repro.workloads.recursive import (
+    fib_program,
+    nqueens_program,
+    recursive_sort_program,
+    strassen_program,
+)
 from repro.workloads.sparselu import generate_sparselu
 from repro.workloads.streamcluster import generate_streamcluster
 from repro.workloads.synthetic import generate_random_dag
@@ -50,4 +57,16 @@ def golden_traces() -> Dict[str, Trace]:
         "gaussian": generate_gaussian_elimination(matrix_size=24, seed=GOLDEN_SEED),
         "microbench": generate_microbenchmark(seed=GOLDEN_SEED),
         "synthetic": generate_random_dag(80, max_predecessors=3, seed=GOLDEN_SEED),
+    }
+
+
+def golden_dynamic_programs() -> Dict[str, DynamicProgram]:
+    """One seeded dynamic (insert-while-running) program per recursive
+    workload.  The golden harness pins their *dynamic-run* makespans for
+    every golden manager plus the digest of their serial elaboration."""
+    return {
+        "fib": fib_program(9, seed=GOLDEN_SEED),
+        "nqueens": nqueens_program(5, seed=GOLDEN_SEED),
+        "recursive_sort": recursive_sort_program(16, seed=GOLDEN_SEED),
+        "strassen": strassen_program(2, seed=GOLDEN_SEED),
     }

@@ -1,0 +1,141 @@
+"""Recursive dynamic workload generators and the workload fuzzer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.managers.ideal import IdealManager
+from repro.system.machine import simulate, simulate_dynamic
+from repro.trace.serialization import trace_digest
+from repro.workloads.fuzz import FuzzSpec, fuzz_program
+from repro.workloads.recursive import (
+    fib_program,
+    nqueens_program,
+    recursive_sort_program,
+    strassen_program,
+)
+from repro.workloads.registry import (
+    DYNAMIC_PROGRAMS,
+    STREAMS,
+    get_dynamic_program,
+    get_workload,
+    get_workload_stream,
+    is_dynamic_workload,
+    list_workloads,
+)
+
+SMALL_PROGRAMS = {
+    "fib": lambda seed: fib_program(6, seed=seed),
+    "nqueens": lambda seed: nqueens_program(5, seed=seed),
+    "recursive-sort": lambda seed: recursive_sort_program(8, seed=seed),
+    "strassen": lambda seed: strassen_program(1, seed=seed),
+}
+
+
+class TestGenerators:
+    @pytest.mark.parametrize("name", sorted(SMALL_PROGRAMS))
+    def test_metadata_counts_match_elaboration(self, name):
+        program = SMALL_PROGRAMS[name](seed=11)
+        assert program.elaborate().num_tasks == program.metadata["num_tasks"]
+
+    @pytest.mark.parametrize("name", sorted(SMALL_PROGRAMS))
+    def test_deterministic_per_seed(self, name):
+        a = SMALL_PROGRAMS[name](seed=11).elaborate()
+        b = SMALL_PROGRAMS[name](seed=11).elaborate()
+        c = SMALL_PROGRAMS[name](seed=12).elaborate()
+        assert trace_digest(a) == trace_digest(b)
+        assert trace_digest(a) != trace_digest(c)
+
+    @pytest.mark.parametrize("name", sorted(SMALL_PROGRAMS))
+    def test_dynamic_run_validates(self, name):
+        program = SMALL_PROGRAMS[name](seed=11)
+        result = simulate_dynamic(program, IdealManager(), num_cores=4, validate=True)
+        assert result.num_tasks == program.metadata["num_tasks"]
+
+    @pytest.mark.parametrize("name", sorted(SMALL_PROGRAMS))
+    def test_elaboration_replays_statically(self, name):
+        trace = SMALL_PROGRAMS[name](seed=11).elaborate()
+        result = simulate(trace, IdealManager(), num_cores=4, validate=True)
+        assert result.num_tasks == trace.num_tasks
+
+    @pytest.mark.parametrize("n,solutions", [(4, 2), (5, 10), (6, 4)])
+    def test_nqueens_counts_solutions(self, n, solutions):
+        assert nqueens_program(n, seed=1).metadata["num_solutions"] == solutions
+
+    def test_fib_rejects_invalid_arguments(self):
+        with pytest.raises(ConfigurationError):
+            fib_program(-1)
+        with pytest.raises(ConfigurationError):
+            fib_program(5, scale=0.0)
+        with pytest.raises(ConfigurationError):
+            recursive_sort_program(0)
+        with pytest.raises(ConfigurationError):
+            strassen_program(0)
+        with pytest.raises(ConfigurationError):
+            nqueens_program(0)
+
+
+class TestRegistry:
+    def test_dynamic_workloads_registered(self):
+        for name in ("fib", "nqueens", "recursive-sort", "strassen"):
+            assert name in DYNAMIC_PROGRAMS
+            assert name in STREAMS
+            assert name in list_workloads()
+            assert is_dynamic_workload(name)
+        assert not is_dynamic_workload("c-ray")
+
+    def test_get_workload_materialises_elaboration(self):
+        trace = get_workload("fib", seed=3)
+        program = get_dynamic_program("fib", seed=3)
+        assert trace_digest(trace) == trace_digest(program.elaborate())
+
+    def test_depth_knob(self):
+        assert get_dynamic_program("fib", depth=5).metadata["n"] == 5
+        assert get_dynamic_program("nqueens", depth=4).metadata["n"] == 4
+        assert get_dynamic_program("recursive-sort", depth=3).metadata["num_blocks"] == 8
+        assert get_dynamic_program("strassen", depth=1).metadata["depth"] == 1
+        stream = get_workload_stream("fib", depth=5)
+        assert stream.metadata["n"] == 5
+
+    def test_depth_for_static_workload_rejected(self):
+        with pytest.raises(ConfigurationError):
+            get_workload_stream("c-ray", depth=3)
+
+    def test_unknown_dynamic_workload_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown dynamic workload"):
+            get_dynamic_program("no-such")
+
+
+class TestFuzzer:
+    def test_budget_cap_respected(self):
+        spec = FuzzSpec(seed=1, max_depth=6, max_children=6, roots=10,
+                        recurse_probability=1.0, max_tasks=50)
+        program = fuzz_program(spec)
+        assert program.metadata["num_tasks"] <= 50
+        assert program.elaborate().num_tasks == program.metadata["num_tasks"]
+
+    def test_deterministic_per_seed(self):
+        spec = FuzzSpec(seed=9)
+        assert trace_digest(fuzz_program(spec).elaborate()) == \
+            trace_digest(fuzz_program(FuzzSpec(seed=9)).elaborate())
+        assert trace_digest(fuzz_program(spec).elaborate()) != \
+            trace_digest(fuzz_program(FuzzSpec(seed=10)).elaborate())
+
+    def test_spec_validation(self):
+        with pytest.raises(ConfigurationError):
+            FuzzSpec(seed=1, max_depth=-1)
+        with pytest.raises(ConfigurationError):
+            FuzzSpec(seed=1, roots=0)
+        with pytest.raises(ConfigurationError):
+            FuzzSpec(seed=1, conflict_density=1.5)
+        with pytest.raises(ConfigurationError):
+            FuzzSpec(seed=1, duration_range_us=(5.0, 1.0))
+        with pytest.raises(ConfigurationError):
+            FuzzSpec(seed=1, max_tasks=0)
+
+    def test_describe_round_trips_through_metadata(self):
+        spec = FuzzSpec(seed=77, max_depth=2, conflict_density=0.25)
+        program = fuzz_program(spec)
+        for key, value in spec.describe().items():
+            assert program.metadata[key] == value
