@@ -26,11 +26,20 @@ must reach the 1.5x target.  ``--check`` turns violations into a
 non-zero exit status, which is how CI fails the build on a hot-path
 regression.
 
+Schema 3 adds the **whole-sweep batch rows**: a (seeds × cores) sparselu
+grid cell executed once per cell through the scalar engine (fresh
+manager per cell, exactly like ``SweepRunner`` with ``n_jobs=1``) versus
+one :func:`repro.sim.batch.run_lanes` call advancing every cell as a
+lane.  The two sides produce byte-identical results (enforced by the
+batch golden/differential suites); the rows measure wall time only.
+The ``ideal`` batch row is gated at a 5.0x floor under ``--check`` in
+both quick and full modes.
+
 Run with::
 
     PYTHONPATH=src python benchmarks/bench_sim_throughput.py [--quick] [--check]
 
-Writes ``BENCH_sim_throughput.json`` (schema 2, repo root by default).
+Writes ``BENCH_sim_throughput.json`` (schema 3, repo root by default).
 """
 
 from __future__ import annotations
@@ -80,6 +89,19 @@ MANAGER_ROWS: Dict[str, Tuple[Callable, Callable]] = {
 #: Rows whose speedups feed the nexus geomean / floor gate.
 NEXUS_ROWS = ("nexuspp", "nexus#6")
 
+#: Whole-sweep batch section: the (seeds x cores) grid cell both engines
+#: execute, the lane-kernel managers it is measured for, and the gate.
+BATCH_SEEDS = (1, 2, 3, 4)
+BATCH_CORES = (4, 8, 16, 32)
+BATCH_MANAGERS: Dict[str, Callable] = {
+    "ideal": ideal_factory(),
+    "nanos": nanos_factory(),
+}
+#: Batch rows gated under ``--check`` (quick and full modes alike).
+BATCH_GATED_ROWS = ("ideal",)
+#: Whole-sweep wall-time speedup floor for the gated batch rows.
+BATCH_FLOOR = 5.0
+
 
 def _traces(scale: float):
     return {
@@ -115,7 +137,75 @@ def _geomean(values: List[float]) -> float:
     return math.exp(sum(math.log(v) for v in values) / len(values))
 
 
-def run_benchmark(scale: float, cores: int, repetitions: int) -> Dict[str, object]:
+def run_batch_section(scale: float, repetitions: int) -> Dict[str, object]:
+    """Whole-sweep rows: scalar per-cell execution vs one lane batch.
+
+    Both sides run the identical (seeds × cores) sparselu grid with
+    ``keep_schedule=False`` (the configuration large sweeps use): the
+    scalar side as ``len(seeds) * len(cores)`` independent
+    ``Machine.run`` calls with a fresh manager per cell, the batch side
+    as a single :func:`repro.sim.batch.run_lanes` call over the same
+    cells.  Warm-up runs outside the timed region fill the per-trace
+    structural caches both sides share, so the rows compare engine
+    execution, not trace compilation.
+    """
+    from repro.sim.batch import LaneSpec, run_lanes
+
+    traces = [generate_sparselu(scale=scale, seed=seed) for seed in BATCH_SEEDS]
+    configs = [MachineConfig(num_cores=c, keep_schedule=False) for c in BATCH_CORES]
+    rows: Dict[str, object] = {}
+    for manager_name, factory in BATCH_MANAGERS.items():
+
+        def run_scalar() -> int:
+            runs = 0
+            for trace in traces:
+                for config in configs:
+                    Machine(factory(), config).run(trace)
+                    runs += 1
+            return runs
+
+        def run_batch() -> int:
+            lanes = [
+                LaneSpec(trace=trace, manager=factory(), config=config)
+                for trace in traces for config in configs
+            ]
+            return len(run_lanes(lanes))
+
+        run_batch()
+        run_scalar()
+        batch_s, num_lanes, scalar_s, num_runs = _time_pair(
+            run_batch, run_scalar, repetitions)
+        speedup = scalar_s / batch_s if batch_s > 0 else math.inf
+        gated = manager_name in BATCH_GATED_ROWS
+        rows[manager_name] = {
+            "lanes": num_lanes,
+            "scalar_runs": num_runs,
+            "batch_seconds": round(batch_s, 6),
+            "scalar_seconds": round(scalar_s, 6),
+            "speedup": round(speedup, 3),
+            "floor": BATCH_FLOOR if gated else None,
+            "meets_floor": speedup >= BATCH_FLOOR if gated else True,
+        }
+    return {
+        "grid": {
+            "workload": "sparselu",
+            "scale": scale,
+            "seeds": list(BATCH_SEEDS),
+            "cores": list(BATCH_CORES),
+            "keep_schedule": False,
+        },
+        "rows": rows,
+        "gated_rows": list(BATCH_GATED_ROWS),
+        "floor": BATCH_FLOOR,
+        "meets_floor": all(
+            rows[name]["meets_floor"] for name in BATCH_GATED_ROWS  # type: ignore[index]
+        ),
+    }
+
+
+def run_benchmark(
+    scale: float, cores: int, repetitions: int, batch_scale: float,
+) -> Dict[str, object]:
     workloads: Dict[str, object] = {}
     speedups: Dict[str, List[float]] = {key: [] for key in MANAGER_ROWS}
     for trace_name, trace in _traces(scale).items():
@@ -152,13 +242,15 @@ def run_benchmark(scale: float, cores: int, repetitions: int) -> Dict[str, objec
             }
         workloads[trace_name] = per_manager
 
+    batch_sweep = run_batch_section(scale=batch_scale, repetitions=repetitions)
+
     nexus_speedups = [s for key in NEXUS_ROWS for s in speedups[key]]
     geomean_nexus = _geomean(nexus_speedups)
     geomean_ideal = _geomean(speedups["ideal"])
     per_manager_geomean = {key: round(_geomean(values), 3) for key, values in speedups.items()}
     return {
         "benchmark": "sim_throughput",
-        "schema": 2,
+        "schema": 3,
         "config": {
             "cores": cores,
             "scale": scale,
@@ -173,6 +265,7 @@ def run_benchmark(scale: float, cores: int, repetitions: int) -> Dict[str, objec
                     "steps, so it dispatches fewer events for the same simulated work",
         },
         "workloads": workloads,
+        "batch_sweep": batch_sweep,
         "per_manager_geomean_speedup": per_manager_geomean,
         "geomean_speedup_nexus": round(geomean_nexus, 3),
         "geomean_speedup_ideal": round(geomean_ideal, 3),
@@ -212,6 +305,14 @@ def check_report(report: Dict[str, object], enforce_geomean: bool = True) -> Lis
             f"nexus geomean {report['geomean_speedup_nexus']:.3f}x below the "
             f"{report['target_speedup_nexus']:.1f}x target"
         )
+    batch = report["batch_sweep"]
+    for manager_name in batch["gated_rows"]:  # type: ignore[index]
+        row = batch["rows"][manager_name]  # type: ignore[index]
+        if not row["meets_floor"]:
+            failures.append(
+                f"batch-sweep/{manager_name}: whole-sweep speedup "
+                f"{row['speedup']:.3f}x below the {row['floor']:.1f}x floor"
+            )
     return failures
 
 
@@ -232,7 +333,11 @@ def main() -> int:
 
     scale = args.scale if args.scale is not None else (0.05 if args.quick else 0.3)
     repetitions = args.repetitions if args.repetitions is not None else (3 if args.quick else 7)
-    report = run_benchmark(scale=scale, cores=args.cores, repetitions=repetitions)
+    # The batch grid multiplies the trace by 16 cells, so it runs at its
+    # own (smaller) scale to keep the benchmark's wall time bounded.
+    batch_scale = 0.02 if args.quick else 0.05
+    report = run_benchmark(scale=scale, cores=args.cores, repetitions=repetitions,
+                           batch_scale=batch_scale)
 
     output = Path(args.output)
     output.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n", encoding="utf-8")
@@ -249,6 +354,16 @@ def main() -> int:
     print(f"geomean speedup (nexus rows): {report['geomean_speedup_nexus']:.2f}x "
           f"(target >= {report['target_speedup_nexus']}x, row floor {report['row_floor']}x)")
     print(f"geomean speedup (ideal rows): {report['geomean_speedup_ideal']:.2f}x")
+    batch = report["batch_sweep"]
+    grid = batch["grid"]
+    for manager_name, row in batch["rows"].items():
+        gate = f" (floor {row['floor']:.1f}x)" if row["floor"] is not None else ""
+        print(
+            f"batch-sweep {manager_name:8s} {row['lanes']} lanes "
+            f"({len(grid['seeds'])} seeds x {len(grid['cores'])} cores): "
+            f"scalar {row['scalar_seconds']:.3f}s, batch {row['batch_seconds']:.3f}s, "
+            f"speedup {row['speedup']:.2f}x{gate}"
+        )
 
     failures = check_report(report, enforce_geomean=not args.quick)
     if failures:

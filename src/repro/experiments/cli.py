@@ -92,6 +92,12 @@ def _build_parser() -> argparse.ArgumentParser:
     _add_grid_arguments(p_sweep)
     p_sweep.add_argument("--n-jobs", type=int, default=1,
                          help="worker processes (default 1 = serial)")
+    p_sweep.add_argument("--batch-lanes", type=int, default=1,
+                         help="serial-path lane batching: advance up to this "
+                              "many grid cells in lockstep through the "
+                              "vectorized batch backend (default 1 = scalar; "
+                              "results are byte-identical either way; ignored "
+                              "with --n-jobs > 1)")
     p_sweep.add_argument("--cache-dir", default=None,
                          help="content-addressed result cache directory")
     p_sweep.add_argument("--output", default=None,
@@ -134,7 +140,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         print(spec.spec_hash())
         return 0
     # command == "sweep"
-    runner = SweepRunner(n_jobs=args.n_jobs, cache_dir=args.cache_dir)
+    runner = SweepRunner(n_jobs=args.n_jobs, cache_dir=args.cache_dir,
+                         batch_lanes=args.batch_lanes)
     with maybe_profile(args.profile):
         outcome = runner.run(spec, jsonl_path=args.output)
     if not args.quiet:

@@ -14,8 +14,9 @@ The output is a pure function of the spec:
   :meth:`SweepSpec.points` and results are re-ordered to it after the
   (unordered) parallel execution,
 * every result crosses process/cache boundaries as its JSON document, so
-  a cold serial run, a cold parallel run and a warm cached run all emit
-  byte-identical JSONL rows.
+  a cold serial run, a cold parallel run, a batched serial run
+  (``batch_lanes``, via the vectorized :mod:`repro.sim.batch` backend)
+  and a warm cached run all emit byte-identical JSONL rows.
 """
 
 from __future__ import annotations
@@ -153,6 +154,18 @@ class SweepRunner:
     cache_dir:
         Convenience: directory to open a :class:`ResultCache` in (ignored
         when ``cache`` is given).
+    batch_lanes:
+        Number of grid cells advanced together through the vectorized
+        batch backend (:func:`repro.sim.batch.run_lanes`) on the serial
+        path.  1 (the default) runs every cell through the scalar engine;
+        higher values group non-stream, non-dynamic cells into lane
+        batches of this size, in grid order.  This is an *execution*
+        option like ``n_jobs`` — results (and therefore cache keys and
+        JSONL rows) are byte-identical either way, because the batch
+        backend replicates the scalar engine exactly and falls back to
+        it per-lane for configurations its kernels do not cover.
+        Ignored when ``n_jobs > 1`` (worker processes run cells
+        individually).
     """
 
     def __init__(
@@ -161,10 +174,14 @@ class SweepRunner:
         *,
         cache: Optional[ResultCache] = None,
         cache_dir: Optional[Union[str, Path]] = None,
+        batch_lanes: int = 1,
     ) -> None:
         if n_jobs < 1:
             raise ConfigurationError(f"n_jobs must be >= 1, got {n_jobs}")
+        if batch_lanes < 1:
+            raise ConfigurationError(f"batch_lanes must be >= 1, got {batch_lanes}")
         self.n_jobs = n_jobs
+        self.batch_lanes = batch_lanes
         if cache is None and cache_dir is not None:
             cache = ResultCache(cache_dir)
         self.cache = cache
@@ -235,6 +252,8 @@ class SweepRunner:
         if not pending:
             return []
         if self.n_jobs == 1 or len(pending) == 1:
+            if self.batch_lanes > 1 and len(pending) > 1:
+                return self._execute_batched(pending)
             return [_run_point_job((index, point, None)) for index, point in pending]
         self._check_factories_picklable(pending)
         # Intern inline-trace workloads: ship each unique trace to workers
@@ -257,6 +276,49 @@ class SweepRunner:
         processes = min(self.n_jobs, len(pending))
         with context.Pool(processes=processes, initializer=_init_worker, initargs=(table,)) as pool:
             return list(pool.imap_unordered(_run_point_job, jobs, chunksize=1))
+
+    def _execute_batched(
+        self, pending: List[Tuple[int, RunPoint]]
+    ) -> List[Tuple[int, Dict[str, Any]]]:
+        """Serial execution through the vectorized batch backend.
+
+        Materialised (non-stream, non-dynamic) cells are grouped into
+        lane batches of ``batch_lanes`` in grid order and advanced in
+        lockstep; everything else runs through the scalar path exactly
+        as before.  Cells sharing a workload share one structural
+        compilation inside the batch backend (``WorkloadSpec.resolve``
+        memoises named traces per process, so a seeds × cores cell block
+        maps to few compilations and many lanes).
+        """
+        from repro.sim.batch import LaneSpec, run_lanes
+        from repro.system.machine import MachineConfig
+
+        out: List[Tuple[int, Dict[str, Any]]] = []
+        batchable: List[Tuple[int, RunPoint]] = []
+        for index, point in pending:
+            if point.stream or point.dynamic:
+                out.append(_run_point_job((index, point, None)))
+            else:
+                batchable.append((index, point))
+        for start in range(0, len(batchable), self.batch_lanes):
+            chunk = batchable[start:start + self.batch_lanes]
+            lanes = [
+                LaneSpec(
+                    trace=point.workload.resolve(),
+                    manager=point.factory(),
+                    config=MachineConfig(
+                        num_cores=point.cores,
+                        validate=point.validate,
+                        keep_schedule=point.keep_schedule,
+                        scheduler=point.scheduler,
+                        topology=point.topology,
+                    ),
+                )
+                for _, point in chunk
+            ]
+            for (index, _), result in zip(chunk, run_lanes(lanes)):
+                out.append((index, result_to_json(result)))
+        return out
 
     @staticmethod
     def _check_factories_picklable(pending: List[Tuple[int, RunPoint]]) -> None:
@@ -444,7 +506,8 @@ def run_sweep(
     n_jobs: int = 1,
     cache_dir: Optional[Union[str, Path]] = None,
     jsonl_path: Optional[Union[str, Path]] = None,
+    batch_lanes: int = 1,
 ) -> SweepOutcome:
     """One-call convenience wrapper around :class:`SweepRunner`."""
-    runner = SweepRunner(n_jobs=n_jobs, cache_dir=cache_dir)
+    runner = SweepRunner(n_jobs=n_jobs, cache_dir=cache_dir, batch_lanes=batch_lanes)
     return runner.run(spec, jsonl_path=jsonl_path)

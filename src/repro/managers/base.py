@@ -58,6 +58,40 @@ class SubmitOutcome(NamedTuple):
     ready: tuple[ReadyNotification, ...] = ()
 
 
+class LaneKernelSpec(NamedTuple):
+    """Constant-folded description of a manager for the batch lane engine.
+
+    The vectorized batch backend (:mod:`repro.sim.batch`) advances many
+    independent simulation runs ("lanes") in lockstep.  It cannot call
+    back into stateful manager objects per event — each lane owns flat
+    per-lane state instead — so a manager that wants its lanes on the
+    vector kernel must describe itself as pure constants.  Two kernel
+    kinds exist today:
+
+    * ``"ideal"`` — zero-overhead dependency resolution (submission and
+      retirement cost no simulated time);
+    * ``"nanos"`` — the Nanos software-runtime cost model: serial
+      master-side task creation plus a single runtime lock whose
+      reservations the lane kernel replays arithmetically (exactly
+      :meth:`repro.sim.resource.SerialResource.reserve`).
+
+    The hardware managers (Nexus++/Nexus#) model history-dependent
+    pipeline contention (per-task-graph ports, arbiters, set-conflict
+    stalls) that has no constant folding; they return ``None`` from
+    :meth:`TaskManagerModel.lane_kernel` and their lanes run on the
+    scalar engine instead (see ``repro.sim.batch.lane_fallback_reason``).
+    """
+
+    kind: str
+    worker_overhead_us: float = 0.0
+    creation_base_us: float = 0.0
+    creation_per_param_us: float = 0.0
+    insert_lock_us: float = 0.0
+    insert_lock_per_param_us: float = 0.0
+    finish_lock_us: float = 0.0
+    wakeup_per_task_us: float = 0.0
+
+
 class FinishOutcome(NamedTuple):
     """Result of notifying a manager that a task finished.
 
@@ -131,6 +165,21 @@ class TaskManagerModel(abc.ABC):
         (the tracker's resolution extends itself lazily).  The default
         is a no-op: managers without a tracker simply ignore programs.
         """
+
+    def lane_kernel(self) -> "LaneKernelSpec | None":
+        """Constant description for the batch lane engine, or ``None``.
+
+        Returning a :class:`LaneKernelSpec` declares that this manager's
+        behaviour is fully captured by the spec's constants, so a batch
+        run (:meth:`repro.system.machine.Machine.run_batch`) may execute
+        its lanes on the vectorized kernel in :mod:`repro.sim.batch`
+        instead of calling :meth:`submit`/:meth:`finish` per event.  The
+        lane kernel must be **byte-identical** to the scalar path — the
+        golden batch-equivalence suite and the lane-differential fuzz
+        tests in ``tests/batch/`` pin this.  The default ``None`` routes
+        every lane through the scalar engine, which is always correct.
+        """
+        return None
 
     def abandon_run(self) -> None:
         """A run died mid-flight: drop every per-run binding *now*.

@@ -14,7 +14,13 @@ from __future__ import annotations
 
 from typing import Mapping
 
-from repro.managers.base import FinishOutcome, ReadyNotification, SubmitOutcome, TaskManagerModel
+from repro.managers.base import (
+    FinishOutcome,
+    LaneKernelSpec,
+    ReadyNotification,
+    SubmitOutcome,
+    TaskManagerModel,
+)
 from repro.taskgraph.tracker import DependencyTracker
 from repro.trace.task import TaskDescriptor
 
@@ -44,6 +50,12 @@ class IdealManager(TaskManagerModel):
         result = self._tracker.finish_task(task_id)
         ready = tuple(ReadyNotification(t, time_us) for t in result.newly_ready)
         return FinishOutcome(ready=ready, notify_done_us=time_us)
+
+    def lane_kernel(self) -> LaneKernelSpec:
+        """The ideal manager is pure dependency bookkeeping: zero cost,
+        ready times equal to the submit/finish times — exactly the batch
+        engine's ``"ideal"`` kernel."""
+        return LaneKernelSpec(kind="ideal")
 
     def statistics(self) -> Mapping[str, object]:
         return {

@@ -29,7 +29,13 @@ from typing import Mapping
 
 from repro.common.errors import ConfigurationError
 from repro.common.validation import check_non_negative
-from repro.managers.base import FinishOutcome, ReadyNotification, SubmitOutcome, TaskManagerModel
+from repro.managers.base import (
+    FinishOutcome,
+    LaneKernelSpec,
+    ReadyNotification,
+    SubmitOutcome,
+    TaskManagerModel,
+)
 from repro.sim.resource import SerialResource
 from repro.taskgraph.tracker import DependencyTracker
 from repro.trace.task import TaskDescriptor
@@ -110,6 +116,22 @@ class NanosManager(TaskManagerModel):
         _, finish_done = self._lock.reserve(time_us, lock_cost)
         ready = tuple(ReadyNotification(t, finish_done) for t in result.newly_ready)
         return FinishOutcome(ready=ready, notify_done_us=finish_done)
+
+    def lane_kernel(self) -> LaneKernelSpec:
+        """Nanos is constant-foldable: per-task costs are affine in the
+        parameter count and the runtime lock is one serial resource whose
+        reservations the lane kernel replays arithmetically."""
+        cfg = self.config
+        return LaneKernelSpec(
+            kind="nanos",
+            worker_overhead_us=self.worker_overhead_us,
+            creation_base_us=cfg.task_creation_us,
+            creation_per_param_us=cfg.creation_per_param_us,
+            insert_lock_us=cfg.insert_lock_us,
+            insert_lock_per_param_us=cfg.insert_lock_per_param_us,
+            finish_lock_us=cfg.finish_lock_us,
+            wakeup_per_task_us=cfg.wakeup_per_task_us,
+        )
 
     # -- reporting ---------------------------------------------------------------
     def describe(self) -> Mapping[str, object]:

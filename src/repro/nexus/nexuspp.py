@@ -38,7 +38,11 @@ from repro.common.errors import ConfigurationError
 from repro.common.units import Frequency
 from repro.common.validation import check_positive
 from repro.managers.base import FinishOutcome, ReadyNotification, SubmitOutcome, TaskManagerModel
-from repro.nexus.timing import NEXUS_PP_TEST_FREQUENCY_MHZ, NexusPlusPlusTiming
+from repro.nexus.timing import (
+    NEXUS_PP_TEST_FREQUENCY_MHZ,
+    NexusPlusPlusTiming,
+    shared_offset_tables,
+)
 from repro.sim.resource import SerialResource
 from repro.taskgraph.table import AddressTable
 from repro.taskgraph.task_pool import TaskPool
@@ -102,14 +106,18 @@ class NexusPlusPlusManager(TaskManagerModel):
         # Precomputed cycle->µs constants and per-parameter-count tables
         # (grown on demand): per-task pipeline costs are table lookups
         # with bit-identical values instead of method calls + multiplies.
+        # The tables are process-shared per (timing, cycle_us) — every
+        # sweep point / batch lane with the same configuration aliases
+        # the same grown lists instead of re-deriving them.
         timing = self.config.timing
         cycle_us = self._cycle_us
         self._fifo_us = self.config.fifo_latency_cycles * cycle_us
         self._writeback_us = timing.writeback_cycles * cycle_us
         self._notify_us = timing.finish_notify_cycles * cycle_us
-        self._input_us: list[float] = []
-        self._insert_cycles: list[int] = []
-        self._cleanup_cycles: list[int] = []
+        self._tables = shared_offset_tables(timing, cycle_us)
+        self._input_us = self._tables.input_us
+        self._insert_cycles = self._tables.insert_cycles
+        self._cleanup_cycles = self._tables.cleanup_cycles
         #: Per-task bookkeeping for statistics.
         self._ready_latency_total_us = 0.0
         self._ready_count = 0
@@ -120,18 +128,8 @@ class NexusPlusPlusManager(TaskManagerModel):
         return cycles * self._cycle_us
 
     def _grow_tables(self, count: int) -> None:
-        """Extend the per-parameter-count latency tables up to ``count``."""
-        timing = self.config.timing
-        cycle_us = self._cycle_us
-        input_us = self._input_us
-        while len(input_us) <= count:
-            input_us.append(timing.input_cycles(len(input_us)) * cycle_us)
-        insert_cycles = self._insert_cycles
-        while len(insert_cycles) <= count:
-            insert_cycles.append(timing.insert_cycles(len(insert_cycles)))
-        cleanup_cycles = self._cleanup_cycles
-        while len(cleanup_cycles) <= count:
-            cleanup_cycles.append(timing.cleanup_cycles(len(cleanup_cycles)))
+        """Extend the (shared) per-parameter-count latency tables."""
+        self._tables.grow_pp(count)
 
     @property
     def frequency(self) -> Frequency:
@@ -255,6 +253,19 @@ class NexusPlusPlusManager(TaskManagerModel):
             self._ready_latency_total_us += wb_end - time_us
             self._ready_count += 1
         return FinishOutcome(ready=tuple(notifications), notify_done_us=cleanup_end)
+
+    def lane_kernel(self) -> None:
+        """Nexus++ declines the vectorized batch lane kernel.
+
+        Its pipeline state is history-dependent in ways the lane kernel
+        cannot constant-fold: three serial resources (Input Parser, the
+        task graph's single port, Write Back) interleave submit- and
+        finish-side reservations, and the set-associative address table
+        adds occupancy-dependent conflict stalls.  Batch lanes fall back
+        to the scalar engine; they still benefit from the process-shared
+        latency tables (:func:`repro.nexus.timing.shared_offset_tables`).
+        """
+        return None
 
     # -- reporting -----------------------------------------------------------------
     def describe(self) -> Mapping[str, object]:

@@ -47,7 +47,11 @@ from repro.common.validation import check_positive
 from repro.managers.base import FinishOutcome, ReadyNotification, SubmitOutcome, TaskManagerModel
 from repro.nexus.arbiter import DependenceCountsArbiter
 from repro.nexus.distribution import nexus_hash
-from repro.nexus.timing import NexusSharpTiming, synthesis_frequency_mhz
+from repro.nexus.timing import (
+    NexusSharpTiming,
+    shared_offset_tables,
+    synthesis_frequency_mhz,
+)
 from repro.sim.resource import SerialResource
 from repro.taskgraph.table import AddressTable
 from repro.taskgraph.task_pool import TaskPool
@@ -143,10 +147,14 @@ class NexusSharpManager(TaskManagerModel):
         self._insert_conflict_us = (
             (timing.insert_cycles_per_param + timing.set_conflict_stall_cycles) * cycle_us
         )
-        self._fwd_us: List[float] = []
-        self._fin_fwd_us: List[float] = []
-        self._input_us: List[float] = []
-        self._fin_input_us: List[float] = []
+        # Per-index offset tables, process-shared per (timing, cycle_us):
+        # batch lanes and sweep points with the same configuration alias
+        # the same monotonically grown lists.
+        self._tables = shared_offset_tables(timing, cycle_us)
+        self._fwd_us = self._tables.fwd_us
+        self._fin_fwd_us = self._tables.fin_fwd_us
+        self._input_us = self._tables.input_us
+        self._fin_input_us = self._tables.fin_input_us
         self._ready_latency_total_us = 0.0
         self._ready_count = 0
 
@@ -155,25 +163,11 @@ class NexusSharpManager(TaskManagerModel):
         return cycles * self._cycle_us
 
     def _grow_submit_tables(self, count: int) -> None:
-        """Extend the per-parameter-index offset/occupancy tables."""
-        timing = self.config.timing
-        cycle_us = self._cycle_us
-        fwd = self._fwd_us
-        while len(fwd) < count:
-            fwd.append(timing.param_forward_offset_cycles(len(fwd)) * cycle_us)
-        inp = self._input_us
-        while len(inp) <= count:
-            inp.append(timing.input_cycles(len(inp)) * cycle_us)
+        """Extend the (shared) per-parameter-index offset tables."""
+        self._tables.grow_sharp_submit(count)
 
     def _grow_finish_tables(self, count: int) -> None:
-        timing = self.config.timing
-        cycle_us = self._cycle_us
-        fwd = self._fin_fwd_us
-        while len(fwd) < count:
-            fwd.append(timing.finish_param_forward_offset_cycles(len(fwd)) * cycle_us)
-        inp = self._fin_input_us
-        while len(inp) <= count:
-            inp.append(timing.finish_input_cycles(len(inp)) * cycle_us)
+        self._tables.grow_sharp_finish(count)
 
     @property
     def frequency(self) -> Frequency:
@@ -338,6 +332,19 @@ class NexusSharpManager(TaskManagerModel):
             concluded = last_decrement.get(ready_task, fp_end)
             notifications.append(self._write_back_ready(ready_task, concluded, time_us))
         return FinishOutcome(ready=tuple(notifications), notify_done_us=fp_end)
+
+    def lane_kernel(self) -> None:
+        """Nexus# declines the vectorized batch lane kernel.
+
+        The distributed pipeline is far too history-dependent to
+        constant-fold: per-task-graph insertion ports, the Dependence
+        Counts Arbiter's result interleaving, set-conflict stalls and
+        dummy-entry occupancy all couple a task's cost to every earlier
+        task's placement.  Batch lanes fall back to the scalar engine;
+        they still benefit from the process-shared latency tables
+        (:func:`repro.nexus.timing.shared_offset_tables`).
+        """
+        return None
 
     # -- reporting -----------------------------------------------------------------
     def describe(self) -> Mapping[str, object]:

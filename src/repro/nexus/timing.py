@@ -23,6 +23,8 @@ Figure 7(a) additionally runs every configuration at a flat 100 MHz.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import lru_cache
+from typing import List, Union
 
 from repro.common.errors import ConfigurationError
 from repro.common.validation import check_non_negative, check_positive
@@ -234,3 +236,95 @@ class NexusSharpTiming:
             finish_distribute_cycles_per_param=1,
             finish_update_cycles_per_param=2,
         )
+
+
+class OffsetTables:
+    """Per-parameter-index cycle→µs latency tables, shared process-wide.
+
+    Both hardware managers fold their pipeline arithmetic into tables
+    indexed by parameter count / parameter index, grown on demand as
+    wider tasks appear.  Every entry is a pure function of the timing
+    parameters and the clock period, so the tables for a given
+    ``(timing, cycle_us)`` pair are identical no matter which manager
+    instance grows them — and a sweep (or a batch of lanes) that
+    constructs hundreds of managers with the same configuration would
+    otherwise re-derive the very same floats hundreds of times.
+
+    :func:`shared_offset_tables` memoises instances on that pair (both
+    timing dataclasses are frozen, hence hashable by value).  The lists
+    only ever grow and existing entries are never rewritten, so manager
+    instances alias them directly; ``reset()`` keeping grown tables —
+    already the managers' behaviour — is what makes the sharing safe.
+    """
+
+    __slots__ = (
+        "_timing", "_cycle_us",
+        "input_us", "insert_cycles", "cleanup_cycles",
+        "fwd_us", "fin_fwd_us", "fin_input_us",
+    )
+
+    def __init__(
+        self,
+        timing: Union[NexusPlusPlusTiming, "NexusSharpTiming"],
+        cycle_us: float,
+    ) -> None:
+        self._timing = timing
+        self._cycle_us = cycle_us
+        #: Input Parser occupancy (µs) by parameter count (both managers).
+        self.input_us: List[float] = []
+        #: Nexus++ Insert-stage cycles by parameter count.
+        self.insert_cycles: List[int] = []
+        #: Nexus++ finished-task cleanup cycles by parameter count.
+        self.cleanup_cycles: List[int] = []
+        #: Nexus# submit-side parameter forward offsets (µs) by index.
+        self.fwd_us: List[float] = []
+        #: Nexus# finish-side parameter forward offsets (µs) by index.
+        self.fin_fwd_us: List[float] = []
+        #: Nexus# finish-redistribution occupancy (µs) by parameter count.
+        self.fin_input_us: List[float] = []
+
+    # -- Nexus++ ---------------------------------------------------------------
+    def grow_pp(self, count: int) -> None:
+        """Extend the Nexus++ tables to cover ``count`` parameters."""
+        timing = self._timing
+        cycle_us = self._cycle_us
+        input_us = self.input_us
+        while len(input_us) <= count:
+            input_us.append(timing.input_cycles(len(input_us)) * cycle_us)
+        insert_cycles = self.insert_cycles
+        while len(insert_cycles) <= count:
+            insert_cycles.append(timing.insert_cycles(len(insert_cycles)))
+        cleanup_cycles = self.cleanup_cycles
+        while len(cleanup_cycles) <= count:
+            cleanup_cycles.append(timing.cleanup_cycles(len(cleanup_cycles)))
+
+    # -- Nexus# ----------------------------------------------------------------
+    def grow_sharp_submit(self, count: int) -> None:
+        """Extend the Nexus# submit-side tables to cover ``count`` parameters."""
+        timing = self._timing
+        cycle_us = self._cycle_us
+        fwd = self.fwd_us
+        while len(fwd) < count:
+            fwd.append(timing.param_forward_offset_cycles(len(fwd)) * cycle_us)
+        inp = self.input_us
+        while len(inp) <= count:
+            inp.append(timing.input_cycles(len(inp)) * cycle_us)
+
+    def grow_sharp_finish(self, count: int) -> None:
+        """Extend the Nexus# finish-side tables to cover ``count`` parameters."""
+        timing = self._timing
+        cycle_us = self._cycle_us
+        fwd = self.fin_fwd_us
+        while len(fwd) < count:
+            fwd.append(timing.finish_param_forward_offset_cycles(len(fwd)) * cycle_us)
+        inp = self.fin_input_us
+        while len(inp) <= count:
+            inp.append(timing.finish_input_cycles(len(inp)) * cycle_us)
+
+
+@lru_cache(maxsize=None)
+def shared_offset_tables(
+    timing: Union[NexusPlusPlusTiming, NexusSharpTiming], cycle_us: float
+) -> OffsetTables:
+    """The process-shared :class:`OffsetTables` for ``(timing, cycle_us)``."""
+    return OffsetTables(timing, cycle_us)

@@ -19,6 +19,11 @@ provides a *cycle-approximate*, event-driven substrate instead:
   Ready-Tasks buffers between pipeline stages.
 * :class:`repro.sim.stats` — occupancy and counter statistics used by the
   analysis layer.
+* :mod:`repro.sim.batch` — the vectorized multi-lane batch backend:
+  many independent runs advanced in lockstep over shared structural
+  compilations, byte-identical to the scalar engine (exposed lazily
+  below to keep the engine import light; the batch module pulls in the
+  system layer and numpy).
 """
 
 from repro.sim.engine import Event, EventQueue, Simulator
@@ -38,4 +43,23 @@ __all__ = [
     "Counter",
     "TimeWeightedStat",
     "UtilizationTracker",
+    "LaneProgram",
+    "LaneSpec",
+    "lane_fallback_reason",
+    "run_lanes",
 ]
+
+#: Batch-backend symbols resolved lazily from :mod:`repro.sim.batch`
+#: (it imports the system layer, which itself imports the event engine
+#: above — a lazy hook keeps the package import acyclic and light).
+_BATCH_EXPORTS = frozenset(
+    {"LaneProgram", "LaneSpec", "lane_fallback_reason", "run_lanes"}
+)
+
+
+def __getattr__(name):
+    if name in _BATCH_EXPORTS:
+        from repro.sim import batch
+
+        return getattr(batch, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,0 +1,28 @@
+"""The four golden manager configurations, as fresh-instance factories.
+
+Mirrors ``tests/golden/golden_config.GOLDEN_MANAGERS`` (same paper
+configurations) without importing across test directories.  The ideal
+and nanos managers publish lane kernels and run vectorized; the two
+nexus managers decline (``lane_kernel() is None``) and exercise the
+batch backend's per-lane scalar fallback — both paths must be
+byte-identical to the scalar engine.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.factories import (
+    ideal_factory,
+    nanos_factory,
+    nexus_pp_factory,
+    nexus_sharp_factory,
+)
+
+BATCH_TEST_MANAGERS = {
+    "ideal": ideal_factory(),
+    "nanos": nanos_factory(),
+    "nexuspp": nexus_pp_factory(),
+    "nexussharp": nexus_sharp_factory(6),
+}
+
+#: Managers whose lane kernels actually vectorize (no fallback).
+KERNEL_MANAGERS = ("ideal", "nanos")

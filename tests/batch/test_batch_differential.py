@@ -1,0 +1,113 @@
+"""Hypothesis-driven scalar-vs-batch differential verification.
+
+Random :class:`~repro.workloads.fuzz.FuzzSpec` configurations are
+elaborated to static traces and run through both engines — the scalar
+oracle (``Machine.run``) and the vectorized batch backend
+(:func:`repro.sim.batch.run_lanes`) — under the golden managers.  The
+two engines must agree **byte-for-byte** on the entire result: makespan,
+per-task submit/ready/start/finish times, core assignments (the
+observable image of the ready/dispatch order), manager table statistics
+and per-core busy accounting.
+
+The CI workflow selects the ``ci`` hypothesis profile (registered in
+``tests/conftest.py``: derandomized, bounded examples, no deadline), so
+these tests are exactly reproducible across CI runs.  A failing example
+here is a new regression case to pin in ``batch_corpus.py``.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.batch import LaneSpec, lane_fallback_reason, run_lanes
+from repro.system.machine import Machine, MachineConfig
+from repro.workloads.fuzz import FuzzSpec, fuzz_program
+
+from batch_manager_factories import BATCH_TEST_MANAGERS, KERNEL_MANAGERS
+
+
+@st.composite
+def fuzz_specs(draw) -> FuzzSpec:
+    """Random fuzzer configurations, bounded for test runtime."""
+    return FuzzSpec(
+        seed=draw(st.integers(min_value=0, max_value=2**31 - 1)),
+        max_depth=draw(st.integers(min_value=0, max_value=4)),
+        max_children=draw(st.integers(min_value=0, max_value=4)),
+        roots=draw(st.integers(min_value=1, max_value=6)),
+        conflict_density=draw(st.floats(min_value=0.0, max_value=1.0)),
+        inout_probability=draw(st.floats(min_value=0.0, max_value=1.0)),
+        join_probability=draw(st.floats(min_value=0.0, max_value=1.0)),
+        mid_taskwait_probability=draw(st.floats(min_value=0.0, max_value=0.5)),
+        master_barrier_probability=draw(st.floats(min_value=0.0, max_value=1.0)),
+        duration_range_us=(0.0, draw(st.floats(min_value=0.5, max_value=30.0))),
+        max_tasks=draw(st.integers(min_value=8, max_value=150)),
+        recurse_probability=draw(st.floats(min_value=0.0, max_value=1.0)),
+    )
+
+
+def assert_identical(scalar, batch, context: str) -> None:
+    """Field-wise byte-identity, with a readable message per field."""
+    for field in (
+        "makespan_us", "master_finish_us", "core_busy_us", "per_core_busy_us",
+        "submit_times", "ready_times", "start_times", "finish_times",
+        "task_cores", "manager_stats", "num_tasks", "total_work_us",
+    ):
+        assert getattr(scalar, field) == getattr(batch, field), (
+            f"{context}: batch {field} diverged from the scalar oracle"
+        )
+    assert scalar == batch, f"{context}: full results differ"
+
+
+@given(spec=fuzz_specs(),
+       cores=st.integers(min_value=1, max_value=6),
+       manager_key=st.sampled_from(sorted(BATCH_TEST_MANAGERS)))
+@settings(max_examples=30, deadline=None)
+def test_single_lane_matches_scalar_oracle(spec, cores, manager_key):
+    """One lane through run_lanes == Machine.run, bit for bit."""
+    factory = BATCH_TEST_MANAGERS[manager_key]
+    trace = fuzz_program(spec).elaborate()
+    config = MachineConfig(num_cores=cores, validate=True)
+
+    scalar = Machine(factory(), config).run(trace)
+    (batch,) = run_lanes([LaneSpec(trace=trace, manager=factory(), config=config)])
+
+    assert_identical(scalar, batch, f"{manager_key}/{cores}c seed={spec.seed}")
+
+
+@given(spec=fuzz_specs(), cores=st.integers(min_value=1, max_value=6))
+@settings(max_examples=20, deadline=None)
+def test_kernel_lanes_are_vectorized_not_fallback(spec, cores):
+    """The ideal/nanos kernels must actually admit elaborated traces —
+    otherwise the differential suite would silently test fallback
+    against itself."""
+    trace = fuzz_program(spec).elaborate()
+    config = MachineConfig(num_cores=cores)
+    for manager_key in KERNEL_MANAGERS:
+        manager = BATCH_TEST_MANAGERS[manager_key]()
+        assert lane_fallback_reason(trace, manager, config) is None
+
+
+@given(specs=st.lists(fuzz_specs(), min_size=2, max_size=5, unique_by=lambda s: s.seed),
+       manager_key=st.sampled_from(sorted(BATCH_TEST_MANAGERS)))
+@settings(max_examples=15, deadline=None)
+def test_multi_lane_batch_matches_solo_runs(specs, manager_key):
+    """Lanes advanced in lockstep must equal their solo scalar runs:
+    lane isolation is absolute, whatever mix of traces shares a batch."""
+    factory = BATCH_TEST_MANAGERS[manager_key]
+    traces = [fuzz_program(spec).elaborate() for spec in specs]
+    configs = [
+        MachineConfig(num_cores=1 + (index % 4), validate=True)
+        for index in range(len(traces))
+    ]
+    scalars = [
+        Machine(factory(), config).run(trace)
+        for trace, config in zip(traces, configs)
+    ]
+    batch = run_lanes([
+        LaneSpec(trace=trace, manager=factory(), config=config)
+        for trace, config in zip(traces, configs)
+    ])
+    assert len(batch) == len(scalars)
+    for index, (scalar, lane) in enumerate(zip(scalars, batch)):
+        assert_identical(scalar, lane, f"{manager_key} lane {index}")

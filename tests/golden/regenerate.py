@@ -93,6 +93,32 @@ def regenerate() -> int:
     return 0
 
 
+def check_batch_equivalence(computed: dict) -> list[str]:
+    """Replay every golden trace through the batched lane backend — one
+    full 8-lane batch per golden manager — and compare each lane's
+    makespan against the regenerated expected values.  Guards the batch
+    engine's byte-identity contract at the same choke point that guards
+    the goldens themselves."""
+    from repro.sim.batch import LaneSpec, run_lanes
+
+    failures: list[str] = []
+    traces = golden_traces()
+    keys = sorted(traces)
+    config = MachineConfig(num_cores=GOLDEN_CORES)
+    for manager_key, factory in GOLDEN_MANAGERS.items():
+        lanes = run_lanes([
+            LaneSpec(trace=traces[key], manager=factory(), config=config)
+            for key in keys
+        ])
+        for key, lane in zip(keys, lanes):
+            expected = computed["traces"][key]["makespans_us"][manager_key]
+            if lane.makespan_us != expected:
+                failures.append(
+                    f"batch backend [{manager_key}/{key}]: batched makespan "
+                    f"{lane.makespan_us!r} != scalar {expected!r}")
+    return failures
+
+
 def check() -> int:
     """Fail (non-zero) when committed goldens drift from the generators."""
     from repro.trace.serialization import load_trace
@@ -123,6 +149,7 @@ def check() -> int:
             continue
         if trace_digest(load_trace(path)) != trace_digest(fresh):
             failures.append(f"committed trace {filename} drifted from its generator")
+    failures.extend(check_batch_equivalence(computed))
     if failures:
         print("golden drift detected:")
         for failure in failures:
@@ -132,7 +159,8 @@ def check() -> int:
         return 1
     print(f"goldens clean: {len(committed_files)} traces, "
           f"{len(computed['traces'])} static + {len(computed['dynamic'])} dynamic "
-          "makespan sets match")
+          "makespan sets match; batched lane replay identical under "
+          f"{len(GOLDEN_MANAGERS)} managers")
     return 0
 
 
