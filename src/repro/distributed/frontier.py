@@ -1,0 +1,190 @@
+"""The sweep frontier: scheduler-side ownership ledger of grid cells.
+
+:class:`SweepFrontier` tracks every not-yet-finished cell of a sweep and
+answers the three questions the scheduler asks:
+
+* *what should this worker run next?* — :meth:`next_chunk` pops the next
+  **locality-aware chunk**: cells are grouped into contiguous runs that
+  share a locality key (the workload identity, in grid order), so one
+  worker replays many cells of one trace back-to-back and its
+  per-process trace memo / compiled-program caches stay warm.
+* *who can spare work for an idle worker?* — :meth:`steal` moves the
+  tail half of the most-loaded worker's unfinished assignment to the
+  idle one (the classic steal-from-the-back policy: the victim keeps the
+  cells it is about to execute, the thief gets the far end).
+* *what did a dead worker leave behind?* — :meth:`fail_worker` requeues
+  its unfinished cells at the *front* of the queue (they are the oldest
+  work in flight) with a bounded per-cell attempt budget, so a crashing
+  cell cannot ping-pong between workers forever.
+
+The frontier is plain bookkeeping — it never touches sockets and is not
+itself thread-safe; the scheduler serializes access under its one lock.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, Hashable, List, Optional, Sequence, Set
+
+from repro.common.errors import SimulationError
+
+
+class SweepFrontier:
+    """Ownership ledger for the cells of one distributed sweep.
+
+    Parameters
+    ----------
+    cells:
+        Cell identifiers (grid indices), in deterministic grid order.
+    groups:
+        Optional parallel sequence of locality keys; contiguous runs of
+        equal keys are never split across a chunk boundary unless longer
+        than ``chunk_size``.  ``None`` treats the whole grid as one run.
+    chunk_size:
+        Maximum cells handed out per :meth:`next_chunk`.
+    max_attempts:
+        Dispatch budget per cell.  A cell whose every dispatch ends in a
+        dead worker is requeued at most ``max_attempts - 1`` times;
+        exceeding the budget raises :class:`~repro.common.errors.
+        SimulationError` (a cell that kills every worker it touches is a
+        bug, not bad luck).
+    """
+
+    def __init__(
+        self,
+        cells: Sequence[int],
+        groups: Optional[Sequence[Hashable]] = None,
+        *,
+        chunk_size: int = 16,
+        max_attempts: int = 3,
+    ) -> None:
+        if chunk_size < 1:
+            raise SimulationError(f"chunk_size must be >= 1, got {chunk_size}")
+        if max_attempts < 1:
+            raise SimulationError(f"max_attempts must be >= 1, got {max_attempts}")
+        if groups is not None and len(groups) != len(cells):
+            raise SimulationError(
+                f"{len(cells)} cells but {len(groups)} locality keys")
+        self.total = len(cells)
+        self.max_attempts = max_attempts
+        self.chunk_size = chunk_size
+        self._queue: Deque[List[int]] = deque(self._chunked(cells, groups))
+        self._assigned: Dict[str, List[int]] = {}
+        self._attempts: Dict[int, int] = {}
+        self._done: Set[int] = set()
+
+    def _chunked(
+        self, cells: Sequence[int], groups: Optional[Sequence[Hashable]]
+    ) -> List[List[int]]:
+        chunks: List[List[int]] = []
+        current: List[int] = []
+        current_key: Hashable = object()
+        for position, cell in enumerate(cells):
+            key = groups[position] if groups is not None else None
+            if current and (key != current_key or len(current) >= self.chunk_size):
+                chunks.append(current)
+                current = []
+            current_key = key
+            current.append(cell)
+        if current:
+            chunks.append(current)
+        return chunks
+
+    # -- dispatch ----------------------------------------------------------
+    def next_chunk(self, worker: str) -> List[int]:
+        """Assign and return the next chunk for ``worker`` (may be empty)."""
+        if not self._queue:
+            return []
+        chunk = self._queue.popleft()
+        for cell in chunk:
+            self._attempts[cell] = self._attempts.get(cell, 0) + 1
+        self._assigned.setdefault(worker, []).extend(chunk)
+        return chunk
+
+    def steal(self, victim: str, thief: str) -> List[int]:
+        """Move the tail half of ``victim``'s unfinished cells to ``thief``.
+
+        Returns the stolen cells (possibly empty — a victim with fewer
+        than two unfinished cells keeps what it has; it will finish them
+        sooner than a steal round-trip would).
+        """
+        remaining = self._assigned.get(victim, [])
+        if len(remaining) < 2:
+            return []
+        keep = (len(remaining) + 1) // 2
+        stolen = remaining[keep:]
+        del remaining[keep:]
+        for cell in stolen:
+            self._attempts[cell] = self._attempts.get(cell, 0) + 1
+        self._assigned.setdefault(thief, []).extend(stolen)
+        return stolen
+
+    def steal_victim(self, thief: str) -> Optional[str]:
+        """The most-loaded worker worth stealing from, or ``None``."""
+        best: Optional[str] = None
+        best_load = 1  # a single unfinished cell is not worth stealing
+        for worker, remaining in self._assigned.items():
+            if worker != thief and len(remaining) > best_load:
+                best, best_load = worker, len(remaining)
+        return best
+
+    # -- progress ----------------------------------------------------------
+    def complete(self, worker: Optional[str], cell: int) -> bool:
+        """Record ``cell`` as finished; ``True`` if it was newly done.
+
+        Duplicate completions are expected and harmless: a steal can
+        race a victim that already started the stolen cell, and the
+        deterministic engine makes both results byte-identical.
+        """
+        if cell in self._done:
+            self._discard(worker, cell)
+            return False
+        self._done.add(cell)
+        self._discard(worker, cell)
+        return True
+
+    def _discard(self, worker: Optional[str], cell: int) -> None:
+        # The completing worker's list is the likely home, but a raced
+        # duplicate may live in another worker's assignment.
+        candidates = [worker] if worker in self._assigned else []
+        candidates += [w for w in self._assigned if w != worker]
+        for candidate in candidates:
+            remaining = self._assigned.get(candidate, ())
+            if cell in remaining:
+                remaining.remove(cell)
+                return
+
+    def fail_worker(self, worker: str) -> List[int]:
+        """Requeue a dead worker's unfinished cells; return them.
+
+        Raises :class:`SimulationError` when any cell has exhausted its
+        ``max_attempts`` dispatch budget.
+        """
+        remaining = [c for c in self._assigned.pop(worker, []) if c not in self._done]
+        exhausted = [c for c in remaining if self._attempts.get(c, 0) >= self.max_attempts]
+        if exhausted:
+            raise SimulationError(
+                f"grid cells {exhausted[:5]}{'...' if len(exhausted) > 5 else ''} "
+                f"died with {self.max_attempts} workers in a row "
+                f"(max_attempts={self.max_attempts}); giving up")
+        # Front of the queue: requeued cells are the oldest work in
+        # flight, and the next idle worker should pick them up first.
+        for start in range(len(remaining), 0, -self.chunk_size):
+            self._queue.appendleft(remaining[max(0, start - self.chunk_size):start])
+        return remaining
+
+    def remaining_for(self, worker: str) -> int:
+        """Unfinished cells currently assigned to ``worker``."""
+        return len(self._assigned.get(worker, ()))
+
+    @property
+    def done_count(self) -> int:
+        return len(self._done)
+
+    @property
+    def is_done(self) -> bool:
+        return len(self._done) >= self.total
+
+    @property
+    def has_queued(self) -> bool:
+        return bool(self._queue)

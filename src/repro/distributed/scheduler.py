@@ -1,0 +1,455 @@
+"""The central sweep scheduler: owns the frontier, serves the workers.
+
+One :class:`SweepScheduler` instance drives one distributed sweep.  It
+
+* binds a TCP server socket and (optionally) spawns ``workers`` local
+  worker processes pointed at it — remote workers started by hand via
+  ``python -m repro.distributed.worker --connect host:port`` join the
+  same pool;
+* hands each worker the pickled job table **once** at handshake, then
+  dispatches cells by index in locality-aware chunks pulled from the
+  :class:`~repro.distributed.frontier.SweepFrontier`;
+* rebalances by **work stealing**: when a worker asks for work and the
+  queue is dry, the tail half of the most-loaded worker's unfinished
+  assignment is revoked from it and handed to the idle one;
+* detects dead workers two ways — socket EOF (a SIGKILLed process drops
+  its connection immediately) as the fast path, and a
+  :class:`HeartbeatMonitor` timeout as the backstop for hung-but-
+  connected workers — and requeues their unfinished cells with a
+  bounded per-cell retry budget, so a killed worker never loses
+  results;
+* assembles the streamed result documents keyed by grid index, which is
+  what lets the runner emit canonical JSONL in deterministic cell order
+  regardless of which worker finished what when.
+
+Failure semantics are documented in ``docs/distributed.md``.
+"""
+
+from __future__ import annotations
+
+import os
+import socket
+import subprocess
+import sys
+import threading
+import time
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.common.errors import SimulationError
+from repro.distributed.frontier import SweepFrontier
+from repro.distributed.protocol import FrameStream, ProtocolError, encode_payload
+
+#: Main-loop tick: heartbeat checks and liveness checks run this often.
+_TICK_SECONDS = 0.05
+
+
+class HeartbeatMonitor:
+    """Last-seen ledger with an expiry rule (injectable clock for tests).
+
+    The scheduler calls :meth:`beat` on *every* frame a worker sends
+    (results count as life signs, not just dedicated heartbeats) and
+    periodically closes the connections :meth:`expired` names.
+    """
+
+    def __init__(self, timeout: float, clock: Callable[[], float] = time.monotonic) -> None:
+        if timeout <= 0:
+            raise SimulationError(f"heartbeat timeout must be positive, got {timeout}")
+        self.timeout = timeout
+        self._clock = clock
+        self._last_seen: Dict[str, float] = {}
+
+    def beat(self, worker_id: str) -> None:
+        self._last_seen[worker_id] = self._clock()
+
+    def forget(self, worker_id: str) -> None:
+        self._last_seen.pop(worker_id, None)
+
+    def last_seen(self, worker_id: str) -> Optional[float]:
+        return self._last_seen.get(worker_id)
+
+    def expired(self) -> List[str]:
+        """Workers whose last life sign is older than ``timeout``."""
+        now = self._clock()
+        return [wid for wid, seen in self._last_seen.items()
+                if now - seen > self.timeout]
+
+
+class _Connection:
+    """Scheduler-side state of one connected worker."""
+
+    __slots__ = ("worker_id", "stream")
+
+    def __init__(self, worker_id: str, stream: FrameStream) -> None:
+        self.worker_id = worker_id
+        self.stream = stream
+
+
+class SweepScheduler:
+    """Run one distributed sweep over socket workers.
+
+    Parameters
+    ----------
+    jobs:
+        ``(grid_index, point, workload_ref)`` triples — exactly the job
+        shape the ``multiprocessing`` path ships to its pool (inline
+        traces interned into ``table``).
+    table:
+        Interned workload table referenced by the jobs' ``workload_ref``.
+    groups:
+        Locality keys parallel to ``jobs`` (cells sharing a key are
+        chunked together; defaults to one key per distinct workload).
+    workers:
+        Local worker processes to spawn against the server socket.
+    external_workers:
+        Number of additional workers expected to connect from elsewhere
+        (started by hand; the scheduler prints nothing and simply
+        serves whoever completes the handshake).
+    batch_lanes:
+        Forwarded to every worker: lane-compatible cells of a chunk are
+        advanced in lockstep through :func:`repro.sim.batch.run_lanes`.
+    cache_dir:
+        Shared content-addressed result store.  Workers publish every
+        finished cell into it with atomic writes, so results survive
+        worker death and are reusable by any process that can see the
+        directory.
+    chunk_size:
+        Cells per dispatch chunk (default: sized so every worker gets
+        ~8 chunks, clamped to [1, 64]).
+    max_attempts:
+        Per-cell dispatch budget across worker deaths (see
+        :class:`SweepFrontier`).
+    heartbeat_interval / heartbeat_timeout:
+        Workers send a life sign every ``interval`` seconds; the
+        scheduler declares a worker dead after ``timeout`` seconds of
+        silence.  The interval workers are told to use is clamped to
+        ``timeout / 4`` so a short expiry deadline can never outpace
+        the life signs of a healthy-but-busy worker.
+    clock:
+        Injectable monotonic clock (tests drive expiry with a fake one).
+    timeout:
+        Overall wall-clock bound on :meth:`run`; ``None`` waits forever.
+    on_result:
+        Optional ``(grid_index, document) -> None`` progress hook,
+        called once per newly finished cell.
+    """
+
+    def __init__(
+        self,
+        jobs: Sequence[Tuple[int, Any, Optional[int]]],
+        table: Sequence[Any] = (),
+        *,
+        groups: Optional[Sequence[Any]] = None,
+        workers: int = 0,
+        external_workers: int = 0,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        batch_lanes: int = 1,
+        cache_dir: Optional[str] = None,
+        chunk_size: Optional[int] = None,
+        max_attempts: int = 3,
+        heartbeat_interval: float = 1.0,
+        heartbeat_timeout: float = 5.0,
+        clock: Callable[[], float] = time.monotonic,
+        timeout: Optional[float] = None,
+        on_result: Optional[Callable[[int, Dict[str, Any]], None]] = None,
+    ) -> None:
+        if workers < 0 or external_workers < 0:
+            raise SimulationError("worker counts must be >= 0")
+        if workers + external_workers < 1 and jobs:
+            raise SimulationError(
+                "a distributed sweep needs at least one worker "
+                "(workers >= 1 or external_workers >= 1)")
+        self.jobs = list(jobs)
+        self.table = list(table)
+        self.workers = workers
+        self.external_workers = external_workers
+        self.host = host
+        self.port = port
+        self.batch_lanes = batch_lanes
+        self.cache_dir = cache_dir
+        self.heartbeat_interval = min(heartbeat_interval, heartbeat_timeout / 4)
+        self.timeout = timeout
+        self.on_result = on_result
+        self.monitor = HeartbeatMonitor(heartbeat_timeout, clock)
+        self._clock = clock
+        if chunk_size is None:
+            per_worker = max(1, len(self.jobs) // max(1, workers + external_workers))
+            chunk_size = max(1, min(64, per_worker // 8 or 1))
+        cells = [index for index, _, _ in self.jobs]
+        if groups is None:
+            groups = [id(point.workload) for _, point, _ in self.jobs]
+        self.frontier = SweepFrontier(
+            cells, list(groups), chunk_size=chunk_size, max_attempts=max_attempts)
+
+        self.address: Optional[Tuple[str, int]] = None
+        self.processes: List[subprocess.Popen] = []
+        self.results_received = 0
+        self._documents: Dict[int, Dict[str, Any]] = {}
+        self._lock = threading.RLock()
+        self._conns: Dict[str, _Connection] = {}
+        self._idle: set = set()
+        self._next_anon = 0
+        self._done = threading.Event()
+        self._stopping = False
+        self._failure: Optional[BaseException] = None
+        self._server: Optional[socket.socket] = None
+        self._threads: List[threading.Thread] = []
+        self._payload: Optional[str] = None
+
+    # -- lifecycle ---------------------------------------------------------
+    def run(self) -> List[Tuple[int, Dict[str, Any]]]:
+        """Serve workers until every cell has a result; return them.
+
+        Results come back as ``(grid_index, document)`` pairs in
+        completion order — the caller (the runner) re-orders them into
+        grid order, which is what keeps the JSONL deterministic.
+        """
+        if not self.jobs:
+            return []
+        self._payload = encode_payload((self.jobs, self.table))
+        self._server = socket.create_server((self.host, self.port), backlog=64)
+        self.address = self._server.getsockname()[:2]
+        accept_thread = threading.Thread(
+            target=self._accept_loop, name="fabric-accept", daemon=True)
+        accept_thread.start()
+        self._threads.append(accept_thread)
+        try:
+            for i in range(self.workers):
+                self.processes.append(self._spawn_local(i))
+            deadline = None if self.timeout is None else self._clock() + self.timeout
+            while not self._done.wait(_TICK_SECONDS):
+                if self._failure is not None:
+                    break
+                self._expire_silent_workers()
+                self._check_liveness()
+                if deadline is not None and self._clock() > deadline:
+                    self._fail(SimulationError(
+                        f"distributed sweep timed out after {self.timeout}s "
+                        f"({self.frontier.done_count}/{self.frontier.total} cells done)"))
+        finally:
+            self._shutdown()
+        if self._failure is not None:
+            raise SimulationError(f"distributed sweep failed: {self._failure}") \
+                from self._failure
+        missing = self.frontier.total - len(self._documents)
+        if missing:  # pragma: no cover - defensive
+            raise SimulationError(f"sweep lost results for {missing} grid cells")
+        return sorted(self._documents.items())
+
+    def _spawn_local(self, index: int) -> subprocess.Popen:
+        host, port = self.address
+        if host in ("0.0.0.0", "::"):
+            host = "127.0.0.1"
+        env = dict(os.environ)
+        # Workers must import the same repro package as the scheduler,
+        # wherever it lives (a src/ checkout or an installed wheel).
+        import repro
+
+        package_root = str(Path(repro.__file__).resolve().parent.parent)
+        existing = env.get("PYTHONPATH", "")
+        if package_root not in existing.split(os.pathsep):
+            env["PYTHONPATH"] = (package_root + os.pathsep + existing) if existing \
+                else package_root
+        return subprocess.Popen(
+            [sys.executable, "-m", "repro.distributed.worker",
+             "--connect", f"{host}:{port}", "--worker-id", f"local-{index}"],
+            env=env,
+        )
+
+    def _shutdown(self) -> None:
+        self._stopping = True
+        with self._lock:
+            conns = list(self._conns.values())
+        for conn in conns:
+            try:
+                conn.stream.send({"type": "shutdown"})
+            except OSError:
+                pass
+        if self._server is not None:
+            try:
+                self._server.close()
+            except OSError:
+                pass
+        for process in self.processes:
+            try:
+                process.wait(timeout=5)
+            except subprocess.TimeoutExpired:
+                process.kill()
+                process.wait(timeout=5)
+        for conn in conns:
+            conn.stream.close()
+        for thread in self._threads:
+            thread.join(timeout=5)
+
+    def _fail(self, exc: BaseException) -> None:
+        with self._lock:
+            if self._failure is None:
+                self._failure = exc
+        self._done.set()
+
+    # -- connection handling -----------------------------------------------
+    def _accept_loop(self) -> None:
+        assert self._server is not None
+        # A timeout (not a bare blocking accept): on Linux, closing the
+        # listening socket does not wake a thread already blocked in
+        # accept(), so shutdown would stall until the join times out.
+        self._server.settimeout(0.25)
+        while not self._stopping:
+            try:
+                sock, _addr = self._server.accept()
+            except socket.timeout:
+                continue
+            except OSError:
+                return  # server socket closed during shutdown
+            thread = threading.Thread(
+                target=self._serve, args=(sock,), name="fabric-serve", daemon=True)
+            thread.start()
+            self._threads.append(thread)
+
+    def _serve(self, sock: socket.socket) -> None:
+        sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        stream = FrameStream(sock)
+        worker_id: Optional[str] = None
+        try:
+            hello = stream.recv(timeout=30)
+            if hello is None or hello.get("type") != "hello":
+                stream.close()
+                return
+            with self._lock:
+                worker_id = str(hello.get("worker_id") or "")
+                if not worker_id or worker_id in self._conns:
+                    worker_id = f"{worker_id or 'worker'}-{self._next_anon}"
+                    self._next_anon += 1
+                self._conns[worker_id] = _Connection(worker_id, stream)
+                self.monitor.beat(worker_id)
+            stream.send({
+                "type": "setup",
+                "worker_id": worker_id,
+                "jobs": self._payload,
+                "batch_lanes": self.batch_lanes,
+                "cache_dir": self.cache_dir,
+                "heartbeat_interval": self.heartbeat_interval,
+            })
+            while True:
+                frame = stream.recv()
+                if frame is None:
+                    return
+                self.monitor.beat(worker_id)
+                kind = frame.get("type")
+                if kind == "need_work":
+                    self._dispatch(worker_id)
+                elif kind == "result":
+                    self._record_result(worker_id, int(frame["cell"]), frame["doc"])
+                elif kind == "heartbeat":
+                    pass
+                elif kind == "error":
+                    # The engine rejected a cell — deterministic, so a
+                    # retry on another worker would fail identically.
+                    self._fail(SimulationError(
+                        f"worker {worker_id} failed on cells "
+                        f"{frame.get('cells')}: {frame.get('message')}"))
+                    return
+                elif kind == "goodbye":
+                    return
+                else:
+                    raise ProtocolError(f"unexpected frame from worker: {kind!r}")
+        except (ProtocolError, OSError, TimeoutError, ValueError, KeyError):
+            pass  # treated as a dead worker below
+        finally:
+            self._disconnect(worker_id, stream)
+
+    def _disconnect(self, worker_id: Optional[str], stream: FrameStream) -> None:
+        stream.close()
+        if worker_id is None:
+            return
+        requeued: List[int] = []
+        with self._lock:
+            if worker_id not in self._conns:
+                return
+            del self._conns[worker_id]
+            self._idle.discard(worker_id)
+            self.monitor.forget(worker_id)
+            if self._stopping or self.frontier.is_done:
+                return
+            try:
+                requeued = self.frontier.fail_worker(worker_id)
+            except SimulationError as exc:
+                self._fail(exc)
+                return
+        if requeued:
+            self._kick_idle()
+
+    # -- scheduling --------------------------------------------------------
+    def _dispatch(self, worker_id: str) -> None:
+        """Assign the next chunk to ``worker_id`` — stealing if dry."""
+        revoke_from: Optional[str] = None
+        stolen: List[int] = []
+        with self._lock:
+            chunk = self.frontier.next_chunk(worker_id)
+            if not chunk:
+                victim = self.frontier.steal_victim(worker_id)
+                if victim is not None:
+                    stolen = self.frontier.steal(victim, worker_id)
+                    if stolen:
+                        revoke_from = victim
+            if not chunk and not stolen:
+                self._idle.add(worker_id)
+                return
+            self._idle.discard(worker_id)
+            thief_conn = self._conns.get(worker_id)
+            victim_conn = self._conns.get(revoke_from) if revoke_from else None
+        if victim_conn is not None:
+            # Best effort: if the victim is dying, its disconnect path
+            # requeues whatever the steal did not claim.
+            try:
+                victim_conn.stream.send({"type": "revoke", "cells": stolen})
+            except OSError:
+                pass
+        if thief_conn is not None:
+            try:
+                thief_conn.stream.send({"type": "work", "cells": chunk or stolen})
+            except OSError:
+                pass  # the thief's reader thread will requeue on EOF
+
+    def _kick_idle(self) -> None:
+        with self._lock:
+            idle = list(self._idle)
+        for worker_id in idle:
+            self._dispatch(worker_id)
+
+    def _record_result(self, worker_id: str, cell: int, doc: Dict[str, Any]) -> None:
+        with self._lock:
+            fresh = self.frontier.complete(worker_id, cell)
+            if fresh:
+                self._documents[cell] = doc
+                self.results_received += 1
+            done = self.frontier.is_done
+        if fresh and self.on_result is not None:
+            self.on_result(cell, doc)
+        if done:
+            self._done.set()
+
+    # -- failure detection -------------------------------------------------
+    def _expire_silent_workers(self) -> None:
+        for worker_id in self.monitor.expired():
+            with self._lock:
+                conn = self._conns.get(worker_id)
+            if conn is not None:
+                # Closing the socket unblocks the reader thread, which
+                # funnels into the normal disconnect/requeue path.
+                conn.stream.close()
+
+    def _check_liveness(self) -> None:
+        """Fail fast when every worker is gone and none can return."""
+        if self.external_workers > 0:
+            return  # externals may still connect; the timeout bounds us
+        if not self.processes:
+            return
+        alive = any(process.poll() is None for process in self.processes)
+        with self._lock:
+            connected = bool(self._conns)
+        if not alive and not connected and not self.frontier.is_done:
+            self._fail(SimulationError(
+                "all local workers exited before the sweep completed "
+                f"({self.frontier.done_count}/{self.frontier.total} cells done)"))

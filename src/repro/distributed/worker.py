@@ -1,0 +1,205 @@
+"""The sweep worker: pull cells over a socket, run them, stream results.
+
+A worker is a small pull-based loop around the existing engine:
+
+1. connect to the scheduler, send ``hello``, receive the ``setup``
+   frame (the pickled job table — once per worker, not per cell — plus
+   the ``batch_lanes`` setting and the shared cache directory);
+2. ask for work (``need_work``) and execute the assigned cells; chunks
+   whose cells are lane-compatible advance in lockstep through
+   :func:`repro.sim.batch.run_lanes`, everything else runs through the
+   scalar :meth:`Machine.run <repro.system.machine.Machine.run>` path —
+   exactly like a local sweep, so results are byte-identical;
+3. publish every finished cell into the shared content-addressed
+   :class:`~repro.experiments.cache.ResultCache` (atomic writes — a
+   worker killed mid-publish can never leave a truncated entry) and
+   stream the result document back as a ``result`` frame;
+4. between cells, drain control frames without blocking: ``revoke``
+   (cells stolen for an idle worker — drop them), ``work`` (more
+   cells), ``shutdown`` (clean exit).  A daemon thread sends
+   ``heartbeat`` frames so the scheduler can tell a busy worker from a
+   dead one.
+
+Standalone entry point (for remote hosts)::
+
+    python -m repro.distributed.worker --connect HOST:PORT [--worker-id ID]
+
+The process exits 0 after a clean ``shutdown`` frame and non-zero when
+the scheduler connection is lost.
+"""
+
+from __future__ import annotations
+
+import argparse
+import socket
+import sys
+import threading
+import traceback
+from collections import deque
+from typing import Deque, Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.common.errors import ReproError
+from repro.distributed.protocol import FrameStream, ProtocolError, decode_payload
+
+
+def _execute_block(
+    cells: List[int],
+    jobs_by_cell: Dict[int, tuple],
+    batch_lanes: int,
+) -> List[Tuple[int, dict]]:
+    """Run a block of cells; lane-batch the lane-eligible ones."""
+    from repro.experiments.runner import (
+        execute_lane_block,
+        resolve_job,
+        run_job,
+    )
+
+    results: List[Tuple[int, dict]] = []
+    if batch_lanes > 1 and len(cells) > 1:
+        batchable = []
+        for cell in cells:
+            index, point = resolve_job(jobs_by_cell[cell])
+            if point.stream or point.dynamic:
+                results.append(run_job(jobs_by_cell[cell]))
+            else:
+                batchable.append((index, point))
+        if batchable:
+            results.extend(execute_lane_block(batchable))
+        return results
+    return [run_job(jobs_by_cell[cell]) for cell in cells]
+
+
+def run_worker(host: str, port: int, *, worker_id: Optional[str] = None) -> int:
+    """Serve one scheduler until it says ``shutdown``; return an exit code."""
+    from repro.experiments.cache import ResultCache
+    from repro.experiments.runner import install_workload_table, resolve_job
+
+    sock = socket.create_connection((host, port))
+    sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+    stream = FrameStream(sock)
+    stop_heartbeat = threading.Event()
+    try:
+        stream.send({"type": "hello", "worker_id": worker_id})
+        setup = stream.recv(timeout=120)
+        if setup is None or setup.get("type") != "setup":
+            raise ProtocolError(f"expected a setup frame, got {setup!r}")
+        jobs, table = decode_payload(setup["jobs"])
+        install_workload_table(table)
+        jobs_by_cell: Dict[int, tuple] = {job[0]: job for job in jobs}
+        batch_lanes = max(1, int(setup.get("batch_lanes") or 1))
+        cache = None
+        cache_dir = setup.get("cache_dir")
+        if cache_dir:
+            try:
+                cache = ResultCache(cache_dir)
+            except OSError:
+                cache = None  # no shared filesystem on this host
+
+        interval = float(setup.get("heartbeat_interval") or 1.0)
+
+        def _heartbeat() -> None:
+            while not stop_heartbeat.wait(interval):
+                try:
+                    stream.send({"type": "heartbeat"})
+                except OSError:
+                    return
+
+        threading.Thread(target=_heartbeat, name="fabric-heartbeat",
+                         daemon=True).start()
+
+        queue: Deque[int] = deque()
+        revoked: Set[int] = set()
+        awaiting_work = True
+        stream.send({"type": "need_work"})
+        while True:
+            frame = stream.poll() if queue else stream.recv()
+            while frame is not None:
+                kind = frame.get("type")
+                if kind == "work":
+                    awaiting_work = False
+                    for cell in frame["cells"]:
+                        # A cell revoked from us earlier can be legally
+                        # re-dispatched to us after its thief died.
+                        revoked.discard(cell)
+                        queue.append(cell)
+                elif kind == "revoke":
+                    revoked.update(frame["cells"])
+                    queue = deque(cell for cell in queue if cell not in revoked)
+                elif kind == "shutdown":
+                    try:
+                        # Best effort: the scheduler may already have
+                        # torn the connection down behind the frame.
+                        stream.send({"type": "goodbye"})
+                    except OSError:
+                        pass
+                    return 0
+                else:
+                    raise ProtocolError(f"unexpected frame from scheduler: {kind!r}")
+                frame = stream.poll()
+            if stream.eof:
+                return 1  # scheduler vanished
+            cells: List[int] = []
+            while queue and len(cells) < batch_lanes:
+                cell = queue.popleft()
+                if cell in revoked:
+                    revoked.discard(cell)
+                    continue
+                cells.append(cell)
+            if cells:
+                try:
+                    block = _execute_block(cells, jobs_by_cell, batch_lanes)
+                except ReproError as exc:
+                    # A cell the engine cannot run would fail on every
+                    # worker; tell the scheduler instead of letting the
+                    # retry budget burn through the pool.
+                    stream.send({
+                        "type": "error",
+                        "cells": cells,
+                        "message": f"{type(exc).__name__}: {exc}",
+                        "traceback": traceback.format_exc(),
+                    })
+                    return 1
+                for index, doc in block:
+                    if cache is not None:
+                        _, point = resolve_job(jobs_by_cell[index])
+                        if point.cacheable:
+                            cache.put(point.cache_key(), doc)
+                    stream.send({"type": "result", "cell": index, "doc": doc})
+            if not queue and not awaiting_work:
+                awaiting_work = True
+                stream.send({"type": "need_work"})
+    except (OSError, TimeoutError, ProtocolError):
+        return 1
+    finally:
+        stop_heartbeat.set()
+        stream.close()
+
+
+def _parse_endpoint(value: str) -> Tuple[str, int]:
+    host, sep, port = value.rpartition(":")
+    if not sep or not host:
+        raise argparse.ArgumentTypeError(
+            f"expected HOST:PORT, got {value!r}")
+    try:
+        return host, int(port)
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(f"bad port in {value!r}") from exc
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-sweep-worker",
+        description="Join a distributed sweep as a socket worker.",
+    )
+    parser.add_argument("--connect", type=_parse_endpoint, required=True,
+                        metavar="HOST:PORT",
+                        help="scheduler endpoint to pull grid cells from")
+    parser.add_argument("--worker-id", default=None,
+                        help="optional stable identity (shown in scheduler logs)")
+    args = parser.parse_args(argv)
+    host, port = args.connect
+    return run_worker(host, port, worker_id=args.worker_id)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess
+    sys.exit(main())

@@ -7,9 +7,23 @@ point configuration.  Because the key is derived from content, repeated
 sweeps are incremental for free: only grid cells whose configuration
 actually changed (or never ran) are simulated again.
 
-Writes are atomic (``os.replace`` of a temp file), so a sweep killed
-mid-write never leaves a truncated entry behind; unreadable entries are
-treated as misses.
+The cache doubles as the **shared result store** of the distributed
+sweep fabric (:mod:`repro.distributed`): every socket worker publishes
+each finished cell into it, and the scheduler consults it before
+dispatching, so any worker's result is reusable by all and a warm
+re-run does zero simulations.  That sharing is what makes crash safety
+non-negotiable:
+
+* writes go to a temp file in the entry's own directory and are
+  published with an atomic ``os.replace`` — a worker killed (SIGKILL)
+  mid-write can never leave a truncated entry that a warm run would
+  trust;
+* reads treat anything undecodable as a miss **and delete it**
+  (:meth:`ResultCache.get` self-heals), so an entry corrupted by an
+  unclean filesystem is re-simulated and repaired instead of poisoning
+  every later warm run;
+* orphaned ``*.tmp`` files (a writer killed before its rename) are
+  swept out by :meth:`ResultCache.clear` and ignored everywhere else.
 """
 
 from __future__ import annotations
@@ -34,7 +48,12 @@ class ResultCache:
         return self.root / key[:2] / f"{key}.json"
 
     def get(self, key: str) -> Optional[Dict[str, Any]]:
-        """Return the cached result document, or ``None`` on a miss."""
+        """Return the cached result document, or ``None`` on a miss.
+
+        A corrupt entry (torn write, bad JSON, non-object document) is a
+        miss — and is deleted, so the re-simulated result can repair the
+        store instead of hitting the same carcass on every warm run.
+        """
         path = self._path(key)
         try:
             text = path.read_text(encoding="utf-8")
@@ -45,8 +64,14 @@ class ResultCache:
         try:
             document = json.loads(text)
         except json.JSONDecodeError:
-            return None
-        return document if isinstance(document, dict) else None
+            document = None
+        if isinstance(document, dict):
+            return document
+        try:
+            path.unlink()
+        except OSError:
+            pass
+        return None
 
     def put(self, key: str, document: Dict[str, Any]) -> Path:
         """Store ``document`` under ``key`` atomically."""
@@ -72,12 +97,21 @@ class ResultCache:
         return sum(1 for _ in self.root.glob("*/*.json"))
 
     def clear(self) -> int:
-        """Delete every cached entry; return the number removed."""
+        """Delete every cached entry; return the number removed.
+
+        Orphaned ``*.tmp`` files (a writer killed between ``mkstemp``
+        and its atomic rename) are swept out too, but do not count.
+        """
         removed = 0
         for path in self.root.glob("*/*.json"):
             try:
                 path.unlink()
                 removed += 1
+            except OSError:
+                pass
+        for path in self.root.glob("*/*.tmp"):
+            try:
+                path.unlink()
             except OSError:
                 pass
         return removed

@@ -7,6 +7,10 @@ Examples::
         --cores 1 4 16 64 --scale 0.05 --seeds 2015 \\
         --n-jobs 4 --cache-dir .sweep-cache --output results.jsonl
 
+    python -m repro.experiments.cli sweep \\
+        --workloads sparselu --managers ideal nanos --cores 1 4 16 \\
+        --workers 4 --cache-dir .sweep-cache --output results.jsonl
+
     python -m repro.experiments.cli spec-hash --workloads microbench \\
         --managers ideal --cores 1 2
 
@@ -90,8 +94,28 @@ def _build_parser() -> argparse.ArgumentParser:
 
     p_sweep = sub.add_parser("sweep", help="run a sweep grid")
     _add_grid_arguments(p_sweep)
-    p_sweep.add_argument("--n-jobs", type=int, default=1,
-                         help="worker processes (default 1 = serial)")
+    p_sweep.add_argument("--n-jobs", default="1", metavar="N|auto",
+                         help="multiprocessing worker processes (default 1 = "
+                              "serial; 'auto' = os.cpu_count())")
+    p_sweep.add_argument("--workers", default=None, metavar="N|auto",
+                         help="run the distributed sweep fabric instead: spawn "
+                              "this many local socket workers pulling "
+                              "locality-aware chunks from a central scheduler "
+                              "('auto' = os.cpu_count(); see "
+                              "python -m repro.distributed.worker for remote "
+                              "workers)")
+    p_sweep.add_argument("--worker-hosts", nargs="+", default=None,
+                         metavar="HOST",
+                         help="remote hosts expected to contribute one worker "
+                              "each (start them by hand with: python -m "
+                              "repro.distributed.worker --connect HOST:PORT); "
+                              "implies the sockets transport")
+    p_sweep.add_argument("--scheduler-bind", default="127.0.0.1:0",
+                         metavar="HOST:PORT",
+                         help="address the fabric scheduler listens on "
+                              "(default 127.0.0.1:0 = loopback, ephemeral "
+                              "port; bind a routable address for remote "
+                              "workers)")
     p_sweep.add_argument("--batch-lanes", type=int, default=1,
                          help="serial-path lane batching: advance up to this "
                               "many grid cells in lockstep through the "
@@ -140,8 +164,17 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         print(spec.spec_hash())
         return 0
     # command == "sweep"
-    runner = SweepRunner(n_jobs=args.n_jobs, cache_dir=args.cache_dir,
-                         batch_lanes=args.batch_lanes)
+    worker_hosts = tuple(args.worker_hosts) if args.worker_hosts else ()
+    distributed = args.workers is not None or worker_hosts
+    runner = SweepRunner(
+        n_jobs=args.n_jobs,
+        cache_dir=args.cache_dir,
+        batch_lanes=args.batch_lanes,
+        transport="sockets" if distributed else "local",
+        workers=args.workers,
+        worker_hosts=worker_hosts,
+        scheduler_bind=args.scheduler_bind,
+    )
     with maybe_profile(args.profile):
         outcome = runner.run(spec, jsonl_path=args.output)
     if not args.quiet:

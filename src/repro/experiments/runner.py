@@ -13,10 +13,12 @@ The output is a pure function of the spec:
 * grid cells are enumerated in the deterministic order of
   :meth:`SweepSpec.points` and results are re-ordered to it after the
   (unordered) parallel execution,
-* every result crosses process/cache boundaries as its JSON document, so
-  a cold serial run, a cold parallel run, a batched serial run
-  (``batch_lanes``, via the vectorized :mod:`repro.sim.batch` backend)
-  and a warm cached run all emit byte-identical JSONL rows.
+* every result crosses process/cache/socket boundaries as its JSON
+  document, so a cold serial run, a cold parallel run, a batched serial
+  run (``batch_lanes``, via the vectorized :mod:`repro.sim.batch`
+  backend), a distributed run (``transport="sockets"``, via the
+  :mod:`repro.distributed` fabric) and a warm cached run all emit
+  byte-identical JSONL rows.
 """
 
 from __future__ import annotations
@@ -24,10 +26,11 @@ from __future__ import annotations
 import dataclasses
 import gzip
 import multiprocessing
+import os
 import pickle
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any, Dict, List, Optional, Tuple, Union
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.common.errors import ConfigurationError, SimulationError
 from repro.experiments.cache import ResultCache
@@ -36,27 +39,138 @@ from repro.system.results import MachineResult
 from repro.trace.serialization import canonical_json_line, result_from_json, result_to_json
 
 #: Per-worker table of inline workloads, installed by the pool initializer
-#: so a large trace crosses the process boundary once per worker rather
-#: than once per grid cell.
+#: (or the socket worker's setup frame) so a large trace crosses the
+#: process boundary once per worker rather than once per grid cell.
 _WORKER_WORKLOADS: List[WorkloadSpec] = []
 
 
-def _init_worker(workloads: List[WorkloadSpec]) -> None:
+def install_workload_table(workloads: List[WorkloadSpec]) -> None:
+    """Install this process's interned workload table (see :func:`intern_jobs`)."""
     global _WORKER_WORKLOADS
     _WORKER_WORKLOADS = workloads
 
 
-def _run_point_job(job: Tuple[int, RunPoint, Optional[int]]) -> Tuple[int, Dict[str, Any]]:
-    """Worker entry point: run one grid cell, return its result document.
+#: Backwards-compatible multiprocessing initializer name.
+_init_worker = install_workload_table
 
-    Module-level (not a closure) so it pickles under every start method.
+
+def resolve_job(job: Tuple[int, RunPoint, Optional[int]]) -> Tuple[int, RunPoint]:
+    """Rehydrate an interned job into its ``(index, point)`` pair.
+
     ``job`` is ``(index, point, workload_ref)``; a non-``None`` ref points
-    into the worker's interned workload table (see :func:`_init_worker`).
+    into the process's interned workload table (see
+    :func:`install_workload_table`).
     """
     index, point, workload_ref = job
     if workload_ref is not None:
         point = dataclasses.replace(point, workload=_WORKER_WORKLOADS[workload_ref])
+    return index, point
+
+
+def run_job(job: Tuple[int, RunPoint, Optional[int]]) -> Tuple[int, Dict[str, Any]]:
+    """Worker entry point: run one grid cell, return its result document.
+
+    Module-level (not a closure) so it pickles under every start method.
+    """
+    index, point = resolve_job(job)
     return index, result_to_json(point.run())
+
+
+#: Backwards-compatible multiprocessing job-function name.
+_run_point_job = run_job
+
+
+def intern_jobs(
+    pending: List[Tuple[int, RunPoint]],
+) -> Tuple[List[Tuple[int, RunPoint, Optional[int]]], List[WorkloadSpec]]:
+    """Intern inline-trace workloads out of ``pending`` grid cells.
+
+    Returns ``(jobs, table)``: each job is ``(index, point, ref)`` where
+    a non-``None`` ref replaces the point's (stripped) workload with
+    ``table[ref]`` on the executing side — so each unique inline trace
+    crosses a process/socket boundary once, not once per grid cell.
+    Named workloads pass through untouched (they regenerate in place).
+    """
+    table: List[WorkloadSpec] = []
+    refs: Dict[int, int] = {}
+    jobs: List[Tuple[int, RunPoint, Optional[int]]] = []
+    for index, point in pending:
+        if point.workload.trace is None:
+            jobs.append((index, point, None))
+            continue
+        ref = refs.get(id(point.workload))
+        if ref is None:
+            ref = len(table)
+            refs[id(point.workload)] = ref
+            table.append(point.workload)
+        stripped = dataclasses.replace(point, workload=WorkloadSpec(name=point.workload.name))
+        jobs.append((index, stripped, ref))
+    return jobs, table
+
+
+def execute_lane_block(
+    block: List[Tuple[int, RunPoint]],
+) -> List[Tuple[int, Dict[str, Any]]]:
+    """Advance a block of materialised static cells in lockstep.
+
+    The block runs through the vectorized batch backend
+    (:func:`repro.sim.batch.run_lanes`), which replicates the scalar
+    engine exactly and falls back to it per-lane for configurations its
+    kernels do not cover — results are byte-identical to per-cell
+    :meth:`RunPoint.run` calls either way.  Cells sharing a workload
+    share one structural compilation (``WorkloadSpec.resolve`` memoises
+    named traces per process).
+    """
+    from repro.sim.batch import LaneSpec, run_lanes
+    from repro.system.machine import MachineConfig
+
+    lanes = [
+        LaneSpec(
+            trace=point.workload.resolve(),
+            manager=point.factory(),
+            config=MachineConfig(
+                num_cores=point.cores,
+                validate=point.validate,
+                keep_schedule=point.keep_schedule,
+                scheduler=point.scheduler,
+                topology=point.topology,
+            ),
+        )
+        for _, point in block
+    ]
+    return [
+        (index, result_to_json(result))
+        for (index, _), result in zip(block, run_lanes(lanes))
+    ]
+
+
+def resolve_worker_count(
+    value: Union[int, str], *, flag: str = "n_jobs", minimum: int = 1
+) -> int:
+    """Resolve a job/worker-count setting to a concrete integer.
+
+    Accepts an ``int``, a decimal string, or ``"auto"`` (=
+    ``os.cpu_count()``); anything else — including values below
+    ``minimum`` — raises :class:`~repro.common.errors.
+    ConfigurationError`, so both the CLI flags and the
+    :class:`SweepRunner` constructor reject bad counts the same way.
+    """
+    if isinstance(value, str):
+        if value.strip().lower() == "auto":
+            value = os.cpu_count() or 1
+        else:
+            try:
+                value = int(value)
+            except ValueError:
+                raise ConfigurationError(
+                    f"{flag} must be a positive integer or 'auto', got {value!r}"
+                ) from None
+    if not isinstance(value, int) or isinstance(value, bool):
+        raise ConfigurationError(
+            f"{flag} must be a positive integer or 'auto', got {value!r}")
+    if value < minimum:
+        raise ConfigurationError(f"{flag} must be >= {minimum}, got {value}")
+    return value
 
 
 def _pick_context() -> multiprocessing.context.BaseContext:
@@ -165,26 +279,71 @@ class SweepRunner:
         backend replicates the scalar engine exactly and falls back to
         it per-lane for configurations its kernels do not cover.
         Ignored when ``n_jobs > 1`` (worker processes run cells
-        individually).
+        individually); socket workers apply it to each dispatched chunk.
+    transport:
+        ``"local"`` (the default) executes in-process / via
+        ``multiprocessing``; ``"sockets"`` runs the distributed sweep
+        fabric instead — a :class:`~repro.distributed.scheduler.
+        SweepScheduler` owning the frontier and TCP worker processes
+        pulling locality-aware chunks, with work stealing, heartbeats
+        and bounded requeue (see :mod:`repro.distributed`).  Output is
+        byte-identical to every other execution mode.
+    workers:
+        Local socket-worker processes to spawn (``transport="sockets"``
+        only).  ``"auto"`` uses ``os.cpu_count()``.
+    worker_hosts:
+        Names of remote hosts expected to contribute workers (started
+        by hand with ``python -m repro.distributed.worker --connect
+        HOST:PORT``); the scheduler accepts one connection per listed
+        host on top of the local ``workers``.
+    scheduler_bind:
+        ``host:port`` the fabric scheduler listens on (default
+        ``127.0.0.1:0`` — loopback, ephemeral port; bind a routable
+        address when ``worker_hosts`` are involved).
+    heartbeat_interval / heartbeat_timeout:
+        Worker life-sign cadence and the silence threshold after which
+        the scheduler requeues a worker's cells.
     """
 
     def __init__(
         self,
-        n_jobs: int = 1,
+        n_jobs: Union[int, str] = 1,
         *,
         cache: Optional[ResultCache] = None,
         cache_dir: Optional[Union[str, Path]] = None,
         batch_lanes: int = 1,
+        transport: str = "local",
+        workers: Union[int, str, None] = None,
+        worker_hosts: Sequence[str] = (),
+        scheduler_bind: str = "127.0.0.1:0",
+        heartbeat_interval: float = 1.0,
+        heartbeat_timeout: float = 5.0,
     ) -> None:
-        if n_jobs < 1:
-            raise ConfigurationError(f"n_jobs must be >= 1, got {n_jobs}")
+        self.n_jobs = resolve_worker_count(n_jobs, flag="n_jobs")
         if batch_lanes < 1:
             raise ConfigurationError(f"batch_lanes must be >= 1, got {batch_lanes}")
-        self.n_jobs = n_jobs
+        if transport not in ("local", "sockets"):
+            raise ConfigurationError(
+                f"transport must be 'local' or 'sockets', got {transport!r}")
+        self.transport = transport
+        self.worker_hosts = tuple(worker_hosts)
+        if workers is None:
+            self.workers = 0
+        else:
+            self.workers = resolve_worker_count(workers, flag="workers", minimum=0)
+        if transport == "sockets" and self.workers + len(self.worker_hosts) < 1:
+            raise ConfigurationError(
+                "transport='sockets' needs workers >= 1 or at least one worker host")
+        self.scheduler_bind = scheduler_bind
+        self.heartbeat_interval = heartbeat_interval
+        self.heartbeat_timeout = heartbeat_timeout
         self.batch_lanes = batch_lanes
         if cache is None and cache_dir is not None:
             cache = ResultCache(cache_dir)
         self.cache = cache
+        #: The most recent fabric scheduler (``transport="sockets"``
+        #: only) — introspection surface for tests and progress tooling.
+        self.last_scheduler = None
 
     # -- execution ---------------------------------------------------------
     def run(
@@ -251,27 +410,16 @@ class SweepRunner:
     ) -> List[Tuple[int, Dict[str, Any]]]:
         if not pending:
             return []
+        if self.transport == "sockets":
+            return self._execute_sockets(pending)
         if self.n_jobs == 1 or len(pending) == 1:
             if self.batch_lanes > 1 and len(pending) > 1:
                 return self._execute_batched(pending)
-            return [_run_point_job((index, point, None)) for index, point in pending]
+            return [run_job((index, point, None)) for index, point in pending]
         self._check_factories_picklable(pending)
         # Intern inline-trace workloads: ship each unique trace to workers
         # once via the pool initializer instead of once per grid cell.
-        table: List[WorkloadSpec] = []
-        refs: Dict[int, int] = {}
-        jobs: List[Tuple[int, RunPoint, Optional[int]]] = []
-        for index, point in pending:
-            if point.workload.trace is None:
-                jobs.append((index, point, None))
-                continue
-            ref = refs.get(id(point.workload))
-            if ref is None:
-                ref = len(table)
-                refs[id(point.workload)] = ref
-                table.append(point.workload)
-            stripped = dataclasses.replace(point, workload=WorkloadSpec(name=point.workload.name))
-            jobs.append((index, stripped, ref))
+        jobs, table = intern_jobs(pending)
         context = _pick_context()
         processes = min(self.n_jobs, len(pending))
         with context.Pool(processes=processes, initializer=_init_worker, initargs=(table,)) as pool:
@@ -284,41 +432,68 @@ class SweepRunner:
 
         Materialised (non-stream, non-dynamic) cells are grouped into
         lane batches of ``batch_lanes`` in grid order and advanced in
-        lockstep; everything else runs through the scalar path exactly
-        as before.  Cells sharing a workload share one structural
-        compilation inside the batch backend (``WorkloadSpec.resolve``
-        memoises named traces per process, so a seeds × cores cell block
-        maps to few compilations and many lanes).
+        lockstep (:func:`execute_lane_block`); everything else runs
+        through the scalar path exactly as before.
         """
-        from repro.sim.batch import LaneSpec, run_lanes
-        from repro.system.machine import MachineConfig
-
         out: List[Tuple[int, Dict[str, Any]]] = []
         batchable: List[Tuple[int, RunPoint]] = []
         for index, point in pending:
             if point.stream or point.dynamic:
-                out.append(_run_point_job((index, point, None)))
+                out.append(run_job((index, point, None)))
             else:
                 batchable.append((index, point))
         for start in range(0, len(batchable), self.batch_lanes):
-            chunk = batchable[start:start + self.batch_lanes]
-            lanes = [
-                LaneSpec(
-                    trace=point.workload.resolve(),
-                    manager=point.factory(),
-                    config=MachineConfig(
-                        num_cores=point.cores,
-                        validate=point.validate,
-                        keep_schedule=point.keep_schedule,
-                        scheduler=point.scheduler,
-                        topology=point.topology,
-                    ),
-                )
-                for _, point in chunk
-            ]
-            for (index, _), result in zip(chunk, run_lanes(lanes)):
-                out.append((index, result_to_json(result)))
+            out.extend(execute_lane_block(batchable[start:start + self.batch_lanes]))
         return out
+
+    def _execute_sockets(
+        self, pending: List[Tuple[int, RunPoint]]
+    ) -> List[Tuple[int, Dict[str, Any]]]:
+        """Fan the pending cells out over the distributed sweep fabric.
+
+        Builds the same interned job table as the ``multiprocessing``
+        path, then hands it to a :class:`~repro.distributed.scheduler.
+        SweepScheduler` that spawns/serves socket workers.  Cells are
+        grouped for locality by workload identity, so one worker replays
+        many cells of one trace back-to-back.
+        """
+        from repro.distributed.scheduler import SweepScheduler
+
+        self._check_factories_picklable(pending)
+        jobs, table = intern_jobs(pending)
+        # Locality keys from the *original* points (stripped inline
+        # workloads all describe identically, which would merge distinct
+        # traces into one locality run).
+        groups = [
+            canonical_json_line(point.workload.describe())
+            for _, point in pending
+        ]
+        host, _, port = self.scheduler_bind.rpartition(":")
+        if not host:
+            raise ConfigurationError(
+                f"scheduler_bind must be host:port, got {self.scheduler_bind!r}")
+        try:
+            port_number = int(port)
+        except ValueError as exc:
+            raise ConfigurationError(
+                f"scheduler_bind must be host:port, got {self.scheduler_bind!r}"
+            ) from exc
+        cache_dir = str(self.cache.root) if self.cache is not None else None
+        scheduler = SweepScheduler(
+            jobs,
+            table,
+            groups=groups,
+            workers=self.workers,
+            external_workers=len(self.worker_hosts),
+            host=host,
+            port=port_number,
+            batch_lanes=self.batch_lanes,
+            cache_dir=cache_dir,
+            heartbeat_interval=self.heartbeat_interval,
+            heartbeat_timeout=self.heartbeat_timeout,
+        )
+        self.last_scheduler = scheduler
+        return scheduler.run()
 
     @staticmethod
     def _check_factories_picklable(pending: List[Tuple[int, RunPoint]]) -> None:
@@ -503,11 +678,16 @@ def write_jsonl(rows: List[Dict[str, Any]], path: Union[str, Path]) -> Path:
 def run_sweep(
     spec: SweepSpec,
     *,
-    n_jobs: int = 1,
+    n_jobs: Union[int, str] = 1,
     cache_dir: Optional[Union[str, Path]] = None,
     jsonl_path: Optional[Union[str, Path]] = None,
     batch_lanes: int = 1,
+    transport: str = "local",
+    workers: Union[int, str, None] = None,
+    worker_hosts: Sequence[str] = (),
 ) -> SweepOutcome:
     """One-call convenience wrapper around :class:`SweepRunner`."""
-    runner = SweepRunner(n_jobs=n_jobs, cache_dir=cache_dir, batch_lanes=batch_lanes)
+    runner = SweepRunner(
+        n_jobs=n_jobs, cache_dir=cache_dir, batch_lanes=batch_lanes,
+        transport=transport, workers=workers, worker_hosts=worker_hosts)
     return runner.run(spec, jsonl_path=jsonl_path)

@@ -1,0 +1,130 @@
+"""Unit tests of the frontier: chunking, stealing, requeue, budgets."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.errors import SimulationError
+from repro.distributed.frontier import SweepFrontier
+
+
+def drain(frontier, worker):
+    """Pop chunks for ``worker`` until the queue is dry."""
+    chunks = []
+    while True:
+        chunk = frontier.next_chunk(worker)
+        if not chunk:
+            return chunks
+        chunks.append(chunk)
+
+
+class TestChunking:
+    def test_ungrouped_cells_split_by_chunk_size(self):
+        frontier = SweepFrontier(range(10), chunk_size=4)
+        assert drain(frontier, "w0") == [[0, 1, 2, 3], [4, 5, 6, 7], [8, 9]]
+
+    def test_locality_runs_are_never_split(self):
+        groups = ["a", "a", "b", "b", "b", "a"]
+        frontier = SweepFrontier(range(6), groups, chunk_size=16)
+        assert drain(frontier, "w0") == [[0, 1], [2, 3, 4], [5]]
+
+    def test_long_runs_still_respect_chunk_size(self):
+        frontier = SweepFrontier(range(7), ["x"] * 7, chunk_size=3)
+        assert drain(frontier, "w0") == [[0, 1, 2], [3, 4, 5], [6]]
+
+    def test_validation(self):
+        with pytest.raises(SimulationError):
+            SweepFrontier([1], chunk_size=0)
+        with pytest.raises(SimulationError):
+            SweepFrontier([1], max_attempts=0)
+        with pytest.raises(SimulationError):
+            SweepFrontier([1, 2], ["only-one-key"])
+
+
+class TestProgress:
+    def test_complete_tracks_done_and_assignment(self):
+        frontier = SweepFrontier(range(4), chunk_size=2)
+        chunk = frontier.next_chunk("w0")
+        assert frontier.remaining_for("w0") == 2
+        assert frontier.complete("w0", chunk[0]) is True
+        assert frontier.remaining_for("w0") == 1
+        assert frontier.done_count == 1
+        assert not frontier.is_done
+
+    def test_duplicate_completion_is_tolerated(self):
+        frontier = SweepFrontier(range(2), chunk_size=2)
+        frontier.next_chunk("w0")
+        assert frontier.complete("w0", 0) is True
+        assert frontier.complete("w1", 0) is False  # raced steal duplicate
+        assert frontier.done_count == 1
+
+    def test_is_done_after_all_cells(self):
+        frontier = SweepFrontier(range(3), chunk_size=8)
+        for cell in frontier.next_chunk("w0"):
+            frontier.complete("w0", cell)
+        assert frontier.is_done
+        assert not frontier.has_queued
+
+
+class TestStealing:
+    def test_steal_moves_tail_half(self):
+        frontier = SweepFrontier(range(8), chunk_size=8)
+        frontier.next_chunk("victim")
+        stolen = frontier.steal("victim", "thief")
+        assert stolen == [4, 5, 6, 7]  # victim keeps the head it is running
+        assert frontier.remaining_for("victim") == 4
+        assert frontier.remaining_for("thief") == 4
+
+    def test_steal_rounds_in_victims_favour(self):
+        frontier = SweepFrontier(range(5), chunk_size=8)
+        frontier.next_chunk("victim")
+        assert frontier.steal("victim", "thief") == [3, 4]
+
+    def test_small_assignments_are_not_stolen(self):
+        frontier = SweepFrontier(range(1), chunk_size=8)
+        frontier.next_chunk("victim")
+        assert frontier.steal("victim", "thief") == []
+
+    def test_steal_victim_picks_most_loaded(self):
+        frontier = SweepFrontier(range(12), chunk_size=4)
+        frontier.next_chunk("small")     # 4 cells
+        frontier.next_chunk("big")       # 4 cells
+        frontier.next_chunk("big")       # 8 cells total
+        assert frontier.steal_victim("thief") == "big"
+        assert frontier.steal_victim("big") == "small"
+
+    def test_steal_victim_ignores_single_cell_workers(self):
+        frontier = SweepFrontier(range(1), chunk_size=1)
+        frontier.next_chunk("busy")
+        assert frontier.steal_victim("thief") is None
+
+
+class TestFailure:
+    def test_fail_worker_requeues_at_front_in_order(self):
+        frontier = SweepFrontier(range(8), chunk_size=2)
+        dead = frontier.next_chunk("dead") + frontier.next_chunk("dead")  # [0..3]
+        frontier.complete("dead", dead[0])
+        assert frontier.fail_worker("dead") == [1, 2, 3]
+        # Requeued cells come back first, still in grid order, then the
+        # untouched remainder of the original queue.
+        assert drain(frontier, "w1") == [[1], [2, 3], [4, 5], [6, 7]]
+
+    def test_fail_worker_without_assignment_is_noop(self):
+        frontier = SweepFrontier(range(2), chunk_size=2)
+        assert frontier.fail_worker("stranger") == []
+
+    def test_attempt_budget_exhaustion_raises(self):
+        frontier = SweepFrontier(range(2), chunk_size=2, max_attempts=2)
+        frontier.next_chunk("w0")          # attempt 1
+        frontier.fail_worker("w0")
+        frontier.next_chunk("w1")          # attempt 2 == budget
+        with pytest.raises(SimulationError, match="giving up"):
+            frontier.fail_worker("w1")
+
+    def test_steals_count_against_the_budget(self):
+        frontier = SweepFrontier(range(4), chunk_size=4, max_attempts=2)
+        frontier.next_chunk("victim")              # attempt 1 for all
+        frontier.steal("victim", "thief")          # attempt 2 for [2, 3]
+        with pytest.raises(SimulationError):
+            frontier.fail_worker("thief")
+        # The victim's untouched head is still within budget.

@@ -1,0 +1,90 @@
+"""Heartbeat-timeout unit tests driven by a fake clock."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.errors import SimulationError
+from repro.distributed.scheduler import HeartbeatMonitor, SweepScheduler
+
+
+class FakeClock:
+    def __init__(self) -> None:
+        self.now = 100.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+class TestHeartbeatMonitor:
+    def test_fresh_worker_is_not_expired(self):
+        clock = FakeClock()
+        monitor = HeartbeatMonitor(5.0, clock)
+        monitor.beat("w0")
+        assert monitor.expired() == []
+        assert monitor.last_seen("w0") == 100.0
+
+    def test_silence_past_timeout_expires(self):
+        clock = FakeClock()
+        monitor = HeartbeatMonitor(5.0, clock)
+        monitor.beat("w0")
+        monitor.beat("w1")
+        clock.advance(4.0)
+        monitor.beat("w1")          # w1 keeps talking
+        clock.advance(1.5)          # w0 silent for 5.5s, w1 for 1.5s
+        assert monitor.expired() == ["w0"]
+
+    def test_exactly_timeout_is_still_alive(self):
+        clock = FakeClock()
+        monitor = HeartbeatMonitor(5.0, clock)
+        monitor.beat("w0")
+        clock.advance(5.0)
+        assert monitor.expired() == []
+        clock.advance(0.001)
+        assert monitor.expired() == ["w0"]
+
+    def test_beat_revives_a_nearly_dead_worker(self):
+        clock = FakeClock()
+        monitor = HeartbeatMonitor(5.0, clock)
+        monitor.beat("w0")
+        clock.advance(4.999)
+        monitor.beat("w0")
+        clock.advance(4.999)
+        assert monitor.expired() == []
+
+    def test_forget_removes_from_expiry(self):
+        clock = FakeClock()
+        monitor = HeartbeatMonitor(1.0, clock)
+        monitor.beat("w0")
+        clock.advance(10.0)
+        monitor.forget("w0")
+        assert monitor.expired() == []
+        assert monitor.last_seen("w0") is None
+        monitor.forget("w0")  # idempotent
+
+    def test_non_positive_timeout_rejected(self):
+        with pytest.raises(SimulationError):
+            HeartbeatMonitor(0.0)
+        with pytest.raises(SimulationError):
+            HeartbeatMonitor(-1.0)
+
+
+class TestIntervalClamp:
+    """The interval workers are told to beat at must always fit the
+    expiry deadline, or a short timeout would declare a healthy-but-busy
+    worker dead between two of its own heartbeats."""
+
+    def test_short_timeout_clamps_the_interval(self):
+        scheduler = SweepScheduler([], external_workers=1,
+                                   heartbeat_interval=1.0,
+                                   heartbeat_timeout=0.8)
+        assert scheduler.heartbeat_interval == pytest.approx(0.2)
+
+    def test_generous_timeout_keeps_the_requested_interval(self):
+        scheduler = SweepScheduler([], external_workers=1,
+                                   heartbeat_interval=1.0,
+                                   heartbeat_timeout=5.0)
+        assert scheduler.heartbeat_interval == 1.0

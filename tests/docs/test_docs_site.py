@@ -21,7 +21,7 @@ DOCS_DIR = REPO_ROOT / "docs"
 MKDOCS_YML = REPO_ROOT / "mkdocs.yml"
 
 REQUIRED_PAGES = ("index.md", "architecture.md", "managers.md",
-                  "experiments.md", "streaming.md")
+                  "experiments.md", "streaming.md", "distributed.md")
 
 _MD_LINK = re.compile(r"\]\(([^)#]+)(?:#[^)]*)?\)")
 

@@ -1,6 +1,8 @@
 """Tests for the content-addressed result cache."""
 
 from repro.experiments.cache import ResultCache
+from repro.experiments.runner import SweepRunner
+from repro.experiments.spec import SweepSpec
 
 KEY = "ab" + "0" * 62
 OTHER = "cd" + "1" * 62
@@ -42,6 +44,47 @@ class TestResultCache:
         assert cache.clear() == 2
         assert len(cache) == 0
         assert cache.get(KEY) is None
+
+    def test_corrupt_entry_is_deleted_on_read(self, tmp_path):
+        """A torn entry must not survive to poison every later warm run."""
+        cache = ResultCache(tmp_path)
+        cache.put(KEY, {"x": 1})
+        path = tmp_path / KEY[:2] / f"{KEY}.json"
+        path.write_text('{"makespan_us": 12.', encoding="utf-8")
+        assert cache.get(KEY) is None
+        assert not path.exists()
+        # The store is usable again immediately.
+        cache.put(KEY, {"x": 2})
+        assert cache.get(KEY) == {"x": 2}
+
+    def test_clear_sweeps_orphaned_tmp_files(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put(KEY, {"x": 1})
+        orphan = tmp_path / KEY[:2] / "deadbeef.tmp"
+        orphan.write_text("partial", encoding="utf-8")
+        assert cache.clear() == 1
+        assert not orphan.exists()
+
+    def test_corruption_recovery_end_to_end(self, tmp_path):
+        """A worker killed mid-write leaves a truncated entry; the next
+        (warm) sweep must treat it as a miss, re-simulate exactly that
+        cell, repair the store and still emit byte-identical JSONL."""
+        spec = SweepSpec(workloads=["microbench"], managers=["ideal"],
+                         core_counts=[1, 2], scale=0.05)
+        cache = ResultCache(tmp_path / "cache")
+        cold = SweepRunner(cache=cache).run(spec, jsonl_path=tmp_path / "cold.jsonl")
+        assert cold.executed == 2
+        # Truncate one entry in place — a torn write a crashed worker
+        # could have produced without the atomic-rename discipline.
+        victim = next(iter((tmp_path / "cache").glob("*/*.json")))
+        victim.write_text(victim.read_text(encoding="utf-8")[:17], encoding="utf-8")
+        warm = SweepRunner(cache=cache).run(spec, jsonl_path=tmp_path / "warm.jsonl")
+        assert warm.executed == 1  # only the corrupted cell re-ran
+        assert warm.cache_hits == 1
+        assert (tmp_path / "cold.jsonl").read_bytes() == (tmp_path / "warm.jsonl").read_bytes()
+        # The store healed: a third run is fully warm.
+        again = SweepRunner(cache=cache).run(spec)
+        assert again.executed == 0
 
     def test_put_overwrites_atomically(self, tmp_path):
         cache = ResultCache(tmp_path)

@@ -4,6 +4,7 @@ import json
 
 import pytest
 
+from repro.common.errors import ConfigurationError
 from repro.experiments.cli import main
 from repro.trace.serialization import iter_jsonl
 
@@ -43,6 +44,28 @@ class TestSweepCommand:
         assert main(["sweep", *grid_args("--output", str(serial), "--quiet")]) == 0
         assert main(["sweep", *grid_args("--output", str(parallel), "--quiet", "--n-jobs", "2")]) == 0
         assert serial.read_bytes() == parallel.read_bytes()
+
+    def test_distributed_sweep_matches_serial(self, tmp_path):
+        serial = tmp_path / "serial.jsonl"
+        dist = tmp_path / "dist.jsonl"
+        assert main(["sweep", *grid_args("--output", str(serial), "--quiet")]) == 0
+        assert main(["sweep", *grid_args("--output", str(dist), "--quiet",
+                                         "--workers", "2")]) == 0
+        assert serial.read_bytes() == dist.read_bytes()
+
+    def test_auto_worker_counts_resolve_to_cpu_count(self, capsys):
+        assert main(["sweep", *grid_args("--quiet", "--n-jobs", "auto")]) == 0
+        assert "4 points, 4 executed" in capsys.readouterr().out
+
+    def test_bad_worker_counts_are_rejected(self):
+        with pytest.raises(ConfigurationError, match="n_jobs"):
+            main(["sweep", *grid_args("--n-jobs", "bogus")])
+        with pytest.raises(ConfigurationError, match="n_jobs"):
+            main(["sweep", *grid_args("--n-jobs", "0")])
+        with pytest.raises(ConfigurationError, match="workers"):
+            main(["sweep", *grid_args("--workers", "0")])
+        with pytest.raises(ConfigurationError, match="workers"):
+            main(["sweep", *grid_args("--workers", "some")])
 
     def test_nanos_max_cores_cap(self, capsys):
         code = main([

@@ -1,10 +1,12 @@
 """Tests for SweepRunner: execution, caching, JSONL and study bridging."""
 
+import os
+
 import pytest
 
 from repro.common.errors import ConfigurationError
 from repro.experiments.cache import ResultCache
-from repro.experiments.runner import SweepRunner, run_sweep
+from repro.experiments.runner import SweepRunner, resolve_worker_count, run_sweep
 from repro.experiments.spec import SweepSpec, WorkloadSpec
 from repro.system import machine as machine_module
 from repro.system.machine import simulate
@@ -235,3 +237,35 @@ class TestParallelExecution:
         assert parallel.jsonl_lines() == serial.jsonl_lines()
         speedups = [r.speedup_vs_serial for r in parallel.results]
         assert speedups == pytest.approx([1.0, 2.0, 3.0, 4.0])
+
+
+class TestWorkerCountResolution:
+    def test_integers_pass_through(self):
+        assert resolve_worker_count(1) == 1
+        assert resolve_worker_count(8) == 8
+        assert resolve_worker_count("4") == 4
+
+    def test_auto_uses_cpu_count(self):
+        assert resolve_worker_count("auto") == (os.cpu_count() or 1)
+        assert resolve_worker_count(" AUTO ") == (os.cpu_count() or 1)
+
+    def test_minimum_is_enforced(self):
+        assert resolve_worker_count(0, minimum=0) == 0
+        with pytest.raises(ConfigurationError, match="n_jobs must be >= 1"):
+            resolve_worker_count(0)
+        with pytest.raises(ConfigurationError, match="workers must be >= 0"):
+            resolve_worker_count(-1, flag="workers", minimum=0)
+
+    def test_garbage_is_rejected(self):
+        for bad in ("many", "1.5", "", 2.0, None, True):
+            with pytest.raises(ConfigurationError):
+                resolve_worker_count(bad)
+
+    def test_inline_trace_sweeps_distribute(self):
+        # Inline traces are interned and shipped once per socket worker.
+        trace = generate_independent(12, duration_us=10.0, seed=5)
+        spec = SweepSpec(workloads=(trace,), managers=["ideal"],
+                         core_counts=[1, 2, 3, 4])
+        serial = SweepRunner(n_jobs=1).run(spec)
+        distributed = SweepRunner(transport="sockets", workers=2).run(spec)
+        assert distributed.jsonl_lines() == serial.jsonl_lines()
