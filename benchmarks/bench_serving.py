@@ -1,0 +1,255 @@
+#!/usr/bin/env python3
+"""Serving benchmark: sustained throughput, warm re-runs, saturation.
+
+Three sections, all against a real :class:`repro.serve.app.Server` on
+its own event-loop thread, driven by the seeded load generator
+(:mod:`repro.serve.loadgen`) over real sockets:
+
+* **sustained** — a seeded request mix (repeated and distinct cells
+  across managers/workloads) replayed sub-capacity: requests/s, p50/p99
+  latency, cache hit-rate.  Gate: zero errors, zero 429s — a
+  non-saturated server must answer everything.
+* **warm re-run** — a *new* server over the same cache directory
+  replays the identical request list with ``Machine.run`` instrumented.
+  Gate: **zero** simulations (hit-rate 1.0) — the content-addressed
+  store plus the spec-hash identity must answer every repeated request.
+* **saturation** — distinct-cell bursts against a deliberately tiny
+  admission queue.  Gate: 429s do appear past saturation and every one
+  carries a measured ``Retry-After`` >= 1 s; accepted requests still
+  complete.
+
+Run with::
+
+    PYTHONPATH=src python benchmarks/bench_serving.py [--quick] [--check]
+
+Writes ``BENCH_serving.json`` (schema 1, repo root by default).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import shutil
+import sys
+import tempfile
+import threading
+import time
+from pathlib import Path
+from typing import Dict, List
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.serve import ServeClient, ServeConfig, start_in_thread  # noqa: E402
+from repro.serve.loadgen import build_requests, default_mix, run_load  # noqa: E402
+from repro.system.machine import Machine  # noqa: E402
+
+BENCH_SEED = 2015
+
+#: Floor on sustained throughput (requests/s) for the tiny bench cells.
+#: Deliberately conservative: the gate exists to catch a serving-layer
+#: collapse (requests serialising behind a lock, lost keep-alive), not
+#: to benchmark the host.
+SUSTAINED_RPS_FLOOR = 20.0
+
+
+class _RunCounter:
+    """Count ``Machine.run`` invocations (the warm-pass zero-sim gate)."""
+
+    def __init__(self) -> None:
+        self.calls = 0
+        self._lock = threading.Lock()
+        self._real = Machine.run
+
+    def __enter__(self) -> "_RunCounter":
+        counter = self
+
+        def counting(machine_self, *args, **kwargs):
+            with counter._lock:
+                counter.calls += 1
+            return counter._real(machine_self, *args, **kwargs)
+
+        Machine.run = counting
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        Machine.run = self._real
+
+
+def bench_sustained_and_warm(quick: bool, store: str) -> Dict[str, object]:
+    count = 120 if quick else 600
+    concurrency = 8
+    requests = build_requests(BENCH_SEED, count, default_mix(scale=0.05))
+
+    handle = start_in_thread(ServeConfig(cache_dir=store, batch_window=0.001))
+    try:
+        cold = run_load(handle.host, handle.port, requests,
+                        concurrency=concurrency)
+        with ServeClient(handle.host, handle.port) as client:
+            cold_stats = client.stats()
+    finally:
+        handle.stop()
+
+    # A fresh server over the same store: every cell must be answered
+    # from the content-addressed cache, never the engine.
+    handle = start_in_thread(ServeConfig(cache_dir=store, batch_window=0.001))
+    try:
+        with _RunCounter() as counter:
+            warm = run_load(handle.host, handle.port, requests,
+                            concurrency=concurrency)
+        with ServeClient(handle.host, handle.port) as client:
+            warm_stats = client.stats()
+    finally:
+        handle.stop()
+
+    return {
+        "grid": {"requests": count, "concurrency": concurrency,
+                 "mix_scale": 0.05, "seed": BENCH_SEED},
+        "sustained": {
+            **cold.to_json(),
+            "cache_hit_rate": round(cold.cached / max(1, cold.ok), 4),
+            "cells_executed": cold_stats["executed"],
+            "coalesced": cold_stats["coalesced"],
+        },
+        "warm": {
+            **warm.to_json(),
+            "cache_hit_rate": round(warm.cached / max(1, warm.ok), 4),
+            "cells_executed": warm_stats["executed"],
+            "machine_run_calls": counter.calls,
+            "meets_zero_sim": warm_stats["executed"] == 0 and counter.calls == 0,
+        },
+    }
+
+
+def bench_saturation(quick: bool) -> Dict[str, object]:
+    count = 60 if quick else 200
+    concurrency = 16
+    max_pending = 2
+    # Every request a distinct cell (many seeds): no dedupe relief, and
+    # a widened batch window throttles the drain — the queue must
+    # saturate and the admission controller must start refusing.
+    requests = build_requests(BENCH_SEED + 1, count,
+                              default_mix(scale=0.05),
+                              seeds_per_template=10_000)
+    handle = start_in_thread(ServeConfig(max_pending=max_pending,
+                                         batch_window=0.05,
+                                         executor_threads=1))
+    started = time.monotonic()
+    try:
+        report = run_load(handle.host, handle.port, requests,
+                          concurrency=concurrency)
+        with ServeClient(handle.host, handle.port) as client:
+            stats = client.stats()
+    finally:
+        handle.stop()
+    wall = time.monotonic() - started
+    offered = max(1, report.offered)
+    return {
+        "grid": {"requests": count, "concurrency": concurrency,
+                 "max_pending": max_pending, "seed": BENCH_SEED + 1},
+        **report.to_json(),
+        "wall_s_total": round(wall, 3),
+        "rejected_429_rate": round(report.saturated / offered, 4),
+        "server_rejected_requests": stats["rejected_requests"],
+        "saturation_observed": report.saturated > 0,
+    }
+
+
+def run_benchmark(quick: bool) -> Dict[str, object]:
+    store_root = tempfile.mkdtemp(prefix="bench-serving-")
+    try:
+        sustained = bench_sustained_and_warm(quick, str(Path(store_root) / "store"))
+        saturation = bench_saturation(quick)
+    finally:
+        shutil.rmtree(store_root, ignore_errors=True)
+    report: Dict[str, object] = {
+        "benchmark": "serving",
+        "schema": 1,
+        "config": {
+            "quick": quick,
+            "seed": BENCH_SEED,
+            "transport": "HTTP/1.1 keep-alive (repro.serve asyncio server)",
+            "sustained_rps_floor": SUSTAINED_RPS_FLOOR,
+        },
+        "sustained_and_warm": sustained,
+        "saturation": saturation,
+    }
+    report["meets_target"] = not check_report(report)
+    return report
+
+
+def check_report(report: Dict[str, object]) -> List[str]:
+    failures: List[str] = []
+    sustained = report["sustained_and_warm"]["sustained"]  # type: ignore[index]
+    warm = report["sustained_and_warm"]["warm"]  # type: ignore[index]
+    saturation = report["saturation"]  # type: ignore[index]
+    if sustained["errors"] or sustained["saturated_429"]:
+        failures.append(
+            f"sustained phase saw {sustained['errors']} errors / "
+            f"{sustained['saturated_429']} 429s (expected 0/0 sub-capacity)")
+    if sustained["ok"] != report["sustained_and_warm"]["grid"]["requests"]:  # type: ignore[index]
+        failures.append("sustained phase dropped requests")
+    if sustained["throughput_rps"] < SUSTAINED_RPS_FLOOR:
+        failures.append(
+            f"sustained throughput {sustained['throughput_rps']} req/s "
+            f"under the {SUSTAINED_RPS_FLOOR} floor")
+    if not warm["meets_zero_sim"]:
+        failures.append(
+            f"warm pass executed {warm['cells_executed']} cells / "
+            f"{warm['machine_run_calls']} Machine.run calls (expected 0/0)")
+    if warm["cache_hit_rate"] != 1.0:
+        failures.append(f"warm hit-rate {warm['cache_hit_rate']} != 1.0")
+    if not saturation["saturation_observed"]:
+        failures.append("saturation phase produced no 429s")
+    if not saturation["all_429s_carried_retry_after"]:
+        failures.append("a 429 was missing its measured Retry-After")
+    if saturation["errors"]:
+        failures.append(f"saturation phase saw {saturation['errors']} "
+                        "hard errors (only 429s are acceptable)")
+    return failures
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true",
+                        help="small request counts (CI smoke mode)")
+    parser.add_argument("--check", action="store_true",
+                        help="exit non-zero when a serving gate fails")
+    parser.add_argument("--output", default=str(REPO_ROOT / "BENCH_serving.json"))
+    args = parser.parse_args()
+
+    report = run_benchmark(quick=args.quick)
+    output = Path(args.output)
+    output.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n",
+                      encoding="utf-8")
+    print(f"wrote {output}")
+
+    sustained = report["sustained_and_warm"]["sustained"]  # type: ignore[index]
+    warm = report["sustained_and_warm"]["warm"]  # type: ignore[index]
+    saturation = report["saturation"]  # type: ignore[index]
+    print(
+        f"sustained: {sustained['ok']}/{sustained['offered']} ok, "
+        f"{sustained['throughput_rps']} req/s, "
+        f"p50 {sustained['p50_latency_ms']} ms, "
+        f"p99 {sustained['p99_latency_ms']} ms, "
+        f"hit-rate {sustained['cache_hit_rate']}")
+    print(
+        f"warm: {warm['ok']}/{warm['offered']} ok, hit-rate "
+        f"{warm['cache_hit_rate']}, executed {warm['cells_executed']}, "
+        f"Machine.run calls {warm['machine_run_calls']}")
+    print(
+        f"saturation: {saturation['saturated_429']}/{saturation['offered']} "
+        f"429s (rate {saturation['rejected_429_rate']}), "
+        f"retry-after honoured: {saturation['all_429s_carried_retry_after']}")
+
+    failures = check_report(report)
+    if failures:
+        for failure in failures:
+            print(f"GATE FAIL: {failure}", file=sys.stderr)
+        if args.check:
+            return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

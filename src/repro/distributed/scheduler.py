@@ -187,6 +187,11 @@ class SweepScheduler:
         self.results_received = 0
         self._documents: Dict[int, Dict[str, Any]] = {}
         self._lock = threading.RLock()
+        #: Notified on every observable state change (result recorded,
+        #: chunk dispatched, worker connected/disconnected, address
+        #: bound, failure) — the event-driven backbone of
+        #: :meth:`wait_until`, so tests never poll with sleeps.
+        self._progress = threading.Condition(self._lock)
         self._conns: Dict[str, _Connection] = {}
         self._idle: set = set()
         self._next_anon = 0
@@ -209,7 +214,9 @@ class SweepScheduler:
             return []
         self._payload = encode_payload((self.jobs, self.table))
         self._server = socket.create_server((self.host, self.port), backlog=64)
-        self.address = self._server.getsockname()[:2]
+        with self._progress:
+            self.address = self._server.getsockname()[:2]
+            self._progress.notify_all()
         accept_thread = threading.Thread(
             target=self._accept_loop, name="fabric-accept", daemon=True)
         accept_thread.start()
@@ -283,10 +290,38 @@ class SweepScheduler:
             thread.join(timeout=5)
 
     def _fail(self, exc: BaseException) -> None:
-        with self._lock:
+        with self._progress:
             if self._failure is None:
                 self._failure = exc
+            self._progress.notify_all()
         self._done.set()
+
+    # -- event-driven waiting (tests, monitoring) ----------------------------
+    def wait_until(self, predicate: Callable[[], bool], timeout: float = 60.0) -> bool:
+        """Block until ``predicate()`` is true; return its final value.
+
+        The predicate is evaluated under the scheduler lock and
+        re-checked whenever scheduler state changes (a result lands, a
+        chunk is dispatched, a worker joins or dies, the server binds),
+        plus a coarse periodic backstop for conditions the scheduler
+        cannot observe itself (e.g. an external thread dying).  This is
+        the replacement for sleep-based polling in tests: no interval
+        tuning, no wall-clock flakiness — the wait ends the moment the
+        state change is published.
+        """
+        deadline = time.monotonic() + timeout
+        with self._progress:
+            while True:
+                if predicate():
+                    return True
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    return bool(predicate())
+                self._progress.wait(min(remaining, 0.25))
+
+    def wait_for_results(self, count: int, timeout: float = 60.0) -> bool:
+        """Block until at least ``count`` results have been recorded."""
+        return self.wait_until(lambda: self.results_received >= count, timeout)
 
     # -- connection handling -----------------------------------------------
     def _accept_loop(self) -> None:
@@ -323,6 +358,7 @@ class SweepScheduler:
                     self._next_anon += 1
                 self._conns[worker_id] = _Connection(worker_id, stream)
                 self.monitor.beat(worker_id)
+                self._progress.notify_all()
             stream.send({
                 "type": "setup",
                 "worker_id": worker_id,
@@ -364,12 +400,13 @@ class SweepScheduler:
         if worker_id is None:
             return
         requeued: List[int] = []
-        with self._lock:
+        with self._progress:
             if worker_id not in self._conns:
                 return
             del self._conns[worker_id]
             self._idle.discard(worker_id)
             self.monitor.forget(worker_id)
+            self._progress.notify_all()
             if self._stopping or self.frontier.is_done:
                 return
             try:
@@ -385,7 +422,7 @@ class SweepScheduler:
         """Assign the next chunk to ``worker_id`` — stealing if dry."""
         revoke_from: Optional[str] = None
         stolen: List[int] = []
-        with self._lock:
+        with self._progress:
             chunk = self.frontier.next_chunk(worker_id)
             if not chunk:
                 victim = self.frontier.steal_victim(worker_id)
@@ -393,6 +430,7 @@ class SweepScheduler:
                     stolen = self.frontier.steal(victim, worker_id)
                     if stolen:
                         revoke_from = victim
+            self._progress.notify_all()
             if not chunk and not stolen:
                 self._idle.add(worker_id)
                 return
@@ -419,12 +457,13 @@ class SweepScheduler:
             self._dispatch(worker_id)
 
     def _record_result(self, worker_id: str, cell: int, doc: Dict[str, Any]) -> None:
-        with self._lock:
+        with self._progress:
             fresh = self.frontier.complete(worker_id, cell)
             if fresh:
                 self._documents[cell] = doc
                 self.results_received += 1
             done = self.frontier.is_done
+            self._progress.notify_all()
         if fresh and self.on_result is not None:
             self.on_result(cell, doc)
         if done:

@@ -21,7 +21,11 @@ non-negotiable:
 * reads treat anything undecodable as a miss **and delete it**
   (:meth:`ResultCache.get` self-heals), so an entry corrupted by an
   unclean filesystem is re-simulated and repaired instead of poisoning
-  every later warm run;
+  every later warm run — and the deletion is race-safe: the corrupt
+  entry is atomically renamed aside and re-examined before anything is
+  unlinked, so a reader that raced a concurrent ``put`` can never
+  destroy the freshly-published good entry (it restores and returns it
+  instead);
 * orphaned ``*.tmp`` files (a writer killed before its rename) are
   swept out by :meth:`ResultCache.clear` and ignored everywhere else.
 """
@@ -53,22 +57,67 @@ class ResultCache:
         A corrupt entry (torn write, bad JSON, non-object document) is a
         miss — and is deleted, so the re-simulated result can repair the
         store instead of hitting the same carcass on every warm run.
+
+        Deletion is race-safe against concurrent :meth:`put` publishes:
+        a bare ``unlink`` after a corrupt read could destroy a *good*
+        entry that a writer renamed into place between our read and our
+        delete.  Instead the entry is atomically renamed into a private
+        quarantine file and re-examined — if the quarantined bytes
+        parse (we raced a fresh publish), the entry is restored and
+        returned; only bytes this reader has actually seen to be
+        corrupt are ever unlinked.
         """
         path = self._path(key)
+        document = self._read_document(path)
+        if document is not None:
+            return document
+        if not path.exists():
+            return None
+        return self._heal(key, path)
+
+    @staticmethod
+    def _read_document(path: Path) -> Optional[Dict[str, Any]]:
+        """Read and decode one entry; ``None`` on missing or corrupt."""
         try:
             text = path.read_text(encoding="utf-8")
-        except FileNotFoundError:
-            return None
         except OSError:
             return None
         try:
             document = json.loads(text)
         except json.JSONDecodeError:
-            document = None
-        if isinstance(document, dict):
+            return None
+        return document if isinstance(document, dict) else None
+
+    def _heal(self, key: str, path: Path) -> Optional[Dict[str, Any]]:
+        """Quarantine a corrupt entry, re-examine it, restore if it was
+        actually a fresh publish this reader raced.
+
+        Separated out so tests can interleave a concurrent ``put``
+        between the corrupt read and the quarantine rename.
+        """
+        fd, quarantine = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        os.close(fd)
+        try:
+            os.replace(path, quarantine)
+        except OSError:
+            # Someone else already healed (or deleted) it.
+            try:
+                os.unlink(quarantine)
+            except OSError:
+                pass
+            return self._read_document(path)
+        document = self._read_document(Path(quarantine))
+        if document is not None:
+            # The rename grabbed a *fresh* publish, not the corpse we
+            # read: put it back (atomically) and serve it.
+            self.put(key, document)
+            try:
+                os.unlink(quarantine)
+            except OSError:
+                pass
             return document
         try:
-            path.unlink()
+            os.unlink(quarantine)
         except OSError:
             pass
         return None

@@ -1,0 +1,100 @@
+"""Bounded-queue admission control for the serving layer.
+
+The serving analogue of the ``max_in_flight`` window in
+:meth:`Machine.run_stream <repro.system.machine.Machine.run_stream>`:
+instead of letting a bursty client fill an unbounded queue (and turn
+every later request's latency into the backlog's), the controller admits
+at most ``max_pending`` simulation cells at a time.  Past that, the
+server answers **429** with a ``Retry-After`` estimated from the
+measured service rate — clients back off for about as long as the
+backlog actually needs, not a magic constant.
+
+The controller is intentionally not thread-safe: all accounting happens
+on the server's single event loop.  (Executor threads only *run*
+simulations; admission and release bookkeeping stays on the loop.)
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable
+
+
+class Saturated(Exception):
+    """The bounded queue is full; carries the suggested retry delay."""
+
+    def __init__(self, retry_after: float, pending: int, max_pending: int) -> None:
+        super().__init__(
+            f"serving queue is saturated ({pending}/{max_pending} cells pending); "
+            f"retry after {retry_after:.0f}s"
+        )
+        self.retry_after = retry_after
+        self.pending = pending
+        self.max_pending = max_pending
+
+
+class AdmissionController:
+    """Admit up to ``max_pending`` simulation cells; reject the rest.
+
+    Parameters
+    ----------
+    max_pending:
+        Upper bound on cells admitted but not yet finished.  A multi-cell
+        request (a sweep) is admitted atomically: all of its uncached
+        cells or none, so a half-admitted sweep can never wedge the
+        queue.
+    clock:
+        Injectable monotonic clock (tests drive the rate estimate with a
+        fake one).
+    """
+
+    #: Retry-After clamp (seconds): never tell a client to come back
+    #: instantly (it would hammer a saturated server) nor to give up on
+    #: the day (the backlog drains at simulation speed, not hours).
+    MIN_RETRY_AFTER = 1.0
+    MAX_RETRY_AFTER = 60.0
+
+    def __init__(self, max_pending: int, clock: Callable[[], float] = time.monotonic) -> None:
+        if max_pending < 1:
+            raise ValueError(f"max_pending must be >= 1, got {max_pending}")
+        self.max_pending = max_pending
+        self.pending = 0
+        self.rejected = 0
+        self._clock = clock
+        #: Exponentially-weighted cells/second over finished blocks;
+        #: ``None`` until the first block completes.
+        self._rate: float | None = None
+
+    # -- admission ---------------------------------------------------------
+    def try_acquire(self, cells: int = 1) -> None:
+        """Admit ``cells`` or raise :class:`Saturated` (all-or-nothing)."""
+        if cells < 0:
+            raise ValueError(f"cells must be >= 0, got {cells}")
+        if self.pending + cells > self.max_pending:
+            self.rejected += 1
+            raise Saturated(self.retry_after(cells), self.pending, self.max_pending)
+        self.pending += cells
+
+    def release(self, cells: int, elapsed: float | None = None) -> None:
+        """Return ``cells`` to the queue budget, folding the observed
+        service rate (``cells / elapsed``) into the Retry-After estimate."""
+        self.pending = max(0, self.pending - cells)
+        if elapsed is not None and elapsed > 0 and cells > 0:
+            observed = cells / elapsed
+            self._rate = observed if self._rate is None else (
+                0.7 * self._rate + 0.3 * observed)
+
+    # -- estimates ---------------------------------------------------------
+    @property
+    def service_rate(self) -> float | None:
+        """Smoothed cells/second, or ``None`` before any block finished."""
+        return self._rate
+
+    def retry_after(self, cells: int = 1) -> float:
+        """Seconds until the backlog plausibly has room for ``cells``."""
+        if self._rate is None or self._rate <= 0:
+            return self.MIN_RETRY_AFTER
+        # Time to drain enough of the backlog that this request fits.
+        overflow = self.pending + cells - self.max_pending
+        estimate = max(overflow, 1) / self._rate
+        return min(max(estimate, self.MIN_RETRY_AFTER), self.MAX_RETRY_AFTER)

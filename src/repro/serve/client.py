@@ -1,0 +1,188 @@
+"""Synchronous client library for the serving layer.
+
+Thin stdlib-``http.client`` wrappers used by the test harness, the load
+generator and the ``python -m repro.serve`` CLI subcommands.  One
+:class:`ServeClient` holds one keep-alive connection (create one client
+per thread); a saturated server surfaces as :class:`ServeSaturated`
+carrying the ``Retry-After`` the admission controller measured.
+
+    >>> client = ServeClient("127.0.0.1", 8080)          # doctest: +SKIP
+    >>> client.simulate(workload="sparselu", manager="nexus#6",
+    ...                 cores=4, scale=0.1)["makespan_us"]  # doctest: +SKIP
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+from typing import Any, Dict, Iterator, List, Optional
+
+from repro.trace.serialization import trace_to_json
+from repro.trace.trace import Trace
+
+__all__ = ["ServeClient", "ServeError", "ServeSaturated"]
+
+
+class ServeError(Exception):
+    """A non-2xx response from the serving layer."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(f"HTTP {status}: {message}")
+        self.status = status
+
+
+class ServeSaturated(ServeError):
+    """HTTP 429: the bounded queue is full; honour ``retry_after_s``."""
+
+    def __init__(self, message: str, retry_after_s: float) -> None:
+        super().__init__(429, message)
+        self.retry_after_s = retry_after_s
+
+
+class ServeClient:
+    """One keep-alive connection to a serving deployment."""
+
+    def __init__(self, host: str, port: int, *, timeout: float = 300.0) -> None:
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+        self._conn: Optional[http.client.HTTPConnection] = None
+
+    # -- plumbing ----------------------------------------------------------
+    def _connection(self) -> http.client.HTTPConnection:
+        if self._conn is None:
+            self._conn = http.client.HTTPConnection(
+                self.host, self.port, timeout=self.timeout)
+        return self._conn
+
+    def close(self) -> None:
+        if self._conn is not None:
+            self._conn.close()
+            self._conn = None
+
+    def __enter__(self) -> "ServeClient":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    def _request(self, method: str, path: str,
+                 body: Optional[bytes] = None,
+                 content_type: str = "application/json") -> http.client.HTTPResponse:
+        conn = self._connection()
+        headers = {"Content-Type": content_type} if body is not None else {}
+        try:
+            conn.request(method, path, body=body, headers=headers)
+            response = conn.getresponse()
+        except (http.client.HTTPException, ConnectionError, OSError):
+            # A dropped keep-alive connection: reconnect once.
+            self.close()
+            conn = self._connection()
+            conn.request(method, path, body=body, headers=headers)
+            response = conn.getresponse()
+        return response
+
+    def _json(self, method: str, path: str,
+              document: Optional[Dict[str, Any]] = None) -> Dict[str, Any]:
+        body = None if document is None else json.dumps(document).encode("utf-8")
+        response = self._request(method, path, body)
+        payload = response.read()
+        return self._decode(response, payload)
+
+    @staticmethod
+    def _decode(response: http.client.HTTPResponse, payload: bytes) -> Dict[str, Any]:
+        try:
+            document = json.loads(payload.decode("utf-8")) if payload else {}
+        except (json.JSONDecodeError, UnicodeDecodeError):
+            document = {"error": payload[:200].decode("latin-1")}
+        if response.status == 429:
+            retry = document.get("retry_after_s",
+                                 response.headers.get("Retry-After", 1))
+            raise ServeSaturated(str(document.get("error", "saturated")),
+                                 float(retry))
+        if response.status >= 400:
+            raise ServeError(response.status,
+                             str(document.get("error", "request failed")))
+        return document
+
+    # -- endpoints ---------------------------------------------------------
+    def healthz(self) -> Dict[str, Any]:
+        return self._json("GET", "/healthz")
+
+    def stats(self) -> Dict[str, Any]:
+        return self._json("GET", "/v1/stats")
+
+    def workloads(self) -> List[str]:
+        return list(self._json("GET", "/v1/workloads")["workloads"])
+
+    def simulate(self, **fields: Any) -> Dict[str, Any]:
+        """Submit one grid cell; returns the response document
+        (``cache_key``, ``cached``, ``makespan_us``, ``result``)."""
+        return self._json("POST", "/v1/simulate", fields)
+
+    def upload_trace(self, trace: Trace) -> str:
+        """Upload a materialised trace (document format); returns its id."""
+        body = json.dumps(trace_to_json(trace)).encode("utf-8")
+        response = self._request("POST", "/v1/traces", body)
+        return str(self._decode(response, response.read())["trace_id"])
+
+    def upload_trace_text(self, text: str) -> str:
+        """Upload a chunked-JSONL trace stream carried as text."""
+        response = self._request("POST", "/v1/traces", text.encode("utf-8"),
+                                 content_type="application/jsonl")
+        return str(self._decode(response, response.read())["trace_id"])
+
+    def sweep_report(self, **fields: Any) -> Dict[str, Any]:
+        """Run a sweep and return its report document."""
+        fields["format"] = "report"
+        return self._json("POST", "/v1/sweep", fields)
+
+    def sweep_rows(self, **fields: Any) -> Iterator[Dict[str, Any]]:
+        """Run a sweep, yielding result rows as the server streams them.
+
+        ``http.client`` decodes the chunked transfer transparently; a
+        server-side truncation (missing terminal chunk) surfaces as
+        :class:`http.client.IncompleteRead`.
+        """
+        fields["format"] = "jsonl"
+        body = json.dumps(fields).encode("utf-8")
+        response = self._request("POST", "/v1/sweep", body)
+        if response.status != 200:
+            self._decode(response, response.read())  # raises
+        buffer = b""
+        while True:
+            block = response.read(65536)
+            if not block:
+                break
+            buffer += block
+            while b"\n" in buffer:
+                line, buffer = buffer.split(b"\n", 1)
+                if line.strip():
+                    yield json.loads(line)
+        if buffer.strip():
+            yield json.loads(buffer)
+        # The server closes streamed connections (Connection: close).
+        self.close()
+
+    def sweep_raw(self, **fields: Any) -> bytes:
+        """Run a sweep and return the raw streamed JSONL body.
+
+        This is the byte-identity surface: the returned bytes must equal
+        the file a :class:`~repro.experiments.runner.SweepRunner` writes
+        for the same grid (trailing newlines included).
+        """
+        fields["format"] = "jsonl"
+        body = json.dumps(fields).encode("utf-8")
+        response = self._request("POST", "/v1/sweep", body)
+        if response.status != 200:
+            self._decode(response, response.read())  # raises
+        payload = response.read()
+        self.close()  # the server closes streamed connections
+        return payload
+
+    def sweep_lines(self, **fields: Any) -> List[str]:
+        """Run a sweep and return its JSONL lines (no trailing newline),
+        comparable to :meth:`SweepOutcome.jsonl_lines
+        <repro.experiments.runner.SweepOutcome.jsonl_lines>`."""
+        raw = self.sweep_raw(**fields).decode("utf-8")
+        return [line for line in raw.split("\n") if line]

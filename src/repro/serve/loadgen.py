@@ -1,0 +1,194 @@
+"""Deterministic load generation against a serving deployment.
+
+The in-process traffic source shared by the serving test harness
+(``tests/serve/``), the CI smoke job and ``benchmarks/bench_serving.py``:
+a seeded request mix expands to a reproducible request list, a thread
+pool of keep-alive clients replays it, and the report aggregates
+latency quantiles, status counts and throughput.
+
+Determinism contract: ``build_requests(seed, n)`` is a pure function of
+its arguments (one ``random.Random(seed)`` stream), so every run of the
+load test offers the byte-same request sequence — which is what lets the
+warm-cache assertions ("second pass simulates nothing") work at all.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.serve.client import ServeClient, ServeError, ServeSaturated
+
+__all__ = ["LoadReport", "RequestMix", "build_requests", "default_mix", "run_load"]
+
+
+@dataclass(frozen=True)
+class RequestMix:
+    """A weighted set of ``/v1/simulate`` request templates."""
+
+    templates: Tuple[Dict[str, Any], ...]
+    weights: Tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.templates) != len(self.weights) or not self.templates:
+            raise ValueError("mix needs equally many templates and weights (>= 1)")
+
+
+def default_mix(scale: float = 0.05) -> RequestMix:
+    """The standard serving mix: small cells across managers and axes."""
+    return RequestMix(
+        templates=(
+            {"workload": "microbench", "manager": "ideal", "cores": 2, "scale": scale},
+            {"workload": "microbench", "manager": "nexus#2", "cores": 4, "scale": scale},
+            {"workload": "c-ray", "manager": "ideal", "cores": 2, "scale": scale},
+            {"workload": "c-ray", "manager": "nanos", "cores": 4, "scale": scale},
+            {"workload": "sparselu", "manager": "ideal", "cores": 4, "scale": scale},
+        ),
+        weights=(3.0, 2.0, 2.0, 1.0, 1.0),
+    )
+
+
+def build_requests(
+    seed: int,
+    count: int,
+    mix: Optional[RequestMix] = None,
+    *,
+    seeds_per_template: int = 3,
+) -> List[Dict[str, Any]]:
+    """Expand a seeded mix into ``count`` concrete request bodies.
+
+    Each drawn template is varied with one of ``seeds_per_template``
+    workload seeds, so the sequence exercises both dedupe (repeated
+    identical requests) and genuinely distinct cells, in a proportion
+    that is a pure function of ``seed``.
+    """
+    mix = mix or default_mix()
+    rng = random.Random(seed)
+    requests: List[Dict[str, Any]] = []
+    for _ in range(count):
+        template = rng.choices(mix.templates, weights=mix.weights, k=1)[0]
+        body = dict(template)
+        body["seed"] = rng.randrange(seeds_per_template)
+        requests.append(body)
+    return requests
+
+
+@dataclass
+class LoadReport:
+    """Aggregated outcome of one load run."""
+
+    offered: int = 0
+    ok: int = 0
+    saturated: int = 0
+    errors: int = 0
+    cached: int = 0
+    wall_s: float = 0.0
+    latencies_s: List[float] = field(default_factory=list)
+    retry_afters: List[float] = field(default_factory=list)
+    error_messages: List[str] = field(default_factory=list)
+
+    def percentile(self, q: float) -> Optional[float]:
+        """Latency quantile in seconds (nearest-rank), or ``None``."""
+        if not self.latencies_s:
+            return None
+        ordered = sorted(self.latencies_s)
+        rank = min(len(ordered) - 1, max(0, int(round(q * (len(ordered) - 1)))))
+        return ordered[rank]
+
+    @property
+    def throughput_rps(self) -> float:
+        return self.ok / self.wall_s if self.wall_s > 0 else 0.0
+
+    def to_json(self) -> Dict[str, Any]:
+        p50 = self.percentile(0.50)
+        p99 = self.percentile(0.99)
+        return {
+            "offered": self.offered,
+            "ok": self.ok,
+            "saturated_429": self.saturated,
+            "errors": self.errors,
+            "cached": self.cached,
+            "wall_s": round(self.wall_s, 4),
+            "throughput_rps": round(self.throughput_rps, 2),
+            "p50_latency_ms": None if p50 is None else round(p50 * 1e3, 3),
+            "p99_latency_ms": None if p99 is None else round(p99 * 1e3, 3),
+            "all_429s_carried_retry_after": (
+                len(self.retry_afters) == self.saturated
+                and all(value >= 1.0 for value in self.retry_afters)
+            ),
+        }
+
+
+def run_load(
+    host: str,
+    port: int,
+    requests: Sequence[Dict[str, Any]],
+    *,
+    concurrency: int = 8,
+    retry_on_429: bool = False,
+    max_retries: int = 20,
+) -> LoadReport:
+    """Replay ``requests`` against ``host:port`` with a client-thread pool.
+
+    Each worker thread owns one keep-alive :class:`ServeClient`.  With
+    ``retry_on_429`` the generator honours ``Retry-After`` (bounded by
+    ``max_retries``) — the well-behaved-client mode; without it a 429 is
+    terminal for that request — the measurement mode for saturation
+    studies.
+    """
+    report = LoadReport(offered=len(requests))
+
+    def one(client: ServeClient, body: Dict[str, Any]) -> Tuple[str, float, float, bool, str]:
+        started = time.monotonic()
+        attempts = 0
+        while True:
+            try:
+                document = client.simulate(**body)
+                return ("ok", time.monotonic() - started, 0.0,
+                        bool(document.get("cached")), "")
+            except ServeSaturated as exc:
+                attempts += 1
+                if retry_on_429 and attempts <= max_retries:
+                    time.sleep(min(exc.retry_after_s, 0.2))
+                    continue
+                return ("saturated", time.monotonic() - started,
+                        exc.retry_after_s, False, str(exc))
+            except ServeError as exc:
+                return ("error", time.monotonic() - started, 0.0, False, str(exc))
+            except OSError as exc:
+                return ("error", time.monotonic() - started, 0.0, False,
+                        f"{type(exc).__name__}: {exc}")
+
+    def worker(chunk: Sequence[Dict[str, Any]]) -> List[Tuple[str, float, float, bool, str]]:
+        with ServeClient(host, port) as client:
+            return [one(client, body) for body in chunk]
+
+    concurrency = max(1, min(concurrency, len(requests) or 1))
+    chunks: List[List[Dict[str, Any]]] = [[] for _ in range(concurrency)]
+    for index, body in enumerate(requests):
+        chunks[index % concurrency].append(body)
+
+    started = time.monotonic()
+    with ThreadPoolExecutor(max_workers=concurrency,
+                            thread_name_prefix="loadgen") as pool:
+        outcomes = [item for chunk_result in pool.map(worker, chunks)
+                    for item in chunk_result]
+    report.wall_s = time.monotonic() - started
+
+    for status, latency, retry_after, cached, message in outcomes:
+        if status == "ok":
+            report.ok += 1
+            report.latencies_s.append(latency)
+            if cached:
+                report.cached += 1
+        elif status == "saturated":
+            report.saturated += 1
+            report.retry_afters.append(retry_after)
+        else:
+            report.errors += 1
+            if len(report.error_messages) < 10:
+                report.error_messages.append(message)
+    return report

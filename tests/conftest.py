@@ -59,6 +59,23 @@ def make_all_managers():
 MANAGER_IDS = ["ideal", "nanos", "sw400", "nexus++", "nexus#1", "nexus#4", "nexus#6"]
 
 
+@pytest.fixture
+def free_port():
+    """An OS-assigned free TCP port on loopback.
+
+    Shared by every test that needs to bind a listening socket at a
+    known port (serving, fabric schedulers with explicit binds), so
+    parallel test runs (``pytest -n``) never collide on a hard-coded
+    port: each call asks the kernel for a fresh ephemeral port.
+    """
+    import socket
+
+    with socket.socket(socket.AF_INET, socket.SOCK_STREAM) as sock:
+        sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        sock.bind(("127.0.0.1", 0))
+        return sock.getsockname()[1]
+
+
 @pytest.fixture(params=list(range(len(MANAGER_IDS))), ids=MANAGER_IDS)
 def any_manager(request):
     """Parametrised fixture yielding one fresh manager of each kind."""

@@ -58,13 +58,18 @@ def run_in_thread(runner, spec, jsonl_path):
     return thread, box
 
 
-def wait_for(predicate, timeout=30.0, interval=0.002):
+def wait_for_scheduler(runner, thread, timeout=30.0):
+    """Block until the runner has materialised its scheduler (or the
+    sweep thread exited).  This is the only spin in the file — the
+    scheduler object itself does not exist yet, so there is nothing to
+    wait on; every later wait is event-driven via
+    :meth:`SweepScheduler.wait_until`."""
     deadline = time.monotonic() + timeout
     while time.monotonic() < deadline:
-        if predicate():
-            return True
-        time.sleep(interval)
-    return predicate()
+        if runner.last_scheduler is not None or not thread.is_alive():
+            return runner.last_scheduler
+        time.sleep(0.005)
+    return runner.last_scheduler
 
 
 class TestByteIdentity:
@@ -113,12 +118,12 @@ class TestSharedStore:
 class TestFaultTolerance:
     def kill_one_worker_mid_sweep(self, runner, thread, total, after):
         """SIGKILL the first local worker once ``after`` results landed."""
-        def mid_flight():
-            sched = runner.last_scheduler
-            return (sched is not None and sched.processes
-                    and sched.results_received >= after) or not thread.is_alive()
-        assert wait_for(mid_flight, timeout=120)
-        sched = runner.last_scheduler
+        sched = wait_for_scheduler(runner, thread, timeout=120)
+        assert sched is not None, "sweep finished before a scheduler appeared"
+        assert sched.wait_until(
+            lambda: (bool(sched.processes) and sched.results_received >= after)
+            or not thread.is_alive(),
+            timeout=120)
         seen = sched.results_received
         assert thread.is_alive() and seen < total, \
             f"sweep finished ({seen}/{total}) before the kill could land"
@@ -188,7 +193,8 @@ class TestSchedulerDirect:
 
         thread = threading.Thread(target=target)
         thread.start()
-        assert wait_for(lambda: scheduler.address is not None or not thread.is_alive())
+        assert scheduler.wait_until(
+            lambda: scheduler.address is not None or not thread.is_alive())
         return thread, box
 
     def test_external_worker_over_a_real_socket(self):
@@ -223,7 +229,7 @@ class TestSchedulerDirect:
             setup = stream.recv(timeout=10)
             assert setup["type"] == "setup"
             stream.send({"type": "need_work"})
-            assert wait_for(
+            assert scheduler.wait_until(
                 lambda: scheduler.frontier.remaining_for("silent") > 0)
             code = run_worker(*scheduler.address, worker_id="real")
             thread.join(timeout=60)

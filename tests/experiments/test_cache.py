@@ -1,5 +1,7 @@
 """Tests for the content-addressed result cache."""
 
+import threading
+
 from repro.experiments.cache import ResultCache
 from repro.experiments.runner import SweepRunner
 from repro.experiments.spec import SweepSpec
@@ -85,6 +87,71 @@ class TestResultCache:
         # The store healed: a third run is fully warm.
         again = SweepRunner(cache=cache).run(spec)
         assert again.executed == 0
+
+    def test_corrupt_read_racing_fresh_put_keeps_the_fresh_entry(self, tmp_path):
+        """The reader-vs-publisher race the quarantine rename exists for.
+
+        A reader decodes a corrupt entry and goes to delete it; before
+        it does, a writer atomically publishes a *fresh good* entry at
+        the same path.  A bare unlink would destroy that fresh entry
+        (and a later warm run would re-simulate it); the quarantine
+        discipline must instead notice the race, restore the fresh
+        document and return it.
+        """
+        fresh = {"makespan_us": 42.0, "source": "fresh-publish"}
+
+        class RacingCache(ResultCache):
+            def _heal(self, key, path):
+                # Deterministically interleave the concurrent publish
+                # exactly between the corrupt read and the quarantine
+                # rename — the widest window of the race.
+                ResultCache.put(self, key, fresh)
+                return ResultCache._heal(self, key, path)
+
+        cache = RacingCache(tmp_path)
+        cache.put(KEY, {"x": 1})
+        path = tmp_path / KEY[:2] / f"{KEY}.json"
+        path.write_text("{torn", encoding="utf-8")
+        # The racing reader must serve the freshly-published document...
+        assert cache.get(KEY) == fresh
+        # ...and leave it in the store (no resurrection of the corpse,
+        # no deletion of the fresh entry, no stray quarantine files).
+        assert ResultCache(tmp_path).get(KEY) == fresh
+        assert [p for p in path.parent.iterdir() if p.suffix == ".tmp"] == []
+
+    def test_corrupt_read_racing_concurrent_readers_never_lose_a_put(self, tmp_path):
+        """Hammer get() (over a corrupt entry) against put() from
+        threads: whatever interleaving happens, a reader must only ever
+        observe ``None`` or a complete published document — never a
+        partial entry — and the final state must hold the last put."""
+        cache = ResultCache(tmp_path)
+        path = tmp_path / KEY[:2] / f"{KEY}.json"
+        good = {"makespan_us": 7.0}
+        observed = []
+        stop = threading.Event()
+
+        def reader():
+            while not stop.is_set():
+                document = cache.get(KEY)
+                if document is not None:
+                    observed.append(document)
+
+        threads = [threading.Thread(target=reader) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        try:
+            for _ in range(200):
+                cache.put(KEY, good)
+                path.write_text("{torn", encoding="utf-8")
+        finally:
+            stop.set()
+            for thread in threads:
+                thread.join(timeout=30)
+        assert all(document == good for document in observed)
+        # Heal the final torn state; afterwards a put sticks.
+        cache.get(KEY)
+        cache.put(KEY, good)
+        assert cache.get(KEY) == good
 
     def test_put_overwrites_atomically(self, tmp_path):
         cache = ResultCache(tmp_path)

@@ -1,0 +1,81 @@
+"""The seeded load generator: determinism and an in-process load run."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.serve import ServeConfig, start_in_thread
+from repro.serve.loadgen import LoadReport, RequestMix, build_requests, run_load
+
+
+class TestBuildRequests:
+    def test_same_seed_same_requests(self):
+        assert build_requests(7, 50) == build_requests(7, 50)
+
+    def test_different_seeds_differ(self):
+        assert build_requests(1, 50) != build_requests(2, 50)
+
+    def test_mix_validation(self):
+        with pytest.raises(ValueError):
+            RequestMix(templates=(), weights=())
+        with pytest.raises(ValueError):
+            RequestMix(templates=({"workload": "microbench"},),
+                       weights=(1.0, 2.0))
+
+    def test_requests_repeat_cells(self):
+        """The mix must contain duplicates — that is what exercises the
+        dedupe and warm-cache paths under load."""
+        requests = build_requests(0, 100)
+        distinct = {tuple(sorted(body.items())) for body in requests}
+        assert len(distinct) < len(requests)
+
+
+class TestLoadReport:
+    def test_percentiles_and_throughput(self):
+        report = LoadReport(offered=5, ok=5, wall_s=2.0,
+                            latencies_s=[0.1, 0.2, 0.3, 0.4, 0.5])
+        assert report.percentile(0.0) == 0.1
+        assert report.percentile(1.0) == 0.5
+        assert report.throughput_rps == 2.5
+        doc = report.to_json()
+        assert doc["p50_latency_ms"] == 300.0
+        assert doc["all_429s_carried_retry_after"] is True  # vacuously
+
+    def test_empty_report(self):
+        doc = LoadReport().to_json()
+        assert doc["p50_latency_ms"] is None
+        assert doc["throughput_rps"] == 0.0
+
+
+class TestRunLoad:
+    def test_seeded_load_against_a_live_server(self):
+        handle = start_in_thread(ServeConfig(batch_window=0.001))
+        try:
+            requests = build_requests(3, 40)
+            report = run_load(handle.host, handle.port, requests,
+                              concurrency=4)
+        finally:
+            handle.stop()
+        assert report.offered == 40
+        assert report.ok == 40
+        assert report.errors == 0 and report.saturated == 0
+        assert report.cached > 0  # the mix repeats cells
+        assert report.percentile(0.99) is not None
+        assert report.throughput_rps > 0
+
+    def test_load_cli_prints_a_report_and_exits_zero(self, capsys):
+        import json
+
+        from repro.serve import cli as serve_cli
+
+        handle = start_in_thread(ServeConfig(batch_window=0.001))
+        try:
+            code = serve_cli.main(
+                ["load", "--connect", f"{handle.host}:{handle.port}",
+                 "--requests", "20", "--concurrency", "4", "--seed", "5"])
+        finally:
+            handle.stop()
+        assert code == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["ok"] == report["offered"] == 20
+        assert report["errors"] == 0

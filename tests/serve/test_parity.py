@@ -1,0 +1,143 @@
+"""Spec-hash and byte-identity parity across every entry point.
+
+The serving layer's core promise: the same grid submitted over HTTP,
+through the ``python -m repro.serve sweep`` CLI, or via a direct
+:class:`SweepRunner` produces the same cache keys and byte-identical
+JSONL rows.  One server (module-scoped) serves all examples.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.experiments import cli as experiments_cli
+from repro.experiments.runner import SweepRunner
+from repro.experiments.spec import SweepSpec
+from repro.serve import ServeClient, ServeConfig, start_in_thread
+from repro.serve import cli as serve_cli
+
+
+@pytest.fixture(scope="module")
+def server():
+    handle = start_in_thread(ServeConfig(batch_window=0.001))
+    yield handle
+    handle.stop()
+
+
+GRIDS = st.fixed_dictionaries({
+    "workloads": st.lists(
+        st.sampled_from(["microbench", "sparselu", "c-ray"]),
+        min_size=1, max_size=2, unique=True),
+    "managers": st.lists(
+        st.sampled_from(["ideal", "nanos", "nexus#2", "nexus#6"]),
+        min_size=1, max_size=2, unique=True),
+    "core_counts": st.lists(
+        st.sampled_from([1, 2, 4]), min_size=1, max_size=2, unique=True),
+    "seeds": st.lists(st.integers(min_value=0, max_value=3),
+                      min_size=1, max_size=2, unique=True),
+    "scheduler": st.sampled_from(["fifo", "sjf"]),
+})
+
+
+class TestHttpVsRunnerProperty:
+    @given(grid=GRIDS)
+    @settings(max_examples=15, deadline=None,
+              suppress_health_check=[HealthCheck.function_scoped_fixture,
+                                     HealthCheck.too_slow])
+    def test_http_sweep_is_byte_identical_to_direct_runner(
+            self, server, tmp_path_factory, grid):
+        spec = SweepSpec(
+            workloads=grid["workloads"],
+            managers=grid["managers"],
+            core_counts=grid["core_counts"],
+            seeds=tuple(grid["seeds"]),
+            scale=0.02,
+            schedulers=(grid["scheduler"],),
+        )
+        tmp_path = tmp_path_factory.mktemp("parity")
+        outcome = SweepRunner().run(spec, jsonl_path=tmp_path / "direct.jsonl")
+        with ServeClient(server.host, server.port, timeout=120) as client:
+            raw = client.sweep_raw(
+                workloads=grid["workloads"],
+                managers=grid["managers"],
+                core_counts=grid["core_counts"],
+                seeds=grid["seeds"],
+                scale=0.02,
+                schedulers=[grid["scheduler"]],
+            )
+        assert raw == (tmp_path / "direct.jsonl").read_bytes()
+        # Same cells, same keys: every cacheable point the runner saw is
+        # what the server deduped on.
+        assert len(raw.splitlines()) == len(outcome.points)
+
+
+class TestCliParity:
+    GRID_FLAGS = ["--workloads", "microbench", "sparselu",
+                  "--managers", "ideal", "nexus#2",
+                  "--cores", "1", "2",
+                  "--seeds", "7",
+                  "--scale", "0.05"]
+
+    def test_http_cli_and_runner_rows_are_byte_identical(
+            self, server, tmp_path, capsys):
+        # 1. Direct runner.
+        spec = SweepSpec(workloads=["microbench", "sparselu"],
+                         managers=["ideal", "nexus#2"],
+                         core_counts=[1, 2], seeds=(7,), scale=0.05)
+        SweepRunner().run(spec, jsonl_path=tmp_path / "direct.jsonl")
+        direct = (tmp_path / "direct.jsonl").read_bytes()
+
+        # 2. The experiments CLI (serial sweep).
+        code = experiments_cli.main(
+            ["sweep", *self.GRID_FLAGS, "--quiet",
+             "--output", str(tmp_path / "cli.jsonl")])
+        assert code == 0
+        assert (tmp_path / "cli.jsonl").read_bytes() == direct
+
+        # 3. The serving CLI talking to a live server.
+        code = serve_cli.main(
+            ["sweep", "--connect", f"{server.host}:{server.port}",
+             *self.GRID_FLAGS, "--output", str(tmp_path / "serve.jsonl")])
+        assert code == 0
+        capsys.readouterr()
+        assert (tmp_path / "serve.jsonl").read_bytes() == direct
+
+    def test_all_entry_points_agree_on_cache_keys(self, tmp_path):
+        """Populate a store over HTTP, then re-run the same grid with the
+        experiments CLI over that store: zero cells may execute — the
+        cross-entry-point cache-key identity."""
+        store = str(tmp_path / "store")
+        handle = start_in_thread(ServeConfig(cache_dir=store))
+        try:
+            code = serve_cli.main(
+                ["sweep", "--connect", f"{handle.host}:{handle.port}",
+                 *self.GRID_FLAGS, "--output", str(tmp_path / "via-http.jsonl")])
+            assert code == 0
+        finally:
+            handle.stop()
+        spec = SweepSpec(workloads=["microbench", "sparselu"],
+                         managers=["ideal", "nexus#2"],
+                         core_counts=[1, 2], seeds=(7,), scale=0.05)
+        warm = SweepRunner(cache_dir=store).run(
+            spec, jsonl_path=tmp_path / "warm.jsonl")
+        assert warm.executed == 0
+        assert warm.cache_hits == len(list(spec.points()))
+        assert (tmp_path / "warm.jsonl").read_bytes() == \
+            (tmp_path / "via-http.jsonl").read_bytes()
+
+    def test_spec_hash_subcommand_matches_the_report_endpoint(self, server):
+        import io
+        from contextlib import redirect_stdout
+
+        buffer = io.StringIO()
+        with redirect_stdout(buffer):
+            assert experiments_cli.main(["spec-hash", *self.GRID_FLAGS]) == 0
+        cli_hash = buffer.getvalue().strip()
+        with ServeClient(server.host, server.port, timeout=60) as client:
+            report = client.sweep_report(
+                workloads=["microbench", "sparselu"],
+                managers=["ideal", "nexus#2"],
+                core_counts=[1, 2], seeds=[7], scale=0.05)
+        assert report["spec_hash"] == cli_hash
