@@ -1,0 +1,200 @@
+#!/usr/bin/env python3
+"""Chaos benchmark: what fault recovery costs, and that it stays correct.
+
+Two sections over the :mod:`repro.distributed` fabric:
+
+* **recovery** — one microbench grid run three ways: serial (the byte
+  oracle), through a fault-free 2-worker fabric (the overhead
+  baseline), and through the same fabric under the seeded ``soak``
+  fault plan (frame drops/duplicates/corruption, store damage, one
+  guaranteed injected worker crash, stragglers).  Reports the chaotic
+  run's wall-clock overhead over the fault-free fabric run and the
+  cells re-executed (`frontier.total_dispatches - total`: dispatches
+  the faults wasted).  **Gates**: the chaotic JSONL must be
+  byte-identical to serial, and the run must complete with every result
+  accounted for — no hung frames, no lost cells.
+* **time-to-recover** — from the scheduler's event timeline: the gap
+  between the first worker death and the respawn of that worker's slot
+  (seed 2015 makes ``local-0`` crash-eligible at epoch 0, so the kill
+  is guaranteed, not probabilistic).
+
+Run with::
+
+    PYTHONPATH=src python benchmarks/bench_chaos.py [--quick] [--check]
+
+Writes ``BENCH_chaos.json`` (schema 1, repo root by default).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import shutil
+import sys
+import tempfile
+import time
+from pathlib import Path
+from typing import Dict, List, Optional
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.experiments.runner import SweepRunner  # noqa: E402
+from repro.experiments.spec import SweepSpec  # noqa: E402
+
+#: The soak seed: local-0 is crash-eligible at epoch 0, so every run
+#: contains exactly the "one worker SIGKILL mid-sweep" scenario.
+CHAOS_SPEC = "soak:2015"
+
+
+def _grid(quick: bool) -> SweepSpec:
+    return SweepSpec(
+        workloads=["microbench"],
+        managers=["ideal", "nanos"],
+        core_counts=[1, 2, 4, 8],
+        seeds=tuple(range(60 if quick else 250)),
+        scale=0.01,
+    )
+
+
+def _timed_run(runner: SweepRunner, spec: SweepSpec, jsonl: Path) -> float:
+    start = time.perf_counter()
+    runner.run(spec, jsonl_path=jsonl)
+    return time.perf_counter() - start
+
+
+def _recovery_window(events: List[Dict[str, object]]) -> Optional[float]:
+    """Seconds from the first worker death to that slot's respawn."""
+    for event in events:
+        if event["event"] == "respawn":
+            respawned = event["worker"]
+            deaths = [e["t"] for e in events
+                      if e["event"] == "death" and e["worker"] == respawned
+                      and e["t"] <= event["t"]]
+            if deaths:
+                return float(event["t"]) - float(deaths[-1])  # type: ignore[arg-type]
+    return None
+
+
+def run_benchmark(quick: bool) -> Dict[str, object]:
+    spec = _grid(quick)
+    cells = spec.num_points()
+    work = Path(tempfile.mkdtemp(prefix="bench-chaos-"))
+    try:
+        serial_s = _timed_run(SweepRunner(), spec, work / "serial.jsonl")
+
+        clean_runner = SweepRunner(transport="sockets", workers=2,
+                                   cache_dir=work / "clean-store")
+        clean_s = _timed_run(clean_runner, spec, work / "clean.jsonl")
+
+        chaos_runner = SweepRunner(transport="sockets", workers=2,
+                                   cache_dir=work / "chaos-store",
+                                   chaos=CHAOS_SPEC)
+        chaos_s = _timed_run(chaos_runner, spec, work / "chaos.jsonl")
+
+        oracle = (work / "serial.jsonl").read_bytes()
+        byte_identical = ((work / "chaos.jsonl").read_bytes() == oracle
+                          and (work / "clean.jsonl").read_bytes() == oracle)
+
+        scheduler = chaos_runner.last_scheduler
+        assert scheduler is not None
+        redundant = scheduler.frontier.total_dispatches - cells
+        all_results_in = scheduler.results_received == cells
+        recover_s = _recovery_window(scheduler.events)
+        kinds = [event["event"] for event in scheduler.events]
+
+        return {
+            "benchmark": "chaos",
+            "schema": 1,
+            "config": {
+                "quick": quick,
+                "chaos": CHAOS_SPEC,
+                "workers": 2,
+                "cells": cells,
+                "host_cpus": os.cpu_count(),
+            },
+            "recovery": {
+                "serial_seconds": round(serial_s, 6),
+                "fault_free_seconds": round(clean_s, 6),
+                "chaotic_seconds": round(chaos_s, 6),
+                "overhead_ratio": round(chaos_s / clean_s, 3),
+                "cells_reexecuted": redundant,
+                "worker_deaths": kinds.count("death"),
+                "respawns": kinds.count("respawn"),
+                "note": "overhead_ratio compares the chaotic run to the "
+                        "fault-free fabric run on the same grid; "
+                        "cells_reexecuted counts dispatches beyond one "
+                        "per cell (requeues + speculation)",
+            },
+            "time_to_recover": {
+                "seconds": None if recover_s is None else round(recover_s, 4),
+                "note": "first worker death -> respawn of that slot, from "
+                        "the scheduler's event timeline",
+            },
+            "gates": {
+                "byte_identical": byte_identical,
+                "zero_hung_frames": all_results_in,
+                "worker_kill_observed": "death" in kinds and "respawn" in kinds,
+            },
+            "meets_target": (byte_identical and all_results_in
+                             and "respawn" in kinds),
+        }
+    finally:
+        shutil.rmtree(work, ignore_errors=True)
+
+
+def check_report(report: Dict[str, object]) -> List[str]:
+    """Return the list of gate violations in ``report`` (empty = pass)."""
+    failures: List[str] = []
+    gates = report["gates"]
+    if not gates["byte_identical"]:  # type: ignore[index]
+        failures.append("chaotic JSONL differs from the serial oracle")
+    if not gates["zero_hung_frames"]:  # type: ignore[index]
+        failures.append("not every result was collected (hung frame or lost cell)")
+    if not gates["worker_kill_observed"]:  # type: ignore[index]
+        failures.append("the seeded worker kill did not occur (stale seed?)")
+    return failures
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true",
+                        help="small grid (CI smoke mode)")
+    parser.add_argument("--check", action="store_true",
+                        help="exit non-zero when a correctness gate fails")
+    parser.add_argument("--output", default=str(REPO_ROOT / "BENCH_chaos.json"))
+    args = parser.parse_args()
+
+    report = run_benchmark(quick=args.quick)
+    output = Path(args.output)
+    output.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n",
+                      encoding="utf-8")
+
+    print(f"wrote {output}")
+    recovery = report["recovery"]
+    print(
+        f"recovery: {report['config']['cells']} cells; serial "
+        f"{recovery['serial_seconds']:.3f}s, fault-free fabric "
+        f"{recovery['fault_free_seconds']:.3f}s, chaotic "
+        f"{recovery['chaotic_seconds']:.3f}s "
+        f"({recovery['overhead_ratio']:.2f}x overhead); "
+        f"{recovery['cells_reexecuted']} cells re-executed, "
+        f"{recovery['worker_deaths']} deaths, "
+        f"{recovery['respawns']} respawns"
+    )
+    window = report["time_to_recover"]["seconds"]
+    print(f"time to recover after worker kill: "
+          f"{'n/a' if window is None else f'{window:.3f}s'}")
+
+    failures = check_report(report)
+    if failures:
+        for failure in failures:
+            print(f"GATE FAIL: {failure}", file=sys.stderr)
+        if args.check:
+            return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,45 @@
+"""Deterministic fault injection for the sweep fabric and serving layer.
+
+Chaos here is *seeded and replayable*: a :class:`FaultPlan` maps
+``(seed, scope, event index)`` to fault decisions with a hash, so the
+same seed produces the same fault sequence run after run — which is
+what lets CI soak the resilience layer and still demand byte-identical
+sweep output.  The shims wrap the real seams:
+
+* :class:`ChaosFrameStream` — wire faults on fabric frames (drop,
+  duplicate, corrupt, truncate mid-frame, delay, reset);
+* :class:`ChaosResultCache` — shared-store damage (bit flips, torn
+  ``*.tmp`` writes, slow reads);
+* :class:`WorkerChaos` — process faults per executed cell (crash,
+  straggle, silent hang);
+* :class:`ServeChaos` — engine exceptions on the Kth serving request.
+
+Activate via ``SweepRunner(chaos=...)``, the ``--chaos-seed`` /
+``--chaos-profile`` CLI flags, or the ``REPRO_CHAOS`` environment knob
+(e.g. ``REPRO_CHAOS=soak:2015``) used by the CI soak job.
+"""
+
+from repro.chaos.cache import ChaosResultCache
+from repro.chaos.hooks import ServeChaos, WorkerChaos
+from repro.chaos.plan import (
+    CHAOS_ENV,
+    PROFILES,
+    FaultPlan,
+    FaultProfile,
+    parse_chaos,
+    plan_from_env,
+)
+from repro.chaos.stream import ChaosFrameStream
+
+__all__ = [
+    "CHAOS_ENV",
+    "PROFILES",
+    "ChaosFrameStream",
+    "ChaosResultCache",
+    "FaultPlan",
+    "FaultProfile",
+    "ServeChaos",
+    "WorkerChaos",
+    "parse_chaos",
+    "plan_from_env",
+]

@@ -1,0 +1,83 @@
+"""Store-level fault injection: a chaotic :class:`ResultCache`.
+
+``ChaosResultCache`` is a drop-in shared result store that damages its
+own entries on the schedule of a :class:`~repro.chaos.plan.FaultPlan`:
+
+* **bitflip** — the entry is published normally, then one byte of the
+  file is flipped in place (bit rot / unclean filesystem).  The store's
+  self-healing read path must detect, quarantine and re-simulate it.
+* **torn-tmp** — the write "dies" before its atomic rename: an orphan
+  ``*.tmp`` with half the document is left in the entry directory and
+  no entry is published.  ``clear`` must sweep it; readers must ignore
+  it; the sweep must still complete (the result frame, not the store,
+  is the path of record).
+* **slow-read** — a read stalls (cold NFS, contended disk) before
+  returning normally; nothing downstream may deadlock on it.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+import threading
+import time
+from pathlib import Path
+from typing import Any, Dict, Optional, Union
+
+from repro.chaos.plan import FaultPlan
+from repro.experiments.cache import ResultCache
+from repro.trace.serialization import canonical_json_line
+
+
+class ChaosResultCache(ResultCache):
+    """A ``ResultCache`` that injects plan-scheduled store damage."""
+
+    def __init__(self, root: Union[str, Path], plan: FaultPlan,
+                 scope: str) -> None:
+        super().__init__(root)
+        self.plan = plan
+        self.scope = scope
+        self._lock = threading.Lock()
+        self._gets = 0
+        self._puts = 0
+        self.injected: Dict[str, int] = {}
+
+    def _decide(self, op: str) -> Optional[str]:
+        with self._lock:
+            if op == "get":
+                index = self._gets
+                self._gets += 1
+            else:
+                index = self._puts
+                self._puts += 1
+        fault = self.plan.decide_cache(self.scope, index, op)
+        if fault is not None:
+            self.injected[fault] = self.injected.get(fault, 0) + 1
+        return fault
+
+    def get(self, key: str) -> Optional[Dict[str, Any]]:
+        if self._decide("get") == "slow-read":
+            time.sleep(self.plan.profile.cache_slow_read_s)
+        return super().get(key)
+
+    def put(self, key: str, document: Dict[str, Any]) -> Path:
+        fault = self._decide("put")
+        if fault == "torn-tmp":
+            # A writer killed between mkstemp and os.replace: half the
+            # document, no published entry.
+            path = self._path(key)
+            path.parent.mkdir(parents=True, exist_ok=True)
+            text = canonical_json_line(document)
+            fd, _ = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                handle.write(text[:max(1, len(text) // 2)])
+            return path
+        path = super().put(key, document)
+        if fault == "bitflip":
+            raw = bytearray(path.read_bytes())
+            if raw:
+                position = int(self.plan.fraction(
+                    self.scope, self._puts, "bitflip-at") * len(raw))
+                raw[position] ^= 0x20
+                path.write_bytes(bytes(raw))
+        return path

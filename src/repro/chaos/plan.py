@@ -1,0 +1,274 @@
+"""Seeded, fully deterministic fault plans.
+
+A :class:`FaultPlan` is a *pure function* from ``(scope, event index)``
+to a fault decision — no global RNG, no shared mutable state.  Every
+injection shim (a wrapped frame stream, a wrapped result cache, a
+worker's execution loop, the serving batcher) owns a **scope** string
+(``"frame:worker-3:e2"``, ``"cache:worker-1"``, ...) and asks the plan
+what to do at its Nth event.  Because decisions are hashes of
+``(seed, scope, index, fault kind)``:
+
+* the same seed reproduces the same fault sequence, run after run,
+  regardless of thread interleaving or wall-clock timing;
+* distinct scopes draw independent fault streams, so adding a worker
+  never perturbs the faults another worker sees;
+* there is nothing to synchronise — a worker process can reconstruct
+  its exact fault stream from the ``(seed, profile)`` pair the
+  scheduler ships in the ``setup`` frame.
+
+Profiles bundle the per-fault rates; ``parse_chaos("soak:2015")`` and
+the ``REPRO_CHAOS`` environment knob (used by the CI soak) build plans
+from a compact string form.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+from dataclasses import dataclass, fields, replace
+from typing import Any, Dict, Optional, Union
+
+from repro.common.errors import ConfigurationError
+
+#: Frame-fault kinds, checked in this fixed order (first match wins) so
+#: a decision sequence is stable across versions of the checking code.
+FRAME_FAULTS = ("drop", "duplicate", "corrupt", "truncate", "delay", "reset")
+
+
+@dataclass(frozen=True)
+class FaultProfile:
+    """Per-fault rates and parameters of one chaos profile.
+
+    All ``*_rate`` fields are probabilities in ``[0, 1]`` evaluated
+    independently per event; ``0`` disables the fault.
+    """
+
+    # -- wire faults (ChaosFrameStream, per sent frame) --------------------
+    frame_drop_rate: float = 0.0
+    frame_duplicate_rate: float = 0.0
+    frame_corrupt_rate: float = 0.0
+    frame_truncate_rate: float = 0.0
+    frame_delay_rate: float = 0.0
+    frame_delay_s: float = 0.02
+    #: Abruptly close the connection after this many sent frames
+    #: (0 = never); eligibility is drawn per scope with ``reset_rate``.
+    reset_after_frames: int = 0
+    reset_rate: float = 0.0
+    # -- store faults (ChaosResultCache) -----------------------------------
+    cache_bitflip_rate: float = 0.0
+    cache_torn_tmp_rate: float = 0.0
+    cache_slow_read_rate: float = 0.0
+    cache_slow_read_s: float = 0.02
+    # -- worker execution faults (per executed cell) -----------------------
+    #: Hard-exit (SIGKILL-equivalent ``os._exit``) at this executed-cell
+    #: count (0 = never); eligibility drawn per scope with ``crash_rate``.
+    crash_after_cells: int = 0
+    crash_rate: float = 0.0
+    straggle_rate: float = 0.0
+    straggle_s: float = 0.5
+    #: Go silent (stop heartbeats, keep the socket open) at this
+    #: executed-cell count (0 = never); eligibility via ``hang_rate``.
+    hang_after_cells: int = 0
+    hang_rate: float = 0.0
+    # -- serving faults (per admitted request) -----------------------------
+    serve_error_rate: float = 0.0
+
+    def __post_init__(self) -> None:
+        for spec in fields(self):
+            value = getattr(self, spec.name)
+            if spec.name.endswith("_rate") and not 0.0 <= value <= 1.0:
+                raise ConfigurationError(
+                    f"{spec.name} must be in [0, 1], got {value}")
+            if spec.name.endswith(("_s", "_cells", "_frames")) and value < 0:
+                raise ConfigurationError(
+                    f"{spec.name} must be >= 0, got {value}")
+
+
+#: Named profiles.  ``soak`` is the CI/chaos-soak default: every fault
+#: class fires at a rate the resilience layer is expected to absorb
+#: with byte-identical output and no hangs.
+PROFILES: Dict[str, FaultProfile] = {
+    "none": FaultProfile(),
+    # Mild-but-complete: wire drops/corruption, store damage, one-in-a-
+    # few workers crashing once, occasional stragglers.
+    "soak": FaultProfile(
+        frame_drop_rate=0.01,
+        frame_duplicate_rate=0.01,
+        frame_corrupt_rate=0.0015,
+        frame_delay_rate=0.02,
+        frame_delay_s=0.01,
+        cache_bitflip_rate=0.02,
+        cache_torn_tmp_rate=0.02,
+        cache_slow_read_rate=0.02,
+        cache_slow_read_s=0.005,
+        crash_after_cells=40,
+        crash_rate=0.4,
+        straggle_rate=0.004,
+        straggle_s=0.4,
+    ),
+    # Wire-only: every frame fault, hot.
+    "wire": FaultProfile(
+        frame_drop_rate=0.05,
+        frame_duplicate_rate=0.05,
+        frame_corrupt_rate=0.01,
+        frame_truncate_rate=0.005,
+        frame_delay_rate=0.1,
+        frame_delay_s=0.01,
+        reset_after_frames=200,
+        reset_rate=0.5,
+    ),
+    # Store-only: bit rot, torn temp files, slow disks.
+    "store": FaultProfile(
+        cache_bitflip_rate=0.1,
+        cache_torn_tmp_rate=0.1,
+        cache_slow_read_rate=0.1,
+        cache_slow_read_s=0.01,
+    ),
+    # Worker-only: crashes, stragglers, silent hangs.
+    "workers": FaultProfile(
+        crash_after_cells=25,
+        crash_rate=0.5,
+        straggle_rate=0.01,
+        straggle_s=0.5,
+        hang_after_cells=60,
+        hang_rate=0.25,
+    ),
+    # Serving-only: deterministic engine exceptions per admitted request.
+    "serve": FaultProfile(serve_error_rate=0.1),
+}
+
+
+class FaultPlan:
+    """Deterministic per-seed schedule of faults (see module docstring)."""
+
+    def __init__(self, seed: int, profile: Union[str, FaultProfile] = "soak",
+                 **overrides: Any) -> None:
+        if isinstance(profile, str):
+            self.profile_name = profile
+            try:
+                profile = PROFILES[profile]
+            except KeyError:
+                raise ConfigurationError(
+                    f"unknown chaos profile {self.profile_name!r} "
+                    f"(known: {', '.join(sorted(PROFILES))})") from None
+        else:
+            self.profile_name = "custom"
+        if overrides:
+            profile = replace(profile, **overrides)
+            self.profile_name = "custom"
+        self.seed = int(seed)
+        self.profile = profile
+
+    # -- the decision primitive --------------------------------------------
+    def fraction(self, scope: str, index: int, salt: str) -> float:
+        """Deterministic uniform fraction in ``[0, 1)`` for one event."""
+        digest = hashlib.blake2b(
+            f"{self.seed}|{scope}|{index}|{salt}".encode("utf-8"),
+            digest_size=8).digest()
+        return int.from_bytes(digest, "big") / 2.0 ** 64
+
+    def _fires(self, rate: float, scope: str, index: int, salt: str) -> bool:
+        return rate > 0.0 and self.fraction(scope, index, salt) < rate
+
+    # -- per-seam decisions ------------------------------------------------
+    def decide_frame(self, scope: str, index: int) -> Optional[str]:
+        """Fault (if any) for the ``index``-th frame sent on ``scope``.
+
+        Returns one of :data:`FRAME_FAULTS` or ``None``; the kinds are
+        checked in fixed order with independent salts, first match wins.
+        """
+        p = self.profile
+        rates = (p.frame_drop_rate, p.frame_duplicate_rate,
+                 p.frame_corrupt_rate, p.frame_truncate_rate,
+                 p.frame_delay_rate, 0.0)
+        for kind, rate in zip(FRAME_FAULTS, rates):
+            if kind == "reset":
+                continue
+            if self._fires(rate, scope, index, kind):
+                return kind
+        if (p.reset_after_frames and index >= p.reset_after_frames
+                and self._fires(p.reset_rate, scope, 0, "reset-eligible")):
+            return "reset"
+        return None
+
+    def decide_cache(self, scope: str, index: int, op: str) -> Optional[str]:
+        """Fault for the ``index``-th ``op`` (``"get"``/``"put"``) on a store."""
+        p = self.profile
+        if op == "put":
+            if self._fires(p.cache_bitflip_rate, scope, index, "bitflip"):
+                return "bitflip"
+            if self._fires(p.cache_torn_tmp_rate, scope, index, "torn-tmp"):
+                return "torn-tmp"
+        elif op == "get":
+            if self._fires(p.cache_slow_read_rate, scope, index, "slow-read"):
+                return "slow-read"
+        return None
+
+    def decide_cell(self, scope: str, index: int) -> Optional[str]:
+        """Fault before executing the ``index``-th cell on one worker."""
+        p = self.profile
+        if (p.crash_after_cells and index == p.crash_after_cells
+                and self._fires(p.crash_rate, scope, 0, "crash-eligible")):
+            return "crash"
+        if (p.hang_after_cells and index == p.hang_after_cells
+                and self._fires(p.hang_rate, scope, 0, "hang-eligible")):
+            return "hang"
+        if self._fires(p.straggle_rate, scope, index, "straggle"):
+            return "straggle"
+        return None
+
+    def decide_serve(self, index: int) -> bool:
+        """Whether the ``index``-th admitted serving request blows up."""
+        return self._fires(self.profile.serve_error_rate, "serve", index, "error")
+
+    # -- transport ---------------------------------------------------------
+    def to_doc(self) -> Dict[str, Any]:
+        """JSON-safe form for the fabric's ``setup`` frame."""
+        doc: Dict[str, Any] = {"seed": self.seed, "profile": self.profile_name}
+        if self.profile_name == "custom":
+            doc["rates"] = {spec.name: getattr(self.profile, spec.name)
+                            for spec in fields(self.profile)}
+        return doc
+
+    @classmethod
+    def from_doc(cls, doc: Dict[str, Any]) -> "FaultPlan":
+        if doc.get("profile") == "custom":
+            return cls(int(doc["seed"]), FaultProfile(**doc["rates"]))
+        return cls(int(doc["seed"]), str(doc.get("profile", "soak")))
+
+    def __repr__(self) -> str:
+        return f"FaultPlan(seed={self.seed}, profile={self.profile_name!r})"
+
+
+def parse_chaos(value: Union[str, "FaultPlan", None]) -> Optional[FaultPlan]:
+    """Build a plan from the compact ``"profile:seed"`` string form.
+
+    ``"soak:2015"`` → the soak profile with seed 2015; a bare
+    ``"2015"`` uses the default (soak) profile; ``""``/``"none"``/
+    ``None`` disable chaos.  An existing plan passes through.
+    """
+    if value is None or isinstance(value, FaultPlan):
+        return value
+    text = value.strip()
+    if not text or text.lower() in ("none", "off", "0"):
+        return None
+    profile, sep, seed = text.partition(":")
+    if not sep:
+        profile, seed = ("soak", profile) if profile.isdigit() else (profile, "0")
+    try:
+        seed_value = int(seed)
+    except ValueError:
+        raise ConfigurationError(
+            f"chaos spec must be 'profile:seed', got {value!r}") from None
+    return FaultPlan(seed_value, profile or "soak")
+
+
+#: Environment knob consulted by SweepRunner and the serving layer when
+#: no explicit plan is given — what the CI soak job sets.
+CHAOS_ENV = "REPRO_CHAOS"
+
+
+def plan_from_env(environ: Optional[Dict[str, str]] = None) -> Optional[FaultPlan]:
+    """Build a plan from ``REPRO_CHAOS`` (e.g. ``soak:2015``), if set."""
+    environ = os.environ if environ is None else environ
+    return parse_chaos(environ.get(CHAOS_ENV))

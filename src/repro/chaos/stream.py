@@ -1,0 +1,103 @@
+"""Wire-level fault injection: a chaotic :class:`FrameStream`.
+
+``ChaosFrameStream`` is a drop-in ``FrameStream`` whose :meth:`send`
+consults a :class:`~repro.chaos.plan.FaultPlan` before every frame and
+may drop it, send it twice, corrupt its body, truncate it mid-frame, or
+sever the connection outright.  Faults are injected **send-side only**:
+every receive-side symptom the fabric must survive (a missing frame, a
+duplicate, a JSON-garbage body, a mid-frame EOF, a reset) is exactly
+what the peer observes when the sender misbehaves, and send-side
+injection keeps the decision index — the per-stream sent-frame counter
+— deterministic under any thread interleaving (senders are already
+serialized by the stream's send lock).
+
+The handshake (``hello``/``setup``) is deliberately run on the plain
+stream and the chaos wrapper adopted afterwards via :meth:`adopt`: a
+worker that cannot even handshake exercises nothing, and the setup
+frame is how the fault plan itself reaches remote workers.
+"""
+
+from __future__ import annotations
+
+import socket
+import time
+from typing import Any, Dict
+
+from repro.chaos.plan import FaultPlan
+from repro.distributed.protocol import _LENGTH, FrameStream, pack_frame
+
+
+class ChaosFrameStream(FrameStream):
+    """A ``FrameStream`` that injects plan-scheduled faults on send."""
+
+    def __init__(self, sock: socket.socket, plan: FaultPlan, scope: str) -> None:
+        super().__init__(sock)
+        self._init_chaos(plan, scope)
+
+    def _init_chaos(self, plan: FaultPlan, scope: str) -> None:
+        self.plan = plan
+        self.scope = scope
+        self._sent = 0
+        #: fault kind -> injection count, for tests and event logs.
+        self.injected: Dict[str, int] = {}
+
+    @classmethod
+    def adopt(cls, stream: FrameStream, plan: FaultPlan,
+              scope: str) -> "ChaosFrameStream":
+        """Rewrap an existing stream (post-handshake), preserving its
+        socket, receive buffer, EOF latch and send lock."""
+        chaos = cls.__new__(cls)
+        chaos.sock = stream.sock
+        chaos.eof = stream.eof
+        chaos.peer = stream.peer
+        chaos._buffer = stream._buffer
+        chaos._send_lock = stream._send_lock
+        chaos._init_chaos(plan, scope)
+        return chaos
+
+    # -- fault injection ----------------------------------------------------
+    def send(self, doc: Dict[str, Any]) -> None:
+        data = pack_frame(doc)
+        with self._send_lock:
+            index = self._sent
+            self._sent += 1
+            fault = self.plan.decide_frame(self.scope, index)
+            if fault is not None:
+                self.injected[fault] = self.injected.get(fault, 0) + 1
+            if fault is None:
+                self.sock.sendall(data)
+            elif fault == "drop":
+                pass  # the peer's recovery paths must resend/respeculate
+            elif fault == "duplicate":
+                self.sock.sendall(data)
+                self.sock.sendall(data)
+            elif fault == "delay":
+                time.sleep(self.plan.profile.frame_delay_s)
+                self.sock.sendall(data)
+            elif fault == "corrupt":
+                self.sock.sendall(self._corrupted(data, index))
+            elif fault == "truncate":
+                # Length prefix plus a strict prefix of the body, then a
+                # hard close: the peer sees EOF mid-frame.
+                cut = _LENGTH.size + max(0, (len(data) - _LENGTH.size) // 2)
+                try:
+                    self.sock.sendall(data[:cut])
+                finally:
+                    self.close()
+                raise ConnectionResetError(
+                    f"chaos[{self.scope}]: frame {index} truncated mid-send")
+            else:  # reset
+                self.close()
+                raise ConnectionResetError(
+                    f"chaos[{self.scope}]: connection reset at frame {index}")
+
+    def _corrupted(self, data: bytes, index: int) -> bytes:
+        """Flip one body byte (never the length prefix — a corrupt length
+        would test the allocation guard, which has its own unit test,
+        instead of the JSON-garbage path every corrupt frame hits)."""
+        body = bytearray(data)
+        position = _LENGTH.size + int(
+            self.plan.fraction(self.scope, index, "corrupt-at")
+            * (len(body) - _LENGTH.size))
+        body[position] ^= 0xFF
+        return bytes(body)

@@ -92,14 +92,21 @@ class SweepFrontier:
 
     # -- dispatch ----------------------------------------------------------
     def next_chunk(self, worker: str) -> List[int]:
-        """Assign and return the next chunk for ``worker`` (may be empty)."""
-        if not self._queue:
-            return []
-        chunk = self._queue.popleft()
-        for cell in chunk:
-            self._attempts[cell] = self._attempts.get(cell, 0) + 1
-        self._assigned.setdefault(worker, []).extend(chunk)
-        return chunk
+        """Assign and return the next chunk for ``worker`` (may be empty).
+
+        Cells that finished while queued — a speculative duplicate won
+        the race, or a journal replay pre-completed them — are silently
+        skipped, never re-dispatched.
+        """
+        while self._queue:
+            chunk = [c for c in self._queue.popleft() if c not in self._done]
+            if not chunk:
+                continue
+            for cell in chunk:
+                self._attempts[cell] = self._attempts.get(cell, 0) + 1
+            self._assigned.setdefault(worker, []).extend(chunk)
+            return chunk
+        return []
 
     def steal(self, victim: str, thief: str) -> List[int]:
         """Move the tail half of ``victim``'s unfinished cells to ``thief``.
@@ -118,6 +125,32 @@ class SweepFrontier:
             self._attempts[cell] = self._attempts.get(cell, 0) + 1
         self._assigned.setdefault(thief, []).extend(stolen)
         return stolen
+
+    def speculate(self, victim: str, thief: str, limit: int = 0) -> List[int]:
+        """Duplicate the head of ``victim``'s unfinished cells onto ``thief``.
+
+        Unlike :meth:`steal`, the victim *keeps* its cells: speculation
+        targets stragglers (and dropped frames) — whichever copy
+        finishes first wins and :meth:`complete` discards the loser
+        everywhere.  Self-speculation (``victim == thief``) re-arms a
+        worker whose ``work`` or ``result`` frame was lost on the wire:
+        the cells are charged another attempt and returned for
+        re-dispatch, but not duplicated in the assignment ledger.
+
+        Cells that have exhausted their ``max_attempts`` budget are not
+        speculated (they get no free extra lives).  ``limit`` caps the
+        duplicated cells (0 = the frontier's chunk size).
+        """
+        limit = limit or self.chunk_size
+        eligible = [c for c in self._assigned.get(victim, ())
+                    if c not in self._done
+                    and self._attempts.get(c, 0) < self.max_attempts]
+        cells = eligible[:limit]
+        for cell in cells:
+            self._attempts[cell] = self._attempts.get(cell, 0) + 1
+        if cells and victim != thief:
+            self._assigned.setdefault(thief, []).extend(cells)
+        return cells
 
     def steal_victim(self, thief: str) -> Optional[str]:
         """The most-loaded worker worth stealing from, or ``None``."""
@@ -144,15 +177,13 @@ class SweepFrontier:
         return True
 
     def _discard(self, worker: Optional[str], cell: int) -> None:
-        # The completing worker's list is the likely home, but a raced
-        # duplicate may live in another worker's assignment.
-        candidates = [worker] if worker in self._assigned else []
-        candidates += [w for w in self._assigned if w != worker]
-        for candidate in candidates:
-            remaining = self._assigned.get(candidate, ())
-            if cell in remaining:
+        # Speculation can leave copies of one cell in *several* workers'
+        # assignments (and a steal race in another worker's), so every
+        # list is swept — a stale copy left behind would count as
+        # unfinished work forever.
+        for remaining in self._assigned.values():
+            while cell in remaining:
                 remaining.remove(cell)
-                return
 
     def fail_worker(self, worker: str) -> List[int]:
         """Requeue a dead worker's unfinished cells; return them.
@@ -161,7 +192,13 @@ class SweepFrontier:
         ``max_attempts`` dispatch budget.
         """
         remaining = [c for c in self._assigned.pop(worker, []) if c not in self._done]
-        exhausted = [c for c in remaining if self._attempts.get(c, 0) >= self.max_attempts]
+        # A cell is only truly out of lives when no speculative copy of
+        # it is still in flight on a surviving worker.
+        exhausted = [c for c in remaining
+                     if self._attempts.get(c, 0) >= self.max_attempts
+                     and not any(c in cells for cells in self._assigned.values())]
+        remaining = [c for c in remaining
+                     if not any(c in cells for cells in self._assigned.values())]
         if exhausted:
             raise SimulationError(
                 f"grid cells {exhausted[:5]}{'...' if len(exhausted) > 5 else ''} "
@@ -177,6 +214,14 @@ class SweepFrontier:
         """Unfinished cells currently assigned to ``worker``."""
         return len(self._assigned.get(worker, ()))
 
+    def assigned_cells(self, worker: str) -> List[int]:
+        """Snapshot of the cells currently assigned to ``worker``."""
+        return list(self._assigned.get(worker, ()))
+
+    def workers_with_assignments(self) -> List[str]:
+        """Workers currently holding at least one unfinished cell."""
+        return [w for w, remaining in self._assigned.items() if remaining]
+
     @property
     def done_count(self) -> int:
         return len(self._done)
@@ -188,3 +233,10 @@ class SweepFrontier:
     @property
     def has_queued(self) -> bool:
         return bool(self._queue)
+
+    @property
+    def total_dispatches(self) -> int:
+        """Attempts charged across all cells (dispatches + requeues +
+        speculations); ``total_dispatches - total`` bounds the redundant
+        work a faulty run caused — the chaos benchmark's key metric."""
+        return sum(self._attempts.values())

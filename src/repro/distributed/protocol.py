@@ -48,6 +48,27 @@ class ProtocolError(ReproError):
     """A malformed, truncated or oversized fabric frame was observed."""
 
 
+class FrameTooLarge(ProtocolError):
+    """A frame length above :data:`MAX_FRAME_BYTES` was announced or built.
+
+    Carries the offending ``length``, the ``limit`` it broke, and the
+    ``peer`` that announced it (``None`` for the send side).  Raised
+    *before* any buffer bytes are consumed, so the stream's receive
+    state is left exactly as it was — rejecting an oversized frame must
+    not corrupt the framing of whatever else is buffered.
+    """
+
+    def __init__(self, length: int, limit: int = MAX_FRAME_BYTES,
+                 peer: Optional[str] = None) -> None:
+        origin = f"from {peer} " if peer else ""
+        super().__init__(
+            f"frame {origin}announces {length} bytes (limit {limit}); "
+            f"corrupt stream?")
+        self.length = length
+        self.limit = limit
+        self.peer = peer
+
+
 def encode_payload(obj: Any) -> str:
     """Pack an arbitrary picklable object for transport inside a frame."""
     return base64.b64encode(zlib.compress(pickle.dumps(obj))).decode("ascii")
@@ -65,8 +86,7 @@ def pack_frame(doc: Dict[str, Any]) -> bytes:
     """Serialize one frame document to its wire bytes."""
     body = json.dumps(doc, separators=(",", ":")).encode("utf-8")
     if len(body) > MAX_FRAME_BYTES:
-        raise ProtocolError(
-            f"frame of {len(body)} bytes exceeds the {MAX_FRAME_BYTES}-byte limit")
+        raise FrameTooLarge(len(body))
     return _LENGTH.pack(len(body)) + body
 
 
@@ -84,6 +104,10 @@ class FrameStream:
         self.eof = False
         self._buffer = bytearray()
         self._send_lock = threading.Lock()
+        try:
+            self.peer: Optional[str] = "%s:%s" % sock.getpeername()[:2]
+        except (OSError, TypeError, IndexError):
+            self.peer = None
 
     # -- sending -----------------------------------------------------------
     def send(self, doc: Dict[str, Any]) -> None:
@@ -98,9 +122,9 @@ class FrameStream:
             return None
         (length,) = _LENGTH.unpack_from(self._buffer)
         if length > MAX_FRAME_BYTES:
-            raise ProtocolError(
-                f"incoming frame announces {length} bytes "
-                f"(limit {MAX_FRAME_BYTES}); corrupt stream?")
+            # Raised before a single buffer byte is consumed: the
+            # rejection is repeatable and the stream state unpoisoned.
+            raise FrameTooLarge(length, peer=self.peer)
         if len(self._buffer) < _LENGTH.size + length:
             return None
         body = bytes(self._buffer[_LENGTH.size:_LENGTH.size + length])

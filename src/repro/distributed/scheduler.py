@@ -39,6 +39,8 @@ from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 from repro.common.errors import SimulationError
 from repro.distributed.frontier import SweepFrontier
 from repro.distributed.protocol import FrameStream, ProtocolError, encode_payload
+from repro.resilience.journal import FrontierJournal
+from repro.resilience.quarantine import WorkerQuarantine
 
 #: Main-loop tick: heartbeat checks and liveness checks run this often.
 _TICK_SECONDS = 0.05
@@ -132,6 +134,31 @@ class SweepScheduler:
     on_result:
         Optional ``(grid_index, document) -> None`` progress hook,
         called once per newly finished cell.
+    chaos:
+        Optional :class:`~repro.chaos.plan.FaultPlan`.  Shipped to every
+        worker in its ``setup`` frame (with a per-connection epoch so a
+        respawned worker draws a fresh fault stream instead of replaying
+        its own crash), and wraps the scheduler side of each connection
+        in a :class:`~repro.chaos.stream.ChaosFrameStream`.
+    journal:
+        Optional :class:`~repro.resilience.journal.FrontierJournal`.
+        Cells it already holds are pre-completed (their documents
+        replayed) and never dispatched; every fresh result is appended,
+        so a scheduler killed mid-sweep resumes instead of restarting.
+    quarantine:
+        Death ledger distinguishing bad workers from poisoned cells
+        (default: 5 deaths across ≥2 distinct cells).  A quarantined
+        identity is refused at handshake and never respawned.
+    max_respawns:
+        Budget of local worker *re*-spawns across the whole sweep (dead
+        local processes are relaunched under their original identity
+        while budget remains, so transient worker crashes do not sink
+        the sweep).
+    speculate_after:
+        Straggler threshold in seconds: a worker holding cells but
+        silent on the result channel this long gets its head-of-line
+        cells speculatively duplicated onto an idle worker (first
+        result wins); ``None`` disables speculation.
     """
 
     def __init__(
@@ -153,6 +180,11 @@ class SweepScheduler:
         clock: Callable[[], float] = time.monotonic,
         timeout: Optional[float] = None,
         on_result: Optional[Callable[[int, Dict[str, Any]], None]] = None,
+        chaos: Optional[Any] = None,
+        journal: Optional[FrontierJournal] = None,
+        quarantine: Optional[WorkerQuarantine] = None,
+        max_respawns: int = 8,
+        speculate_after: Optional[float] = 2.0,
     ) -> None:
         if workers < 0 or external_workers < 0:
             raise SimulationError("worker counts must be >= 0")
@@ -182,9 +214,28 @@ class SweepScheduler:
         self.frontier = SweepFrontier(
             cells, list(groups), chunk_size=chunk_size, max_attempts=max_attempts)
 
+        self.chaos = chaos
+        self.journal = journal
+        self.quarantine = quarantine or WorkerQuarantine()
+        if max_respawns < 0:
+            raise SimulationError(f"max_respawns must be >= 0, got {max_respawns}")
+        self.max_respawns = max_respawns
+        self.speculate_after = speculate_after
+        self.respawns = 0
+        self.speculations = 0
+        #: Operator-facing fault timeline: quarantines, respawns,
+        #: speculations, expiries — what the chaos tests and the bench
+        #: read back instead of scraping logs.
+        self.events: List[Dict[str, Any]] = []
+
         self.address: Optional[Tuple[str, int]] = None
         self.processes: List[subprocess.Popen] = []
         self.results_received = 0
+        self.resumed_cells = 0
+        self._local_procs: Dict[str, subprocess.Popen] = {}
+        self._local_respawns: Dict[str, int] = {}
+        self._epochs: Dict[str, int] = {}
+        self._worker_activity: Dict[str, float] = {}
         self._documents: Dict[int, Dict[str, Any]] = {}
         self._lock = threading.RLock()
         #: Notified on every observable state change (result recorded,
@@ -202,6 +253,18 @@ class SweepScheduler:
         self._threads: List[threading.Thread] = []
         self._payload: Optional[str] = None
 
+        if journal is not None:
+            # Resume: replayed completions are real results — mark them
+            # done before any dispatch so no worker ever re-runs them.
+            wanted = {index for index, _, _ in self.jobs}
+            for cell, doc in journal.completed.items():
+                if cell in wanted and self.frontier.complete(None, cell):
+                    self._documents[cell] = doc
+                    self.resumed_cells += 1
+            if self.resumed_cells:
+                self._event("resume", cells=self.resumed_cells,
+                            journal=str(journal.path))
+
     # -- lifecycle ---------------------------------------------------------
     def run(self) -> List[Tuple[int, Dict[str, Any]]]:
         """Serve workers until every cell has a result; return them.
@@ -212,6 +275,10 @@ class SweepScheduler:
         """
         if not self.jobs:
             return []
+        if self.frontier.is_done:
+            # Every cell was replayed from the journal: nothing to
+            # serve, no socket to bind, no worker to spawn.
+            return sorted(self._documents.items())
         self._payload = encode_payload((self.jobs, self.table))
         self._server = socket.create_server((self.host, self.port), backlog=64)
         with self._progress:
@@ -223,12 +290,14 @@ class SweepScheduler:
         self._threads.append(accept_thread)
         try:
             for i in range(self.workers):
-                self.processes.append(self._spawn_local(i))
+                self._launch_local(f"local-{i}")
             deadline = None if self.timeout is None else self._clock() + self.timeout
             while not self._done.wait(_TICK_SECONDS):
                 if self._failure is not None:
                     break
                 self._expire_silent_workers()
+                self._respawn_dead_locals()
+                self._speculate_tick()
                 self._check_liveness()
                 if deadline is not None and self._clock() > deadline:
                     self._fail(SimulationError(
@@ -244,7 +313,13 @@ class SweepScheduler:
             raise SimulationError(f"sweep lost results for {missing} grid cells")
         return sorted(self._documents.items())
 
-    def _spawn_local(self, index: int) -> subprocess.Popen:
+    def _launch_local(self, worker_id: str) -> subprocess.Popen:
+        process = self._spawn_local(worker_id)
+        self.processes.append(process)
+        self._local_procs[worker_id] = process
+        return process
+
+    def _spawn_local(self, worker_id: str) -> subprocess.Popen:
         host, port = self.address
         if host in ("0.0.0.0", "::"):
             host = "127.0.0.1"
@@ -260,9 +335,13 @@ class SweepScheduler:
                 else package_root
         return subprocess.Popen(
             [sys.executable, "-m", "repro.distributed.worker",
-             "--connect", f"{host}:{port}", "--worker-id", f"local-{index}"],
+             "--connect", f"{host}:{port}", "--worker-id", worker_id],
             env=env,
         )
+
+    def _event(self, kind: str, **detail: Any) -> None:
+        entry = {"t": round(self._clock(), 4), "event": kind, **detail}
+        self.events.append(entry)
 
     def _shutdown(self) -> None:
         self._stopping = True
@@ -351,22 +430,48 @@ class SweepScheduler:
             if hello is None or hello.get("type") != "hello":
                 stream.close()
                 return
+            claimed = str(hello.get("worker_id") or "")
+            if self.quarantine.is_quarantined(claimed):
+                # A quarantined identity gets no second handshake: close
+                # without setup so its reconnect loop exhausts quickly.
+                self._event("refused", worker=claimed)
+                stream.close()
+                return
             with self._lock:
-                worker_id = str(hello.get("worker_id") or "")
+                worker_id = claimed
                 if not worker_id or worker_id in self._conns:
                     worker_id = f"{worker_id or 'worker'}-{self._next_anon}"
                     self._next_anon += 1
+                epoch = self._epochs.get(worker_id, 0)
+                self._epochs[worker_id] = epoch + 1
                 self._conns[worker_id] = _Connection(worker_id, stream)
                 self.monitor.beat(worker_id)
+                self._worker_activity[worker_id] = self._clock()
                 self._progress.notify_all()
-            stream.send({
+            setup: Dict[str, Any] = {
                 "type": "setup",
                 "worker_id": worker_id,
                 "jobs": self._payload,
                 "batch_lanes": self.batch_lanes,
                 "cache_dir": self.cache_dir,
                 "heartbeat_interval": self.heartbeat_interval,
-            })
+            }
+            if self.chaos is not None:
+                # The epoch keeps respawns out of fault lockstep: the
+                # replacement of a crashed worker draws a fresh fault
+                # stream instead of replaying the identical crash.
+                setup["chaos"] = self.chaos.to_doc()
+                setup["chaos_epoch"] = epoch
+            stream.send(setup)
+            if self.chaos is not None:
+                from repro.chaos.stream import ChaosFrameStream
+
+                stream = ChaosFrameStream.adopt(
+                    stream, self.chaos, f"sched:{worker_id}:e{epoch}")
+                with self._lock:
+                    conn = self._conns.get(worker_id)
+                    if conn is not None and conn.stream is not stream:
+                        conn.stream = stream
             while True:
                 frame = stream.recv()
                 if frame is None:
@@ -409,11 +514,18 @@ class SweepScheduler:
             self._progress.notify_all()
             if self._stopping or self.frontier.is_done:
                 return
+            held = self.frontier.assigned_cells(worker_id)
+            if self.quarantine.record_death(worker_id, held):
+                # Diverse cells, repeated deaths: the worker is the
+                # problem.  Refuse its handshakes, stop respawning it.
+                self._event("quarantine", worker=worker_id,
+                            deaths=self.quarantine.deaths(worker_id))
             try:
                 requeued = self.frontier.fail_worker(worker_id)
             except SimulationError as exc:
                 self._fail(exc)
                 return
+            self._event("death", worker=worker_id, requeued=len(requeued))
         if requeued:
             self._kick_idle()
 
@@ -435,6 +547,7 @@ class SweepScheduler:
                 self._idle.add(worker_id)
                 return
             self._idle.discard(worker_id)
+            self._worker_activity[worker_id] = self._clock()
             thief_conn = self._conns.get(worker_id)
             victim_conn = self._conns.get(revoke_from) if revoke_from else None
         if victim_conn is not None:
@@ -458,10 +571,13 @@ class SweepScheduler:
 
     def _record_result(self, worker_id: str, cell: int, doc: Dict[str, Any]) -> None:
         with self._progress:
+            self._worker_activity[worker_id] = self._clock()
             fresh = self.frontier.complete(worker_id, cell)
             if fresh:
                 self._documents[cell] = doc
                 self.results_received += 1
+                if self.journal is not None:
+                    self.journal.record(cell, doc)
             done = self.frontier.is_done
             self._progress.notify_all()
         if fresh and self.on_result is not None:
@@ -477,7 +593,86 @@ class SweepScheduler:
             if conn is not None:
                 # Closing the socket unblocks the reader thread, which
                 # funnels into the normal disconnect/requeue path.
+                self._event("expired", worker=worker_id)
                 conn.stream.close()
+
+    def _respawn_dead_locals(self) -> None:
+        """Relaunch dead local workers under their original identity.
+
+        A transient crash (chaos, OOM, a flaky host) costs one unit of
+        the sweep-wide ``max_respawns`` budget instead of a worker slot
+        for the rest of the sweep; quarantined identities stay dead.
+        """
+        if self._stopping or self.frontier.is_done:
+            return
+        for worker_id, process in list(self._local_procs.items()):
+            if process.poll() is None:
+                continue
+            if self.quarantine.is_quarantined(worker_id):
+                continue
+            if self.respawns >= self.max_respawns:
+                return
+            with self._lock:
+                if worker_id in self._conns:
+                    continue  # its connection is still being torn down
+            self.respawns += 1
+            self._local_respawns[worker_id] = \
+                self._local_respawns.get(worker_id, 0) + 1
+            self._event("respawn", worker=worker_id, total=self.respawns)
+            self._launch_local(worker_id)
+
+    def _speculate_tick(self) -> None:
+        """Duplicate stale in-flight cells (stragglers, lost frames).
+
+        Two recovery cases share this path, both detected as "a worker
+        holds cells but the result channel has been silent too long":
+
+        * **idle victim** — the worker itself reports idle while the
+          frontier still charges it with cells: its ``work`` or
+          ``result`` frames were lost on the wire.  Re-arming the
+          worker with its own cells (self-speculation) recovers both.
+        * **busy victim** — a straggler.  Its head-of-line cells are
+          duplicated onto an idle worker; first result wins and
+          :meth:`SweepFrontier.complete` discards the loser.
+        """
+        if self.speculate_after is None:
+            return
+        now = self._clock()
+        dispatches: List[Tuple[_Connection, List[int]]] = []
+        with self._progress:
+            if self.frontier.is_done or self.frontier.has_queued:
+                return
+            idle = [w for w in sorted(self._idle) if w in self._conns]
+            for victim in self.frontier.workers_with_assignments():
+                last = self._worker_activity.get(victim)
+                if last is None or now - last <= self.speculate_after:
+                    continue
+                if victim in self._idle and victim in self._conns:
+                    thief = victim
+                else:
+                    thief = next((w for w in idle if w != victim), None)
+                    if thief is None:
+                        continue  # nobody free; the heartbeat backstop rules
+                cells = self.frontier.speculate(victim, thief)
+                if not cells:
+                    continue
+                self._worker_activity[victim] = now  # back off between rounds
+                self._worker_activity[thief] = now
+                self._idle.discard(thief)
+                if thief in idle:
+                    idle.remove(thief)
+                self.speculations += 1
+                self._event("speculate", victim=victim, thief=thief,
+                            cells=len(cells))
+                conn = self._conns.get(thief)
+                if conn is not None:
+                    dispatches.append((conn, cells))
+            self._progress.notify_all()
+        for conn, cells in dispatches:
+            try:
+                conn.stream.send({"type": "work", "cells": cells})
+            except OSError:
+                pass  # its reader thread will requeue on EOF
 
     def _check_liveness(self) -> None:
         """Fail fast when every worker is gone and none can return."""
@@ -486,9 +681,12 @@ class SweepScheduler:
         if not self.processes:
             return
         alive = any(process.poll() is None for process in self.processes)
+        can_respawn = (self.respawns < self.max_respawns and any(
+            not self.quarantine.is_quarantined(w) for w in self._local_procs))
         with self._lock:
             connected = bool(self._conns)
-        if not alive and not connected and not self.frontier.is_done:
+        if not alive and not connected and not can_respawn \
+                and not self.frontier.is_done:
             self._fail(SimulationError(
                 "all local workers exited before the sweep completed "
                 f"({self.frontier.done_count}/{self.frontier.total} cells done)"))

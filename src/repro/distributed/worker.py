@@ -34,12 +34,19 @@ import argparse
 import socket
 import sys
 import threading
+import time
 import traceback
 from collections import deque
 from typing import Deque, Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.common.errors import ReproError
 from repro.distributed.protocol import FrameStream, ProtocolError, decode_payload
+from repro.resilience.retry import RetryBudgetExhausted, RetryPolicy, call_with_retry
+
+#: Default policy for establishing (and re-establishing) the scheduler
+#: connection: bounded attempts, exponential backoff, deterministic
+#: jitter keyed on the worker identity.
+CONNECT_POLICY = RetryPolicy(max_attempts=5, base_delay=0.2, max_delay=2.0)
 
 
 def _execute_block(
@@ -69,12 +76,32 @@ def _execute_block(
     return [run_job(jobs_by_cell[cell]) for cell in cells]
 
 
-def run_worker(host: str, port: int, *, worker_id: Optional[str] = None) -> int:
-    """Serve one scheduler until it says ``shutdown``; return an exit code."""
+def run_worker(
+    host: str,
+    port: int,
+    *,
+    worker_id: Optional[str] = None,
+    connect_policy: Optional[RetryPolicy] = None,
+) -> int:
+    """Serve one scheduler until it says ``shutdown``; return an exit code.
+
+    The TCP connect is retried under ``connect_policy`` (default:
+    :data:`CONNECT_POLICY`) so a worker launched moments before its
+    scheduler binds — or pointed at one mid-restart — joins instead of
+    dying; exhausting the policy raises
+    :class:`~repro.resilience.retry.RetryBudgetExhausted`.
+    """
     from repro.experiments.cache import ResultCache
     from repro.experiments.runner import install_workload_table, resolve_job
 
-    sock = socket.create_connection((host, port))
+    policy = connect_policy or CONNECT_POLICY
+    sock = call_with_retry(
+        lambda: socket.create_connection((host, port)),
+        policy,
+        retry_on=(OSError,),
+        key=f"connect:{worker_id or ''}",
+        describe=f"connect to scheduler {host}:{port}",
+    )
     sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
     stream = FrameStream(sock)
     stop_heartbeat = threading.Event()
@@ -95,6 +122,26 @@ def run_worker(host: str, port: int, *, worker_id: Optional[str] = None) -> int:
             except OSError:
                 cache = None  # no shared filesystem on this host
 
+        chaos_hook = None
+        if setup.get("chaos"):
+            # Chaos wraps everything *after* the handshake (the plan
+            # itself arrives in the setup frame); scopes carry the
+            # connection epoch so a respawned worker draws fresh faults.
+            from repro.chaos import (
+                ChaosFrameStream,
+                ChaosResultCache,
+                FaultPlan,
+                WorkerChaos,
+            )
+
+            plan = FaultPlan.from_doc(setup["chaos"])
+            epoch = int(setup.get("chaos_epoch") or 0)
+            me = str(setup.get("worker_id") or worker_id or "worker")
+            stream = ChaosFrameStream.adopt(stream, plan, f"worker:{me}:e{epoch}")
+            chaos_hook = WorkerChaos(plan, f"cells:{me}:e{epoch}")
+            if cache is not None:
+                cache = ChaosResultCache(cache_dir, plan, f"cache:{me}:e{epoch}")
+
         interval = float(setup.get("heartbeat_interval") or 1.0)
 
         def _heartbeat() -> None:
@@ -107,12 +154,25 @@ def run_worker(host: str, port: int, *, worker_id: Optional[str] = None) -> int:
         threading.Thread(target=_heartbeat, name="fabric-heartbeat",
                          daemon=True).start()
 
+        # When idle, block at most this long before re-asking for work:
+        # a dropped ``need_work`` or ``work`` frame must cost one resend
+        # interval, not the whole sweep.
+        idle_resend = max(1.0, interval)
+
         queue: Deque[int] = deque()
         revoked: Set[int] = set()
         awaiting_work = True
         stream.send({"type": "need_work"})
         while True:
-            frame = stream.poll() if queue else stream.recv()
+            if queue:
+                frame = stream.poll()
+            else:
+                try:
+                    frame = stream.recv(timeout=idle_resend)
+                except TimeoutError:
+                    awaiting_work = True
+                    stream.send({"type": "need_work"})
+                    continue
             while frame is not None:
                 kind = frame.get("type")
                 if kind == "work":
@@ -146,6 +206,9 @@ def run_worker(host: str, port: int, *, worker_id: Optional[str] = None) -> int:
                     continue
                 cells.append(cell)
             if cells:
+                if chaos_hook is not None:
+                    for _ in cells:
+                        chaos_hook.before_cell(stream, on_hang=stop_heartbeat.set)
                 try:
                     block = _execute_block(cells, jobs_by_cell, batch_lanes)
                 except ReproError as exc:
@@ -196,9 +259,31 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                         help="scheduler endpoint to pull grid cells from")
     parser.add_argument("--worker-id", default=None,
                         help="optional stable identity (shown in scheduler logs)")
+    parser.add_argument("--reconnect-attempts", type=int, default=5,
+                        help="bounded reconnect budget after a lost scheduler "
+                             "connection (default: 5)")
     args = parser.parse_args(argv)
     host, port = args.connect
-    return run_worker(host, port, worker_id=args.worker_id)
+    policy = RetryPolicy(
+        max_attempts=max(1, args.reconnect_attempts),
+        base_delay=0.2, max_delay=2.0)
+    key = args.worker_id or "worker"
+    attempt = 0
+    while True:
+        try:
+            code = run_worker(host, port, worker_id=args.worker_id,
+                              connect_policy=policy)
+        except RetryBudgetExhausted:
+            return 1
+        if code == 0:
+            return 0
+        # A lost connection mid-sweep: rejoin under the same identity
+        # (the scheduler bumps our chaos epoch, so an injected crash is
+        # not replayed) until the reconnect budget runs out.
+        if attempt >= policy.max_attempts - 1:
+            return 1
+        time.sleep(policy.delay(attempt, key=key))
+        attempt += 1
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via subprocess

@@ -124,6 +124,17 @@ def _build_parser() -> argparse.ArgumentParser:
                               "with --n-jobs > 1)")
     p_sweep.add_argument("--cache-dir", default=None,
                          help="content-addressed result cache directory")
+    p_sweep.add_argument("--chaos-seed", type=int, default=None, metavar="SEED",
+                         help="arm deterministic fault injection on the "
+                              "distributed fabric with this seed (same seed = "
+                              "same fault sequence; results must stay "
+                              "byte-identical; implies --chaos-profile soak "
+                              "unless given)")
+    p_sweep.add_argument("--chaos-profile", default=None, metavar="NAME",
+                         help="fault profile for --chaos-seed (one of: none, "
+                              "soak, wire, store, workers; default soak); the "
+                              "REPRO_CHAOS env var (profile:seed) is an "
+                              "equivalent knob for CI")
     p_sweep.add_argument("--output", default=None,
                          help="stream result rows to this JSONL file")
     p_sweep.add_argument("--quiet", action="store_true",
@@ -166,6 +177,13 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     # command == "sweep"
     worker_hosts = tuple(args.worker_hosts) if args.worker_hosts else ()
     distributed = args.workers is not None or worker_hosts
+    chaos = None
+    if args.chaos_seed is not None or args.chaos_profile is not None:
+        if not distributed:
+            print("error: --chaos-seed/--chaos-profile need the distributed "
+                  "fabric (--workers or --worker-hosts)", file=sys.stderr)
+            return 2
+        chaos = f"{args.chaos_profile or 'soak'}:{args.chaos_seed or 0}"
     runner = SweepRunner(
         n_jobs=args.n_jobs,
         cache_dir=args.cache_dir,
@@ -174,6 +192,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         workers=args.workers,
         worker_hosts=worker_hosts,
         scheduler_bind=args.scheduler_bind,
+        chaos=chaos,
     )
     with maybe_profile(args.profile):
         outcome = runner.run(spec, jsonl_path=args.output)

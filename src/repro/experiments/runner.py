@@ -303,6 +303,15 @@ class SweepRunner:
     heartbeat_interval / heartbeat_timeout:
         Worker life-sign cadence and the silence threshold after which
         the scheduler requeues a worker's cells.
+    chaos:
+        Deterministic fault injection for the fabric
+        (``transport="sockets"`` only): a
+        :class:`~repro.chaos.plan.FaultPlan`, or the compact string
+        form ``"profile:seed"`` (e.g. ``"soak:2015"``).  When unset,
+        the ``REPRO_CHAOS`` environment knob is consulted — that is how
+        the CI soak job arms an ordinary sweep invocation.  Results
+        must be byte-identical with or without chaos; only timing,
+        retries and the fault timeline differ.
     """
 
     def __init__(
@@ -318,6 +327,7 @@ class SweepRunner:
         scheduler_bind: str = "127.0.0.1:0",
         heartbeat_interval: float = 1.0,
         heartbeat_timeout: float = 5.0,
+        chaos: Union[str, Any, None] = None,
     ) -> None:
         self.n_jobs = resolve_worker_count(n_jobs, flag="n_jobs")
         if batch_lanes < 1:
@@ -341,9 +351,13 @@ class SweepRunner:
         if cache is None and cache_dir is not None:
             cache = ResultCache(cache_dir)
         self.cache = cache
+        from repro.chaos.plan import parse_chaos, plan_from_env
+
+        self.chaos = parse_chaos(chaos) if chaos is not None else plan_from_env()
         #: The most recent fabric scheduler (``transport="sockets"``
         #: only) — introspection surface for tests and progress tooling.
         self.last_scheduler = None
+        self._current_spec: Optional[SweepSpec] = None
 
     # -- execution ---------------------------------------------------------
     def run(
@@ -360,6 +374,9 @@ class SweepRunner:
         # An empty grid (everything filtered by max_cores) is legitimate:
         # the outcome simply reports zero points and empty curves.
         points = list(spec.points())
+        # The journal (crash-resumable sockets transport) is keyed on
+        # the spec's content hash, so _execute_sockets needs the spec.
+        self._current_spec = spec
         documents: List[Optional[Dict[str, Any]]] = [None] * len(points)
         pending: List[Tuple[int, RunPoint]] = []
 
@@ -479,6 +496,17 @@ class SweepRunner:
                 f"scheduler_bind must be host:port, got {self.scheduler_bind!r}"
             ) from exc
         cache_dir = str(self.cache.root) if self.cache is not None else None
+        # Crash-resumable checkpoint: an append-only completions journal
+        # next to the shared store, keyed by the spec's content hash —
+        # a SIGKILLed scheduler restarted with the same spec replays it
+        # and re-executes zero completed cells.
+        journal = None
+        if self.cache is not None and self._current_spec is not None:
+            from repro.resilience.journal import FrontierJournal
+
+            sweep_id = self._current_spec.spec_hash()
+            journal = FrontierJournal.open(
+                self.cache.root / "_journal" / f"{sweep_id}.jsonl", sweep_id)
         scheduler = SweepScheduler(
             jobs,
             table,
@@ -491,9 +519,20 @@ class SweepRunner:
             cache_dir=cache_dir,
             heartbeat_interval=self.heartbeat_interval,
             heartbeat_timeout=self.heartbeat_timeout,
+            chaos=self.chaos,
+            journal=journal,
         )
         self.last_scheduler = scheduler
-        return scheduler.run()
+        try:
+            results = scheduler.run()
+        except BaseException:
+            # Keep the journal: it is exactly what a rerun resumes from.
+            if journal is not None:
+                journal.close()
+            raise
+        if journal is not None:
+            journal.discard()  # clean finish: the checkpoint has served
+        return results
 
     @staticmethod
     def _check_factories_picklable(pending: List[Tuple[int, RunPoint]]) -> None:

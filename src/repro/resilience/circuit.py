@@ -1,0 +1,102 @@
+"""Circuit breaker: trip to a fallback after consecutive failures.
+
+Used by the serving batcher's fabric backend: after ``failure_threshold``
+consecutive fabric failures the breaker *opens* and blocks run on the
+local executor instead (no worker fleets spawned against a broken
+fabric); after ``cooldown`` seconds one *half-open* probe is allowed
+through — success closes the breaker, failure re-opens it for another
+cooldown.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable
+
+from repro.common.errors import ConfigurationError
+
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half-open"
+
+
+class CircuitBreaker:
+    """Consecutive-failure breaker with a half-open probe.
+
+    Not thread-safe by design: every user so far mutates it from one
+    event loop / one lock domain.  The clock is injectable so tests can
+    drive the cooldown deterministically.
+    """
+
+    def __init__(
+        self,
+        *,
+        failure_threshold: int = 3,
+        cooldown: float = 30.0,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if failure_threshold < 1:
+            raise ConfigurationError(
+                f"failure_threshold must be >= 1, got {failure_threshold}")
+        if cooldown <= 0:
+            raise ConfigurationError(f"cooldown must be positive, got {cooldown}")
+        self.failure_threshold = failure_threshold
+        self.cooldown = cooldown
+        self._clock = clock
+        self._consecutive_failures = 0
+        self._opened_at: float | None = None
+        self._probing = False
+        #: Counters for stats surfaces.
+        self.trips = 0
+        self.failures = 0
+        self.successes = 0
+
+    # -- state -------------------------------------------------------------
+    @property
+    def state(self) -> str:
+        if self._opened_at is None:
+            return CLOSED
+        if self._clock() - self._opened_at >= self.cooldown:
+            return HALF_OPEN
+        return OPEN
+
+    def allow(self) -> bool:
+        """Whether the protected path may be attempted right now.
+
+        While open, returns ``False``; once the cooldown elapses, the
+        *first* caller gets a ``True`` probe (half-open) and everyone
+        else keeps getting ``False`` until that probe reports back.
+        """
+        state = self.state
+        if state == CLOSED:
+            return True
+        if state == HALF_OPEN and not self._probing:
+            self._probing = True
+            return True
+        return False
+
+    def record_success(self) -> None:
+        self.successes += 1
+        self._consecutive_failures = 0
+        self._opened_at = None
+        self._probing = False
+
+    def record_failure(self) -> None:
+        self.failures += 1
+        self._consecutive_failures += 1
+        self._probing = False
+        if self._opened_at is not None:
+            # A failed half-open probe: re-open for another cooldown.
+            self._opened_at = self._clock()
+            self.trips += 1
+        elif self._consecutive_failures >= self.failure_threshold:
+            self._opened_at = self._clock()
+            self.trips += 1
+
+    def to_json(self) -> dict:
+        return {
+            "state": self.state,
+            "trips": self.trips,
+            "failures": self.failures,
+            "successes": self.successes,
+        }

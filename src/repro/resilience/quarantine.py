@@ -1,0 +1,81 @@
+"""Worker quarantine: tell a bad worker from a poisoned cell.
+
+When a worker dies the scheduler requeues its cells — but *why* it died
+matters for what happens next:
+
+* **Poisoned cell** — the same cell kills every worker that touches it.
+  The frontier's per-cell ``max_attempts`` budget already fail-fasts
+  this case (a cell that kills N diverse workers in a row is a bug, not
+  bad luck); the quarantine deliberately does **not** count such deaths
+  against the workers involved.
+* **Bad worker** — one worker keeps dying while holding *diverse* cells
+  (a broken host, flaky NIC, chaos injection).  After ``max_deaths``
+  deaths spanning at least ``min_distinct_cells`` distinct cells, the
+  worker identity is quarantined: the scheduler refuses its future
+  handshakes and stops respawning it, so a crash-looping worker cannot
+  burn the whole sweep's retry budget.  The default budget (5 deaths)
+  is deliberately generous: under chaotic wire conditions a healthy
+  worker legitimately dies a few times per sweep (corrupt frames,
+  injected crashes), and quarantining the whole pool would sink the
+  sweep a retry could have saved.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Set
+
+from repro.common.errors import ConfigurationError
+
+
+class WorkerQuarantine:
+    """Death ledger per worker identity with a diversity-aware trip rule."""
+
+    def __init__(self, *, max_deaths: int = 5, min_distinct_cells: int = 2) -> None:
+        if max_deaths < 1:
+            raise ConfigurationError(f"max_deaths must be >= 1, got {max_deaths}")
+        if min_distinct_cells < 1:
+            raise ConfigurationError(
+                f"min_distinct_cells must be >= 1, got {min_distinct_cells}")
+        self.max_deaths = max_deaths
+        self.min_distinct_cells = min_distinct_cells
+        self._deaths: Dict[str, int] = {}
+        self._cells_seen: Dict[str, Set[int]] = {}
+        self._quarantined: Set[str] = set()
+
+    def record_death(self, worker_id: str, cells: Iterable[int]) -> bool:
+        """Record one death of ``worker_id`` holding ``cells``.
+
+        Returns ``True`` when this death tips the worker into
+        quarantine.  A death with no cells in flight still counts as a
+        death (a worker that dies idle over and over is just as bad),
+        but cell diversity is what distinguishes it from a poisoned
+        cell: a worker whose every death involves the *same* single cell
+        never trips the quarantine — the cell's own attempt budget
+        handles that case.
+        """
+        cells = list(cells)
+        self._deaths[worker_id] = self._deaths.get(worker_id, 0) + 1
+        self._cells_seen.setdefault(worker_id, set()).update(cells)
+        if worker_id in self._quarantined:
+            return False
+        diverse = len(self._cells_seen[worker_id]) >= self.min_distinct_cells
+        if self._deaths[worker_id] >= self.max_deaths and diverse:
+            self._quarantined.add(worker_id)
+            return True
+        return False
+
+    def is_quarantined(self, worker_id: str) -> bool:
+        return worker_id in self._quarantined
+
+    def deaths(self, worker_id: str) -> int:
+        return self._deaths.get(worker_id, 0)
+
+    @property
+    def quarantined(self) -> List[str]:
+        return sorted(self._quarantined)
+
+    def to_json(self) -> dict:
+        return {
+            "quarantined": self.quarantined,
+            "deaths": dict(sorted(self._deaths.items())),
+        }

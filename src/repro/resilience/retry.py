@@ -1,0 +1,162 @@
+"""Retry with exponential backoff, deterministic jitter and a deadline.
+
+The one retry policy every client-side seam shares (`ServeClient`, the
+socket worker's ``--connect`` loop, the batcher's fabric backend), so
+backoff behaviour is uniform and — crucially for the test suite and the
+chaos soak — **reproducible**: the jitter is not drawn from a global
+RNG but derived from ``(seed, key, attempt)`` with a hash, so the exact
+backoff schedule of any retry loop is a pure function of its inputs.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import time
+from dataclasses import dataclass
+from typing import Callable, Optional, Tuple, Type
+
+from repro.common.errors import ConfigurationError, ReproError
+
+
+class RetryBudgetExhausted(ReproError):
+    """A retry loop ran out of attempts or deadline.
+
+    Carries the number of attempts made, the elapsed wall time and the
+    last underlying error (also chained as ``__cause__``).
+    """
+
+    def __init__(self, message: str, *, attempts: int, elapsed: float,
+                 last_error: Optional[BaseException] = None) -> None:
+        super().__init__(message)
+        self.attempts = attempts
+        self.elapsed = elapsed
+        self.last_error = last_error
+
+
+def _hash_fraction(seed: int, key: str, attempt: int) -> float:
+    """Deterministic uniform-ish fraction in ``[0, 1)``."""
+    digest = hashlib.blake2b(
+        f"{seed}:{key}:{attempt}".encode("utf-8"), digest_size=8).digest()
+    return int.from_bytes(digest, "big") / 2.0 ** 64
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Exponential backoff with deterministic jitter and a deadline budget.
+
+    Parameters
+    ----------
+    max_attempts:
+        Total tries (the first call counts as attempt 0); at most
+        ``max_attempts - 1`` retries happen.
+    base_delay / multiplier / max_delay:
+        The backoff curve: the delay before retry ``n`` (0-based) is
+        ``min(base_delay * multiplier**n, max_delay)``, scaled by jitter.
+    jitter:
+        Fraction of each delay that is jittered away: the effective
+        delay is ``delay * (1 - jitter * f)`` where ``f`` ∈ [0, 1) is a
+        **deterministic** hash of ``(seed, key, attempt)`` — no global
+        RNG, so two runs with the same policy and key back off on the
+        byte-same schedule.
+    deadline:
+        Total wall-clock budget in seconds across all attempts and
+        sleeps; ``None`` means attempts alone bound the loop.
+    seed:
+        Jitter seed (part of the hash, not a RNG state).
+    """
+
+    max_attempts: int = 5
+    base_delay: float = 0.1
+    multiplier: float = 2.0
+    max_delay: float = 5.0
+    jitter: float = 0.5
+    deadline: Optional[float] = None
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ConfigurationError(
+                f"max_attempts must be >= 1, got {self.max_attempts}")
+        if self.base_delay < 0 or self.max_delay < 0:
+            raise ConfigurationError("delays must be >= 0")
+        if self.multiplier < 1.0:
+            raise ConfigurationError(
+                f"multiplier must be >= 1, got {self.multiplier}")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ConfigurationError(
+                f"jitter must be in [0, 1], got {self.jitter}")
+        if self.deadline is not None and self.deadline <= 0:
+            raise ConfigurationError(
+                f"deadline must be positive, got {self.deadline}")
+
+    # -- schedule ----------------------------------------------------------
+    def delay(self, attempt: int, *, key: str = "") -> float:
+        """Seconds to sleep before retry number ``attempt`` (0-based)."""
+        raw = min(self.base_delay * self.multiplier ** attempt, self.max_delay)
+        if self.jitter == 0.0:
+            return raw
+        return raw * (1.0 - self.jitter * _hash_fraction(self.seed, key, attempt))
+
+    def schedule(self, *, key: str = "") -> Tuple[float, ...]:
+        """The full deterministic backoff schedule for ``key``."""
+        return tuple(self.delay(n, key=key) for n in range(self.max_attempts - 1))
+
+
+def call_with_retry(
+    fn: Callable[[], object],
+    policy: RetryPolicy,
+    *,
+    retry_on: Tuple[Type[BaseException], ...] = (OSError,),
+    key: str = "",
+    describe: str = "operation",
+    retry_after: Optional[Callable[[BaseException], Optional[float]]] = None,
+    should_retry: Optional[Callable[[BaseException], bool]] = None,
+    sleep: Callable[[float], None] = time.sleep,
+    clock: Callable[[], float] = time.monotonic,
+    on_retry: Optional[Callable[[int, BaseException, float], None]] = None,
+) -> object:
+    """Run ``fn`` under ``policy``; return its result.
+
+    Only exceptions in ``retry_on`` are retried — anything else
+    propagates immediately (a deterministic failure retried N times is
+    just N failures).  ``should_retry(exc)`` may veto individual
+    instances (e.g. retry 5xx but not 4xx on a shared exception type).
+    ``retry_after(exc)`` may return a server-suggested delay (e.g. a
+    429's ``Retry-After``) which then replaces the backoff delay for
+    that retry, still clamped by the remaining deadline.  Exhausting
+    attempts or the deadline raises :class:`RetryBudgetExhausted`
+    chained to the last error.
+    """
+    started = clock()
+    attempt = 0
+    while True:
+        try:
+            return fn()
+        except retry_on as exc:
+            if should_retry is not None and not should_retry(exc):
+                raise
+            elapsed = clock() - started
+            if attempt >= policy.max_attempts - 1:
+                raise RetryBudgetExhausted(
+                    f"{describe} failed after {attempt + 1} attempts "
+                    f"({elapsed:.2f}s): {exc}",
+                    attempts=attempt + 1, elapsed=elapsed, last_error=exc,
+                ) from exc
+            pause = policy.delay(attempt, key=key)
+            if retry_after is not None:
+                suggested = retry_after(exc)
+                if suggested is not None:
+                    pause = max(0.0, float(suggested))
+            if policy.deadline is not None:
+                remaining = policy.deadline - elapsed
+                if remaining <= pause:
+                    raise RetryBudgetExhausted(
+                        f"{describe} exceeded its {policy.deadline}s retry "
+                        f"deadline after {attempt + 1} attempts: {exc}",
+                        attempts=attempt + 1, elapsed=elapsed, last_error=exc,
+                    ) from exc
+            if on_retry is not None:
+                on_retry(attempt, exc, pause)
+            if pause > 0:
+                sleep(pause)
+            attempt += 1

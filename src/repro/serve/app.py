@@ -118,6 +118,9 @@ class ServeConfig:
     max_body_bytes: int = 64 * 1024 * 1024
     #: Uploaded traces kept in memory (LRU beyond this).
     max_traces: int = 64
+    #: Deterministic fault injection, compact form ``"profile:seed"``
+    #: (e.g. ``"soak:2015"``); ``None`` also consults ``REPRO_CHAOS``.
+    chaos: Optional[str] = None
 
 
 # -- request plumbing --------------------------------------------------------
@@ -248,6 +251,9 @@ class Server:
     # -- lifecycle ---------------------------------------------------------
     async def start(self) -> None:
         config = self.config
+        from repro.chaos.plan import parse_chaos, plan_from_env
+
+        plan = parse_chaos(config.chaos) if config.chaos else plan_from_env()
         self.batcher = Batcher(
             cache=self.cache,
             batch_lanes=config.batch_lanes,
@@ -256,6 +262,7 @@ class Server:
             executor_threads=config.executor_threads,
             fabric_workers=config.fabric_workers,
             fabric_min_cells=config.fabric_min_cells,
+            chaos=plan,
         )
         await self.batcher.start()
         self._server = await asyncio.start_server(
@@ -391,6 +398,7 @@ class Server:
             "service_rate_cells_per_s": admission.service_rate,
             "traces_registered": len(self.traces),
             "streams_aborted": self.streams_aborted,
+            "breaker": self.batcher.breaker.to_json(),
         })
         return doc
 

@@ -41,6 +41,7 @@ from typing import Any, Dict, List, Optional, Tuple
 from repro.experiments.cache import ResultCache
 from repro.experiments.runner import execute_lane_block, intern_jobs, run_job
 from repro.experiments.spec import RunPoint
+from repro.resilience.circuit import CircuitBreaker
 from repro.serve.admission import AdmissionController, Saturated
 
 __all__ = ["Batcher", "BatcherStats", "Saturated", "execute_block"]
@@ -104,6 +105,9 @@ class BatcherStats:
     rejected: int = 0
     blocks: int = 0
     errors: int = 0
+    fabric_blocks: int = 0
+    fabric_failures: int = 0
+    fabric_fallbacks: int = 0
     started_at: float = field(default_factory=time.time)
 
     def to_json(self) -> Dict[str, Any]:
@@ -116,6 +120,9 @@ class BatcherStats:
             "rejected": self.rejected,
             "blocks": self.blocks,
             "errors": self.errors,
+            "fabric_blocks": self.fabric_blocks,
+            "fabric_failures": self.fabric_failures,
+            "fabric_fallbacks": self.fabric_fallbacks,
             "uptime_s": round(time.time() - self.started_at, 3),
         }
 
@@ -156,6 +163,17 @@ class Batcher:
         With ``fabric_workers`` > 0, blocks of at least
         ``fabric_min_cells`` cells run on the distributed sweep fabric
         (worker processes spawned per block) instead of in-process.
+        The fabric path sits behind a
+        :class:`~repro.resilience.circuit.CircuitBreaker`: consecutive
+        fabric failures trip it open and blocks run on the local
+        executor until a cooled-down probe succeeds — and a block whose
+        fabric attempt fails is re-run locally *right away*, so a
+        broken fabric degrades throughput, never correctness.
+    chaos:
+        Optional :class:`~repro.chaos.hooks.ServeChaos` (or a
+        :class:`~repro.chaos.plan.FaultPlan` to wrap in one):
+        deterministic injected engine failures per admitted request,
+        for soak tests of the failure path.
     """
 
     def __init__(
@@ -169,6 +187,8 @@ class Batcher:
         fabric_workers: int = 0,
         fabric_min_cells: Optional[int] = None,
         memo_entries: int = 4096,
+        breaker: Optional[CircuitBreaker] = None,
+        chaos: Optional[Any] = None,
     ) -> None:
         if batch_lanes < 1:
             raise ValueError(f"batch_lanes must be >= 1, got {batch_lanes}")
@@ -177,6 +197,12 @@ class Batcher:
         self.batch_window = batch_window
         self.admission = AdmissionController(max_pending)
         self.stats = BatcherStats()
+        self.breaker = breaker or CircuitBreaker(failure_threshold=3, cooldown=10.0)
+        if chaos is not None and not hasattr(chaos, "maybe_fail"):
+            from repro.chaos.hooks import ServeChaos
+
+            chaos = ServeChaos(chaos)
+        self.chaos = chaos
         self.fabric_workers = fabric_workers
         if fabric_min_cells is None:
             fabric_min_cells = max(2, 2 * fabric_workers)
@@ -255,6 +281,14 @@ class Batcher:
         loop = asyncio.get_running_loop()
         self.stats.requests += 1
         self.stats.cells += len(points)
+        if self.chaos is not None:
+            # Injected *before* admission so a failed request holds no
+            # queue slots; it surfaces exactly like an engine bug (500).
+            try:
+                self.chaos.maybe_fail()
+            except Exception:
+                self.stats.errors += 1
+                raise
 
         resolved: List[Tuple[RunPoint, Optional[str], Optional[Dict[str, Any]]]] = []
         fresh = 0
@@ -323,14 +357,29 @@ class Batcher:
         loop = asyncio.get_running_loop()
         indexed = list(enumerate(pending.point for pending in block))
         started = time.monotonic()
+        use_fabric = (self.fabric_workers > 0
+                      and len(block) >= self.fabric_min_cells)
         try:
-            if self.fabric_workers > 0 and len(block) >= self.fabric_min_cells:
+            pairs = None
+            if use_fabric and self.breaker.allow():
                 cache_dir = str(self.cache.root) if self.cache is not None else None
-                pairs = await loop.run_in_executor(
-                    self._executor, lambda: execute_block_fabric(
-                        indexed, workers=self.fabric_workers,
-                        batch_lanes=self.batch_lanes, cache_dir=cache_dir))
-            else:
+                try:
+                    pairs = await loop.run_in_executor(
+                        self._executor, lambda: execute_block_fabric(
+                            indexed, workers=self.fabric_workers,
+                            batch_lanes=self.batch_lanes, cache_dir=cache_dir))
+                    self.breaker.record_success()
+                    self.stats.fabric_blocks += 1
+                except Exception:
+                    # The fabric is the *optimisation*; the local
+                    # executor is the truth.  Fail the breaker, run the
+                    # same block locally, and only a local failure can
+                    # fail the requests.
+                    self.breaker.record_failure()
+                    self.stats.fabric_failures += 1
+            elif use_fabric:
+                self.stats.fabric_fallbacks += 1  # breaker open: skip straight to local
+            if pairs is None:
                 pairs = await loop.run_in_executor(
                     self._executor, execute_block, indexed)
         except Exception as exc:

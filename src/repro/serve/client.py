@@ -15,12 +15,24 @@ from __future__ import annotations
 
 import http.client
 import json
-from typing import Any, Dict, Iterator, List, Optional
+import time
+from typing import Any, Callable, Dict, Iterator, List, Optional
 
+from repro.resilience.retry import (
+    RetryBudgetExhausted,
+    RetryPolicy,
+    call_with_retry,
+)
 from repro.trace.serialization import trace_to_json
 from repro.trace.trace import Trace
 
-__all__ = ["ServeClient", "ServeError", "ServeSaturated"]
+__all__ = ["ServeClient", "ServeError", "ServeSaturated", "CLIENT_RETRY_POLICY"]
+
+#: Default client-side policy: the same shared
+#: :class:`~repro.resilience.retry.RetryPolicy` the socket workers use
+#: for reconnects — one backoff discipline across every client seam.
+CLIENT_RETRY_POLICY = RetryPolicy(
+    max_attempts=4, base_delay=0.05, max_delay=1.0, deadline=30.0)
 
 
 class ServeError(Exception):
@@ -40,12 +52,23 @@ class ServeSaturated(ServeError):
 
 
 class ServeClient:
-    """One keep-alive connection to a serving deployment."""
+    """One keep-alive connection to a serving deployment.
 
-    def __init__(self, host: str, port: int, *, timeout: float = 300.0) -> None:
+    Idempotent JSON requests (everything here is — the engine is
+    deterministic) are retried under ``retry``: transport errors and
+    5xx back off on the policy's deterministic-jitter schedule, while a
+    429 honours the server's measured ``Retry-After`` instead.  Pass
+    ``retry=None`` for strict single-shot behaviour.
+    """
+
+    def __init__(self, host: str, port: int, *, timeout: float = 300.0,
+                 retry: Optional[RetryPolicy] = CLIENT_RETRY_POLICY) -> None:
         self.host = host
         self.port = port
         self.timeout = timeout
+        self.retry = retry
+        self.retries = 0  # attempts beyond the first, across all calls
+        self._sleep: Callable[[float], None] = time.sleep
         self._conn: Optional[http.client.HTTPConnection] = None
 
     # -- plumbing ----------------------------------------------------------
@@ -82,12 +105,43 @@ class ServeClient:
             response = conn.getresponse()
         return response
 
-    def _json(self, method: str, path: str,
-              document: Optional[Dict[str, Any]] = None) -> Dict[str, Any]:
-        body = None if document is None else json.dumps(document).encode("utf-8")
+    def _json_once(self, method: str, path: str,
+                   body: Optional[bytes]) -> Dict[str, Any]:
         response = self._request(method, path, body)
         payload = response.read()
         return self._decode(response, payload)
+
+    def _json(self, method: str, path: str,
+              document: Optional[Dict[str, Any]] = None) -> Dict[str, Any]:
+        body = None if document is None else json.dumps(document).encode("utf-8")
+        if self.retry is None:
+            return self._json_once(method, path, body)
+        return self._with_retry(lambda: self._json_once(method, path, body),
+                                describe=f"{method} {path}")
+
+    def _with_retry(self, fn: Callable[[], Any], describe: str) -> Any:
+        def _count(attempt: int, exc: BaseException, pause: float) -> None:
+            self.retries += 1
+            self.close()  # a fresh connection for the next attempt
+
+        try:
+            return call_with_retry(
+                fn,
+                self.retry,
+                retry_on=(OSError, http.client.HTTPException, ServeError),
+                should_retry=lambda exc: not isinstance(exc, ServeError)
+                or isinstance(exc, ServeSaturated) or exc.status >= 500,
+                retry_after=lambda exc: exc.retry_after_s
+                if isinstance(exc, ServeSaturated) else None,
+                key=describe,
+                describe=describe,
+                sleep=self._sleep,
+                on_retry=_count,
+            )
+        except RetryBudgetExhausted as exhausted:
+            # Preserve the client's exception contract: callers catch
+            # ServeError/OSError, not the retry layer's budget error.
+            raise exhausted.last_error from exhausted
 
     @staticmethod
     def _decode(response: http.client.HTTPResponse, payload: bytes) -> Dict[str, Any]:
@@ -169,16 +223,25 @@ class ServeClient:
 
         This is the byte-identity surface: the returned bytes must equal
         the file a :class:`~repro.experiments.runner.SweepRunner` writes
-        for the same grid (trailing newlines included).
+        for the same grid (trailing newlines included).  The whole
+        request (including a stream cut short mid-body) retries under
+        the client policy — sweeps are deterministic, so a re-run can
+        only produce the same bytes.
         """
         fields["format"] = "jsonl"
         body = json.dumps(fields).encode("utf-8")
-        response = self._request("POST", "/v1/sweep", body)
-        if response.status != 200:
-            self._decode(response, response.read())  # raises
-        payload = response.read()
-        self.close()  # the server closes streamed connections
-        return payload
+
+        def _once() -> bytes:
+            response = self._request("POST", "/v1/sweep", body)
+            if response.status != 200:
+                self._decode(response, response.read())  # raises
+            payload = response.read()
+            self.close()  # the server closes streamed connections
+            return payload
+
+        if self.retry is None:
+            return _once()
+        return self._with_retry(_once, describe="POST /v1/sweep")
 
     def sweep_lines(self, **fields: Any) -> List[str]:
         """Run a sweep and return its JSONL lines (no trailing newline),

@@ -78,25 +78,48 @@ def build_requests(
 
 @dataclass
 class LoadReport:
-    """Aggregated outcome of one load run."""
+    """Aggregated outcome of one load run.
+
+    Retried requests are accounted **separately** from first-attempt
+    outcomes: ``latencies_s`` holds only requests that succeeded on
+    their first attempt (the server's intrinsic service latency), while
+    ``e2e_latencies_s`` holds every eventual success *including* 429
+    back-off-and-retry time (what a well-behaved client experienced).
+    Folding retries into one list would let saturation retries silently
+    inflate — or mask — the latency statistics.
+    """
 
     offered: int = 0
     ok: int = 0
     saturated: int = 0
     errors: int = 0
     cached: int = 0
+    #: Requests that needed at least one retry (whatever their final
+    #: status) — disjoint accounting, not a subtraction from ``ok``.
+    retried: int = 0
     wall_s: float = 0.0
+    #: First-attempt successes only (seconds).
     latencies_s: List[float] = field(default_factory=list)
+    #: Every eventual success, retries and back-off included (seconds).
+    e2e_latencies_s: List[float] = field(default_factory=list)
     retry_afters: List[float] = field(default_factory=list)
     error_messages: List[str] = field(default_factory=list)
 
-    def percentile(self, q: float) -> Optional[float]:
-        """Latency quantile in seconds (nearest-rank), or ``None``."""
-        if not self.latencies_s:
+    @staticmethod
+    def _rank(samples: List[float], q: float) -> Optional[float]:
+        if not samples:
             return None
-        ordered = sorted(self.latencies_s)
+        ordered = sorted(samples)
         rank = min(len(ordered) - 1, max(0, int(round(q * (len(ordered) - 1)))))
         return ordered[rank]
+
+    def percentile(self, q: float) -> Optional[float]:
+        """First-attempt latency quantile in seconds (nearest-rank)."""
+        return self._rank(self.latencies_s, q)
+
+    def e2e_percentile(self, q: float) -> Optional[float]:
+        """End-to-end latency quantile in seconds (nearest-rank)."""
+        return self._rank(self.e2e_latencies_s, q)
 
     @property
     def throughput_rps(self) -> float:
@@ -105,16 +128,21 @@ class LoadReport:
     def to_json(self) -> Dict[str, Any]:
         p50 = self.percentile(0.50)
         p99 = self.percentile(0.99)
+        e50 = self.e2e_percentile(0.50)
+        e99 = self.e2e_percentile(0.99)
         return {
             "offered": self.offered,
             "ok": self.ok,
             "saturated_429": self.saturated,
             "errors": self.errors,
             "cached": self.cached,
+            "retried": self.retried,
             "wall_s": round(self.wall_s, 4),
             "throughput_rps": round(self.throughput_rps, 2),
             "p50_latency_ms": None if p50 is None else round(p50 * 1e3, 3),
             "p99_latency_ms": None if p99 is None else round(p99 * 1e3, 3),
+            "p50_e2e_ms": None if e50 is None else round(e50 * 1e3, 3),
+            "p99_e2e_ms": None if e99 is None else round(e99 * 1e3, 3),
             "all_429s_carried_retry_after": (
                 len(self.retry_afters) == self.saturated
                 and all(value >= 1.0 for value in self.retry_afters)
@@ -141,29 +169,50 @@ def run_load(
     """
     report = LoadReport(offered=len(requests))
 
-    def one(client: ServeClient, body: Dict[str, Any]) -> Tuple[str, float, float, bool, str]:
+    # status, first-attempt latency, end-to-end latency, retry_after,
+    # cached, message, needed-a-retry
+    Outcome = Tuple[str, float, float, float, bool, str, bool]
+
+    def one(client: ServeClient, body: Dict[str, Any]) -> Outcome:
         started = time.monotonic()
+        first_latency = -1.0  # set when the first attempt resolves
         attempts = 0
         while True:
             try:
                 document = client.simulate(**body)
-                return ("ok", time.monotonic() - started, 0.0,
-                        bool(document.get("cached")), "")
+                now = time.monotonic()
+                if first_latency < 0:
+                    first_latency = now - started
+                return ("ok", first_latency, now - started, 0.0,
+                        bool(document.get("cached")), "", attempts > 0)
             except ServeSaturated as exc:
+                now = time.monotonic()
+                if first_latency < 0:
+                    first_latency = now - started
                 attempts += 1
                 if retry_on_429 and attempts <= max_retries:
                     time.sleep(min(exc.retry_after_s, 0.2))
                     continue
-                return ("saturated", time.monotonic() - started,
-                        exc.retry_after_s, False, str(exc))
+                return ("saturated", first_latency, now - started,
+                        exc.retry_after_s, False, str(exc), attempts > 1)
             except ServeError as exc:
-                return ("error", time.monotonic() - started, 0.0, False, str(exc))
+                now = time.monotonic()
+                if first_latency < 0:
+                    first_latency = now - started
+                return ("error", first_latency, now - started, 0.0, False,
+                        str(exc), attempts > 0)
             except OSError as exc:
-                return ("error", time.monotonic() - started, 0.0, False,
-                        f"{type(exc).__name__}: {exc}")
+                now = time.monotonic()
+                if first_latency < 0:
+                    first_latency = now - started
+                return ("error", first_latency, now - started, 0.0, False,
+                        f"{type(exc).__name__}: {exc}", attempts > 0)
 
-    def worker(chunk: Sequence[Dict[str, Any]]) -> List[Tuple[str, float, float, bool, str]]:
-        with ServeClient(host, port) as client:
+    def worker(chunk: Sequence[Dict[str, Any]]) -> List[Outcome]:
+        # retry=None: the generator's own 429 loop is the only retry
+        # mechanism, so first-attempt measurements stay uncontaminated
+        # by the client library's internal transport retries.
+        with ServeClient(host, port, retry=None) as client:
             return [one(client, body) for body in chunk]
 
     concurrency = max(1, min(concurrency, len(requests) or 1))
@@ -178,10 +227,14 @@ def run_load(
                     for item in chunk_result]
     report.wall_s = time.monotonic() - started
 
-    for status, latency, retry_after, cached, message in outcomes:
+    for status, first, e2e, retry_after, cached, message, was_retried in outcomes:
+        if was_retried:
+            report.retried += 1
         if status == "ok":
             report.ok += 1
-            report.latencies_s.append(latency)
+            report.e2e_latencies_s.append(e2e)
+            if not was_retried:
+                report.latencies_s.append(first)
             if cached:
                 report.cached += 1
         elif status == "saturated":

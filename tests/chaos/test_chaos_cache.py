@@ -1,0 +1,84 @@
+"""Tests of store-level fault injection and the store's self-healing."""
+
+from __future__ import annotations
+
+import time
+
+from repro.chaos.cache import ChaosResultCache
+from repro.chaos.plan import FaultPlan
+from repro.experiments.cache import ResultCache
+from repro.trace.serialization import canonical_json_line
+
+DOC = {"makespan_us": 123.0, "result": {"tasks": 4}}
+KEY = "deadbeef00"
+
+
+class TestTornTmp:
+    def test_torn_put_publishes_nothing_but_an_orphan(self, tmp_path):
+        plan = FaultPlan(0, "none", cache_torn_tmp_rate=1.0)
+        cache = ChaosResultCache(tmp_path, plan, "c")
+        cache.put(KEY, DOC)
+        assert cache.injected == {"torn-tmp": 1}
+        # No published entry; one half-written orphan temp file.
+        assert ResultCache(tmp_path).get(KEY) is None
+        orphans = list(tmp_path.glob("*/*.tmp"))
+        assert len(orphans) == 1
+        text = orphans[0].read_text()
+        assert text and text in canonical_json_line(DOC)
+        assert text != canonical_json_line(DOC)
+
+    def test_clean_put_after_torn_one_heals_the_entry(self, tmp_path):
+        plan = FaultPlan(0, "none", cache_torn_tmp_rate=1.0)
+        cache = ChaosResultCache(tmp_path, plan, "c")
+        cache.put(KEY, DOC)
+        ResultCache(tmp_path).put(KEY, DOC)  # the runner's re-put
+        assert ResultCache(tmp_path).get(KEY) == DOC
+
+
+class TestBitflip:
+    def test_bitflip_damages_the_published_bytes(self, tmp_path):
+        plan = FaultPlan(0, "none", cache_bitflip_rate=1.0)
+        cache = ChaosResultCache(tmp_path, plan, "c")
+        path = cache.put(KEY, DOC)
+        assert cache.injected == {"bitflip": 1}
+        assert path.exists()
+        assert path.read_text() != canonical_json_line(DOC)
+
+    def test_reader_never_sees_garbage(self, tmp_path):
+        """Whatever the flip produced, a plain reader gets either a
+        parsed document or a miss — never an exception, never bytes."""
+        for seed in range(8):
+            root = tmp_path / str(seed)
+            plan = FaultPlan(seed, "none", cache_bitflip_rate=1.0)
+            ChaosResultCache(root, plan, "c").put(KEY, DOC)
+            got = ResultCache(root).get(KEY)
+            assert got is None or isinstance(got, dict)
+
+
+class TestSlowRead:
+    def test_slow_read_stalls_then_returns_the_document(self, tmp_path):
+        plan = FaultPlan(0, "none", cache_slow_read_rate=1.0,
+                         cache_slow_read_s=0.05)
+        cache = ChaosResultCache(tmp_path, plan, "c")
+        ResultCache(tmp_path).put(KEY, DOC)
+        started = time.monotonic()
+        assert cache.get(KEY) == DOC
+        assert time.monotonic() - started >= 0.05
+        assert cache.injected == {"slow-read": 1}
+
+
+class TestDeterminism:
+    def test_op_counters_replay_the_same_fault_sequence(self, tmp_path):
+        plan = FaultPlan(5, "none", cache_bitflip_rate=0.4,
+                         cache_torn_tmp_rate=0.4)
+
+        def run_one(root):
+            cache = ChaosResultCache(root, plan, "store-a")
+            for n in range(30):
+                cache.put(f"{n:02d}key", {"n": n})
+            return dict(cache.injected)
+
+        first = run_one(tmp_path / "a")
+        second = run_one(tmp_path / "b")
+        assert first == second
+        assert sum(first.values()) > 0

@@ -1,0 +1,116 @@
+"""Socketpair tests of send-side wire fault injection."""
+
+from __future__ import annotations
+
+import socket
+
+import pytest
+
+from repro.chaos.plan import FaultPlan
+from repro.chaos.stream import ChaosFrameStream
+from repro.distributed.protocol import FrameStream, ProtocolError
+
+
+def pair(plan, scope="test"):
+    left, right = socket.socketpair()
+    return ChaosFrameStream(left, plan, scope), FrameStream(right)
+
+
+PING = {"type": "ping", "n": 1}
+
+
+class TestWireFaults:
+    def test_clean_plan_passes_frames_through(self):
+        sender, receiver = pair(FaultPlan(0, "none"))
+        sender.send(PING)
+        assert receiver.recv(timeout=5) == PING
+        assert sender.injected == {}
+        sender.close(), receiver.close()
+
+    def test_drop_loses_the_frame(self):
+        sender, receiver = pair(FaultPlan(0, "none", frame_drop_rate=1.0))
+        sender.send(PING)
+        assert sender.injected == {"drop": 1}
+        sender.close()  # EOF is the only thing the peer ever sees
+        assert receiver.recv(timeout=5) is None
+        receiver.close()
+
+    def test_duplicate_delivers_the_frame_twice(self):
+        sender, receiver = pair(FaultPlan(0, "none", frame_duplicate_rate=1.0))
+        sender.send(PING)
+        assert receiver.recv(timeout=5) == PING
+        assert receiver.recv(timeout=5) == PING
+        assert sender.injected == {"duplicate": 1}
+        sender.close(), receiver.close()
+
+    def test_corrupt_surfaces_as_protocol_error(self):
+        sender, receiver = pair(FaultPlan(0, "none", frame_corrupt_rate=1.0))
+        sender.send(PING)
+        with pytest.raises(ProtocolError):
+            receiver.recv(timeout=5)
+        assert sender.injected == {"corrupt": 1}
+        sender.close(), receiver.close()
+
+    def test_delay_still_delivers(self):
+        plan = FaultPlan(0, "none", frame_delay_rate=1.0, frame_delay_s=0.01)
+        sender, receiver = pair(plan)
+        sender.send(PING)
+        assert receiver.recv(timeout=5) == PING
+        assert sender.injected == {"delay": 1}
+        sender.close(), receiver.close()
+
+    def test_truncate_is_a_mid_frame_eof_for_the_peer(self):
+        sender, receiver = pair(FaultPlan(0, "none", frame_truncate_rate=1.0))
+        with pytest.raises(ConnectionResetError):
+            sender.send(PING)
+        with pytest.raises(ProtocolError, match="mid-frame"):
+            receiver.recv(timeout=5)
+        assert sender.injected == {"truncate": 1}
+        receiver.close()
+
+    def test_reset_severs_the_connection(self):
+        plan = FaultPlan(0, "none", reset_after_frames=2, reset_rate=1.0)
+        sender, receiver = pair(plan)
+        sender.send(PING)
+        sender.send(PING)
+        with pytest.raises(ConnectionResetError):
+            sender.send(PING)  # frame index 2 >= reset_after_frames
+        assert receiver.recv(timeout=5) == PING
+        assert receiver.recv(timeout=5) == PING
+        assert receiver.recv(timeout=5) is None  # then clean EOF
+        assert sender.injected == {"reset": 1}
+        receiver.close()
+
+    def test_fault_sequence_is_deterministic_per_stream(self):
+        plan = FaultPlan(11, "none", frame_drop_rate=0.3,
+                         frame_duplicate_rate=0.3)
+
+        def run_one():
+            sender, receiver = pair(plan, scope="det")
+            for n in range(50):
+                sender.send({"type": "ping", "n": n})
+            counts = dict(sender.injected)
+            sender.close(), receiver.close()
+            return counts
+
+        first, second = run_one(), run_one()
+        assert first == second
+        assert first.get("drop", 0) > 0 and first.get("duplicate", 0) > 0
+
+
+class TestAdopt:
+    def test_adopt_preserves_buffered_frames_and_identity(self):
+        left, right = socket.socketpair()
+        plain_sender = FrameStream(left)
+        plain_receiver = FrameStream(right)
+        plain_sender.send({"type": "a"})
+        plain_sender.send({"type": "b"})
+        assert plain_receiver.recv(timeout=5) == {"type": "a"}
+        # Frame "b" now sits (at least partly) in the receive buffer.
+        chaotic = ChaosFrameStream.adopt(plain_receiver, FaultPlan(0, "none"),
+                                         "adopted")
+        assert chaotic.recv(timeout=5) == {"type": "b"}
+        assert chaotic.peer == plain_receiver.peer
+        assert chaotic.scope == "adopted"
+        assert chaotic._send_lock is plain_receiver._send_lock
+        chaotic.close(), plain_sender.close()

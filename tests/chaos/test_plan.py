@@ -1,0 +1,148 @@
+"""Unit tests for the deterministic fault plan."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.chaos.plan import (
+    CHAOS_ENV,
+    FRAME_FAULTS,
+    FaultPlan,
+    FaultProfile,
+    PROFILES,
+    parse_chaos,
+    plan_from_env,
+)
+
+
+def sequences(plan, n=400):
+    """Every decision the plan makes over the first ``n`` events."""
+    return {
+        "frame": [plan.decide_frame("s", i) for i in range(n)],
+        "cache": [plan.decide_cache("c", i, "put") for i in range(n)],
+        "cell": [plan.decide_cell("w", i) for i in range(n)],
+        "serve": [plan.decide_serve(i) for i in range(n)],
+    }
+
+
+class TestFaultProfile:
+    def test_rates_are_validated(self):
+        with pytest.raises(ConfigurationError):
+            FaultProfile(frame_drop_rate=1.5)
+        with pytest.raises(ConfigurationError):
+            FaultProfile(straggle_s=-1.0)
+
+    def test_named_profiles_are_valid(self):
+        assert {"none", "soak", "wire", "store", "workers", "serve"} <= \
+            set(PROFILES)
+
+    def test_unknown_profile_is_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown chaos profile"):
+            FaultPlan(0, "tsunami")
+
+
+class TestDeterminism:
+    def test_same_seed_reproduces_the_same_fault_sequence_twice(self):
+        """The chaos-soak acceptance gate: rebuilding the plan from the
+        same ``(seed, profile)`` pair replays the byte-same schedule."""
+        first = sequences(FaultPlan(2015, "soak"))
+        second = sequences(FaultPlan(2015, "soak"))
+        assert first == second
+        assert first != sequences(FaultPlan(2016, "soak"))
+
+    def test_scopes_draw_independent_streams(self):
+        plan = FaultPlan(3, "wire")
+        a = [plan.decide_frame("worker:a:e0", i) for i in range(300)]
+        b = [plan.decide_frame("worker:b:e0", i) for i in range(300)]
+        assert a != b
+        # Re-asking for scope a after touching scope b changes nothing.
+        assert a == [plan.decide_frame("worker:a:e0", i) for i in range(300)]
+
+    def test_epoch_changes_the_stream(self):
+        plan = FaultPlan(3, "wire")
+        e0 = [plan.decide_frame("worker:a:e0", i) for i in range(300)]
+        e1 = [plan.decide_frame("worker:a:e1", i) for i in range(300)]
+        assert e0 != e1
+
+    def test_none_profile_never_fires(self):
+        plan = FaultPlan(123, "none")
+        seq = sequences(plan)
+        assert all(v is None for v in seq["frame"])
+        assert all(v is None for v in seq["cache"])
+        assert all(v is None for v in seq["cell"])
+        assert not any(seq["serve"])
+
+
+class TestDecisions:
+    def test_frame_fault_order_is_fixed_first_match_wins(self):
+        plan = FaultPlan(0, "none", frame_drop_rate=1.0,
+                         frame_corrupt_rate=1.0)
+        assert plan.decide_frame("s", 0) == "drop"
+        assert FRAME_FAULTS[0] == "drop"
+
+    def test_reset_fires_only_past_the_frame_threshold(self):
+        plan = FaultPlan(0, "none", reset_after_frames=5, reset_rate=1.0)
+        assert [plan.decide_frame("s", i) for i in range(5)] == [None] * 5
+        assert plan.decide_frame("s", 5) == "reset"
+        assert plan.decide_frame("s", 6) == "reset"
+
+    def test_crash_fires_at_the_exact_cell_when_eligible(self):
+        plan = FaultPlan(0, "none", crash_after_cells=3, crash_rate=1.0)
+        assert [plan.decide_cell("w", i) for i in range(6)] == \
+            [None, None, None, "crash", None, None]
+
+    def test_ineligible_scope_never_crashes(self):
+        plan = FaultPlan(0, "none", crash_after_cells=3, crash_rate=0.0)
+        assert all(plan.decide_cell("w", i) is None for i in range(10))
+
+    def test_cache_ops_draw_separate_faults(self):
+        plan = FaultPlan(0, "none", cache_slow_read_rate=1.0)
+        assert plan.decide_cache("c", 0, "get") == "slow-read"
+        assert plan.decide_cache("c", 0, "put") is None
+
+
+class TestTransport:
+    def test_named_profile_roundtrip(self):
+        plan = FaultPlan(2015, "soak")
+        clone = FaultPlan.from_doc(plan.to_doc())
+        assert sequences(clone) == sequences(plan)
+
+    def test_custom_profile_roundtrip_ships_full_rates(self):
+        plan = FaultPlan(9, "none", frame_drop_rate=0.25, straggle_rate=0.5)
+        doc = plan.to_doc()
+        assert doc["profile"] == "custom" and "rates" in doc
+        clone = FaultPlan.from_doc(doc)
+        assert clone.profile.frame_drop_rate == 0.25
+        assert sequences(clone) == sequences(plan)
+
+
+class TestParsing:
+    def test_profile_seed_form(self):
+        plan = parse_chaos("wire:77")
+        assert plan.seed == 77 and plan.profile_name == "wire"
+
+    def test_bare_seed_uses_soak(self):
+        plan = parse_chaos("2015")
+        assert plan.seed == 2015 and plan.profile_name == "soak"
+
+    def test_bare_profile_uses_seed_zero(self):
+        plan = parse_chaos("store")
+        assert plan.seed == 0 and plan.profile_name == "store"
+
+    @pytest.mark.parametrize("value", [None, "", "  ", "none", "off", "0"])
+    def test_disabled_forms(self, value):
+        assert parse_chaos(value) is None
+
+    def test_existing_plan_passes_through(self):
+        plan = FaultPlan(1, "soak")
+        assert parse_chaos(plan) is plan
+
+    def test_bad_seed_is_rejected(self):
+        with pytest.raises(ConfigurationError, match="profile:seed"):
+            parse_chaos("soak:lots")
+
+    def test_env_knob(self):
+        assert plan_from_env({}) is None
+        plan = plan_from_env({CHAOS_ENV: "soak:42"})
+        assert plan.seed == 42 and plan.profile_name == "soak"

@@ -11,6 +11,7 @@ import pytest
 from repro.distributed.protocol import (
     MAX_FRAME_BYTES,
     FrameStream,
+    FrameTooLarge,
     ProtocolError,
     decode_payload,
     encode_payload,
@@ -136,3 +137,48 @@ class TestPayloads:
         points = list(spec.points())
         back = decode_payload(encode_payload(points))
         assert [p.describe() for p in back] == [p.describe() for p in points]
+
+
+class TestFrameTooLarge:
+    def test_error_names_length_limit_and_peer(self):
+        # A TCP pair, not a socketpair: only a named peer exercises the
+        # "from <peer>" clause of the message.
+        server = socket.socket()
+        server.bind(("127.0.0.1", 0))
+        server.listen(1)
+        client = socket.create_connection(server.getsockname())
+        accepted, _ = server.accept()
+        right = FrameStream(accepted)
+        assert right.peer is not None
+        client.sendall(struct.pack(">I", MAX_FRAME_BYTES + 7))
+        with pytest.raises(FrameTooLarge) as info:
+            right.recv(timeout=5)
+        assert info.value.length == MAX_FRAME_BYTES + 7
+        assert info.value.limit == MAX_FRAME_BYTES
+        assert info.value.peer == right.peer
+        assert str(info.value.length) in str(info.value)
+        assert right.peer in str(info.value)
+        for sock in (client, accepted, server):
+            sock.close()
+
+    def test_rejection_does_not_poison_buffered_frames(self):
+        """A good frame already buffered *before* the oversized prefix
+        must still parse, and the rejection itself must be repeatable —
+        the bad prefix is never consumed."""
+        left, right = pair()
+        left.send({"type": "good", "n": 1})
+        left.sock.sendall(struct.pack(">I", MAX_FRAME_BYTES + 1))
+        assert right.recv(timeout=5) == {"type": "good", "n": 1}
+        for _ in range(3):
+            with pytest.raises(FrameTooLarge) as info:
+                right.recv(timeout=5)
+            assert info.value.length == MAX_FRAME_BYTES + 1
+        # The buffer still holds exactly the unconsumed 4-byte prefix.
+        assert bytes(right._buffer) == struct.pack(">I", MAX_FRAME_BYTES + 1)
+
+    def test_pack_frame_refuses_to_build_an_oversized_frame(self, monkeypatch):
+        monkeypatch.setattr("repro.distributed.protocol.MAX_FRAME_BYTES", 64)
+        with pytest.raises(FrameTooLarge) as info:
+            pack_frame({"type": "blob", "data": "x" * 128})
+        assert info.value.length > 64
+        assert info.value.peer is None

@@ -1,0 +1,88 @@
+"""Unit tests for the circuit breaker guarding the fabric backend."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.resilience.circuit import CLOSED, HALF_OPEN, OPEN, CircuitBreaker
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+
+def make(threshold=3, cooldown=10.0):
+    clock = FakeClock()
+    return CircuitBreaker(failure_threshold=threshold, cooldown=cooldown,
+                          clock=clock), clock
+
+
+class TestCircuitBreaker:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            CircuitBreaker(failure_threshold=0)
+        with pytest.raises(ConfigurationError):
+            CircuitBreaker(cooldown=0.0)
+
+    def test_opens_after_consecutive_failures(self):
+        breaker, _ = make(threshold=3)
+        assert breaker.state == CLOSED
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state == CLOSED and breaker.allow()
+        breaker.record_failure()
+        assert breaker.state == OPEN and not breaker.allow()
+        assert breaker.trips == 1
+
+    def test_success_resets_the_failure_streak(self):
+        breaker, _ = make(threshold=3)
+        breaker.record_failure()
+        breaker.record_failure()
+        breaker.record_success()
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state == CLOSED  # never three in a row
+
+    def test_half_open_allows_exactly_one_probe(self):
+        breaker, clock = make(threshold=1, cooldown=10.0)
+        breaker.record_failure()
+        assert not breaker.allow()
+        clock.now = 10.0
+        assert breaker.state == HALF_OPEN
+        assert breaker.allow()       # the single probe
+        assert not breaker.allow()   # everyone else keeps waiting
+        assert not breaker.allow()
+
+    def test_probe_success_closes(self):
+        breaker, clock = make(threshold=1, cooldown=10.0)
+        breaker.record_failure()
+        clock.now = 10.0
+        assert breaker.allow()
+        breaker.record_success()
+        assert breaker.state == CLOSED
+        assert breaker.allow()
+
+    def test_probe_failure_reopens_for_another_cooldown(self):
+        breaker, clock = make(threshold=1, cooldown=10.0)
+        breaker.record_failure()
+        clock.now = 10.0
+        assert breaker.allow()
+        breaker.record_failure()
+        assert breaker.state == OPEN and breaker.trips == 2
+        clock.now = 19.9
+        assert not breaker.allow()
+        clock.now = 20.0
+        assert breaker.allow()  # the next probe window
+
+    def test_to_json(self):
+        breaker, _ = make(threshold=1)
+        breaker.record_success()
+        breaker.record_failure()
+        doc = breaker.to_json()
+        assert doc == {"state": "open", "trips": 1,
+                       "failures": 1, "successes": 1}

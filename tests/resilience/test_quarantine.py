@@ -1,0 +1,57 @@
+"""Unit tests for the worker quarantine's diversity rule."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.resilience.quarantine import WorkerQuarantine
+
+
+class TestQuarantine:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            WorkerQuarantine(max_deaths=0)
+        with pytest.raises(ConfigurationError):
+            WorkerQuarantine(min_distinct_cells=0)
+
+    def test_diverse_deaths_trip_the_quarantine(self):
+        quarantine = WorkerQuarantine(max_deaths=3, min_distinct_cells=2)
+        assert not quarantine.record_death("w", [1])
+        assert not quarantine.record_death("w", [2])
+        assert quarantine.record_death("w", [3])  # 3 deaths, 3 distinct cells
+        assert quarantine.is_quarantined("w")
+        assert quarantine.quarantined == ["w"]
+        # Only the tipping death returns True.
+        assert not quarantine.record_death("w", [4])
+
+    def test_same_cell_deaths_never_trip(self):
+        """A poisoned cell is the frontier's problem (per-cell attempt
+        budget), not the worker's: identical-cell deaths don't count as
+        worker badness no matter how many pile up."""
+        quarantine = WorkerQuarantine(max_deaths=3, min_distinct_cells=2)
+        for _ in range(10):
+            assert not quarantine.record_death("w", [7])
+        assert not quarantine.is_quarantined("w")
+        assert quarantine.deaths("w") == 10
+
+    def test_idle_deaths_count_once_diversity_is_met(self):
+        quarantine = WorkerQuarantine(max_deaths=3, min_distinct_cells=2)
+        assert not quarantine.record_death("w", [1, 2])
+        assert not quarantine.record_death("w", [])  # died idle
+        assert quarantine.record_death("w", [])
+        assert quarantine.is_quarantined("w")
+
+    def test_identities_are_independent(self):
+        quarantine = WorkerQuarantine(max_deaths=1, min_distinct_cells=1)
+        assert quarantine.record_death("a", [1])
+        assert not quarantine.is_quarantined("b")
+        assert quarantine.deaths("b") == 0
+
+    def test_to_json(self):
+        quarantine = WorkerQuarantine(max_deaths=1, min_distinct_cells=1)
+        quarantine.record_death("b", [1])
+        quarantine.record_death("a", [])
+        doc = quarantine.to_json()
+        assert doc["quarantined"] == ["b"]
+        assert doc["deaths"] == {"a": 1, "b": 1}

@@ -1,0 +1,176 @@
+"""Unit tests for the shared retry policy.
+
+The deterministic-jitter contract is load-bearing: `ServeClient`, the
+socket worker's reconnect loop and the batcher's fabric fallback all
+back off on schedules that are pure functions of ``(policy, key)``, so
+these tests pin exact schedules — a change that shifts them is a
+behaviour change for every client seam at once.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.resilience.retry import (
+    RetryBudgetExhausted,
+    RetryPolicy,
+    call_with_retry,
+)
+
+
+class TestRetryPolicy:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ConfigurationError):
+            RetryPolicy(base_delay=-0.1)
+        with pytest.raises(ConfigurationError):
+            RetryPolicy(multiplier=0.5)
+        with pytest.raises(ConfigurationError):
+            RetryPolicy(jitter=1.5)
+        with pytest.raises(ConfigurationError):
+            RetryPolicy(deadline=0.0)
+
+    def test_zero_jitter_is_pure_exponential(self):
+        policy = RetryPolicy(max_attempts=5, base_delay=0.1, multiplier=2.0,
+                             max_delay=0.5, jitter=0.0)
+        assert policy.schedule() == (0.1, 0.2, 0.4, 0.5)
+
+    def test_jitter_is_deterministic_per_key(self):
+        policy = RetryPolicy(max_attempts=4, base_delay=0.1, jitter=0.5, seed=7)
+        assert policy.schedule(key="worker-3") == policy.schedule(key="worker-3")
+        assert policy.schedule(key="worker-3") != policy.schedule(key="worker-4")
+
+    def test_pinned_schedules(self):
+        """The exact backoff schedules of the shared policies.
+
+        Pinned on purpose: the chaos soak and the reconnect tests rely
+        on runs being reproducible down to the sleep pattern.
+        """
+        policy = RetryPolicy(max_attempts=4, base_delay=0.1, multiplier=2.0,
+                             max_delay=5.0, jitter=0.5, seed=7)
+        assert policy.schedule(key="worker-3") == pytest.approx(
+            (0.081407781538, 0.121258153075, 0.292968181911))
+        assert policy.schedule(key="worker-4") == pytest.approx(
+            (0.052666198264, 0.112725103016, 0.396360390094))
+
+    def test_pinned_worker_connect_schedule(self):
+        from repro.distributed.worker import CONNECT_POLICY
+
+        assert CONNECT_POLICY.schedule(key="connect:w0") == pytest.approx(
+            (0.129853661798, 0.240724158103, 0.710356916206, 1.243929116217))
+
+    def test_pinned_serve_client_schedule(self):
+        """The serving client shares the same RetryPolicy machinery as
+        the socket workers — one backoff discipline, pinned here."""
+        from repro.serve.client import CLIENT_RETRY_POLICY
+
+        assert isinstance(CLIENT_RETRY_POLICY, RetryPolicy)
+        assert CLIENT_RETRY_POLICY.schedule(key="POST /v1/simulate") == \
+            pytest.approx(
+                (0.045185991701, 0.083052157461, 0.192101032236))
+
+    def test_jitter_bounds(self):
+        policy = RetryPolicy(max_attempts=6, base_delay=0.1, max_delay=1.0,
+                             jitter=0.5, seed=3)
+        for attempt in range(5):
+            raw = min(0.1 * 2.0 ** attempt, 1.0)
+            delay = policy.delay(attempt, key="k")
+            assert raw * 0.5 < delay <= raw
+
+
+class TestCallWithRetry:
+    def run(self, fn, policy, **kwargs):
+        sleeps = []
+        kwargs.setdefault("sleep", sleeps.append)
+        kwargs.setdefault("clock", lambda: 0.0)
+        result = call_with_retry(fn, policy, **kwargs)
+        return result, sleeps
+
+    def test_success_needs_no_sleep(self):
+        result, sleeps = self.run(lambda: 42, RetryPolicy())
+        assert result == 42 and sleeps == []
+
+    def test_retries_follow_the_pinned_schedule(self):
+        policy = RetryPolicy(max_attempts=4, base_delay=0.1, jitter=0.5, seed=7)
+        failures = [OSError("boom"), OSError("boom")]
+
+        def flaky():
+            if failures:
+                raise failures.pop(0)
+            return "ok"
+
+        result, sleeps = self.run(flaky, policy, key="worker-3")
+        assert result == "ok"
+        assert sleeps == pytest.approx([0.081407781538, 0.121258153075])
+
+    def test_unlisted_exception_propagates_immediately(self):
+        def bad():
+            raise ValueError("deterministic bug")
+
+        with pytest.raises(ValueError):
+            self.run(bad, RetryPolicy(), retry_on=(OSError,))
+
+    def test_should_retry_vetoes_individual_instances(self):
+        def bad():
+            raise OSError(22, "invalid argument")
+
+        with pytest.raises(OSError):
+            self.run(bad, RetryPolicy(),
+                     should_retry=lambda exc: exc.errno != 22)
+
+    def test_retry_after_overrides_the_backoff_delay(self):
+        policy = RetryPolicy(max_attempts=3, base_delay=10.0, jitter=0.0)
+        failures = [OSError("429-ish")]
+
+        def flaky():
+            if failures:
+                raise failures.pop(0)
+            return "ok"
+
+        result, sleeps = self.run(flaky, policy,
+                                  retry_after=lambda exc: 0.25)
+        assert result == "ok" and sleeps == [0.25]
+
+    def test_budget_exhaustion_carries_the_last_error(self):
+        policy = RetryPolicy(max_attempts=3, base_delay=0.0, jitter=0.0)
+
+        def always():
+            raise OSError("still down")
+
+        with pytest.raises(RetryBudgetExhausted) as err:
+            self.run(always, policy)
+        assert err.value.attempts == 3
+        assert isinstance(err.value.last_error, OSError)
+        assert isinstance(err.value.__cause__, OSError)
+
+    def test_deadline_bounds_the_loop(self):
+        # A fake clock that advances 2 s per call: the 3 s deadline is
+        # spent before the attempt budget is.
+        ticks = iter(range(0, 1000, 2))
+        policy = RetryPolicy(max_attempts=50, base_delay=0.5, jitter=0.0,
+                             deadline=3.0)
+
+        def always():
+            raise OSError("still down")
+
+        with pytest.raises(RetryBudgetExhausted) as err:
+            call_with_retry(always, policy, sleep=lambda s: None,
+                            clock=lambda: float(next(ticks)))
+        assert err.value.attempts < 50
+        assert "deadline" in str(err.value)
+
+    def test_on_retry_sees_attempt_error_and_pause(self):
+        policy = RetryPolicy(max_attempts=3, base_delay=0.1, jitter=0.0)
+        seen = []
+        failures = [OSError("a"), OSError("b")]
+
+        def flaky():
+            if failures:
+                raise failures.pop(0)
+            return "ok"
+
+        self.run(flaky, policy,
+                 on_retry=lambda n, exc, pause: seen.append((n, str(exc), pause)))
+        assert seen == [(0, "a", 0.1), (1, "b", 0.2)]

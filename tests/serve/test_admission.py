@@ -1,0 +1,127 @@
+"""Unit tests of the bounded-queue admission controller.
+
+Exercises the EWMA Retry-After estimate under pathological service
+times — zero-duration bursts, monotonically-degrading service, and both
+clamp boundaries — alongside the all-or-nothing admission contract.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.serve.admission import AdmissionController, Saturated
+
+
+class FakeClock:
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+
+def controller(max_pending=10):
+    return AdmissionController(max_pending, clock=FakeClock())
+
+
+class TestAdmission:
+    def test_max_pending_is_validated(self):
+        with pytest.raises(ValueError):
+            AdmissionController(0)
+
+    def test_negative_cells_rejected(self):
+        with pytest.raises(ValueError):
+            controller().try_acquire(-1)
+
+    def test_admission_is_all_or_nothing(self):
+        ctl = controller(max_pending=10)
+        ctl.try_acquire(8)
+        with pytest.raises(Saturated):
+            ctl.try_acquire(3)  # 8 + 3 > 10: none of the 3 admitted
+        assert ctl.pending == 8
+        ctl.try_acquire(2)  # but exactly-fits still fits
+        assert ctl.pending == 10
+
+    def test_rejections_are_counted(self):
+        ctl = controller(max_pending=1)
+        ctl.try_acquire(1)
+        for _ in range(3):
+            with pytest.raises(Saturated):
+                ctl.try_acquire(1)
+        assert ctl.rejected == 3
+
+    def test_saturated_carries_the_queue_state(self):
+        ctl = controller(max_pending=5)
+        ctl.try_acquire(5)
+        with pytest.raises(Saturated) as info:
+            ctl.try_acquire(2)
+        assert info.value.pending == 5
+        assert info.value.max_pending == 5
+        assert info.value.retry_after == ctl.MIN_RETRY_AFTER
+
+    def test_release_never_goes_negative(self):
+        ctl = controller()
+        ctl.release(50)
+        assert ctl.pending == 0
+
+
+class TestEwmaRetryAfter:
+    def test_no_observations_fall_back_to_the_floor(self):
+        assert controller().retry_after(1) == AdmissionController.MIN_RETRY_AFTER
+
+    def test_first_observation_seeds_the_rate(self):
+        ctl = controller()
+        ctl.try_acquire(10)
+        ctl.release(10, elapsed=2.0)  # 5 cells/s
+        assert ctl.service_rate == pytest.approx(5.0)
+
+    def test_ewma_blends_seven_to_three(self):
+        ctl = controller()
+        ctl.release(10, elapsed=2.0)   # seed: 5 cells/s
+        ctl.release(10, elapsed=10.0)  # observe 1 cell/s
+        assert ctl.service_rate == pytest.approx(0.7 * 5.0 + 0.3 * 1.0)
+
+    def test_zero_duration_bursts_are_ignored(self):
+        """A block that finishes between clock ticks must not divide by
+        zero or poison the rate with infinity."""
+        ctl = controller()
+        ctl.release(10, elapsed=2.0)
+        for _ in range(5):
+            ctl.release(4, elapsed=0.0)
+        ctl.release(3, elapsed=None)
+        ctl.release(0, elapsed=1.0)  # zero cells is equally uninformative
+        assert ctl.service_rate == pytest.approx(5.0)
+        assert ctl.retry_after(1) == AdmissionController.MIN_RETRY_AFTER
+
+    def test_monotone_increasing_service_times_raise_the_estimate(self):
+        """A server degrading run over run (each block slower than the
+        last) must push Retry-After monotonically up."""
+        ctl = controller(max_pending=10)
+        ctl.try_acquire(10)
+        estimates = []
+        for elapsed in (1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0):
+            ctl.release(10, elapsed=elapsed)
+            ctl.try_acquire(10)
+            estimates.append(ctl.retry_after(10))
+        assert estimates == sorted(estimates)
+        assert estimates[0] < estimates[-1]
+
+    def test_fast_service_clamps_to_the_one_second_floor(self):
+        ctl = controller(max_pending=10)
+        ctl.release(1000, elapsed=0.1)  # 10k cells/s: estimate ~1 ms
+        ctl.try_acquire(10)
+        assert ctl.retry_after(1) == AdmissionController.MIN_RETRY_AFTER
+
+    def test_slow_service_clamps_to_the_sixty_second_ceiling(self):
+        ctl = controller(max_pending=10)
+        ctl.release(1, elapsed=1000.0)  # 0.001 cells/s: estimate ~hours
+        ctl.try_acquire(10)
+        assert ctl.retry_after(10) == AdmissionController.MAX_RETRY_AFTER
+
+    def test_estimate_scales_with_the_overflow(self):
+        ctl = controller(max_pending=10)
+        ctl.release(10, elapsed=10.0)  # 1 cell/s
+        ctl.try_acquire(10)
+        # Need room for 5 cells → 5 must drain → ~5 s at 1 cell/s.
+        assert ctl.retry_after(5) == pytest.approx(5.0)
+        assert ctl.retry_after(8) == pytest.approx(8.0)

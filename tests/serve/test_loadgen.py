@@ -44,7 +44,27 @@ class TestLoadReport:
     def test_empty_report(self):
         doc = LoadReport().to_json()
         assert doc["p50_latency_ms"] is None
+        assert doc["p50_e2e_ms"] is None
+        assert doc["retried"] == 0
         assert doc["throughput_rps"] == 0.0
+
+    def test_first_attempt_and_e2e_latencies_are_separate(self):
+        """Retried requests contribute only to the end-to-end series:
+        their first-attempt outcome was a rejection, so folding their
+        (backoff-inflated) total into the service-latency percentiles
+        would charge the server for the client's waiting."""
+        report = LoadReport(
+            offered=4, ok=4, retried=2,
+            latencies_s=[0.1, 0.2],               # first-attempt successes
+            e2e_latencies_s=[0.1, 0.2, 2.1, 4.2],  # every eventual success
+            wall_s=5.0)
+        assert report.percentile(1.0) == 0.2
+        assert report.e2e_percentile(1.0) == 4.2
+        doc = report.to_json()
+        assert doc["retried"] == 2
+        assert doc["p99_latency_ms"] == pytest.approx(200.0)
+        assert doc["p99_e2e_ms"] == pytest.approx(4200.0)
+        assert doc["p50_e2e_ms"] == pytest.approx(2100.0)
 
 
 class TestRunLoad:
@@ -62,6 +82,24 @@ class TestRunLoad:
         assert report.cached > 0  # the mix repeats cells
         assert report.percentile(0.99) is not None
         assert report.throughput_rps > 0
+
+    def test_retry_on_429_separates_retried_from_first_attempt(self):
+        # max_pending=1 with 4 concurrent clients guarantees 429s; the
+        # well-behaved generator retries them to eventual success.
+        handle = start_in_thread(ServeConfig(batch_window=0.001, max_pending=1))
+        try:
+            requests = build_requests(11, 30)
+            report = run_load(handle.host, handle.port, requests,
+                              concurrency=4, retry_on_429=True)
+        finally:
+            handle.stop()
+        assert report.ok == 30
+        assert report.retried > 0
+        # Every success has an end-to-end sample; only clean first
+        # attempts enter the service-latency series.
+        assert len(report.e2e_latencies_s) == 30
+        assert len(report.latencies_s) == 30 - report.retried
+        assert report.e2e_percentile(0.99) >= report.percentile(0.99)
 
     def test_load_cli_prints_a_report_and_exits_zero(self, capsys):
         import json
