@@ -95,29 +95,48 @@ class NexusSharpFactory:
     ``frequency_mhz=None`` selects the Table I synthesis frequency for the
     configuration (the paper's Figure 7(b) / Figure 8 setting); pass an
     explicit ``100.0`` for the flat-frequency study of Figure 7(a).
+
+    ``table_sets``/``table_ways`` override the dependence-table set
+    geometry (the paper's 256 sets x 8 ways); ``None`` keeps the
+    :class:`NexusSharpConfig` default.  The tuner sweeps these.
     """
 
     num_task_graphs: int = 6
     frequency_mhz: Optional[float] = None
     tightly_coupled: bool = False
+    table_sets: Optional[int] = None
+    table_ways: Optional[int] = None
 
     def __call__(self) -> TaskManagerModel:
         timing = NexusSharpTiming.tightly_coupled() if self.tightly_coupled else NexusSharpTiming()
+        overrides: Dict[str, int] = {}
+        if self.table_sets is not None:
+            overrides["table_sets"] = self.table_sets
+        if self.table_ways is not None:
+            overrides["table_ways"] = self.table_ways
         return NexusSharpManager(
             NexusSharpConfig(
                 num_task_graphs=self.num_task_graphs,
                 frequency_mhz=self.frequency_mhz,
                 timing=timing,
+                **overrides,
             )
         )
 
     def describe(self) -> Dict[str, object]:
-        return {
+        doc: Dict[str, object] = {
             "kind": "nexus#",
             "num_task_graphs": self.num_task_graphs,
             "frequency_mhz": self.frequency_mhz,
             "tightly_coupled": self.tightly_coupled,
         }
+        # Geometry overrides only appear when set, so every pre-existing
+        # cache key (written before the axis existed) stays valid.
+        if self.table_sets is not None:
+            doc["table_sets"] = self.table_sets
+        if self.table_ways is not None:
+            doc["table_ways"] = self.table_ways
+        return doc
 
 
 def describe_factory(factory: ManagerFactory) -> Mapping[str, object]:
@@ -196,8 +215,10 @@ def parse_manager(name: str) -> Tuple[str, ManagerFactory]:
     """Resolve a short textual manager name to (display name, factory).
 
     Recognised names: ``ideal``, ``nanos``, ``sw400``, ``nexus++``,
-    ``nexus#<n>`` (e.g. ``nexus#6``), ``nexus#<n>@<MHz>``.  This is the
-    parser behind both :func:`make_manager` and the sweep CLI.
+    ``nexus#<n>`` (e.g. ``nexus#6``), ``nexus#<n>@<MHz>``, and an
+    optional dependence-table geometry suffix ``/<sets>x<ways>``
+    (``nexus#6@100/64x4``).  This is the parser behind
+    :func:`make_manager`, the sweep CLI and the tuner's search space.
 
     >>> name, factory = parse_manager("nexus#6")
     >>> name
@@ -206,6 +227,8 @@ def parse_manager(name: str) -> Tuple[str, ManagerFactory]:
     'Nexus# 6TG'
     >>> parse_manager("ideal")[0]
     'Ideal'
+    >>> parse_manager("nexus#4@100/64x4")[0]
+    'Nexus# 4TG@100MHz/64x4'
     """
     token = name.strip().lower()
     if token == "ideal":
@@ -219,22 +242,37 @@ def parse_manager(name: str) -> Tuple[str, ManagerFactory]:
     if token.startswith("nexus#") or token.startswith("nexussharp"):
         spec = token.split("#", 1)[1] if "#" in token else token[len("nexussharp"):]
         frequency: Optional[float] = None
+        table_sets: Optional[int] = None
+        table_ways: Optional[int] = None
         try:
+            if "/" in spec:
+                spec, geometry = spec.split("/", 1)
+                sets_text, _, ways_text = geometry.partition("x")
+                table_sets, table_ways = int(sets_text), int(ways_text)
             if "@" in spec:
                 spec, freq_text = spec.split("@", 1)
                 frequency = float(freq_text)
             num_tg = int(spec) if spec else 6
         except ValueError as exc:
             raise ConfigurationError(
-                f"malformed manager name {name!r}: expected nexus#<n>[@MHz] "
-                "with numeric task-graph count and frequency"
+                f"malformed manager name {name!r}: expected "
+                "nexus#<n>[@MHz][/<sets>x<ways>] with numeric task-graph "
+                "count, frequency and table geometry"
             ) from exc
         display = f"Nexus# {num_tg}TG"
         if frequency is not None:
             display += f"@{frequency:g}MHz"
-        return display, NexusSharpFactory(num_task_graphs=num_tg, frequency_mhz=frequency)
+        if table_sets is not None:
+            display += f"/{table_sets}x{table_ways}"
+        return display, NexusSharpFactory(
+            num_task_graphs=num_tg,
+            frequency_mhz=frequency,
+            table_sets=table_sets,
+            table_ways=table_ways,
+        )
     raise ConfigurationError(
-        f"unknown manager name {name!r}; expected ideal, nanos, sw400, nexus++ or nexus#<n>[@MHz]"
+        f"unknown manager name {name!r}; expected ideal, nanos, sw400, "
+        "nexus++ or nexus#<n>[@MHz][/<sets>x<ways>]"
     )
 
 

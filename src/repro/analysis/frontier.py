@@ -1,0 +1,80 @@
+"""Frontier tables for tuner reports.
+
+Renders the per-rung frontiers of a :class:`~repro.tune.report.
+TuneReport` document (or a live :class:`~repro.tune.search.TuneResult`)
+as the repo's plain-text tables — what ``python -m repro.tune report``
+prints and what the tuning benchmark embeds in its summary.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Mapping, Sequence
+
+from repro.analysis.formatting import render_table
+
+__all__ = ["frontier_table", "render_tune_report"]
+
+
+def _metric_columns(frontier: Sequence[Mapping[str, Any]]) -> List[str]:
+    """Union of metric names across the frontier, in first-seen order."""
+    columns: List[str] = []
+    for entry in frontier:
+        for name in entry.get("metrics", {}):
+            if name not in columns:
+                columns.append(name)
+    return columns
+
+
+def frontier_table(frontier: Sequence[Mapping[str, Any]], title: str = "") -> str:
+    """Render one ranked frontier (a rung's or the final one).
+
+    ``frontier`` is a sequence of serialised
+    :class:`~repro.tune.search.ScoredCandidate` documents (``candidate``
+    / ``score`` / ``metrics``), best first.
+    """
+    metric_names = _metric_columns(frontier)
+    headers = ["#", "manager", "sched", "topology", "score", *metric_names]
+    rows = []
+    for rank, entry in enumerate(frontier, start=1):
+        candidate = entry["candidate"]
+        rows.append([
+            rank,
+            candidate["display"],
+            candidate["scheduler"],
+            candidate["topology"],
+            float(entry["score"]),
+            *(float(entry["metrics"][name]) if name in entry["metrics"] else ""
+              for name in metric_names),
+        ])
+    return render_table(headers, rows, title=title)
+
+
+def render_tune_report(document: Mapping[str, Any]) -> str:
+    """Render a loaded tune report (see :meth:`TuneReport.load`).
+
+    One frontier table per rung, then the winner line with the search's
+    cell accounting — enough to audit what the halving kept and dropped
+    at every fidelity.
+    """
+    header = document["header"]
+    space: Dict[str, Any] = header.get("space", {})
+    blocks = [
+        f"search {space.get('name', '?')!r}: objective {header['objective']}, "
+        f"eta {header['eta']}, budget "
+        f"{header['budget'] if header.get('budget') is not None else 'unbounded'}",
+    ]
+    for rung in document.get("rungs", []):
+        title = (f"rung {rung['rung']}: {len(rung['units'])} units, "
+                 f"{rung['cells']} cells "
+                 f"({rung['cache_hits']} cached, {rung['executed']} simulated)")
+        blocks.append(frontier_table(rung["frontier"], title=title))
+    best = document["best"]
+    entry = best["best"]
+    candidate = entry["candidate"]
+    exhausted = " (budget exhausted)" if best.get("budget_exhausted") else ""
+    blocks.append(
+        f"best: {candidate['display']} / {candidate['scheduler']} / "
+        f"{candidate['topology']} with score {entry['score']:.4g}{exhausted} — "
+        f"{best['total_cells']} cells, {best['total_executed']} simulated, "
+        f"{best['total_cache_hits']} cached")
+    return "\n\n".join(blocks)

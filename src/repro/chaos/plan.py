@@ -245,7 +245,8 @@ def parse_chaos(value: Union[str, "FaultPlan", None]) -> Optional[FaultPlan]:
 
     ``"soak:2015"`` → the soak profile with seed 2015; a bare
     ``"2015"`` uses the default (soak) profile; ``""``/``"none"``/
-    ``None`` disable chaos.  An existing plan passes through.
+    ``None`` disable chaos.  Seeds may be signed (``"-5"``,
+    ``"wire:-5"``).  An existing plan passes through.
     """
     if value is None or isinstance(value, FaultPlan):
         return value
@@ -254,7 +255,15 @@ def parse_chaos(value: Union[str, "FaultPlan", None]) -> Optional[FaultPlan]:
         return None
     profile, sep, seed = text.partition(":")
     if not sep:
-        profile, seed = ("soak", profile) if profile.isdigit() else (profile, "0")
+        # A bare token is a seed whenever it parses as a (possibly
+        # signed) integer -- str.isdigit() would misroute "-5" into the
+        # profile branch and report a confusing unknown-profile error.
+        try:
+            int(profile)
+        except ValueError:
+            seed = "0"
+        else:
+            profile, seed = "soak", profile
     try:
         seed_value = int(seed)
     except ValueError:

@@ -555,6 +555,25 @@ class SweepSpec:
         """Number of grid cells (after per-manager core caps)."""
         return sum(1 for _ in self.points())
 
+    def derive(self, **overrides: object) -> "SweepSpec":
+        """A copy of this grid with the given axes replaced.
+
+        The hook behind rung-labelled sweeps: the tuner compiles one base
+        grid into successive halving rungs (same machine flags, different
+        ``workloads`` / ``managers`` / ``name``) without restating the
+        whole spec.  Construction re-runs normalisation and validation,
+        so overrides may use the friendly input forms (registry names,
+        short manager names, alias spellings) — and because cache keys
+        are per :class:`RunPoint`, a derived grid re-addresses exactly
+        the cells it shares with its base.
+
+        >>> base = SweepSpec(["microbench"], ["ideal"], [2])
+        >>> rung = base.derive(core_counts=[2, 4], name="tune:rung0")
+        >>> rung.num_points(), rung.name
+        (2, 'tune:rung0')
+        """
+        return replace(self, **overrides)
+
     def describe(self) -> Dict[str, object]:
         """Serialisable description of the whole grid.
 

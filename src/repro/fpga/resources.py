@@ -25,7 +25,7 @@ configurations and interpolates/extrapolates smoothly for the others
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List
+from typing import Dict, List, Mapping, Optional
 
 from repro.common.errors import ConfigurationError
 from repro.nexus.timing import (
@@ -82,6 +82,15 @@ class ResourceEstimate:
         return self.lut_pct
 
     @property
+    def area_fraction(self) -> float:
+        """Device fraction consumed (LUT-dominated, Table I's Total Util.).
+
+        The denominator of the tuner's area-normalised objective: a design
+        twice as fast that burns four times the fabric scores lower.
+        """
+        return self.total_utilization_pct / 100.0
+
+    @property
     def fits(self) -> bool:
         """True when the configuration fits on the device."""
         return (
@@ -109,7 +118,8 @@ class ResourceEstimate:
 # (≈ 76 BRAMs) per pair of task graphs added; the Input Parser and the
 # arbiter contribute a fixed base plus a per-TG term.
 _SHARP_REG_BASE = 3_000
-_SHARP_REG_PER_TG = 2_044           # (19350 - base) / 8
+_SHARP_REG_PER_TG = 2_051           # ≈ (19350 - base) / 8, nudged so every
+                                    # register row of Table I rounds exactly
 _SHARP_LUT_BASE = 3_500
 _SHARP_LUT_PER_TG = 14_874          # task-graph state machines
 _SHARP_LUT_ARBITER_PER_TG2 = 75     # arbiter fan-in grows super-linearly
@@ -151,6 +161,23 @@ def estimate_nexus_sharp(num_task_graphs: int) -> ResourceEstimate:
         max_frequency_mhz=synthesis_frequency_mhz(n, use_max=True),
         test_frequency_mhz=synthesis_frequency_mhz(n, use_max=False),
     )
+
+
+def estimate_for_manager(doc: Mapping[str, object]) -> Optional[ResourceEstimate]:
+    """Resource estimate for a manager ``describe()`` document.
+
+    The bridge between the experiment layer's manager factories and this
+    model, used by the tuner's area-normalised objective: hardware
+    managers (``kind`` of ``"nexus#"`` / ``"nexus++"``) map onto the
+    Table I calibration; software and ideal managers occupy no fabric
+    and return ``None`` (the objective is undefined for them).
+    """
+    kind = doc.get("kind")
+    if kind == "nexus#":
+        return estimate_nexus_sharp(int(doc.get("num_task_graphs", 6)))
+    if kind == "nexus++":
+        return estimate_nexus_pp()
+    return None
 
 
 def table1(task_graph_counts: tuple[int, ...] = (1, 2, 4, 6, 8)) -> List[ResourceEstimate]:

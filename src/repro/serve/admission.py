@@ -92,9 +92,16 @@ class AdmissionController:
 
     def retry_after(self, cells: int = 1) -> float:
         """Seconds until the backlog plausibly has room for ``cells``."""
+        if cells > self.max_pending:
+            # The request exceeds the whole queue budget: no amount of
+            # draining makes it fit, so a drain estimate is meaningless.
+            # Answer the ceiling rather than an optimistic lower figure.
+            return self.MAX_RETRY_AFTER
         if self._rate is None or self._rate <= 0:
             return self.MIN_RETRY_AFTER
         # Time to drain enough of the backlog that this request fits.
         overflow = self.pending + cells - self.max_pending
-        estimate = max(overflow, 1) / self._rate
-        return min(max(estimate, self.MIN_RETRY_AFTER), self.MAX_RETRY_AFTER)
+        if overflow <= 0:
+            return self.MIN_RETRY_AFTER
+        return min(max(overflow / self._rate, self.MIN_RETRY_AFTER),
+                   self.MAX_RETRY_AFTER)

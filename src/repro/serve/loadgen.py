@@ -14,6 +14,7 @@ warm-cache assertions ("second pass simulates nothing") work at all.
 
 from __future__ import annotations
 
+import math
 import random
 import time
 from concurrent.futures import ThreadPoolExecutor
@@ -107,10 +108,13 @@ class LoadReport:
 
     @staticmethod
     def _rank(samples: List[float], q: float) -> Optional[float]:
+        # True nearest-rank: ceil(q*n)-1 is the smallest index covering a
+        # q fraction of the sample.  round(q*(n-1)) would interpolate with
+        # round-half-even and understate p99 for n up to 100.
         if not samples:
             return None
         ordered = sorted(samples)
-        rank = min(len(ordered) - 1, max(0, int(round(q * (len(ordered) - 1)))))
+        rank = min(len(ordered) - 1, max(0, math.ceil(q * len(ordered)) - 1))
         return ordered[rank]
 
     def percentile(self, q: float) -> Optional[float]:

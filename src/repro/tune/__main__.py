@@ -1,0 +1,8 @@
+"""Entry point for ``python -m repro.tune``."""
+
+import sys
+
+from repro.tune.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

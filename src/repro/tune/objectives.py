@@ -1,0 +1,136 @@
+"""Objectives: map one candidate's simulated results to a score.
+
+Every objective is *higher-is-better* (the search maximises), aggregates
+across a candidate's grid cells with the geometric mean (the paper's
+aggregation for speedups, and the right mean for ratios generally), and
+reports the raw aggregates alongside the score so frontiers stay
+interpretable:
+
+``makespan``
+    ``1e6 / geomean(makespan_us)`` — pure simulated performance.
+``speedup``
+    ``geomean(speedup_vs_serial)`` — the paper's speedup-over-serial
+    definition (total work / makespan), robust across workloads of
+    different sizes.
+``area-speedup``
+    ``geomean(speedup) / area_fraction`` with the area fraction taken
+    from the Table I-calibrated FPGA model
+    (:func:`repro.fpga.resources.estimate_for_manager`) — speedup per
+    unit of fabric, the metric that penalises buying 58 % of the device
+    for the last few percent of performance.  Defined for hardware
+    managers only; a space containing software managers fails fast.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, Sequence, Tuple
+
+from repro.analysis.factories import describe_factory
+from repro.common.errors import ConfigurationError
+from repro.fpga.resources import estimate_for_manager
+from repro.system.results import MachineResult
+from repro.tune.space import Candidate
+
+__all__ = ["OBJECTIVES", "Objective", "geomean", "parse_objective"]
+
+
+def geomean(values: Iterable[float]) -> float:
+    """Geometric mean of positive values.
+
+    >>> geomean([2.0, 8.0])
+    4.0
+    """
+    values = list(values)
+    if not values:
+        raise ConfigurationError("geomean needs at least one value")
+    if any(value <= 0 for value in values):
+        raise ConfigurationError(f"geomean needs positive values, got {values}")
+    return math.exp(sum(math.log(value) for value in values) / len(values))
+
+
+class Objective:
+    """Base class: subclasses set ``name`` and implement :meth:`evaluate`."""
+
+    name = "objective"
+
+    def evaluate(self, candidate: Candidate,
+                 results: Sequence[MachineResult]) -> Tuple[float, Dict[str, float]]:
+        """Score ``candidate``'s results: ``(score, reported metrics)``."""
+        raise NotImplementedError
+
+    def validate(self, candidate: Candidate) -> None:
+        """Reject candidates the objective is undefined for (fail fast,
+        before any simulation is spent on them)."""
+
+
+class MakespanObjective(Objective):
+    """Raw simulated performance: inverse geomean makespan."""
+
+    name = "makespan"
+
+    def evaluate(self, candidate, results):
+        gm = geomean(result.makespan_us for result in results)
+        return 1e6 / gm, {"geomean_makespan_us": gm}
+
+
+class SpeedupObjective(Objective):
+    """Geomean speedup over serial execution (the paper's Figure 8)."""
+
+    name = "speedup"
+
+    def evaluate(self, candidate, results):
+        gm = geomean(result.speedup_vs_serial for result in results)
+        return gm, {"geomean_speedup": gm}
+
+
+class AreaSpeedupObjective(Objective):
+    """Speedup per fraction of FPGA fabric consumed (Table I model)."""
+
+    name = "area-speedup"
+
+    def _estimate(self, candidate: Candidate):
+        return estimate_for_manager(describe_factory(candidate.factory))
+
+    def validate(self, candidate: Candidate) -> None:
+        if self._estimate(candidate) is None:
+            raise ConfigurationError(
+                f"the {self.name} objective is defined for hardware managers "
+                f"only (nexus#/nexus++); {candidate.display!r} has no "
+                "resource estimate")
+
+    def evaluate(self, candidate, results):
+        estimate = self._estimate(candidate)
+        if estimate is None:  # pragma: no cover - validate() ran first
+            raise ConfigurationError(f"no resource estimate for {candidate.display!r}")
+        gm = geomean(result.speedup_vs_serial for result in results)
+        area = estimate.area_fraction
+        return gm / area, {
+            "geomean_speedup": gm,
+            "area_fraction": area,
+            "total_utilization_pct": estimate.total_utilization_pct,
+        }
+
+
+#: Registry behind ``--objective`` (and :func:`parse_objective`).
+OBJECTIVES: Dict[str, type] = {
+    MakespanObjective.name: MakespanObjective,
+    SpeedupObjective.name: SpeedupObjective,
+    AreaSpeedupObjective.name: AreaSpeedupObjective,
+}
+
+
+def parse_objective(objective: "str | Objective") -> Objective:
+    """Resolve an objective name (instances pass through).
+
+    >>> parse_objective("speedup").name
+    'speedup'
+    """
+    if isinstance(objective, Objective):
+        return objective
+    try:
+        return OBJECTIVES[objective]()
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown objective {objective!r} "
+            f"(known: {', '.join(sorted(OBJECTIVES))})") from None

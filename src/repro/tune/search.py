@@ -1,0 +1,274 @@
+"""Successive-halving search over the cached sweep fabric.
+
+The driver races a :class:`~repro.tune.space.SearchSpace`'s candidates
+over a ladder of growing fidelity: rung ``r`` evaluates the surviving
+candidates on the first ``min_units * eta**r`` ``(workload, seed)``
+units, ranks them with the objective, and promotes the top ``1/eta``.
+Fidelity prefixes are cumulative and every rung runs through the
+content-addressed result cache, so the cells a survivor already
+simulated on earlier rungs are cache hits — re-promotion costs nothing,
+and a warm re-run of a whole search executes zero simulations.
+
+The **budget** counts scheduled grid cells (cache hits included): it
+bounds the search *shape* deterministically, independent of cache state,
+so "found within N cells" means the same thing on cold and warm runs.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.common.errors import ConfigurationError
+from repro.experiments.runner import SweepRunner
+from repro.tune.objectives import Objective, parse_objective
+from repro.tune.space import Candidate, SearchSpace
+
+__all__ = ["RungOutcome", "ScoredCandidate", "SuccessiveHalving", "TuneResult"]
+
+#: A candidate's grid rows are recovered from sweep outcomes by this key.
+CandidateKey = Tuple[str, str, str]
+
+
+@dataclass(frozen=True)
+class ScoredCandidate:
+    """One frontier entry: a candidate with its rung score and metrics."""
+
+    candidate: Candidate
+    score: float
+    metrics: Dict[str, float]
+
+    def describe(self) -> Dict[str, object]:
+        return {
+            "candidate": self.candidate.describe(),
+            "score": self.score,
+            "metrics": dict(self.metrics),
+        }
+
+
+@dataclass(frozen=True)
+class RungOutcome:
+    """Everything one rung of the ladder produced."""
+
+    index: int
+    #: The ``(workload, seed)`` prefix this rung evaluated candidates on.
+    units: Tuple[Tuple[str, int], ...]
+    #: Grid cells scheduled / actually simulated / served from cache.
+    cells: int
+    executed: int
+    cache_hits: int
+    #: Candidates ranked best-first under the objective.
+    frontier: Tuple[ScoredCandidate, ...]
+    #: Keys of the candidates promoted to the next rung (the winner only,
+    #: on the final rung).
+    survivors: Tuple[str, ...]
+
+    def describe(self) -> Dict[str, object]:
+        return {
+            "rung": self.index,
+            "units": [{"workload": workload, "seed": seed}
+                      for workload, seed in self.units],
+            "cells": self.cells,
+            "executed": self.executed,
+            "cache_hits": self.cache_hits,
+            "frontier": [entry.describe() for entry in self.frontier],
+            "survivors": list(self.survivors),
+        }
+
+
+@dataclass
+class TuneResult:
+    """The finished search: per-rung frontiers plus the winner."""
+
+    space: SearchSpace
+    objective_name: str
+    eta: int
+    budget: Optional[int]
+    rungs: List[RungOutcome] = field(default_factory=list)
+    best: Optional[ScoredCandidate] = None
+    #: True when the budget stopped the ladder before full fidelity —
+    #: ``best`` then comes from the last completed rung.
+    budget_exhausted: bool = False
+
+    @property
+    def total_cells(self) -> int:
+        return sum(rung.cells for rung in self.rungs)
+
+    @property
+    def total_executed(self) -> int:
+        return sum(rung.executed for rung in self.rungs)
+
+    @property
+    def total_cache_hits(self) -> int:
+        return sum(rung.cache_hits for rung in self.rungs)
+
+
+class SuccessiveHalving:
+    """Race candidates over growing fidelity, halving each rung.
+
+    Parameters
+    ----------
+    space:
+        What to search and how to evaluate it.
+    objective:
+        Objective name (``makespan`` / ``speedup`` / ``area-speedup``)
+        or an :class:`~repro.tune.objectives.Objective` instance.
+    eta:
+        Halving rate: each rung keeps the top ``ceil(n/eta)`` candidates
+        and multiplies fidelity by ``eta``.
+    min_units:
+        Fidelity units of the first rung.
+    budget:
+        Optional bound on total scheduled grid cells; the ladder stops
+        before any rung that would exceed it (the first rung must fit).
+    runner:
+        The :class:`~repro.experiments.runner.SweepRunner` executing rung
+        grids.  Pass one with a cache directory to get free re-promotion
+        and warm re-runs; defaults to an uncached serial runner.
+    """
+
+    def __init__(
+        self,
+        space: SearchSpace,
+        objective: Union[str, Objective] = "makespan",
+        *,
+        eta: int = 2,
+        min_units: int = 1,
+        budget: Optional[int] = None,
+        runner: Optional[SweepRunner] = None,
+    ) -> None:
+        if eta < 2:
+            raise ConfigurationError(f"eta must be >= 2, got {eta}")
+        if min_units < 1:
+            raise ConfigurationError(f"min_units must be >= 1, got {min_units}")
+        if budget is not None and budget < 1:
+            raise ConfigurationError(f"budget must be >= 1 cells, got {budget}")
+        self.space = space
+        self.objective = parse_objective(objective)
+        self.eta = eta
+        self.min_units = min_units
+        self.budget = budget
+        self.runner = runner if runner is not None else SweepRunner()
+        for candidate in space.candidates():
+            self.objective.validate(candidate)
+
+    # -- rung execution ----------------------------------------------------
+    def _run_rung(
+        self,
+        index: int,
+        survivors: Sequence[Candidate],
+        units: Sequence[Tuple[str, int]],
+        base_spec,
+    ) -> Tuple[int, int, int, Dict[CandidateKey, list]]:
+        """Execute one rung as per-(scheduler, topology) sweep grids.
+
+        Halving breaks the cross-product shape a single grid would
+        imply, so survivors are grouped by their scheduler/topology pair
+        and each group runs as its own derived :class:`SweepSpec` —
+        every cell scheduled belongs to a surviving candidate.
+        """
+        groups: Dict[Tuple[str, str], List[Candidate]] = {}
+        for candidate in survivors:
+            groups.setdefault((candidate.scheduler, candidate.topology),
+                              []).append(candidate)
+        cells = executed = cache_hits = 0
+        records: Dict[CandidateKey, list] = {}
+        for (scheduler, topology), group in groups.items():
+            spec = base_spec.derive(
+                workloads=list(self.space.workload_specs(units)),
+                managers={c.display: c.factory for c in group},
+                schedulers=(scheduler,),
+                topologies=(topology,),
+                name=f"{base_spec.name}:rung{index}:{scheduler}:{topology}",
+            )
+            outcome = self.runner.run(spec)
+            cells += len(outcome.points)
+            executed += outcome.executed
+            cache_hits += outcome.cache_hits
+            for point, result in zip(outcome.points, outcome.results):
+                key = (point.manager_name, scheduler, topology)
+                records.setdefault(key, []).append(result)
+        return cells, executed, cache_hits, records
+
+    def _planned_cells(self, survivors: Sequence[Candidate],
+                       num_units: int) -> int:
+        """Cells the next rung schedules (cache state is irrelevant)."""
+        return len(survivors) * num_units * self.space.cells_per_unit
+
+    # -- the ladder --------------------------------------------------------
+    def run(self, log: Optional[Callable[[str], None]] = None) -> TuneResult:
+        """Run the ladder to full fidelity (or budget) and pick a winner."""
+        emit = log or (lambda message: None)
+        space = self.space
+        result = TuneResult(space=space, objective_name=self.objective.name,
+                            eta=self.eta, budget=self.budget)
+        survivors = list(space.candidates())
+        units = space.units()
+        base_spec = space.base_spec()
+        num_units = min(self.min_units, len(units))
+        spent = 0
+        index = 0
+        while True:
+            rung_units = units[:num_units]
+            planned = self._planned_cells(survivors, num_units)
+            if self.budget is not None and spent + planned > self.budget:
+                if not result.rungs:
+                    raise ConfigurationError(
+                        f"budget of {self.budget} cells cannot fund the first "
+                        f"rung ({planned} cells: {len(survivors)} candidates "
+                        f"x {num_units} units x {space.cells_per_unit} cells)")
+                result.budget_exhausted = True
+                emit(f"budget: rung {index} needs {planned} cells, "
+                     f"{self.budget - spent} remain — stopping")
+                break
+            cells, executed, cache_hits, records = self._run_rung(
+                index, survivors, rung_units, base_spec)
+            spent += cells
+            frontier = self._rank(survivors, records)
+            full_fidelity = num_units >= len(units)
+            if full_fidelity:
+                keep = 1
+            else:
+                keep = max(1, math.ceil(len(survivors) / self.eta))
+            promoted = tuple(entry.candidate.key for entry in frontier[:keep])
+            result.rungs.append(RungOutcome(
+                index=index, units=tuple(rung_units), cells=cells,
+                executed=executed, cache_hits=cache_hits,
+                frontier=tuple(frontier), survivors=promoted))
+            emit(f"rung {index}: {len(survivors)} candidates x "
+                 f"{len(rung_units)} units = {cells} cells "
+                 f"({cache_hits} cached) -> keep {keep}")
+            if full_fidelity:
+                break
+            survivors = [entry.candidate for entry in frontier[:keep]]
+            index += 1
+            next_units = num_units * self.eta
+            if len(survivors) == 1:
+                # A lone survivor has nothing left to race: jump straight
+                # to full fidelity for the final, reportable evaluation
+                # (its earlier cells are cache hits either way).
+                next_units = len(units)
+            num_units = min(len(units), next_units)
+        result.best = result.rungs[-1].frontier[0]
+        emit(f"best: {result.best.candidate.key} "
+             f"(score {result.best.score:.4g}, {spent} cells, "
+             f"{result.total_executed} simulated)")
+        return result
+
+    def _rank(self, survivors: Sequence[Candidate],
+              records: Dict[CandidateKey, list]) -> List[ScoredCandidate]:
+        frontier = []
+        for candidate in survivors:
+            key = (candidate.display, candidate.scheduler, candidate.topology)
+            results = records.get(key)
+            if not results:  # pragma: no cover - defensive
+                raise ConfigurationError(
+                    f"rung produced no results for candidate {candidate.key!r}")
+            score, metrics = self.objective.evaluate(candidate, results)
+            frontier.append(ScoredCandidate(candidate=candidate, score=score,
+                                            metrics=metrics))
+        # Ties break on the stable candidate key, so rankings (and
+        # therefore survivors and reports) are deterministic.
+        frontier.sort(key=lambda entry: (-entry.score, entry.candidate.key))
+        return frontier

@@ -1,0 +1,235 @@
+"""Declarative search spaces for the config autotuner.
+
+A :class:`SearchSpace` names *what* the tuner searches — manager
+configurations (task-graph counts, table geometries, frequencies, or any
+short manager name the sweep CLI accepts), scheduler policies and core
+topologies — and *how* candidates are evaluated: a fidelity ladder of
+``(workload, seed)`` units at fixed core counts and scale.
+
+Candidates are the cross product manager x scheduler x topology; each
+rung of the search evaluates the surviving candidates on a growing
+prefix of the unit ladder.  Everything compiles down to ordinary
+:class:`~repro.experiments.spec.SweepSpec` grids (via
+:meth:`SearchSpace.base_spec` and :meth:`SweepSpec.derive
+<repro.experiments.spec.SweepSpec.derive>`), so the tuner inherits the
+sweep fabric's content-addressed cache, parallelism and chaos seams
+without any new execution machinery.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, Optional, Sequence, Tuple, Union
+
+from repro.analysis.factories import ManagerFactory, describe_factory, parse_manager
+from repro.common.constants import DEFAULT_TABLE_SETS, DEFAULT_TABLE_WAYS
+from repro.common.errors import ConfigurationError
+from repro.experiments.spec import SweepSpec, WorkloadSpec
+from repro.system.scheduling import canonical_policy_name
+from repro.system.topology import canonical_topology
+
+GeometryLike = Union[str, Tuple[int, int]]
+
+
+def parse_geometry(value: GeometryLike) -> Tuple[int, int]:
+    """Parse a ``"<sets>x<ways>"`` table geometry (tuples pass through).
+
+    >>> parse_geometry("64x4")
+    (64, 4)
+    """
+    if isinstance(value, tuple):
+        sets, ways = value
+    else:
+        sets_text, sep, ways_text = str(value).strip().lower().partition("x")
+        if not sep:
+            raise ConfigurationError(
+                f"table geometry must be '<sets>x<ways>', got {value!r}")
+        try:
+            sets, ways = int(sets_text), int(ways_text)
+        except ValueError:
+            raise ConfigurationError(
+                f"table geometry must be '<sets>x<ways>', got {value!r}") from None
+    if sets < 1 or ways < 1:
+        raise ConfigurationError(
+            f"table geometry must be positive, got {sets}x{ways}")
+    return sets, ways
+
+
+def nexus_sharp_axis(
+    task_graphs: Sequence[int],
+    geometries: Sequence[GeometryLike] = ((DEFAULT_TABLE_SETS, DEFAULT_TABLE_WAYS),),
+    frequency_mhz: Optional[float] = None,
+) -> Tuple[str, ...]:
+    """Compile a TG-count x table-geometry grid into manager spec strings.
+
+    The paper-default geometry (256x8) compiles *without* the ``/SxW``
+    suffix, so those candidates share cache entries — and display names —
+    with every other experiment that sweeps plain ``nexus#<n>`` managers.
+
+    >>> nexus_sharp_axis([4, 6], ["256x8", "64x4"], frequency_mhz=100.0)
+    ('nexus#4@100', 'nexus#4@100/64x4', 'nexus#6@100', 'nexus#6@100/64x4')
+    """
+    specs = []
+    for count in task_graphs:
+        for geometry in geometries:
+            sets, ways = parse_geometry(geometry)
+            spec = f"nexus#{count}"
+            if frequency_mhz is not None:
+                spec += f"@{frequency_mhz:g}"
+            if (sets, ways) != (DEFAULT_TABLE_SETS, DEFAULT_TABLE_WAYS):
+                spec += f"/{sets}x{ways}"
+            specs.append(spec)
+    return tuple(specs)
+
+
+@dataclass(frozen=True)
+class Candidate:
+    """One point of the searched design space.
+
+    ``display`` doubles as the manager-axis key of every rung's
+    :class:`~repro.experiments.spec.SweepSpec`, so a candidate's rows are
+    recovered from sweep outcomes by ``(display, scheduler, topology)``.
+    """
+
+    manager: str
+    display: str
+    factory: ManagerFactory
+    scheduler: str
+    topology: str
+
+    @property
+    def key(self) -> str:
+        """Stable human-readable identity used in reports and survivors."""
+        return f"{self.display}|{self.scheduler}|{self.topology}"
+
+    def describe(self) -> Dict[str, object]:
+        return {
+            "manager": self.manager,
+            "display": self.display,
+            "config": dict(describe_factory(self.factory)),
+            "scheduler": self.scheduler,
+            "topology": self.topology,
+        }
+
+
+@dataclass(frozen=True)
+class SearchSpace:
+    """The tuner's search space and evaluation setting.
+
+    Parameters
+    ----------
+    managers:
+        Short manager names (``nexus#6``, ``nexus#4@100/64x4``,
+        ``nexus++``, ...) — one candidate axis entry each; see
+        :func:`nexus_sharp_axis` for compiling a TG x geometry grid.
+    workloads:
+        Registry workload names forming the fidelity ladder together
+        with ``seeds``: unit ``(workload, seed)``, ordered seed-major so
+        the first rung already sees every workload once.
+    schedulers / topologies:
+        Dispatch policies and core topologies to cross with the
+        managers (canonicalised; aliases collapse).
+    core_counts / scale:
+        The fixed evaluation setting of every unit.
+    seeds:
+        Workload-generator seeds (each multiplies the unit ladder).
+    """
+
+    managers: Tuple[str, ...]
+    workloads: Tuple[str, ...]
+    schedulers: Tuple[str, ...] = ("fifo",)
+    topologies: Tuple[str, ...] = ("homogeneous",)
+    core_counts: Tuple[int, ...] = (16,)
+    seeds: Tuple[int, ...] = (2015,)
+    scale: float = 0.1
+    name: str = "tune"
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "managers", tuple(self.managers))
+        object.__setattr__(self, "workloads", tuple(self.workloads))
+        object.__setattr__(self, "schedulers", tuple(
+            canonical_policy_name(s) for s in self.schedulers))
+        object.__setattr__(self, "topologies", tuple(
+            canonical_topology(t) for t in self.topologies))
+        object.__setattr__(self, "core_counts", tuple(int(c) for c in self.core_counts))
+        object.__setattr__(self, "seeds", tuple(int(s) for s in self.seeds))
+        if not self.managers:
+            raise ConfigurationError("a search space needs at least one manager")
+        if not self.workloads:
+            raise ConfigurationError("a search space needs at least one workload")
+        if not self.schedulers or not self.topologies:
+            raise ConfigurationError(
+                "schedulers and topologies must not be empty "
+                "(use ('fifo',) / ('homogeneous',) for the defaults)")
+        if not self.core_counts or not self.seeds:
+            raise ConfigurationError("core_counts and seeds must not be empty")
+        # Parse every manager now: a typo should fail at space build time,
+        # not halfway into rung 3.
+        for manager in self.managers:
+            parse_manager(manager)
+
+    # -- enumeration -------------------------------------------------------
+    def candidates(self) -> Tuple[Candidate, ...]:
+        """The candidate set: managers x schedulers x topologies."""
+        out = []
+        for manager in self.managers:
+            display, factory = parse_manager(manager)
+            for scheduler in self.schedulers:
+                for topology in self.topologies:
+                    out.append(Candidate(
+                        manager=manager, display=display, factory=factory,
+                        scheduler=scheduler, topology=topology))
+        return tuple(out)
+
+    def units(self) -> Tuple[Tuple[str, int], ...]:
+        """The fidelity ladder: ``(workload, seed)`` units, seed-major.
+
+        Rung ``r`` evaluates a *prefix* of this ladder, so growing
+        fidelity strictly extends — never replaces — the cells already
+        simulated for a surviving candidate.
+        """
+        return tuple((workload, seed)
+                     for seed in self.seeds for workload in self.workloads)
+
+    @property
+    def cells_per_unit(self) -> int:
+        """Grid cells one candidate spends per fidelity unit."""
+        return len(self.core_counts)
+
+    def workload_specs(self, units: Sequence[Tuple[str, int]]) -> Tuple[WorkloadSpec, ...]:
+        """Materialise ladder units as a :class:`SweepSpec` workload axis."""
+        return tuple(WorkloadSpec(name=workload, scale=self.scale, seed=seed)
+                     for workload, seed in units)
+
+    def base_spec(self) -> SweepSpec:
+        """The full-fidelity, full-candidate grid (rungs derive from it).
+
+        Rung grids are :meth:`~repro.experiments.spec.SweepSpec.derive`-d
+        copies with the workload/manager/scheduler/topology axes narrowed
+        to the rung's survivors, so machine flags stay in one place.
+        """
+        return SweepSpec(
+            workloads=list(self.workload_specs(self.units())),
+            managers={display: factory for display, factory in
+                      (parse_manager(m) for m in self.managers)},
+            core_counts=self.core_counts,
+            schedulers=self.schedulers,
+            topologies=self.topologies,
+            name=f"tune:{self.name}",
+        )
+
+    def describe(self) -> Dict[str, object]:
+        """Serialisable description (the tune report's header)."""
+        return {
+            "name": self.name,
+            "managers": list(self.managers),
+            "workloads": list(self.workloads),
+            "schedulers": list(self.schedulers),
+            "topologies": list(self.topologies),
+            "core_counts": list(self.core_counts),
+            "seeds": list(self.seeds),
+            "scale": self.scale,
+        }
+
+    def __iter__(self) -> Iterator[Candidate]:
+        return iter(self.candidates())

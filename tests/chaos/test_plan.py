@@ -130,6 +130,23 @@ class TestParsing:
         plan = parse_chaos("store")
         assert plan.seed == 0 and plan.profile_name == "store"
 
+    def test_bare_negative_seed_uses_soak(self):
+        """Regression: "-5" fails str.isdigit() and used to be misrouted
+        into the profile branch (unknown chaos profile '-5')."""
+        plan = parse_chaos("-5")
+        assert plan.seed == -5 and plan.profile_name == "soak"
+
+    def test_bare_explicitly_positive_seed_uses_soak(self):
+        plan = parse_chaos("+7")
+        assert plan.seed == 7 and plan.profile_name == "soak"
+
+    def test_profile_with_negative_seed(self):
+        plan = parse_chaos("wire:-5")
+        assert plan.seed == -5 and plan.profile_name == "wire"
+
+    def test_negative_seed_matches_directly_built_plan(self):
+        assert sequences(parse_chaos("-5")) == sequences(FaultPlan(-5, "soak"))
+
     @pytest.mark.parametrize("value", [None, "", "  ", "none", "off", "0"])
     def test_disabled_forms(self, value):
         assert parse_chaos(value) is None

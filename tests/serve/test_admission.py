@@ -125,3 +125,41 @@ class TestEwmaRetryAfter:
         # Need room for 5 cells → 5 must drain → ~5 s at 1 cell/s.
         assert ctl.retry_after(5) == pytest.approx(5.0)
         assert ctl.retry_after(8) == pytest.approx(8.0)
+
+
+class TestRetryAfterClampOrder:
+    """Regression tests for multi-cell sweep requests: the drain estimate
+    must be computed *then* clamped, and a request bigger than the whole
+    queue budget must answer the ceiling, not an optimistic drain guess."""
+
+    def test_never_fitting_request_answers_the_ceiling(self):
+        ctl = controller(max_pending=5)
+        # Before any rate observation...
+        assert ctl.retry_after(6) == AdmissionController.MAX_RETRY_AFTER
+        # ...and even with a blazing measured rate: no amount of draining
+        # makes a 6-cell sweep fit a 5-cell queue.
+        ctl.release(100, elapsed=1.0)  # 100 cells/s
+        assert ctl.retry_after(6) == AdmissionController.MAX_RETRY_AFTER
+
+    def test_large_cells_estimate_is_clamped_not_wrapped(self):
+        ctl = controller(max_pending=1000)
+        ctl.release(10, elapsed=5.0)  # 2 cells/s
+        ctl.try_acquire(900)
+        assert ctl.retry_after(102) == pytest.approx(1.0)   # 2 cells / 2 per s, floored
+        assert ctl.retry_after(120) == pytest.approx(10.0)  # 20 cells / 2 per s
+        # 900 cells overflow → 450 s raw estimate → ceiling.
+        assert ctl.retry_after(1000) == AdmissionController.MAX_RETRY_AFTER
+
+    def test_fitting_request_answers_the_floor_even_at_glacial_rates(self):
+        ctl = controller(max_pending=10)
+        ctl.release(1, elapsed=1000.0)  # 0.001 cells/s
+        assert ctl.retry_after(1) == AdmissionController.MIN_RETRY_AFTER
+
+    def test_retry_after_is_monotone_in_cells(self):
+        ctl = controller(max_pending=50)
+        ctl.release(10, elapsed=10.0)  # 1 cell/s
+        ctl.try_acquire(40)
+        estimates = [ctl.retry_after(cells) for cells in range(200)]
+        assert estimates == sorted(estimates)
+        assert estimates[0] == AdmissionController.MIN_RETRY_AFTER
+        assert estimates[-1] == AdmissionController.MAX_RETRY_AFTER

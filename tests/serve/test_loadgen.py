@@ -30,6 +30,39 @@ class TestBuildRequests:
         assert len(distinct) < len(requests)
 
 
+class TestNearestRank:
+    """Pin the percentile estimator to true nearest-rank ``ceil(q*n)-1``.
+
+    Regression: ``int(round(q*(n-1)))`` interpolated with round-half-even,
+    understating p99 of small samples (n=60: rank 58 instead of 59) and
+    banker's-rounding p50 at n=100 up one rank (round(49.5) == 50)."""
+
+    @staticmethod
+    def samples(n):
+        return [float(v) for v in range(1, n + 1)]
+
+    @pytest.mark.parametrize("n, q, expected", [
+        (1, 0.0, 1.0), (1, 0.5, 1.0), (1, 0.99, 1.0), (1, 1.0, 1.0),
+        (2, 0.0, 1.0), (2, 0.5, 1.0), (2, 0.51, 2.0), (2, 0.99, 2.0),
+        (2, 1.0, 2.0),
+        (10, 0.5, 5.0), (10, 0.9, 9.0), (10, 0.91, 10.0), (10, 0.99, 10.0),
+        (100, 0.5, 50.0), (100, 0.95, 95.0), (100, 0.99, 99.0),
+        (100, 1.0, 100.0),
+    ])
+    def test_nearest_rank_pins(self, n, q, expected):
+        report = LoadReport(latencies_s=self.samples(n))
+        assert report.percentile(q) == expected
+
+    def test_p99_of_sixty_samples_is_the_maximum(self):
+        # round(0.99 * 59) == 58 silently picked the 59th of 60 values.
+        report = LoadReport(latencies_s=self.samples(60))
+        assert report.percentile(0.99) == 60.0
+
+    def test_rank_sorts_its_input(self):
+        report = LoadReport(e2e_latencies_s=[3.0, 1.0, 2.0])
+        assert report.e2e_percentile(1.0) == 3.0
+
+
 class TestLoadReport:
     def test_percentiles_and_throughput(self):
         report = LoadReport(offered=5, ok=5, wall_s=2.0,
@@ -64,7 +97,9 @@ class TestLoadReport:
         assert doc["retried"] == 2
         assert doc["p99_latency_ms"] == pytest.approx(200.0)
         assert doc["p99_e2e_ms"] == pytest.approx(4200.0)
-        assert doc["p50_e2e_ms"] == pytest.approx(2100.0)
+        # Nearest-rank p50 of an even-sized sample is the lower middle
+        # (the old round-half-even code picked the upper one).
+        assert doc["p50_e2e_ms"] == pytest.approx(200.0)
 
 
 class TestRunLoad:

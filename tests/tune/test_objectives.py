@@ -1,0 +1,98 @@
+"""Objective scoring: geomean aggregation, area normalisation, registry."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.fpga.resources import estimate_nexus_sharp
+from repro.system.results import MachineResult
+from repro.tune.objectives import OBJECTIVES, geomean, parse_objective
+from repro.tune.space import SearchSpace
+
+
+def result(makespan_us: float, total_work_us: float) -> MachineResult:
+    return MachineResult(
+        trace_name="t", manager_name="m", num_cores=4,
+        makespan_us=makespan_us, total_work_us=total_work_us, num_tasks=1)
+
+
+def candidate_for(manager: str):
+    space = SearchSpace(managers=(manager,), workloads=("microbench",))
+    return space.candidates()[0]
+
+
+class TestGeomean:
+    def test_geomean_of_ratios(self):
+        assert geomean([2.0, 8.0]) == pytest.approx(4.0)
+        assert geomean([5.0]) == pytest.approx(5.0)
+
+    def test_empty_and_nonpositive_rejected(self):
+        with pytest.raises(ConfigurationError):
+            geomean([])
+        with pytest.raises(ConfigurationError):
+            geomean([1.0, 0.0])
+
+
+class TestMakespanObjective:
+    def test_faster_scores_higher(self):
+        objective = parse_objective("makespan")
+        candidate = candidate_for("ideal")
+        fast, _ = objective.evaluate(candidate, [result(100.0, 400.0)])
+        slow, _ = objective.evaluate(candidate, [result(200.0, 400.0)])
+        assert fast > slow
+
+    def test_metrics_report_the_geomean(self):
+        objective = parse_objective("makespan")
+        _, metrics = objective.evaluate(
+            candidate_for("ideal"), [result(100.0, 1.0), result(400.0, 1.0)])
+        assert metrics["geomean_makespan_us"] == pytest.approx(200.0)
+
+
+class TestSpeedupObjective:
+    def test_score_is_geomean_speedup_vs_serial(self):
+        objective = parse_objective("speedup")
+        # Speedups 4.0 and 1.0 -> geomean 2.0 (the paper's definition:
+        # total work / makespan).
+        score, metrics = objective.evaluate(
+            candidate_for("ideal"),
+            [result(100.0, 400.0), result(100.0, 100.0)])
+        assert score == pytest.approx(2.0)
+        assert metrics["geomean_speedup"] == pytest.approx(2.0)
+
+
+class TestAreaSpeedupObjective:
+    def test_divides_speedup_by_the_area_fraction(self):
+        objective = parse_objective("area-speedup")
+        candidate = candidate_for("nexus#6")
+        score, metrics = objective.evaluate(candidate, [result(100.0, 400.0)])
+        area = estimate_nexus_sharp(6).area_fraction
+        assert score == pytest.approx(4.0 / area)
+        assert metrics["area_fraction"] == pytest.approx(area)
+
+    def test_smaller_design_wins_at_equal_speedup(self):
+        objective = parse_objective("area-speedup")
+        rows = [result(100.0, 400.0)]
+        small, _ = objective.evaluate(candidate_for("nexus#2"), rows)
+        large, _ = objective.evaluate(candidate_for("nexus#8"), rows)
+        assert small > large
+
+    def test_software_managers_rejected_up_front(self):
+        objective = parse_objective("area-speedup")
+        with pytest.raises(ConfigurationError, match="hardware managers"):
+            objective.validate(candidate_for("nanos"))
+        # Hardware candidates validate silently.
+        objective.validate(candidate_for("nexus++"))
+
+
+class TestRegistry:
+    def test_known_objectives(self):
+        assert set(OBJECTIVES) == {"makespan", "speedup", "area-speedup"}
+
+    def test_unknown_objective_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown objective"):
+            parse_objective("latency")
+
+    def test_instances_pass_through(self):
+        objective = parse_objective("speedup")
+        assert parse_objective(objective) is objective

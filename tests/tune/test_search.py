@@ -1,0 +1,172 @@
+"""The successive-halving driver: rungs, promotion, budget, cache reuse."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.experiments.runner import SweepRunner
+from repro.tune.report import TuneReport
+from repro.tune.search import SuccessiveHalving
+from repro.tune.space import SearchSpace
+
+
+def space(**overrides):
+    defaults = dict(
+        managers=("ideal", "nanos", "nexus#2@100", "nexus#6@100"),
+        workloads=("microbench", "sparselu"),
+        core_counts=(4,),
+        seeds=(1, 2),
+        scale=0.05,
+        name="search-test",
+    )
+    defaults.update(overrides)
+    return SearchSpace(**defaults)
+
+
+def cached_runner(tmp_path, name="cache"):
+    return SweepRunner(cache_dir=tmp_path / name)
+
+
+class TestLadder:
+    def test_halving_shrinks_the_frontier_each_rung(self, tmp_path):
+        driver = SuccessiveHalving(space(), "makespan",
+                                   runner=cached_runner(tmp_path))
+        result = driver.run()
+        sizes = [len(rung.frontier) for rung in result.rungs]
+        assert sizes == [4, 2, 1]
+        # Fidelity grows eta-fold per rung up to the full ladder.
+        assert [len(rung.units) for rung in result.rungs] == [1, 2, 4]
+        assert result.best is not None
+        assert result.best.candidate.key == result.rungs[-1].survivors[0]
+
+    def test_survivors_are_the_top_scored(self, tmp_path):
+        driver = SuccessiveHalving(space(), "makespan",
+                                   runner=cached_runner(tmp_path))
+        result = driver.run()
+        for rung in result.rungs[:-1]:
+            keep = math.ceil(len(rung.frontier) / driver.eta)
+            expected = tuple(entry.candidate.key
+                             for entry in rung.frontier[:keep])
+            assert rung.survivors == expected
+
+    def test_ideal_wins_on_makespan(self, tmp_path):
+        """Sanity: the no-overhead manager must beat every modelled one."""
+        driver = SuccessiveHalving(space(), "makespan",
+                                   runner=cached_runner(tmp_path))
+        result = driver.run()
+        assert result.best.candidate.display == "Ideal"
+
+    def test_lone_survivor_jumps_to_full_fidelity(self, tmp_path):
+        driver = SuccessiveHalving(space(managers=("ideal", "nanos")),
+                                   "makespan", runner=cached_runner(tmp_path))
+        result = driver.run()
+        # Rung 0 halves 2 -> 1; the single survivor is then evaluated on
+        # the complete ladder at once instead of climbing rung by rung.
+        assert [len(rung.units) for rung in result.rungs] == [1, 4]
+
+    def test_deterministic_across_runs(self, tmp_path):
+        first = SuccessiveHalving(space(), "speedup",
+                                  runner=cached_runner(tmp_path, "a")).run()
+        second = SuccessiveHalving(space(), "speedup",
+                                   runner=cached_runner(tmp_path, "b")).run()
+        assert TuneReport(first).lines() == TuneReport(second).lines()
+
+
+class TestCacheReuse:
+    def test_rung_promotion_reuses_earlier_cells(self, tmp_path):
+        driver = SuccessiveHalving(space(), "makespan",
+                                   runner=cached_runner(tmp_path))
+        result = driver.run()
+        # Every rung after the first re-addresses its survivors' earlier
+        # fidelity prefix: promotion is cache hits, not re-simulation.
+        for rung in result.rungs[1:]:
+            assert rung.cache_hits > 0
+        # Scheduled cells = simulated + cached, exactly.
+        assert result.total_cells == result.total_executed + result.total_cache_hits
+
+    def test_warm_rerun_executes_zero_simulations(self, tmp_path):
+        """The acceptance-criterion property: re-running the identical
+        search against the same cache simulates nothing and reproduces
+        the same winner, rung for rung."""
+        cold = SuccessiveHalving(space(), "makespan",
+                                 runner=cached_runner(tmp_path)).run()
+        warm = SuccessiveHalving(space(), "makespan",
+                                 runner=cached_runner(tmp_path)).run()
+        assert cold.total_executed > 0
+        assert warm.total_executed == 0
+        assert warm.total_cache_hits == warm.total_cells == cold.total_cells
+
+        def science(result):
+            # Everything except the cache accounting (which legitimately
+            # differs between a cold and a warm run) must be identical.
+            rungs = []
+            for rung in result.rungs:
+                doc = rung.describe()
+                doc.pop("executed")
+                doc.pop("cache_hits")
+                rungs.append(doc)
+            return rungs, result.best.describe()
+
+        assert science(warm) == science(cold)
+
+
+class TestBudget:
+    def test_budget_bounds_scheduled_cells(self, tmp_path):
+        # 4 candidates x 1 unit = 4 cells for rung 0; rung 1 would need
+        # 2 x 2 x 1 = 4 more. A budget of 6 funds only rung 0.
+        driver = SuccessiveHalving(space(), "makespan", budget=6,
+                                   runner=cached_runner(tmp_path))
+        result = driver.run()
+        assert result.budget_exhausted
+        assert len(result.rungs) == 1
+        assert result.total_cells <= 6
+        # The best still comes from the last completed frontier.
+        assert result.best.candidate.key == result.rungs[0].frontier[0].candidate.key
+
+    def test_budget_counts_cells_not_executions(self, tmp_path):
+        """Budget semantics must not depend on cache state: a warm search
+        stops at the same rung as the cold one."""
+        cold = SuccessiveHalving(space(), "makespan", budget=8,
+                                 runner=cached_runner(tmp_path)).run()
+        warm = SuccessiveHalving(space(), "makespan", budget=8,
+                                 runner=cached_runner(tmp_path)).run()
+        assert len(warm.rungs) == len(cold.rungs)
+        assert warm.total_cells == cold.total_cells
+
+    def test_budget_too_small_for_one_rung_fails_fast(self, tmp_path):
+        with pytest.raises(ConfigurationError, match="first"):
+            SuccessiveHalving(space(), "makespan", budget=3,
+                              runner=cached_runner(tmp_path)).run()
+
+    def test_parameters_validated(self):
+        with pytest.raises(ConfigurationError):
+            SuccessiveHalving(space(), eta=1)
+        with pytest.raises(ConfigurationError):
+            SuccessiveHalving(space(), min_units=0)
+        with pytest.raises(ConfigurationError):
+            SuccessiveHalving(space(), budget=0)
+
+    def test_area_objective_validates_candidates_up_front(self):
+        with pytest.raises(ConfigurationError, match="hardware"):
+            SuccessiveHalving(space(), "area-speedup")
+
+
+class TestSchedulerAxis:
+    def test_mixed_schedulers_score_independently(self, tmp_path):
+        """Survivor grouping: after halving, each (scheduler, topology)
+        group runs as its own grid — no phantom cross-product cells."""
+        driver = SuccessiveHalving(
+            space(managers=("ideal", "nexus#2@100"),
+                  schedulers=("fifo", "sjf")),
+            "makespan", runner=cached_runner(tmp_path))
+        result = driver.run()
+        rung0 = result.rungs[0]
+        assert len(rung0.frontier) == 4
+        # 4 candidates x 1 unit x 1 core count = 4 cells, no more.
+        assert rung0.cells == 4
+        keys = {entry.candidate.key for entry in rung0.frontier}
+        assert "Ideal|fifo|homogeneous" in keys
+        assert "Ideal|sjf|homogeneous" in keys

@@ -1,0 +1,96 @@
+"""Search-space construction: candidates, fidelity ladder, compilation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.tune.space import SearchSpace, nexus_sharp_axis, parse_geometry
+
+
+def small_space(**overrides):
+    defaults = dict(
+        managers=("ideal", "nexus#2@100"),
+        workloads=("microbench", "sparselu"),
+        schedulers=("fifo", "sjf"),
+        core_counts=(2, 4),
+        seeds=(1, 2),
+        scale=0.05,
+        name="unit",
+    )
+    defaults.update(overrides)
+    return SearchSpace(**defaults)
+
+
+class TestGeometry:
+    def test_parse_geometry_string(self):
+        assert parse_geometry("64x4") == (64, 4)
+        assert parse_geometry((16, 2)) == (16, 2)
+
+    @pytest.mark.parametrize("bad", ["64", "x4", "ax4", "0x4", "8x0"])
+    def test_malformed_geometry_rejected(self, bad):
+        with pytest.raises(ConfigurationError):
+            parse_geometry(bad)
+
+    def test_axis_compiles_tg_by_geometry(self):
+        assert nexus_sharp_axis([4, 6], ["256x8", "64x4"], frequency_mhz=100.0) == (
+            "nexus#4@100", "nexus#4@100/64x4", "nexus#6@100", "nexus#6@100/64x4")
+
+    def test_paper_geometry_compiles_without_a_suffix(self):
+        """256x8 candidates must share cache identity with every plain
+        nexus#<n> sweep — the suffix would fork their cache keys."""
+        assert nexus_sharp_axis([6]) == ("nexus#6",)
+        assert nexus_sharp_axis([6], [(256, 8)], frequency_mhz=55.56) == (
+            "nexus#6@55.56",)
+
+
+class TestSearchSpace:
+    def test_candidates_cross_managers_schedulers_topologies(self):
+        space = small_space(topologies=("homogeneous", "biglittle"))
+        candidates = space.candidates()
+        assert len(candidates) == 2 * 2 * 2
+        keys = [candidate.key for candidate in candidates]
+        assert len(set(keys)) == len(keys)
+        assert any("Nexus# 2TG@100MHz|sjf" in key for key in keys)
+
+    def test_units_are_seed_major(self):
+        """Rung 0 must see every workload before any extra seed."""
+        assert small_space().units() == (
+            ("microbench", 1), ("sparselu", 1),
+            ("microbench", 2), ("sparselu", 2))
+
+    def test_cells_per_unit_is_the_core_axis(self):
+        assert small_space().cells_per_unit == 2
+
+    def test_base_spec_covers_the_full_grid(self):
+        space = small_space()
+        spec = space.base_spec()
+        # 4 units x 2 managers x 2 schedulers x 2 cores.
+        assert spec.num_points() == 4 * 2 * 2 * 2
+        assert spec.name == "tune:unit"
+
+    def test_aliases_canonicalise(self):
+        space = small_space(schedulers=("shortest",))
+        assert space.schedulers == ("sjf",)
+
+    def test_unknown_manager_fails_at_build_time(self):
+        with pytest.raises(ConfigurationError):
+            small_space(managers=("nexus#lots",))
+
+    @pytest.mark.parametrize("field", ["managers", "workloads", "schedulers",
+                                      "core_counts", "seeds"])
+    def test_empty_axes_rejected(self, field):
+        with pytest.raises(ConfigurationError):
+            small_space(**{field: ()})
+
+    def test_describe_roundtrips_the_axes(self):
+        doc = small_space().describe()
+        assert doc["managers"] == ["ideal", "nexus#2@100"]
+        assert doc["seeds"] == [1, 2]
+        assert doc["scale"] == 0.05
+
+    def test_candidate_describe_names_the_config(self):
+        candidate = next(iter(small_space()))
+        doc = candidate.describe()
+        assert doc["display"] == "Ideal"
+        assert doc["config"]["kind"] == "ideal"
